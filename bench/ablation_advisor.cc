@@ -1,0 +1,80 @@
+// Ablation: the paper's summary (Sec. 3.5) observes there is no overall
+// best plan and describes when each wins. AdviseStrategy encodes that
+// decision logic from estimates alone; this bench checks the advice against
+// the measured winner for Q1..Q8 and reports the slowdown of following the
+// advice versus an oracle that measures everything.
+
+#include "bench_common.h"
+#include "plan/advisor.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  bench::BenchConfig defaults;
+  defaults.twitter_nodes = 6000;
+  defaults.twitter_edges = 30000;
+  defaults.intermediate_budget = 60'000'000;
+  defaults.sort_budget = 60'000'000;
+  auto config = bench::BenchConfig::FromArgs(argc, argv, defaults);
+  WorkloadFactory factory(config.ToScale());
+
+  std::cout << "Strategy advisor vs measured winner (estimates only vs "
+               "oracle)\n\n";
+  TablePrinter table({"query", "advice", "measured best", "advice wall",
+                      "best wall", "slowdown", "rationale"});
+  double worst_slowdown = 1.0;
+  int family_matches = 0;
+  for (int qn : WorkloadFactory::AllQueries()) {
+    auto wl = factory.Make(qn);
+    PTP_CHECK(wl.ok()) << wl.status().ToString();
+    StrategyOptions opts = config.ToOptions();
+    if (qn == 4) opts.join_order = {0, 1, 2, 3, 4, 5, 6, 7};
+
+    StrategyAdvice advice = AdviseStrategy(wl->normalized, opts.num_workers);
+    std::vector<StrategyResult> results =
+        RunAllStrategies(wl->normalized, opts);
+
+    const auto strategies = AllStrategies();
+    int best = -1, advised = -1;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (strategies[i].first == advice.shuffle &&
+          strategies[i].second == advice.join) {
+        advised = static_cast<int>(i);
+      }
+      if (results[i].metrics.failed) continue;
+      if (best < 0 || results[i].metrics.wall_seconds <
+                          results[static_cast<size_t>(best)]
+                              .metrics.wall_seconds) {
+        best = static_cast<int>(i);
+      }
+    }
+    PTP_CHECK(best >= 0 && advised >= 0);
+    const double best_wall =
+        results[static_cast<size_t>(best)].metrics.wall_seconds;
+    const double advice_wall =
+        results[static_cast<size_t>(advised)].metrics.failed
+            ? -1
+            : results[static_cast<size_t>(advised)].metrics.wall_seconds;
+    const double slowdown =
+        advice_wall < 0 ? -1 : advice_wall / std::max(1e-9, best_wall);
+    if (slowdown > 0) worst_slowdown = std::max(worst_slowdown, slowdown);
+    if (strategies[static_cast<size_t>(best)].first == advice.shuffle) {
+      ++family_matches;
+    }
+    table.AddRow(
+        {wl->id,
+         StrategyName(advice.shuffle, advice.join),
+         StrategyName(strategies[static_cast<size_t>(best)].first,
+                      strategies[static_cast<size_t>(best)].second),
+         advice_wall < 0 ? "FAIL" : FormatSeconds(advice_wall),
+         FormatSeconds(best_wall),
+         slowdown < 0 ? "-" : StrFormat("%.1fx", slowdown),
+         advice.rationale.substr(0, 60)});
+  }
+  table.Print();
+  std::cout << StrFormat(
+      "\nshuffle-family matches: %d/8; worst advice-vs-oracle slowdown: "
+      "%.1fx (the advice never executes a plan; the oracle measures all "
+      "six)\n",
+      family_matches, worst_slowdown);
+  return 0;
+}

@@ -1,0 +1,126 @@
+#ifndef PTP_BENCH_BENCH_COMMON_H_
+#define PTP_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "ptp/ptp.h"
+
+namespace ptp {
+namespace bench {
+
+/// Command-line knobs shared by the figure-reproduction binaries.
+/// All have defaults sized for a single-core laptop run; the paper's
+/// cluster-scale numbers are printed alongside for shape comparison.
+struct BenchConfig {
+  int workers = 64;  // the paper's worker count
+  size_t twitter_nodes = 4000;
+  size_t twitter_edges = 48000;
+  double twitter_zipf = 0.7;
+  double freebase_scale = 1.0;
+  uint64_t seed = 42;
+  size_t intermediate_budget = 20'000'000;
+  size_t sort_budget = 0;  // 0 = budget / 4
+
+  /// Parses flags on top of `base` (benches bake in per-figure defaults).
+  static BenchConfig FromArgs(int argc, char** argv, BenchConfig base) {
+    BenchConfig c = base;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      auto eat = [&](const std::string& prefix, auto setter) {
+        if (arg.rfind(prefix, 0) == 0) {
+          setter(arg.substr(prefix.size()));
+          return true;
+        }
+        return false;
+      };
+      bool ok =
+          eat("--workers=", [&](const std::string& v) { c.workers = std::stoi(v); }) ||
+          eat("--twitter-nodes=", [&](const std::string& v) { c.twitter_nodes = std::stoul(v); }) ||
+          eat("--twitter-edges=", [&](const std::string& v) { c.twitter_edges = std::stoul(v); }) ||
+          eat("--twitter-zipf=", [&](const std::string& v) { c.twitter_zipf = std::stod(v); }) ||
+          eat("--freebase-scale=", [&](const std::string& v) { c.freebase_scale = std::stod(v); }) ||
+          eat("--seed=", [&](const std::string& v) { c.seed = std::stoul(v); }) ||
+          eat("--budget=", [&](const std::string& v) { c.intermediate_budget = std::stoul(v); }) ||
+          eat("--sort-budget=", [&](const std::string& v) { c.sort_budget = std::stoul(v); });
+      if (!ok) {
+        std::cerr << "unknown flag: " << arg
+                  << "\nflags: --workers= --twitter-nodes= --twitter-edges= "
+                     "--twitter-zipf= --freebase-scale= --seed= --budget= "
+                     "--sort-budget=\n";
+        std::exit(2);
+      }
+    }
+    return c;
+  }
+
+  WorkloadScale ToScale() const {
+    WorkloadScale s;
+    s.twitter.num_nodes = twitter_nodes;
+    s.twitter.num_edges = twitter_edges;
+    s.twitter.zipf_exponent = twitter_zipf;
+    s.freebase_scale = freebase_scale;
+    s.seed = seed;
+    return s;
+  }
+
+  static BenchConfig FromArgs(int argc, char** argv) {
+    return FromArgs(argc, argv, BenchConfig());
+  }
+
+  StrategyOptions ToOptions() const {
+    StrategyOptions o;
+    o.num_workers = workers;
+    o.intermediate_budget = intermediate_budget;
+    o.sort_budget = sort_budget;
+    return o;
+  }
+};
+
+/// Loads workload `q`, runs all six configurations, prints the figure.
+/// `patch_options` lets a bench pin plan details (e.g. the paper's explicit
+/// Figure-7 join order for Q4).
+inline std::vector<StrategyResult> RunSixConfigs(
+    const BenchConfig& config, int q, const std::string& title,
+    const PaperFigure& paper,
+    const std::function<void(StrategyOptions*)>& patch_options = nullptr) {
+  WorkloadFactory factory(config.ToScale());
+  auto wl = factory.Make(q);
+  PTP_CHECK(wl.ok()) << wl.status().ToString();
+  std::cout << wl->description << "\n"
+            << "query: " << wl->query.ToString() << "\n"
+            << "workers: " << config.workers << ", dataset: ";
+  size_t input = 0;
+  for (const auto& atom : wl->normalized.atoms) {
+    input += atom.relation.NumTuples();
+  }
+  std::cout << input << " input tuples across " << wl->normalized.atoms.size()
+            << " atoms\n\n";
+  StrategyOptions options = config.ToOptions();
+  if (patch_options) patch_options(&options);
+  std::vector<StrategyResult> results =
+      RunAllStrategies(wl->normalized, options);
+  PrintSixConfigFigure(title, results, paper);
+
+  // Consistency check across the non-failed runs.
+  const Relation* reference = nullptr;
+  for (const StrategyResult& r : results) {
+    if (r.metrics.failed) continue;
+    if (reference == nullptr) {
+      reference = &r.output;
+    } else {
+      PTP_CHECK(r.output.EqualsUnordered(*reference))
+          << "strategy results disagree!";
+    }
+  }
+  std::cout << "\nall completed strategies returned identical results ("
+            << (reference ? reference->NumTuples() : 0) << " tuples)\n";
+  return results;
+}
+
+}  // namespace bench
+}  // namespace ptp
+
+#endif  // PTP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,49 @@
+// Reproduces Figure 3: the triangle query Q1 on the Twitter-like graph under
+// all six shuffle/join configurations. Expected shape (paper, 64 workers):
+// HC_TJ fastest (0.9s); HC shuffles ~4x less than RS and ~11x less than BR;
+// BR_HJ beats BR_TJ (sorting the broadcast relations dominates); RS plans
+// suffer consumer/producer skew.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  auto config = bench::BenchConfig::FromArgs(argc, argv);
+
+  PaperFigure paper;
+  paper.wall_seconds = {10.9, 12.8, 4.5, 5.4, 2.4, 0.9};
+  paper.cpu_seconds = {75, 98, 116, 229, 37, 18};
+  paper.tuples_millions = {54, 54, 142, 142, 13, 13};
+
+  auto results = bench::RunSixConfigs(config, 1,
+                                      "Figure 3: Triangle query (Q1)", paper);
+
+  // Shape assertions the paper's narrative makes.
+  const auto& rs_hj = results[0].metrics;
+  const auto& br_hj = results[2].metrics;
+  const auto& hc_tj = results[5].metrics;
+  std::cout << "\nshape checks:\n";
+  std::cout << "  HC shuffles less than RS: "
+            << (hc_tj.TuplesShuffled() < rs_hj.TuplesShuffled() ? "yes"
+                                                                : "NO (!)")
+            << "\n";
+  std::cout << "  HC shuffles less than BR: "
+            << (hc_tj.TuplesShuffled() < br_hj.TuplesShuffled() ? "yes"
+                                                                : "NO (!)")
+            << "\n";
+  std::cout << "  HC_TJ wall clock is the minimum: "
+            << ([&] {
+                 for (const auto& r : results) {
+                   if (!r.metrics.failed &&
+                       r.metrics.wall_seconds <
+                           hc_tj.wall_seconds * 0.999) {
+                     return "NO (!)";
+                   }
+                 }
+                 return "yes";
+               }())
+            << "\n";
+  std::cout << "  HyperCube config used: " << results[5].hc_config.ToString()
+            << " (paper: 4x4x4)\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Figures 5 and 7: the left-deep regular-shuffle query plans for
+// Q3 and Q4 annotated with the number of tuples shuffled at every step.
+// Expected shape (paper): Q3's first joins collapse the data (selective
+// constants) and the pipeline stays far below the inputs; Q4's intermediate
+// results keep growing with each join, reaching 13,100M (paper scale) before
+// the last join.
+
+#include "bench_common.h"
+
+namespace {
+
+void PrintPlan(const ptp::Workload& wl, const ptp::StrategyResult& result) {
+  std::cout << "== RS_HJ plan for " << wl.id << " ==\n";
+  std::cout << wl.query.ToString() << "\n\n";
+  ptp::TablePrinter table({"step", "operation", "tuples shuffled",
+                           "join output"});
+  size_t join_idx = 0;
+  std::vector<size_t> join_outputs;
+  for (const ptp::StageMetrics& s : result.metrics.stages) {
+    if (s.label.rfind("join_", 0) == 0) join_outputs.push_back(s.output_tuples);
+  }
+  for (const ptp::ShuffleMetrics& s : result.metrics.shuffles) {
+    const bool is_intermediate = s.label.rfind("Intermediate", 0) == 0;
+    std::string output;
+    if (is_intermediate || join_idx == 0) {
+      // A new join round begins with the left input's shuffle.
+      output = join_idx < join_outputs.size()
+                   ? ptp::WithCommas(join_outputs[join_idx])
+                   : "-";
+    }
+    table.AddRow({is_intermediate || join_idx == 0
+                      ? ptp::StrFormat("join %zu", ++join_idx)
+                      : "",
+                  s.label, ptp::WithCommas(s.tuples_sent), output});
+  }
+  table.Print();
+  std::cout << "final output: " << ptp::WithCommas(result.output.NumTuples())
+            << " tuples\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  auto config = bench::BenchConfig::FromArgs(argc, argv);
+
+  WorkloadFactory factory(config.ToScale());
+
+  {
+    auto wl = factory.Make(3);
+    PTP_CHECK(wl.ok());
+    auto rs = RunStrategy(wl->normalized, ShuffleKind::kRegular,
+                          JoinKind::kHashJoin, config.ToOptions());
+    PTP_CHECK(rs.ok());
+    PrintPlan(*wl, *rs);
+    // Shape: intermediates never exceed the largest input.
+    size_t biggest_input = 0;
+    for (const auto& atom : wl->normalized.atoms) {
+      biggest_input = std::max(biggest_input, atom.relation.NumTuples());
+    }
+    std::cout << "shape check (Fig 5): max intermediate ("
+              << WithCommas(rs->metrics.max_intermediate_tuples)
+              << ") stays below the largest input ("
+              << WithCommas(biggest_input) << "): "
+              << (rs->metrics.max_intermediate_tuples <= biggest_input
+                      ? "yes"
+                      : "NO (!)")
+              << "\n\n";
+  }
+
+  {
+    auto wl = factory.Make(4);
+    PTP_CHECK(wl.ok());
+    StrategyOptions opts = config.ToOptions();
+    opts.join_order = {0, 1, 2, 3, 4, 5, 6, 7};  // the paper's Figure 7 plan
+    auto rs = RunStrategy(wl->normalized, ShuffleKind::kRegular,
+                          JoinKind::kHashJoin, opts);
+    PTP_CHECK(rs.ok());
+    PrintPlan(*wl, *rs);
+    size_t input = 0;
+    for (const auto& atom : wl->normalized.atoms) {
+      input += atom.relation.NumTuples();
+    }
+    std::cout << "shape check (Fig 7): max intermediate ("
+              << WithCommas(rs->metrics.max_intermediate_tuples)
+              << ") dwarfs the total input (" << WithCommas(input)
+              << "): "
+              << (rs->metrics.max_intermediate_tuples > 10 * input ? "yes"
+                                                                   : "NO (!)")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 6: Freebase query Q3 (acyclic, selective, small
+// intermediates). Expected shape (paper): the regular shuffle wins — RS_TJ
+// fastest, RS_HJ close behind; HyperCube must replicate base data across a
+// 6-dimensional cube and shuffles ~15x more than RS; broadcast is worst.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  auto config = bench::BenchConfig::FromArgs(argc, argv);
+
+  PaperFigure paper;
+  paper.wall_seconds = {2.1, 1.7, 17, 40, 5.2, 9.9};
+  paper.cpu_seconds = {365, 105, 3681, 5711, 899, 1568};
+  paper.tuples_millions = {7.2, 7.2, 351, 351, 105, 105};
+
+  auto results = bench::RunSixConfigs(
+      config, 3, "Figure 6: Freebase query 1 (Q3)", paper);
+
+  const auto& rs_tj = results[1].metrics;
+  const auto& br_hj = results[2].metrics;
+  const auto& hc_tj = results[5].metrics;
+  std::cout << "\nshape checks:\n"
+            << "  RS shuffles least: "
+            << (rs_tj.TuplesShuffled() < hc_tj.TuplesShuffled() &&
+                        rs_tj.TuplesShuffled() < br_hj.TuplesShuffled()
+                    ? "yes"
+                    : "NO (!)")
+            << "\n"
+            << "  a regular-shuffle plan is fastest: "
+            << ([&] {
+                 double best_rs = std::min(results[0].metrics.wall_seconds,
+                                           results[1].metrics.wall_seconds);
+                 for (size_t i = 2; i < results.size(); ++i) {
+                   if (!results[i].metrics.failed &&
+                       results[i].metrics.wall_seconds < best_rs * 0.999) {
+                     return "NO (!)";
+                   }
+                 }
+                 return "yes";
+               }())
+            << "\n";
+  return 0;
+}

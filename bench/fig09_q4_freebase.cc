@@ -1,0 +1,49 @@
+// Reproduces Figure 9: Freebase query Q4 (cyclic, 8 joins, very large
+// intermediates). Expected shape (paper): RS_HJ is slowest by far (13.9B
+// tuples shuffled at paper scale); RS_TJ FAILs (out of memory sorting the
+// intermediate); Tributary-join plans (BR_TJ, HC_TJ) win; HC shuffles less
+// than BR but an 8-D cube replicates heavily, so the two are comparable.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  bench::BenchConfig defaults;
+  defaults.freebase_scale = 1.0;
+  defaults.sort_budget = 3'000'000;  // RS_TJ cannot sort the blown-up intermediate
+  auto config = bench::BenchConfig::FromArgs(argc, argv, defaults);
+
+  PaperFigure paper;
+  paper.wall_seconds = {11872, 0, 678, 153, 1355, 263};
+  paper.cpu_seconds = {244086, 0, 41154, 18815, 46196, 13192};
+  paper.tuples_millions = {13893, 0, 491, 491, 210, 210};
+  paper.failed = {false, true, false, false, false, false};
+
+  auto results = bench::RunSixConfigs(
+      config, 4, "Figure 9: Freebase query 2 (Q4)", paper,
+      [](StrategyOptions* opts) {
+        // Pin the paper's Figure-7 left-deep plan (textual atom order), whose
+        // intermediate results keep growing until the final join.
+        opts->join_order = {0, 1, 2, 3, 4, 5, 6, 7};
+      });
+
+  const auto& rs_hj = results[0].metrics;
+  const auto& rs_tj = results[1].metrics;
+  const auto& hc_tj = results[5].metrics;
+  const auto& br_tj = results[3].metrics;
+  std::cout << "\nshape checks:\n"
+            << "  RS_TJ FAILs (sort memory): "
+            << (rs_tj.failed ? "yes" : "NO (!)") << "\n"
+            << "  RS_HJ shuffles vastly more than HC: "
+            << StrFormat("%.0fx",
+                         static_cast<double>(rs_hj.TuplesShuffled()) /
+                             static_cast<double>(hc_tj.TuplesShuffled()))
+            << " (paper: 66x)\n"
+            << "  TJ beats HJ under both BR and HC: "
+            << ((br_tj.wall_seconds < results[2].metrics.wall_seconds &&
+                 hc_tj.wall_seconds < results[4].metrics.wall_seconds)
+                    ? "yes"
+                    : "NO (!)")
+            << "\n";
+  return 0;
+}

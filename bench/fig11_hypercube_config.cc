@@ -1,0 +1,79 @@
+// Reproduces Figure 11: quality of the HyperCube share-configuration
+// algorithms on Q1-Q4 for N = 63, 64, 65 workers. "Workload" is the expected
+// max tuples assigned to one worker; the reference "opt." is the fractional
+// LP solution of Beame et al. Expected shape (paper): Our Alg stays within
+// ~1.06x of the LP bound (and can beat it — the LP point is only optimal for
+// the max-per-atom objective, e.g. 0.50 on Q2); Round Down is up to 2x; and
+// Random allocation with 4096 virtual cells is 2.8-5.4x due to replication.
+//
+// Ablation (--no-even-tiebreak): the even-dimension tie-break changes which
+// of the equal-workload configurations is picked (skew resilience), printed
+// as the chosen dims.
+
+#include <cstring>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  bool even_tiebreak = true;
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-even-tiebreak") == 0) {
+      even_tiebreak = false;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  auto config = bench::BenchConfig::FromArgs(static_cast<int>(rest.size()),
+                                             rest.data());
+  WorkloadFactory factory(config.ToScale());
+
+  // Paper's reported ratios for N=64 (Figure 11a), for side-by-side shape
+  // comparison: ours {1.00, 0.50, 1.00, 1.06}, round-down {1.00, 2.00,
+  // 1.22, 1.41}, random {3.73, 5.37, 3.99, 2.83}.
+  std::cout << "Figure 11: workload-to-optimal ratio of share configuration "
+               "algorithms (even tie-break: "
+            << (even_tiebreak ? "on" : "off") << ")\n\n";
+
+  for (int n : {64, 63, 65}) {
+    std::cout << "== N = " << n << " ==\n";
+    TablePrinter table({"query", "opt load (LP)", "Our Alg.", "dims",
+                        "Round Down", "dims", "Random(4096 cells)"});
+    for (int q = 1; q <= 4; ++q) {
+      auto wl = factory.Make(q);
+      PTP_CHECK(wl.ok()) << wl.status().ToString();
+      ShareProblem problem = MakeShareProblem(wl->normalized);
+
+      auto frac = SolveFractionalShares(problem, n);
+      PTP_CHECK(frac.ok()) << frac.status().ToString();
+
+      OptimizerOptions opt_options;
+      opt_options.even_tiebreak = even_tiebreak;
+      ConfigChoice ours = OptimizeShares(problem, n, opt_options);
+      auto down = RoundDownShares(problem, n);
+      PTP_CHECK(down.ok());
+      auto random = RandomCellAllocation(problem, n, 4096, config.seed);
+      PTP_CHECK(random.ok()) << random.status().ToString();
+      const double random_load = AllocationMaxLoad(problem, *random);
+
+      table.AddRow({wl->id, StrFormat("%.0f", frac->load),
+                    StrFormat("%.2f", ours.expected_load / frac->load),
+                    ours.config.ToString().substr(
+                        0, ours.config.ToString().find(" over")),
+                    StrFormat("%.2f", down->expected_load / frac->load),
+                    down->config.ToString().substr(
+                        0, down->config.ToString().find(" over")),
+                    StrFormat("%.2f", random_load / frac->load)});
+
+      PTP_CHECK(ours.expected_load <= down->expected_load * (1 + 1e-9))
+          << "Our Alg must never lose to Round Down";
+    }
+    table.Print();
+    std::cout << "\n";
+  }
+
+  std::cout << "shape checks: Our Alg <= Round Down everywhere (checked); "
+               "Random(4096) should be the worst due to replication.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Figure 13 (App. A): the rectangle query Q5. Expected shape
+// (paper): RS is the worst shuffle (every 2-hop and 3-hop path is
+// reshuffled; 1841M tuples at paper scale) and RS_TJ FAILs; HC shuffles
+// least; HC_TJ fastest; TJ beats HJ under every shuffle.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  bench::BenchConfig defaults;
+  defaults.twitter_edges = 16000;  // the 3-hop blow-up must stay in memory
+  defaults.twitter_nodes = 8000;
+  defaults.twitter_zipf = 0.8;
+  auto config = bench::BenchConfig::FromArgs(argc, argv, defaults);
+
+  PaperFigure paper;
+  paper.wall_seconds = {182, 0, 27, 15, 36, 14};
+  paper.cpu_seconds = {2027, 0, 1494, 631, 1462, 354};
+  paper.tuples_millions = {1841, 0, 213, 213, 35, 35};
+  paper.failed = {false, true, false, false, false, false};
+
+  auto results = bench::RunSixConfigs(
+      config, 5, "Figure 13: Twitter Rectangle (Q5)", paper);
+
+  const auto& rs_hj = results[0].metrics;
+  const auto& rs_tj = results[1].metrics;
+  const auto& br_hj = results[2].metrics;
+  const auto& hc_tj = results[5].metrics;
+  std::cout << "\nshape checks:\n"
+            << "  RS shuffles the most: "
+            << (rs_hj.TuplesShuffled() > br_hj.TuplesShuffled() ? "yes"
+                                                                : "NO (!)")
+            << "\n"
+            << "  RS_TJ FAILs: " << (rs_tj.failed ? "yes" : "NO (!)") << "\n"
+            << "  HC shuffles the least: "
+            << (hc_tj.TuplesShuffled() < rs_hj.TuplesShuffled() &&
+                        hc_tj.TuplesShuffled() < br_hj.TuplesShuffled()
+                    ? "yes"
+                    : "NO (!)")
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Figure 14 (App. A): the two-rings query Q6 (two back-to-back
+// triangles, 5-way self-join). Expected shape (paper): same trend as Q2 —
+// HC_TJ fastest; under HC and RS, TJ beats HJ; broadcast HJ's CPU explodes.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  bench::BenchConfig defaults;
+  defaults.twitter_nodes = 6000;  // sparser graph: the 6-way self-join's
+  defaults.twitter_edges = 40000; // intermediates stay laptop-feasible
+  defaults.intermediate_budget = 40'000'000;
+  auto config = bench::BenchConfig::FromArgs(argc, argv, defaults);
+
+  PaperFigure paper;
+  paper.wall_seconds = {13, 24, 56, 7.8, 3.5, 1.0};
+  paper.cpu_seconds = {97, 209, 3083, 241, 59, 14};
+  paper.tuples_millions = {73, 73, 129, 129, 17, 17};
+
+  auto results = bench::RunSixConfigs(
+      config, 6, "Figure 14: Twitter Two Rings (Q6)", paper);
+
+  const auto& hc_tj = results[5].metrics;
+  const auto& hc_hj = results[4].metrics;
+  std::cout << "\nshape checks:\n"
+            << "  HC_TJ beats HC_HJ: "
+            << (hc_tj.wall_seconds < hc_hj.wall_seconds ? "yes" : "NO (!)")
+            << "\n"
+            << "  HC_TJ is fastest overall: "
+            << ([&] {
+                 for (const auto& r : results) {
+                   if (!r.metrics.failed &&
+                       r.metrics.wall_seconds < hc_tj.wall_seconds * 0.999) {
+                     return "NO (!)";
+                   }
+                 }
+                 return "yes";
+               }())
+            << "\n";
+  return 0;
+}

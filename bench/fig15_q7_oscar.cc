@@ -1,0 +1,39 @@
+// Reproduces Figure 15 (App. A): Freebase query Q7 — an acyclic star join
+// with one tiny selected relation. Expected shape (paper): the optimal
+// HyperCube configuration degenerates to 1 x 64 (broadcast the selected
+// ObjectName row, hash-partition the three Honor tables on h), so HC
+// shuffles as little as RS while balancing load better; HC_TJ and RS_TJ are
+// the fastest; full broadcast shuffles ~30x more.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  auto config = bench::BenchConfig::FromArgs(argc, argv);
+
+  PaperFigure paper;
+  paper.wall_seconds = {0.99, 0.78, 1.5, 1.0, 0.90, 0.77};
+  paper.cpu_seconds = {17, 32, 68, 55, 37, 20};
+  paper.tuples_millions = {0.24, 0.24, 7.1, 7.1, 0.24, 0.24};
+
+  auto results = bench::RunSixConfigs(
+      config, 7, "Figure 15: Freebase Query 3 (Q7)", paper);
+
+  const auto& rs = results[0].metrics;
+  const auto& br = results[2].metrics;
+  const auto& hc = results[5].metrics;
+  std::cout << "\nshape checks:\n"
+            << "  HC shuffle size ~= RS shuffle size (paper: both 0.24M): "
+            << StrFormat("%.2fx", static_cast<double>(hc.TuplesShuffled()) /
+                                      static_cast<double>(
+                                          std::max<size_t>(
+                                              1, rs.TuplesShuffled())))
+            << "\n"
+            << "  broadcast shuffles far more: "
+            << (br.TuplesShuffled() > 5 * hc.TuplesShuffled() ? "yes"
+                                                              : "NO (!)")
+            << "\n"
+            << "  HyperCube config: " << results[5].hc_config.ToString()
+            << " (paper: effectively 1x64 — all shares on one variable)\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Reproduces Figure 17 (App. A): Freebase query Q8 (actor-director pairs,
+// 6-way cyclic join). Expected shape (paper): the only cyclic query where
+// the regular shuffle wins — RS has little skew and HC's 6-D cube reshuffles
+// about as much data (60M vs RS's 54M) without saving intermediate work;
+// RS_HJ is fastest.
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  auto config = bench::BenchConfig::FromArgs(argc, argv);
+
+  PaperFigure paper;
+  paper.wall_seconds = {7.1, 13, 19, 37, 10, 16};
+  paper.cpu_seconds = {1135, 1164, 4955, 4143, 1335, 2257};
+  paper.tuples_millions = {53, 53, 234, 234, 59, 59};
+
+  auto results = bench::RunSixConfigs(
+      config, 8, "Figure 17: Freebase Query 4 (Q8)", paper);
+
+  const auto& rs_hj = results[0].metrics;
+  const auto& hc_tj = results[5].metrics;
+  std::cout << "\nshape checks:\n"
+            << "  HC shuffle comparable to RS (paper 60M vs 54M): "
+            << StrFormat("%.2fx", static_cast<double>(hc_tj.TuplesShuffled()) /
+                                      static_cast<double>(std::max<size_t>(
+                                          1, rs_hj.TuplesShuffled())))
+            << "\n"
+            << "  RS_HJ beats HC_TJ (paper: 2x faster): "
+            << (rs_hj.wall_seconds < hc_tj.wall_seconds ? "yes" : "NO (!)")
+            << "\n"
+            << "  RS skew is mild (paper: 3.5): "
+            << StrFormat("%.2f", rs_hj.MaxShuffleSkew()) << "\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Sec. 4 claim: "for a cluster with 64 workers and queries with even large
+// numbers of joins (Q1 through Q4), the algorithm computes the hypercube
+// configuration in under 100 msec". This google-benchmark binary measures
+// OptimizeShares (Algorithm 1) on the four queries' share problems, plus the
+// LP solve and the naive baselines for context.
+
+#include <benchmark/benchmark.h>
+
+#include "ptp/ptp.h"
+
+namespace {
+
+using namespace ptp;
+
+// Share problems matching Q1..Q4's hypergraphs (cardinalities at paper
+// scale; only the structure and relative sizes matter for the optimizer).
+ShareProblem ProblemForQuery(int q) {
+  ShareProblem p;
+  switch (q) {
+    case 1:  // triangle: 3 vars, 3 atoms
+      p.join_vars = {"x", "y", "z"};
+      p.atoms = {{"R", {0, 1}, 1.1e6},
+                 {"S", {1, 2}, 1.1e6},
+                 {"T", {2, 0}, 1.1e6}};
+      break;
+    case 2:  // 4-clique: 4 vars, 6 atoms
+      p.join_vars = {"x", "y", "z", "p"};
+      p.atoms = {{"R", {0, 1}, 1.1e6}, {"S", {1, 2}, 1.1e6},
+                 {"T", {2, 3}, 1.1e6}, {"P", {3, 0}, 1.1e6},
+                 {"K", {0, 2}, 1.1e6}, {"L", {1, 3}, 1.1e6}};
+      break;
+    case 3:  // Q3: 6 join vars, 8 atoms (two selective singletons)
+      p.join_vars = {"a1", "p1", "film", "a2", "p2", "p"};
+      p.atoms = {{"N1", {0}, 1},        {"AP1", {0, 1}, 1.1e6},
+                 {"PF1", {1, 2}, 1.1e6}, {"N2", {3}, 1},
+                 {"AP2", {3, 4}, 1.1e6}, {"PF2", {4, 2}, 1.1e6},
+                 {"PF3", {5, 2}, 1.1e6}, {"AP3", {5}, 1.1e6}};
+      break;
+    case 4:  // Q4: 8 join vars, 8 atoms
+      p.join_vars = {"a1", "p1", "f1", "p2", "a2", "p3", "f2", "p4"};
+      p.atoms = {{"AP1", {0, 1}, 1.1e6}, {"PF1", {1, 2}, 1.1e6},
+                 {"PF2", {3, 2}, 1.1e6}, {"AP2", {4, 3}, 1.1e6},
+                 {"AP3", {4, 5}, 1.1e6}, {"PF3", {5, 6}, 1.1e6},
+                 {"PF4", {7, 6}, 1.1e6}, {"AP4", {0, 7}, 1.1e6}};
+      break;
+  }
+  return p;
+}
+
+void BM_OptimizeShares(benchmark::State& state) {
+  ShareProblem p = ProblemForQuery(static_cast<int>(state.range(0)));
+  const int workers = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    ConfigChoice c = OptimizeShares(p, workers);
+    benchmark::DoNotOptimize(c.expected_load);
+  }
+  state.counters["configs_enumerated"] = static_cast<double>(
+      CountIntegralConfigs(static_cast<int>(p.join_vars.size()), workers));
+}
+BENCHMARK(BM_OptimizeShares)
+    ->ArgsProduct({{1, 2, 3, 4}, {63, 64, 65}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FractionalSharesLP(benchmark::State& state) {
+  ShareProblem p = ProblemForQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto frac = SolveFractionalShares(p, 64);
+    benchmark::DoNotOptimize(frac);
+  }
+}
+BENCHMARK(BM_FractionalSharesLP)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_RoundDownShares(benchmark::State& state) {
+  ShareProblem p = ProblemForQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto c = RoundDownShares(p, 64);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_RoundDownShares)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_RandomCellAllocation(benchmark::State& state) {
+  ShareProblem p = ProblemForQuery(static_cast<int>(state.range(0)));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto alloc = RandomCellAllocation(p, 64, 4096, seed++);
+    benchmark::DoNotOptimize(alloc);
+  }
+}
+BENCHMARK(BM_RandomCellAllocation)
+    ->DenseRange(1, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

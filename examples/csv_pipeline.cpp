@@ -1,0 +1,87 @@
+// End-to-end pipeline on external data: load an edge list from CSV (a real
+// follower snapshot, a road network, ...), ask the advisor which plan fits,
+// run it, and export the result back to CSV.
+//
+// Run: ./build/examples/csv_pipeline [edges.csv]
+// With no argument, a demo CSV is generated in /tmp first.
+
+#include <fstream>
+#include <iostream>
+
+#include "ptp/ptp.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    // No input given: write a demo power-law edge list to /tmp.
+    path = "/tmp/ptp_demo_edges.csv";
+    GraphGenOptions gen;
+    gen.num_nodes = 2000;
+    gen.num_edges = 12000;
+    gen.seed = 3;
+    Relation edges = GeneratePowerLawGraph(gen, "edges");
+    std::ofstream out(path);
+    out << "src,dst\n";  // header
+    if (!WriteCsv(out, edges).ok()) {
+      std::cerr << "cannot write demo CSV\n";
+      return 1;
+    }
+    std::cout << "wrote demo edge list to " << path << "\n";
+  }
+
+  CsvOptions csv;
+  csv.skip_header = true;
+  Dictionary dict;
+  auto edges = ReadCsvFile(path, "E", Schema{"src", "dst"}, &dict, csv);
+  if (!edges.ok()) {
+    std::cerr << "load failed: " << edges.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "loaded " << edges->NumTuples() << " edges from " << path
+            << "\n";
+
+  Catalog catalog;
+  for (const char* alias : {"E1", "E2", "E3"}) {
+    Relation copy = *edges;
+    copy.set_name(alias);
+    catalog.Put(std::move(copy));
+  }
+
+  auto query =
+      ParseDatalog("Tri(x,y,z) :- E1(x,y), E2(y,z), E3(z,x).", nullptr);
+  auto nq = Normalize(*query, catalog);
+  if (!nq.ok()) {
+    std::cerr << nq.status().ToString() << "\n";
+    return 1;
+  }
+
+  const int kWorkers = 16;
+  StrategyAdvice advice = AdviseStrategy(*nq, kWorkers);
+  std::cout << "advisor: " << StrategyName(advice.shuffle, advice.join)
+            << " — " << advice.rationale << "\n";
+
+  StrategyOptions opts;
+  opts.num_workers = kWorkers;
+  auto result = RunStrategy(*nq, advice.shuffle, advice.join, opts);
+  if (!result.ok()) {
+    std::cerr << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "triangles: " << result->output.NumTuples() << " ("
+            << WithCommas(result->metrics.TuplesShuffled())
+            << " tuples shuffled, wall "
+            << FormatSeconds(result->metrics.wall_seconds) << ")\n";
+
+  const std::string out_path = "/tmp/ptp_triangles.csv";
+  std::ofstream out(out_path);
+  if (!WriteCsv(out, result->output).ok()) {
+    std::cerr << "export failed\n";
+    return 1;
+  }
+  std::cout << "result exported to " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Graphlet counting — the paper's motivating workload (Sec. 1): computing
+// the frequencies of small subgraph patterns ("graphlets", Yaveroglu et al.)
+// requires cyclic self-joins that traditional engines handle badly.
+//
+// This example counts three directed graphlets (triangle, rectangle,
+// 4-clique) on a synthetic social network, evaluating each with the
+// HyperCube + Tributary join combination and printing what a traditional
+// regular-shuffle hash-join plan would have paid.
+//
+// Run: ./build/examples/graphlet_counting [edges] [nodes]
+
+#include <iostream>
+
+#include "ptp/ptp.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  GraphGenOptions gen;
+  gen.num_edges = argc > 1 ? std::stoul(argv[1]) : 20000;
+  gen.num_nodes = argc > 2 ? std::stoul(argv[2]) : 4000;
+  gen.zipf_exponent = 0.7;
+  gen.seed = 7;
+
+  Relation edges = GeneratePowerLawGraph(gen, "Follows");
+  Catalog catalog;
+  for (const char* alias : {"E1", "E2", "E3", "E4", "E5", "E6"}) {
+    Relation copy = edges;
+    copy.set_name(alias);
+    catalog.Put(std::move(copy));
+  }
+  std::cout << "social graph: " << edges.NumTuples() << " edges over "
+            << gen.num_nodes << " nodes (power-law)\n\n";
+
+  struct Graphlet {
+    const char* name;
+    const char* rule;
+  };
+  const Graphlet graphlets[] = {
+      {"triangle", "G(x,y,z) :- E1(x,y), E2(y,z), E3(z,x)."},
+      {"rectangle", "G(x,y,z,p) :- E1(x,y), E2(y,z), E3(z,p), E4(p,x)."},
+      {"4-clique",
+       "G(x,y,z,p) :- E1(x,y), E2(y,z), E3(z,p), E4(p,x), E5(x,z), "
+       "E6(y,p)."},
+  };
+
+  StrategyOptions opts;
+  opts.num_workers = 16;
+
+  TablePrinter table({"graphlet", "count", "HC config", "TJ var order",
+                      "HC_TJ shuffled", "RS_HJ shuffled", "HC_TJ wall",
+                      "RS_HJ wall"});
+  for (const Graphlet& g : graphlets) {
+    auto query = ParseDatalog(g.rule, nullptr);
+    if (!query.ok()) {
+      std::cerr << query.status().ToString() << "\n";
+      return 1;
+    }
+    auto nq = Normalize(*query, catalog);
+    if (!nq.ok()) {
+      std::cerr << nq.status().ToString() << "\n";
+      return 1;
+    }
+    auto hc = RunStrategy(*nq, ShuffleKind::kHypercube, JoinKind::kTributary,
+                          opts);
+    auto rs = RunStrategy(*nq, ShuffleKind::kRegular, JoinKind::kHashJoin,
+                          opts);
+    if (!hc.ok() || !rs.ok()) {
+      std::cerr << "execution failed\n";
+      return 1;
+    }
+    if (!rs->metrics.failed &&
+        hc->output.NumTuples() != rs->output.NumTuples()) {
+      std::cerr << "count mismatch between plans!\n";
+      return 1;
+    }
+    std::string var_order = Join(hc->var_order_used, "<");
+    table.AddRow({g.name, WithCommas(hc->output.NumTuples()),
+                  hc->hc_config.ToString(), var_order,
+                  FormatMillions(hc->metrics.TuplesShuffled()),
+                  rs->metrics.failed
+                      ? "FAIL"
+                      : FormatMillions(rs->metrics.TuplesShuffled()),
+                  FormatSeconds(hc->metrics.wall_seconds),
+                  rs->metrics.failed
+                      ? "FAIL"
+                      : FormatSeconds(rs->metrics.wall_seconds)});
+  }
+  table.Print();
+
+  // When only the frequency matters, skip materialization entirely with the
+  // count-only worst-case-optimal join.
+  {
+    auto query = ParseDatalog(graphlets[0].rule, nullptr);
+    auto nq = Normalize(*query, catalog);
+    std::vector<const Relation*> inputs;
+    for (const auto& atom : nq->atoms) inputs.push_back(&atom.relation);
+    OrderChoice order = OptimizeVariableOrder(*nq);
+    TJMetrics metrics;
+    auto count = TributaryCount(inputs, order.order, nq->predicates, {},
+                                &metrics);
+    if (!count.ok()) {
+      std::cerr << count.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "\ncount-only evaluation: " << WithCommas(*count)
+              << " triangles in "
+              << FormatSeconds(metrics.sort_seconds + metrics.join_seconds)
+              << " on one core, nothing materialized\n";
+  }
+
+  std::cout << "\nGraphlet frequencies characterize the network structure; "
+               "the cyclic patterns are exactly where HyperCube + Tributary "
+               "join shines.\n";
+  return 0;
+}

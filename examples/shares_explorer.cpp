@@ -1,0 +1,90 @@
+// HyperCube shares explorer — interactive view of the Sec. 4 machinery.
+// Takes a Datalog query (or uses the triangle by default) plus relation
+// cardinalities, and prints for a sweep of cluster sizes:
+//   * the fractional LP shares (Beame et al.),
+//   * Algorithm 1's integral configuration and its workload ratio,
+//   * the naive round-down configuration,
+// demonstrating where rounding down wastes machines (e.g. the 4-clique on
+// 15 workers collapses to a single cell).
+//
+// Run: ./build/examples/shares_explorer
+//      ./build/examples/shares_explorer "Q(x,y,z,p) :- R(x,y), S(y,z), \
+//        T(z,p), U(p,x), V(x,z), W(y,p)." 1000000
+
+#include <iostream>
+
+#include "ptp/ptp.h"
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+  const char* text = argc > 1
+                         ? argv[1]
+                         : "Q(x,y,z) :- R(x,y), S(y,z), T(z,x).";
+  const double cardinality = argc > 2 ? std::stod(argv[2]) : 1e6;
+
+  auto query = ParseDatalog(text, nullptr);
+  if (!query.ok()) {
+    std::cerr << query.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "query: " << query->ToString() << "\n";
+  std::cout << "assumed cardinality per relation: " << cardinality << "\n\n";
+
+  // Build the abstract share problem straight from the hypergraph.
+  ShareProblem problem;
+  problem.join_vars = query->JoinVariables();
+  for (const Atom& atom : query->atoms()) {
+    ShareProblem::AtomInfo info;
+    info.name = atom.relation;
+    info.cardinality = cardinality;
+    for (size_t i = 0; i < problem.join_vars.size(); ++i) {
+      if (atom.HasVariable(problem.join_vars[i])) {
+        info.var_idx.push_back(static_cast<int>(i));
+      }
+    }
+    problem.atoms.push_back(std::move(info));
+  }
+  std::cout << "join variables (cube dimensions): "
+            << Join(problem.join_vars, ", ") << "\n\n";
+
+  TablePrinter table({"workers", "LP shares (fractional)", "LP load",
+                      "Algorithm 1", "load", "ratio", "Round Down", "load",
+                      "ratio"});
+  for (int n : {4, 8, 15, 16, 32, 63, 64, 65, 128}) {
+    auto frac = SolveFractionalShares(problem, n);
+    if (!frac.ok()) {
+      std::cerr << frac.status().ToString() << "\n";
+      return 1;
+    }
+    std::string shares;
+    for (size_t i = 0; i < frac->shares.size(); ++i) {
+      if (i > 0) shares += " x ";
+      shares += StrFormat("%.2f", frac->shares[i]);
+    }
+    ConfigChoice ours = OptimizeShares(problem, n);
+    auto down = RoundDownShares(problem, n);
+    if (!down.ok()) {
+      std::cerr << down.status().ToString() << "\n";
+      return 1;
+    }
+    auto dims_only = [](const HypercubeConfig& c) {
+      std::string s = c.ToString();
+      return s.substr(0, s.find(" over"));
+    };
+    table.AddRow({std::to_string(n), shares,
+                  StrFormat("%.0f", frac->load),
+                  dims_only(ours.config),
+                  StrFormat("%.0f", ours.expected_load),
+                  StrFormat("%.2f", ours.expected_load / frac->load),
+                  dims_only(down->config),
+                  StrFormat("%.0f", down->expected_load),
+                  StrFormat("%.2f", down->expected_load / frac->load)});
+  }
+  table.Print();
+
+  std::cout << "\nNote the non-powers: wherever the fractional shares are "
+               "not integers, rounding down under-uses the cluster while "
+               "Algorithm 1 finds an asymmetric integral configuration with "
+               "near-optimal workload.\n";
+  return 0;
+}

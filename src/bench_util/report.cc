@@ -1,0 +1,136 @@
+#include "bench_util/report.h"
+
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace ptp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t i = 0; i < rows_[r].size(); ++i) {
+      if (i > 0) os << "  ";
+      os << rows_[r][i];
+      os << std::string(widths[i] - rows_[r][i].size(), ' ');
+    }
+    os << "\n";
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t w : widths) total += w + 2;
+      os << std::string(total > 2 ? total - 2 : 0, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+std::string WithCommas(size_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (size_t i = digits.size(); i-- > 0;) {
+    out.insert(out.begin(), digits[i]);
+    if (++count % 3 == 0 && i > 0) out.insert(out.begin(), ',');
+  }
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds < 0.01) return StrFormat("%.4fs", seconds);
+  if (seconds < 10) return StrFormat("%.3fs", seconds);
+  return StrFormat("%.1fs", seconds);
+}
+
+std::string FormatMillions(size_t tuples) {
+  if (tuples < 1'000'000) return WithCommas(tuples);
+  return StrFormat("%.2fM", static_cast<double>(tuples) / 1e6);
+}
+
+void PrintSixConfigFigure(const std::string& title,
+                          const std::vector<StrategyResult>& results,
+                          const PaperFigure& paper) {
+  PTP_CHECK_EQ(results.size(), 6u);
+  std::cout << "== " << title << " ==\n";
+  const auto strategies = AllStrategies();
+  TablePrinter table({"config", "wall clock", "total CPU", "tuples shuffled",
+                      "output", "paper wall", "paper CPU", "paper shuffled"});
+  for (size_t i = 0; i < 6; ++i) {
+    const StrategyResult& r = results[i];
+    const bool paper_failed =
+        i < paper.failed.size() && paper.failed[i];
+    std::vector<std::string> row;
+    row.push_back(StrategyName(strategies[i].first, strategies[i].second));
+    if (r.metrics.failed) {
+      row.push_back("FAIL");
+      row.push_back("FAIL");
+      row.push_back(FormatMillions(r.metrics.TuplesShuffled()));
+      row.push_back("-");
+    } else {
+      row.push_back(FormatSeconds(r.metrics.wall_seconds));
+      row.push_back(FormatSeconds(r.metrics.TotalCpuSeconds()));
+      row.push_back(FormatMillions(r.metrics.TuplesShuffled()));
+      row.push_back(WithCommas(r.metrics.output_tuples));
+    }
+    row.push_back(paper_failed
+                      ? "FAIL"
+                      : (i < paper.wall_seconds.size()
+                             ? StrFormat("%.1fs", paper.wall_seconds[i])
+                             : "-"));
+    row.push_back(paper_failed
+                      ? "FAIL"
+                      : (i < paper.cpu_seconds.size()
+                             ? StrFormat("%.0fs", paper.cpu_seconds[i])
+                             : "-"));
+    row.push_back(paper_failed
+                      ? "FAIL"
+                      : (i < paper.tuples_millions.size()
+                             ? StrFormat("%.0fM", paper.tuples_millions[i])
+                             : "-"));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  PTP_CHECK_EQ(x.size(), y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx <= 0 || syy <= 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace ptp

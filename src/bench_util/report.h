@@ -1,0 +1,52 @@
+#ifndef PTP_BENCH_UTIL_REPORT_H_
+#define PTP_BENCH_UTIL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/strategies.h"
+
+namespace ptp {
+
+/// Fixed-width console table used by all bench binaries.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  /// Renders with columns padded to the widest cell.
+  std::string ToString() const;
+  void Print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12,345,678"
+std::string WithCommas(size_t value);
+/// Seconds with adaptive precision ("0.0042 s", "12.3 s").
+std::string FormatSeconds(double seconds);
+/// Millions with one decimal ("13.4M"), matching the figure axes.
+std::string FormatMillions(size_t tuples);
+
+/// Prints one paper figure's three panels (wall clock / total CPU / tuples
+/// shuffled) for the six strategy results in paper order. `paper_values`
+/// are the numbers the paper reports (for side-by-side comparison), or
+/// empty to skip; FAIL entries are rendered as in Figure 9.
+struct PaperFigure {
+  std::vector<double> wall_seconds;       // paper's Figure (a), or empty
+  std::vector<double> cpu_seconds;        // paper's Figure (b)
+  std::vector<double> tuples_millions;    // paper's Figure (c)
+  std::vector<bool> failed;               // paper's FAIL flags, or empty
+};
+
+void PrintSixConfigFigure(const std::string& title,
+                          const std::vector<StrategyResult>& results,
+                          const PaperFigure& paper);
+
+/// Pearson correlation of two equal-length series.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+}  // namespace ptp
+
+#endif  // PTP_BENCH_UTIL_REPORT_H_

@@ -1,0 +1,38 @@
+#ifndef PTP_COMMON_HASH_H_
+#define PTP_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace ptp {
+
+/// 64-bit finalizer (splitmix64). Used everywhere a value must be spread
+/// uniformly over hash buckets; plain modulo on raw ids would inherit the
+/// generator's structure and distort skew measurements.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Hashes `v` with an independent hash function selected by `salt`.
+/// The HyperCube shuffle requires an independently chosen hash per join
+/// variable (h_i in the paper); we derive the family from the salt.
+inline uint64_t HashWithSalt(int64_t v, uint64_t salt) {
+  return Mix64(static_cast<uint64_t>(v) ^ Mix64(salt + 0x51ed2701));
+}
+
+/// Maps `v` to a bucket in [0, buckets) with hash family member `salt`.
+inline uint32_t HashToBucket(int64_t v, uint32_t buckets, uint64_t salt) {
+  if (buckets <= 1) return 0;
+  return static_cast<uint32_t>(HashWithSalt(v, salt) % buckets);
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t seed, uint64_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace ptp
+
+#endif  // PTP_COMMON_HASH_H_

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+namespace ptp {
+namespace internal_logging {
+
+namespace {
+Severity g_min_severity = Severity::kWarning;
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "INFO";
+    case Severity::kWarning:
+      return "WARNING";
+    case Severity::kError:
+      return "ERROR";
+    case Severity::kFatal:
+      return "FATAL";
+  }
+  return "UNKNOWN";
+}
+}  // namespace
+
+Severity SetMinLogSeverity(Severity severity) {
+  Severity prev = g_min_severity;
+  g_min_severity = severity;
+  return prev;
+}
+
+Severity MinLogSeverity() { return g_min_severity; }
+
+LogMessage::LogMessage(Severity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityName(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == Severity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == Severity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+}  // namespace ptp

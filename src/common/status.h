@@ -1,0 +1,122 @@
+#ifndef PTP_COMMON_STATUS_H_
+#define PTP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ptp {
+
+/// Error categories used across the library. Kept deliberately small: the
+/// library has no I/O layer, so most failures are plan/validation errors.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,  // e.g. intermediate-result budget exceeded (FAIL runs)
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object: the library does not use exceptions.
+/// A default-constructed Status is OK and carries no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status (a minimal StatusOr).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`. Intentionally implicit so
+  /// functions can `return value;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  /// Value access. Must only be called when ok(); checked in debug builds.
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define PTP_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::ptp::Status _ptp_status = (expr);             \
+    if (!_ptp_status.ok()) return _ptp_status;      \
+  } while (false)
+
+/// Evaluates a Result expression and either assigns its value to `lhs` or
+/// returns its error Status.
+#define PTP_ASSIGN_OR_RETURN(lhs, expr)              \
+  PTP_ASSIGN_OR_RETURN_IMPL_(                        \
+      PTP_STATUS_CONCAT_(_ptp_result, __LINE__), lhs, expr)
+#define PTP_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                               \
+  if (!result.ok()) return result.status();           \
+  lhs = std::move(result).value()
+#define PTP_STATUS_CONCAT_(a, b) PTP_STATUS_CONCAT_IMPL_(a, b)
+#define PTP_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace ptp
+
+#endif  // PTP_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef PTP_COMMON_STR_UTIL_H_
+#define PTP_COMMON_STR_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptp {
+
+/// Splits `s` on `sep`, trimming ASCII whitespace from each piece.
+/// Empty pieces are kept (so "a,,b" yields {"a", "", "b"}).
+std::vector<std::string> SplitAndTrim(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Joins the elements of `parts` with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Renders any streamable value to a string.
+template <typename T>
+std::string ToString(const T& value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+/// printf-like formatting returning std::string (only %s/%d/... via
+/// ostringstream composition is avoided; this uses vsnprintf).
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ptp
+
+#endif  // PTP_COMMON_STR_UTIL_H_

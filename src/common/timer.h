@@ -1,0 +1,30 @@
+#ifndef PTP_COMMON_TIMER_H_
+#define PTP_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ptp {
+
+/// Monotonic wall-clock stopwatch with double-second readout. Per-worker CPU
+/// in the simulated cluster is measured with this (workers run one at a time,
+/// so their elapsed time is their CPU time).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_COMMON_TIMER_H_

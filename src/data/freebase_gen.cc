@@ -1,0 +1,149 @@
+#include "data/freebase_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "data/zipf.h"
+
+namespace ptp {
+
+FreebaseGenOptions FreebaseGenOptions::Scaled(double s) const {
+  auto scale = [s](size_t v) {
+    return static_cast<size_t>(std::max(1.0, static_cast<double>(v) * s));
+  };
+  FreebaseGenOptions out = *this;
+  out.num_actors = scale(num_actors);
+  out.num_films = scale(num_films);
+  out.num_performances = scale(num_performances);
+  out.num_directors = scale(num_directors);
+  out.num_director_films = scale(num_director_films);
+  out.num_awards = std::max<size_t>(2, scale(num_awards));
+  out.num_honors = scale(num_honors);
+  out.num_honor_actors = scale(num_honor_actors);
+  out.object_name_padding = scale(object_name_padding);
+  return out;
+}
+
+FreebaseDataset GenerateFreebase(const FreebaseGenOptions& options) {
+  FreebaseDataset ds;
+  Rng rng(options.seed);
+  Dictionary& dict = ds.catalog.dictionary();
+
+  // Disjoint dense id spaces per entity kind.
+  Value next_id = 0;
+  auto alloc_ids = [&next_id](size_t count) {
+    Value first = next_id;
+    next_id += static_cast<Value>(count);
+    return first;
+  };
+  const Value actor0 = alloc_ids(options.num_actors);
+  const Value film0 = alloc_ids(options.num_films);
+  const Value perform0 = alloc_ids(options.num_performances);
+  const Value director0 = alloc_ids(options.num_directors);
+  const Value award0 = alloc_ids(options.num_awards);
+  const Value honor0 = alloc_ids(options.num_honors);
+
+  Relation object_name("ObjectName", Schema{"object_id", "name"});
+  Relation actor_perform("ActorPerform", Schema{"actor_id", "perform_id"});
+  Relation perform_film("PerformFilm", Schema{"perform_id", "film_id"});
+  Relation director_film("DirectorFilm", Schema{"director_id", "film_id"});
+  Relation honor_award("HonorAward", Schema{"honor_id", "award_id"});
+  Relation honor_actor("HonorActor", Schema{"honor_id", "actor_id"});
+  Relation honor_year("HonorYear", Schema{"honor_id", "year"});
+
+  // --- Names. Two famous actors and one famous award get their canonical
+  // names; everything else gets a synthetic one.
+  ds.joe_pesci = dict.Intern("Joe Pesci");
+  ds.de_niro = dict.Intern("Robert De Niro");
+  ds.academy_awards = dict.Intern("The Academy Awards");
+  object_name.AddTuple({actor0 + 0, ds.joe_pesci});
+  object_name.AddTuple({actor0 + 1, ds.de_niro});
+  object_name.AddTuple({award0 + 0, ds.academy_awards});
+  for (size_t i = 2; i < options.num_actors; ++i) {
+    object_name.AddTuple(
+        {actor0 + static_cast<Value>(i),
+         dict.Intern(StrFormat("actor_%zu", i))});
+  }
+  for (size_t i = 0; i < options.num_films; ++i) {
+    object_name.AddTuple({film0 + static_cast<Value>(i),
+                          dict.Intern(StrFormat("film_%zu", i))});
+  }
+  for (size_t i = 0; i < options.num_directors; ++i) {
+    object_name.AddTuple({director0 + static_cast<Value>(i),
+                          dict.Intern(StrFormat("director_%zu", i))});
+  }
+  for (size_t i = 1; i < options.num_awards; ++i) {
+    object_name.AddTuple({award0 + static_cast<Value>(i),
+                          dict.Intern(StrFormat("award_%zu", i))});
+  }
+  // Padding entities: ObjectName is 54x the join tables in the paper.
+  const Value pad0 = alloc_ids(options.object_name_padding);
+  for (size_t i = 0; i < options.object_name_padding; ++i) {
+    object_name.AddTuple({pad0 + static_cast<Value>(i),
+                          dict.Intern(StrFormat("entity_%zu", i))});
+  }
+
+  // --- Performances: actor fame and film popularity are Zipf-distributed,
+  // giving films realistic multi-member casts (this is what makes Q4's
+  // co-star pair intermediate large).
+  ZipfSampler actor_zipf(options.num_actors, options.zipf_exponent);
+  ZipfSampler film_zipf(options.num_films, options.film_zipf_exponent);
+  // Plant the Pesci / De Niro collaborations: both act in films 0..3 (the
+  // popular films, so they share casts with many other actors).
+  size_t perform = 0;
+  for (Value famous = 0; famous < 2; ++famous) {
+    for (Value film = 0; film < 4; ++film) {
+      actor_perform.AddTuple(
+          {actor0 + famous, perform0 + static_cast<Value>(perform)});
+      perform_film.AddTuple(
+          {perform0 + static_cast<Value>(perform), film0 + film});
+      ++perform;
+    }
+  }
+  for (; perform < options.num_performances; ++perform) {
+    const Value actor = actor0 + static_cast<Value>(actor_zipf.Sample(&rng));
+    const Value film = film0 + static_cast<Value>(film_zipf.Sample(&rng));
+    actor_perform.AddTuple(
+        {actor, perform0 + static_cast<Value>(perform)});
+    perform_film.AddTuple(
+        {perform0 + static_cast<Value>(perform), film});
+  }
+
+  // --- Directors.
+  ZipfSampler director_zipf(options.num_directors, options.film_zipf_exponent);
+  for (size_t i = 0; i < options.num_director_films; ++i) {
+    director_film.AddTuple(
+        {director0 + static_cast<Value>(director_zipf.Sample(&rng)),
+         film0 + static_cast<Value>(film_zipf.Sample(&rng))});
+  }
+  director_film.SortAndDedup();
+
+  // --- Honors. Award 0 is "The Academy Awards" and receives a healthy share
+  // of honors; years span 1950-2019 so the Q7 decade filter selects ~1/7.
+  ZipfSampler award_zipf(options.num_awards, 1.0);
+  for (size_t i = 0; i < options.num_honors; ++i) {
+    const Value honor = honor0 + static_cast<Value>(i);
+    honor_award.AddTuple(
+        {honor, award0 + static_cast<Value>(award_zipf.Sample(&rng))});
+    honor_year.AddTuple({honor, 1950 + static_cast<Value>(rng.Uniform(70))});
+  }
+  for (size_t i = 0; i < options.num_honor_actors; ++i) {
+    const Value honor = honor0 + static_cast<Value>(rng.Uniform(options.num_honors));
+    honor_actor.AddTuple(
+        {honor, actor0 + static_cast<Value>(actor_zipf.Sample(&rng))});
+  }
+  honor_actor.SortAndDedup();
+
+  ds.catalog.Put(std::move(object_name));
+  ds.catalog.Put(std::move(actor_perform));
+  ds.catalog.Put(std::move(perform_film));
+  ds.catalog.Put(std::move(director_film));
+  ds.catalog.Put(std::move(honor_award));
+  ds.catalog.Put(std::move(honor_actor));
+  ds.catalog.Put(std::move(honor_year));
+  return ds;
+}
+
+}  // namespace ptp

@@ -1,0 +1,56 @@
+#ifndef PTP_DATA_FREEBASE_GEN_H_
+#define PTP_DATA_FREEBASE_GEN_H_
+
+#include <cstdint>
+
+#include "storage/catalog.h"
+
+namespace ptp {
+
+/// Sizes of the synthetic movie knowledge base standing in for Freebase.
+/// Defaults are ~1/100 of the paper's Table 1 / Table 8 cardinalities, and
+/// keep the same relative proportions (ObjectName much larger than the join
+/// relations; Honor* an order of magnitude smaller than ActorPerform).
+struct FreebaseGenOptions {
+  size_t num_actors = 3000;
+  size_t num_films = 2200;
+  size_t num_performances = 11000;  // |ActorPerform| == |PerformFilm|
+  size_t num_directors = 250;
+  size_t num_director_films = 1900;
+  size_t num_awards = 40;
+  size_t num_honors = 930;
+  size_t num_honor_actors = 1260;
+  /// Extra no-op entities padding ObjectName toward the paper's 54x ratio.
+  size_t object_name_padding = 150000;
+  /// Zipf exponent for actor fame (how concentrated performances are on
+  /// star actors).
+  double zipf_exponent = 0.55;
+  /// Zipf exponent for film popularity (cast sizes). Flatter than actor
+  /// fame: real film casts vary far less than actor careers, and this keeps
+  /// the Q4/Q8 co-star blow-ups at the paper's relative magnitudes.
+  double film_zipf_exponent = 0.55;
+  uint64_t seed = 7;
+
+  /// Returns options with every cardinality multiplied by `s`.
+  FreebaseGenOptions Scaled(double s) const;
+};
+
+/// The generated knowledge base plus the dictionary-encoded constants the
+/// paper's queries select on.
+struct FreebaseDataset {
+  Catalog catalog;  // ObjectName, ActorPerform, PerformFilm, DirectorFilm,
+                    // HonorAward, HonorActor, HonorYear
+  Value joe_pesci = -1;
+  Value de_niro = -1;
+  Value academy_awards = -1;
+};
+
+/// Generates the dataset. Guarantees the features the example queries rely
+/// on: "Joe Pesci" and "Robert De Niro" co-star in several films with other
+/// cast members (Q3 nonempty), and "The Academy Awards" honors actors in the
+/// 1990s (Q7 nonempty).
+FreebaseDataset GenerateFreebase(const FreebaseGenOptions& options = {});
+
+}  // namespace ptp
+
+#endif  // PTP_DATA_FREEBASE_GEN_H_

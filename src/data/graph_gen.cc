@@ -1,0 +1,84 @@
+#include "data/graph_gen.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/zipf.h"
+
+namespace ptp {
+namespace {
+
+uint64_t PackEdge(size_t src, size_t dst) {
+  return (static_cast<uint64_t>(src) << 32) | static_cast<uint64_t>(dst);
+}
+
+// Random permutation of [0, n) so source and destination popularity are
+// decorrelated (hubs for in-degree differ from hubs for out-degree).
+std::vector<Value> RandomPermutation(size_t n, Rng* rng) {
+  std::vector<Value> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<Value>(i);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng->Uniform(i)]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+Relation GeneratePowerLawGraph(const GraphGenOptions& options,
+                               const std::string& name) {
+  PTP_CHECK_GE(options.num_nodes, 2u);
+  Rng rng(options.seed);
+  ZipfSampler zipf(options.num_nodes, options.zipf_exponent);
+  const std::vector<Value> src_perm = RandomPermutation(options.num_nodes, &rng);
+  const std::vector<Value> dst_perm =
+      options.correlated_degrees ? src_perm
+                                 : RandomPermutation(options.num_nodes, &rng);
+
+  Relation rel(name, Schema{"src", "dst"});
+  rel.Reserve(options.num_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(options.num_edges * 2);
+  // Give up after a bounded number of rejections (dense graphs).
+  size_t attempts = 0;
+  const size_t max_attempts = options.num_edges * 50 + 1000;
+  while (seen.size() < options.num_edges && attempts < max_attempts) {
+    ++attempts;
+    const size_t s = zipf.Sample(&rng);
+    const size_t d = zipf.Sample(&rng);
+    const Value src = src_perm[s];
+    const Value dst = dst_perm[d];
+    if (!options.allow_self_loops && src == dst) continue;
+    if (!seen.insert(PackEdge(static_cast<size_t>(src),
+                              static_cast<size_t>(dst)))
+             .second) {
+      continue;
+    }
+    rel.AddTuple({src, dst});
+  }
+  return rel;
+}
+
+Relation GenerateUniformGraph(size_t num_nodes, size_t num_edges,
+                              uint64_t seed, const std::string& name) {
+  PTP_CHECK_GE(num_nodes, 2u);
+  Rng rng(seed);
+  Relation rel(name, Schema{"src", "dst"});
+  rel.Reserve(num_edges);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(num_edges * 2);
+  size_t attempts = 0;
+  const size_t max_attempts = num_edges * 50 + 1000;
+  while (seen.size() < num_edges && attempts < max_attempts) {
+    ++attempts;
+    const size_t s = rng.Uniform(num_nodes);
+    const size_t d = rng.Uniform(num_nodes);
+    if (s == d) continue;
+    if (!seen.insert(PackEdge(s, d)).second) continue;
+    rel.AddTuple({static_cast<Value>(s), static_cast<Value>(d)});
+  }
+  return rel;
+}
+
+}  // namespace ptp

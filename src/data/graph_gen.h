@@ -1,0 +1,42 @@
+#ifndef PTP_DATA_GRAPH_GEN_H_
+#define PTP_DATA_GRAPH_GEN_H_
+
+#include <string>
+
+#include "storage/relation.h"
+
+namespace ptp {
+
+/// Parameters of the synthetic follower graph standing in for the paper's
+/// Twitter subset (1.1M directed edges, power-law degrees).
+struct GraphGenOptions {
+  size_t num_nodes = 4000;
+  size_t num_edges = 30000;
+  /// Zipf exponent of node popularity. ~0.8-1.2 reproduces social-network
+  /// skew; 0 gives a uniform (Erdős–Rényi-like) graph.
+  double zipf_exponent = 0.9;
+  uint64_t seed = 42;
+  bool allow_self_loops = false;
+  /// If true (default), a node's in- and out-popularity coincide, as in real
+  /// social networks where celebrity accounts are hubs in both directions.
+  /// This is what makes the two-hop intermediate of the triangle query blow
+  /// up (sum over y of indeg(y)*outdeg(y)). If false, the two popularity
+  /// rankings are independent permutations.
+  bool correlated_degrees = true;
+};
+
+/// Generates a directed graph with Zipf-distributed endpoint popularity
+/// (Chung–Lu style): both endpoints of each edge are drawn from a Zipf
+/// sampler over independently permuted node ids, duplicates discarded.
+/// Returns a binary relation `name`(src, dst), deduplicated.
+Relation GeneratePowerLawGraph(const GraphGenOptions& options,
+                               const std::string& name = "Twitter");
+
+/// Uniform-random directed graph (baseline without skew).
+Relation GenerateUniformGraph(size_t num_nodes, size_t num_edges,
+                              uint64_t seed,
+                              const std::string& name = "Uniform");
+
+}  // namespace ptp
+
+#endif  // PTP_DATA_GRAPH_GEN_H_

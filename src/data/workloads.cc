@@ -1,0 +1,126 @@
+#include "data/workloads.h"
+
+#include "common/logging.h"
+#include "query/hypergraph.h"
+#include "query/parser.h"
+
+namespace ptp {
+namespace {
+
+/// The eight queries of the paper, in its own Datalog notation.
+/// (Q3's last atom and Q4's last two atoms are written in schema-consistent
+/// argument order; the paper's text transposes them typographically.)
+const char* QueryText(int q) {
+  switch (q) {
+    case 1:  // Sec. 3.1 — all directed triangles.
+      return "Triangles(x,y,z) :- Twitter_R(x,y), Twitter_S(y,z), "
+             "Twitter_T(z,x).";
+    case 2:  // Sec. 3.2 — all 4-cliques.
+      return "Cliques(x,y,z,p) :- Twitter_R(x,y), Twitter_S(y,z), "
+             "Twitter_T(z,p), Twitter_P(p,x), Twitter_K(x,z), Twitter_L(y,p).";
+    case 3:  // Sec. 3.3 — cast members of films starring Pesci and De Niro.
+      return "CastMember(cast) :- ObjectName(a1, \"Joe Pesci\"), "
+             "ActorPerform(a1,p1), PerformFilm(p1,film), "
+             "ObjectName(a2, \"Robert De Niro\"), ActorPerform(a2,p2), "
+             "PerformFilm(p2,film), PerformFilm(p,film), "
+             "ActorPerform(cast,p).";
+    case 4:  // Sec. 3.4 — actor pairs co-starring in two different films.
+      return "ActorPairs(a1,a2) :- ActorPerform(a1,p1), PerformFilm(p1,f1), "
+             "PerformFilm(p2,f1), ActorPerform(a2,p2), ActorPerform(a2,p3), "
+             "PerformFilm(p3,f2), PerformFilm(p4,f2), ActorPerform(a1,p4), "
+             "f1 > f2.";
+    case 5:  // App. A — all directed rectangles.
+      return "Rectangles(x,y,z,p) :- Twitter_R(x,y), Twitter_S(y,z), "
+             "Twitter_T(z,p), Twitter_K(p,x).";
+    case 6:  // App. A — two back-to-back triangles.
+      return "TwoRings(x,y,z,p) :- Twitter_R(x,y), Twitter_S(y,z), "
+             "Twitter_T(z,p), Twitter_P(p,x), Twitter_K(x,z).";
+    case 7:  // App. A — Academy Award winners of the 90s.
+      return "OscarWinners(a) :- ObjectName(aw, \"The Academy Awards\"), "
+             "HonorAward(h,aw), HonorActor(h,a), HonorYear(h,y), "
+             "y >= 1990, y < 2000.";
+    case 8:  // App. A — actor/director pairs sharing two films.
+      return "ActorDirector(a,d) :- ActorPerform(a,p1), ActorPerform(a,p2), "
+             "PerformFilm(p1,f1), PerformFilm(p2,f2), DirectorFilm(d,f1), "
+             "DirectorFilm(d,f2).";
+    default:
+      return nullptr;
+  }
+}
+
+const char* Description(int q) {
+  switch (q) {
+    case 1:
+      return "Q1 triangle listing on Twitter (cyclic, large intermediate)";
+    case 2:
+      return "Q2 4-clique listing on Twitter (cyclic, large intermediate)";
+    case 3:
+      return "Q3 Freebase cast-member lookup (acyclic, small intermediate)";
+    case 4:
+      return "Q4 Freebase co-star pairs in two films (cyclic, very large "
+             "intermediate)";
+    case 5:
+      return "Q5 rectangle listing on Twitter (cyclic)";
+    case 6:
+      return "Q6 two back-to-back triangles on Twitter (cyclic)";
+    case 7:
+      return "Q7 Freebase 90s Academy-Award winners (acyclic, star join)";
+    case 8:
+      return "Q8 Freebase actor-director pairs (cyclic)";
+    default:
+      return "";
+  }
+}
+
+}  // namespace
+
+WorkloadFactory::WorkloadFactory(const WorkloadScale& scale) : scale_(scale) {}
+
+std::shared_ptr<Catalog> WorkloadFactory::TwitterCatalog() {
+  if (twitter_ == nullptr) {
+    GraphGenOptions options = scale_.twitter;
+    options.seed = scale_.seed;
+    Relation edges = GeneratePowerLawGraph(options, "Twitter");
+    twitter_ = std::make_shared<Catalog>();
+    // The self-join copies used by Q1/Q2/Q5/Q6; distinct names keep the
+    // paper's per-copy shuffle labels (Twitter_R, Twitter_S, ...).
+    for (const char* name :
+         {"Twitter_R", "Twitter_S", "Twitter_T", "Twitter_P", "Twitter_K",
+          "Twitter_L"}) {
+      Relation copy = edges;
+      copy.set_name(name);
+      twitter_->Put(std::move(copy));
+    }
+  }
+  return twitter_;
+}
+
+std::shared_ptr<Catalog> WorkloadFactory::FreebaseCatalog() {
+  if (freebase_ == nullptr) {
+    FreebaseGenOptions options =
+        FreebaseGenOptions{}.Scaled(scale_.freebase_scale);
+    options.seed = scale_.seed + 1;
+    FreebaseDataset ds = GenerateFreebase(options);
+    freebase_ = std::make_shared<Catalog>(std::move(ds.catalog));
+  }
+  return freebase_;
+}
+
+Result<Workload> WorkloadFactory::Make(int q) {
+  const char* text = QueryText(q);
+  if (text == nullptr) {
+    return Status::InvalidArgument("query number must be in [1, 8]");
+  }
+  Workload wl;
+  wl.id = "Q" + std::to_string(q);
+  wl.description = Description(q);
+  wl.catalog = (q == 1 || q == 2 || q == 5 || q == 6) ? TwitterCatalog()
+                                                      : FreebaseCatalog();
+  PTP_ASSIGN_OR_RETURN(wl.query,
+                       ParseDatalog(text, &wl.catalog->dictionary()));
+  PTP_ASSIGN_OR_RETURN(wl.normalized, Normalize(wl.query, *wl.catalog));
+  wl.cyclic = !Hypergraph(wl.query).IsAcyclic();
+  return wl;
+}
+
+}  // namespace ptp

@@ -1,0 +1,62 @@
+#ifndef PTP_DATA_WORKLOADS_H_
+#define PTP_DATA_WORKLOADS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/freebase_gen.h"
+#include "data/graph_gen.h"
+#include "query/query.h"
+
+namespace ptp {
+
+/// Dataset scale knobs for the eight paper queries. Defaults are sized so
+/// that every (query, strategy) pair finishes in seconds on one core while
+/// preserving the paper's qualitative regimes (large vs. small intermediate
+/// results, skew vs. no skew).
+struct WorkloadScale {
+  GraphGenOptions twitter;
+  double freebase_scale = 1.0;
+  uint64_t seed = 42;
+};
+
+/// One benchmark workload: the query (paper numbering), its dataset, and the
+/// normalized form all strategies consume.
+struct Workload {
+  std::string id;  // "Q1".."Q8"
+  std::string description;
+  ConjunctiveQuery query;
+  std::shared_ptr<Catalog> catalog;
+  NormalizedQuery normalized;
+  bool cyclic = false;
+};
+
+/// Builds the paper's workloads; generates each dataset once and shares it
+/// across the queries that use it (Q1/Q2/Q5/Q6 on Twitter, Q3/Q4/Q7/Q8 on
+/// Freebase).
+class WorkloadFactory {
+ public:
+  explicit WorkloadFactory(const WorkloadScale& scale = {});
+
+  /// q in [1, 8], paper numbering.
+  Result<Workload> Make(int q);
+
+  /// All eight ids in paper order.
+  static std::vector<int> AllQueries() { return {1, 2, 3, 4, 5, 6, 7, 8}; }
+
+  const WorkloadScale& scale() const { return scale_; }
+
+ private:
+  std::shared_ptr<Catalog> TwitterCatalog();
+  std::shared_ptr<Catalog> FreebaseCatalog();
+
+  WorkloadScale scale_;
+  std::shared_ptr<Catalog> twitter_;
+  std::shared_ptr<Catalog> freebase_;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_DATA_WORKLOADS_H_

@@ -1,0 +1,33 @@
+#ifndef PTP_DATA_ZIPF_H_
+#define PTP_DATA_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ptp {
+
+/// Samples from a Zipf distribution over {0, ..., n-1}:
+/// P(k) ∝ 1 / (k+1)^s. Precomputes the CDF once (O(n)) and samples by
+/// binary search (O(log n)); deterministic given the Rng.
+///
+/// Social-network degree distributions are power laws [Faloutsos et al.],
+/// which is exactly the skew the paper's Q1 regular shuffle trips over —
+/// the Twitter-like generator draws endpoints from this sampler.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent);
+
+  /// Draws one value in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_DATA_ZIPF_H_

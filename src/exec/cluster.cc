@@ -1,0 +1,45 @@
+#include "exec/cluster.h"
+
+#include "common/logging.h"
+
+namespace ptp {
+
+DistributedRelation PartitionRoundRobin(const Relation& rel,
+                                        int num_workers) {
+  PTP_CHECK_GE(num_workers, 1);
+  DistributedRelation dist;
+  dist.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    dist.emplace_back(rel.name(), rel.schema());
+  }
+  const size_t n = rel.NumTuples();
+  for (size_t row = 0; row < n; ++row) {
+    dist[row % static_cast<size_t>(num_workers)].AddTupleFrom(rel, row);
+  }
+  return dist;
+}
+
+Relation Gather(const DistributedRelation& dist) {
+  PTP_CHECK(!dist.empty());
+  Relation out(dist[0].name(), dist[0].schema());
+  for (const Relation& frag : dist) {
+    out.mutable_data().insert(out.mutable_data().end(), frag.data().begin(),
+                              frag.data().end());
+  }
+  return out;
+}
+
+size_t TotalTuples(const DistributedRelation& dist) {
+  size_t total = 0;
+  for (const Relation& frag : dist) total += frag.NumTuples();
+  return total;
+}
+
+std::vector<size_t> FragmentSizes(const DistributedRelation& dist) {
+  std::vector<size_t> sizes;
+  sizes.reserve(dist.size());
+  for (const Relation& frag : dist) sizes.push_back(frag.NumTuples());
+  return sizes;
+}
+
+}  // namespace ptp

@@ -1,0 +1,32 @@
+#ifndef PTP_EXEC_CLUSTER_H_
+#define PTP_EXEC_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace ptp {
+
+/// A relation horizontally partitioned across the workers of the simulated
+/// cluster: fragment w lives on worker w. All fragments share one schema.
+using DistributedRelation = std::vector<Relation>;
+
+/// Round-robin partitions `rel` across `num_workers` workers — the paper's
+/// initial placement for all input relations.
+DistributedRelation PartitionRoundRobin(const Relation& rel, int num_workers);
+
+/// Concatenates all fragments back into one relation (used to collect final
+/// results and in tests).
+Relation Gather(const DistributedRelation& dist);
+
+/// Total tuples across fragments.
+size_t TotalTuples(const DistributedRelation& dist);
+
+/// Per-fragment tuple counts (producer/consumer load vectors).
+std::vector<size_t> FragmentSizes(const DistributedRelation& dist);
+
+}  // namespace ptp
+
+#endif  // PTP_EXEC_CLUSTER_H_

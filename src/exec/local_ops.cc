@@ -1,0 +1,274 @@
+#include "exec/local_ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ptp {
+namespace {
+
+// Column indices in `schema` of the names shared with `other`, paired with
+// the matching indices in `other`.
+void SharedColumns(const Schema& left, const Schema& right,
+                   std::vector<int>* left_cols, std::vector<int>* right_cols) {
+  left_cols->clear();
+  right_cols->clear();
+  for (size_t i = 0; i < left.arity(); ++i) {
+    int j = right.IndexOf(left.name(i));
+    if (j >= 0) {
+      left_cols->push_back(static_cast<int>(i));
+      right_cols->push_back(j);
+    }
+  }
+}
+
+uint64_t HashKey(const Value* row, const std::vector<int>& cols) {
+  uint64_t h = 0x12345678;
+  for (int c : cols) h = HashCombine(h, Mix64(static_cast<uint64_t>(row[c])));
+  return h;
+}
+
+bool KeysEqual(const Value* a, const std::vector<int>& a_cols, const Value* b,
+               const std::vector<int>& b_cols) {
+  for (size_t i = 0; i < a_cols.size(); ++i) {
+    if (a[a_cols[i]] != b[b_cols[i]]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Relation HashJoinLocal(const Relation& left, const Relation& right,
+                       std::string out_name) {
+  std::vector<int> left_key, right_key;
+  SharedColumns(left.schema(), right.schema(), &left_key, &right_key);
+
+  // Output schema: left columns then right-only columns.
+  std::vector<std::string> out_names = left.schema().names();
+  std::vector<int> right_extra;
+  for (size_t j = 0; j < right.arity(); ++j) {
+    if (left.schema().IndexOf(right.schema().name(j)) < 0) {
+      right_extra.push_back(static_cast<int>(j));
+      out_names.push_back(right.schema().name(j));
+    }
+  }
+  Relation out(std::move(out_name), Schema(std::move(out_names)));
+
+  if (left.NumTuples() == 0 || right.NumTuples() == 0) return out;
+
+  // Cross product when no shared columns.
+  if (left_key.empty()) {
+    for (size_t i = 0; i < left.NumTuples(); ++i) {
+      for (size_t j = 0; j < right.NumTuples(); ++j) {
+        Tuple t(left.Row(i), left.Row(i) + left.arity());
+        for (int c : right_extra) t.push_back(right.At(j, c));
+        out.AddTuple(t);
+      }
+    }
+    return out;
+  }
+
+  // Build on the smaller side.
+  const bool build_right = right.NumTuples() <= left.NumTuples();
+  const Relation& build = build_right ? right : left;
+  const Relation& probe = build_right ? left : right;
+  const std::vector<int>& build_key = build_right ? right_key : left_key;
+  const std::vector<int>& probe_key = build_right ? left_key : right_key;
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> table;
+  table.reserve(build.NumTuples());
+  for (size_t row = 0; row < build.NumTuples(); ++row) {
+    table[HashKey(build.Row(row), build_key)].push_back(
+        static_cast<uint32_t>(row));
+  }
+
+  Tuple t;
+  for (size_t prow = 0; prow < probe.NumTuples(); ++prow) {
+    const Value* p = probe.Row(prow);
+    auto it = table.find(HashKey(p, probe_key));
+    if (it == table.end()) continue;
+    for (uint32_t brow : it->second) {
+      const Value* b = build.Row(brow);
+      if (!KeysEqual(p, probe_key, b, build_key)) continue;
+      const Value* l = build_right ? p : b;
+      const Value* r = build_right ? b : p;
+      t.assign(l, l + left.arity());
+      for (int c : right_extra) t.push_back(r[c]);
+      out.AddTuple(t);
+    }
+  }
+  return out;
+}
+
+Relation SymmetricHashJoinLocal(const Relation& left, const Relation& right,
+                                std::string out_name) {
+  std::vector<int> left_key, right_key;
+  SharedColumns(left.schema(), right.schema(), &left_key, &right_key);
+
+  std::vector<std::string> out_names = left.schema().names();
+  std::vector<int> right_extra;
+  for (size_t j = 0; j < right.arity(); ++j) {
+    if (left.schema().IndexOf(right.schema().name(j)) < 0) {
+      right_extra.push_back(static_cast<int>(j));
+      out_names.push_back(right.schema().name(j));
+    }
+  }
+  Relation out(std::move(out_name), Schema(std::move(out_names)));
+  if (left_key.empty()) {
+    // Cross product; the symmetric machinery adds nothing.
+    return HashJoinLocal(left, right, out.name());
+  }
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> left_table, right_table;
+  left_table.reserve(left.NumTuples());
+  right_table.reserve(right.NumTuples());
+
+  Tuple t;
+  auto emit = [&](const Value* l, const Value* r) {
+    t.assign(l, l + left.arity());
+    for (int c : right_extra) t.push_back(r[c]);
+    out.AddTuple(t);
+  };
+
+  // Round-robin pulls: each arriving tuple is inserted into its own table
+  // and probes the other side's table, so every matching pair is emitted
+  // exactly once (by whichever tuple arrives second).
+  const size_t rounds = std::max(left.NumTuples(), right.NumTuples());
+  for (size_t i = 0; i < rounds; ++i) {
+    if (i < left.NumTuples()) {
+      const Value* l = left.Row(i);
+      const uint64_t h = HashKey(l, left_key);
+      left_table[h].push_back(static_cast<uint32_t>(i));
+      auto it = right_table.find(h);
+      if (it != right_table.end()) {
+        for (uint32_t rrow : it->second) {
+          const Value* r = right.Row(rrow);
+          if (KeysEqual(l, left_key, r, right_key)) emit(l, r);
+        }
+      }
+    }
+    if (i < right.NumTuples()) {
+      const Value* r = right.Row(i);
+      const uint64_t h = HashKey(r, right_key);
+      right_table[h].push_back(static_cast<uint32_t>(i));
+      auto it = left_table.find(h);
+      if (it != left_table.end()) {
+        for (uint32_t lrow : it->second) {
+          const Value* l = left.Row(lrow);
+          if (KeysEqual(l, left_key, r, right_key)) emit(l, r);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void SplitApplicablePredicates(const std::vector<Predicate>& preds,
+                               const Schema& schema,
+                               std::vector<Predicate>* applicable,
+                               std::vector<Predicate>* pending) {
+  applicable->clear();
+  pending->clear();
+  for (const Predicate& pred : preds) {
+    bool bound = true;
+    for (const std::string& var : pred.Variables()) {
+      if (schema.IndexOf(var) < 0) bound = false;
+    }
+    (bound ? applicable : pending)->push_back(pred);
+  }
+}
+
+Relation FilterByPredicates(const Relation& rel,
+                            const std::vector<Predicate>& preds) {
+  std::vector<Predicate> applicable, pending;
+  SplitApplicablePredicates(preds, rel.schema(), &applicable, &pending);
+  if (applicable.empty()) return rel;
+
+  // Resolve terms to column index or constant once.
+  struct Resolved {
+    int lhs_col;
+    Value lhs_const;
+    CmpOp op;
+    int rhs_col;
+    Value rhs_const;
+  };
+  std::vector<Resolved> resolved;
+  for (const Predicate& p : applicable) {
+    Resolved r;
+    r.op = p.op;
+    r.lhs_col = p.lhs.is_variable() ? rel.schema().IndexOf(p.lhs.var) : -1;
+    r.lhs_const = p.lhs.constant;
+    r.rhs_col = p.rhs.is_variable() ? rel.schema().IndexOf(p.rhs.var) : -1;
+    r.rhs_const = p.rhs.constant;
+    resolved.push_back(r);
+  }
+
+  Relation out(rel.name(), rel.schema());
+  for (size_t row = 0; row < rel.NumTuples(); ++row) {
+    const Value* t = rel.Row(row);
+    bool keep = true;
+    for (const Resolved& r : resolved) {
+      const Value l = r.lhs_col >= 0 ? t[r.lhs_col] : r.lhs_const;
+      const Value v = r.rhs_col >= 0 ? t[r.rhs_col] : r.rhs_const;
+      if (!Predicate::Eval(l, r.op, v)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.AddTupleFrom(rel, row);
+  }
+  return out;
+}
+
+Relation ProjectToVars(const Relation& rel,
+                       const std::vector<std::string>& vars,
+                       std::string out_name) {
+  std::vector<int> cols;
+  for (const std::string& var : vars) {
+    int c = rel.schema().IndexOf(var);
+    PTP_CHECK_GE(c, 0);
+    cols.push_back(c);
+  }
+  Relation out = rel.PermuteColumns(cols, std::move(out_name));
+  return out;
+}
+
+Relation DistinctProject(const Relation& rel,
+                         const std::vector<std::string>& vars,
+                         std::string out_name) {
+  Relation out = ProjectToVars(rel, vars, std::move(out_name));
+  out.SortAndDedup();
+  return out;
+}
+
+Relation SemiJoinLocal(const Relation& rel, const Relation& filter) {
+  std::vector<int> rel_key, filter_key;
+  SharedColumns(rel.schema(), filter.schema(), &rel_key, &filter_key);
+  Relation out(rel.name(), rel.schema());
+  if (rel_key.empty()) {
+    if (filter.NumTuples() > 0) out = rel;
+    return out;
+  }
+  std::unordered_map<uint64_t, std::vector<uint32_t>> table;
+  table.reserve(filter.NumTuples());
+  for (size_t row = 0; row < filter.NumTuples(); ++row) {
+    table[HashKey(filter.Row(row), filter_key)].push_back(
+        static_cast<uint32_t>(row));
+  }
+  for (size_t row = 0; row < rel.NumTuples(); ++row) {
+    const Value* t = rel.Row(row);
+    auto it = table.find(HashKey(t, rel_key));
+    if (it == table.end()) continue;
+    for (uint32_t frow : it->second) {
+      if (KeysEqual(t, rel_key, filter.Row(frow), filter_key)) {
+        out.AddTupleFrom(rel, row);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ptp

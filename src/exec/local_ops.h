@@ -1,0 +1,58 @@
+#ifndef PTP_EXEC_LOCAL_OPS_H_
+#define PTP_EXEC_LOCAL_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/relation.h"
+
+namespace ptp {
+
+/// Natural hash join of two relations whose schemas carry variable names:
+/// joins on all shared names. Output schema = left columns followed by the
+/// right-only columns. Classic build/probe: builds on the smaller input.
+Relation HashJoinLocal(const Relation& left, const Relation& right,
+                       std::string out_name = "join");
+
+/// The paper's binary *symmetric* hash join (Sec. 3): pulls from both inputs
+/// in round-robin fashion, inserting each arriving tuple into its own hash
+/// table and probing the other side's table. Same output as HashJoinLocal,
+/// but it pays to build hash tables on BOTH inputs — this is why broadcast
+/// plans burn ~W times more CPU (every worker hash-builds the full broadcast
+/// relations), the effect behind Q2's 30x BR_HJ CPU blow-up.
+Relation SymmetricHashJoinLocal(const Relation& left, const Relation& right,
+                                std::string out_name = "join");
+
+/// Keeps the tuples of `rel` that satisfy every predicate in `preds` whose
+/// variables are all bound by rel's schema. Predicates referencing unbound
+/// variables are ignored (the caller applies them later in the pipeline).
+Relation FilterByPredicates(const Relation& rel,
+                            const std::vector<Predicate>& preds);
+
+/// Splits `preds` into (applicable now, still pending) given bound `schema`.
+void SplitApplicablePredicates(const std::vector<Predicate>& preds,
+                               const Schema& schema,
+                               std::vector<Predicate>* applicable,
+                               std::vector<Predicate>* pending);
+
+/// Projects `rel` onto the named columns (must all exist), keeping
+/// duplicates.
+Relation ProjectToVars(const Relation& rel,
+                       const std::vector<std::string>& vars,
+                       std::string out_name = "project");
+
+/// Projects onto `vars` and removes duplicates (semijoin key extraction —
+/// "local preprocessing" step of the distributed semijoin, Sec. 3.6).
+Relation DistinctProject(const Relation& rel,
+                         const std::vector<std::string>& vars,
+                         std::string out_name = "distinct");
+
+/// Semijoin rel ⋉ filter on all shared column names: keeps tuples of `rel`
+/// with at least one match in `filter`. With no shared names this degrades
+/// to "keep all iff filter nonempty" (cross-semijoin).
+Relation SemiJoinLocal(const Relation& rel, const Relation& filter);
+
+}  // namespace ptp
+
+#endif  // PTP_EXEC_LOCAL_OPS_H_

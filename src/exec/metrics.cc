@@ -1,0 +1,91 @@
+#include "exec/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace ptp {
+
+double SkewFactor(const std::vector<size_t>& loads) {
+  if (loads.empty()) return 1.0;
+  size_t total = std::accumulate(loads.begin(), loads.end(), size_t{0});
+  if (total == 0) return 1.0;
+  size_t max = *std::max_element(loads.begin(), loads.end());
+  double avg = static_cast<double>(total) / static_cast<double>(loads.size());
+  return static_cast<double>(max) / avg;
+}
+
+std::string ShuffleMetrics::ToString() const {
+  return StrFormat("%-28s sent=%-10zu producer_skew=%.2f consumer_skew=%.2f",
+                   label.c_str(), tuples_sent, producer_skew, consumer_skew);
+}
+
+size_t QueryMetrics::TuplesShuffled() const {
+  size_t total = 0;
+  for (const ShuffleMetrics& s : shuffles) total += s.tuples_sent;
+  return total;
+}
+
+double QueryMetrics::TotalCpuSeconds() const {
+  return std::accumulate(worker_seconds.begin(), worker_seconds.end(), 0.0);
+}
+
+double QueryMetrics::MaxShuffleSkew() const {
+  double max_skew = 1.0;
+  for (const ShuffleMetrics& s : shuffles) {
+    max_skew = std::max({max_skew, s.consumer_skew, s.producer_skew});
+  }
+  return max_skew;
+}
+
+void QueryMetrics::EnsureWorkers(size_t num_workers) {
+  if (worker_seconds.size() < num_workers) {
+    worker_seconds.resize(num_workers, 0.0);
+    worker_sort_seconds.resize(num_workers, 0.0);
+    worker_join_seconds.resize(num_workers, 0.0);
+  }
+}
+
+void QueryMetrics::Absorb(const QueryMetrics& other) {
+  shuffles.insert(shuffles.end(), other.shuffles.begin(),
+                  other.shuffles.end());
+  stages.insert(stages.end(), other.stages.begin(), other.stages.end());
+  EnsureWorkers(other.worker_seconds.size());
+  for (size_t w = 0; w < other.worker_seconds.size(); ++w) {
+    worker_seconds[w] += other.worker_seconds[w];
+    worker_sort_seconds[w] += other.worker_sort_seconds[w];
+    worker_join_seconds[w] += other.worker_join_seconds[w];
+  }
+  wall_seconds += other.wall_seconds;
+  max_intermediate_tuples =
+      std::max(max_intermediate_tuples, other.max_intermediate_tuples);
+  output_tuples = other.output_tuples;
+  if (other.failed) {
+    failed = true;
+    fail_reason = other.fail_reason;
+  }
+}
+
+std::string QueryMetrics::ToString() const {
+  std::ostringstream os;
+  if (failed) {
+    os << "FAILED: " << fail_reason << "\n";
+  }
+  os << StrFormat(
+      "wall=%.4fs cpu=%.4fs shuffled=%zu tuples max_intermediate=%zu "
+      "output=%zu",
+      wall_seconds, TotalCpuSeconds(), TuplesShuffled(),
+      max_intermediate_tuples, output_tuples);
+  for (const ShuffleMetrics& s : shuffles) {
+    os << "\n  " << s.ToString();
+  }
+  for (const StageMetrics& s : stages) {
+    os << "\n  stage " << s.label << ": wall=" << s.wall_seconds
+       << "s cpu=" << s.cpu_seconds << "s out=" << s.output_tuples;
+  }
+  return os.str();
+}
+
+}  // namespace ptp

@@ -1,0 +1,83 @@
+#ifndef PTP_EXEC_METRICS_H_
+#define PTP_EXEC_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptp {
+
+/// Per-shuffle accounting: how many tuples crossed the (simulated) network
+/// and how evenly producers/consumers were loaded. Skew factor is the
+/// paper's definition: max load / average load over workers (1.0 = perfectly
+/// balanced).
+struct ShuffleMetrics {
+  std::string label;
+  size_t tuples_sent = 0;
+  double producer_skew = 1.0;
+  double consumer_skew = 1.0;
+
+  std::string ToString() const;
+};
+
+/// Per-operator timing breakdown (Table 5: sort time vs. join time etc.).
+struct StageMetrics {
+  std::string label;
+  /// Simulated wall clock of the stage: max over workers of their time.
+  double wall_seconds = 0;
+  /// Total CPU: sum over workers.
+  double cpu_seconds = 0;
+  /// Tuples this stage produced (across all workers).
+  size_t output_tuples = 0;
+};
+
+/// End-to-end metrics of one query execution on the simulated cluster.
+///
+/// The simulated substrate executes workers one at a time and defines
+///   wall clock  = sum over barriers of (max over workers of worker time)
+///   total CPU   = sum over workers of worker time
+/// which is exactly the quantity a perfectly-overlapped shared-nothing
+/// cluster with fast interconnect would observe; skew shows up as the gap
+/// between wall*W and CPU.
+struct QueryMetrics {
+  std::vector<ShuffleMetrics> shuffles;
+  std::vector<StageMetrics> stages;
+
+  /// Per-worker accumulated compute seconds (all stages).
+  std::vector<double> worker_seconds;
+  /// Per-worker seconds spent sorting (Tributary-join sort phase).
+  std::vector<double> worker_sort_seconds;
+  /// Per-worker seconds spent in join execution proper.
+  std::vector<double> worker_join_seconds;
+
+  double wall_seconds = 0;
+  /// Largest total intermediate-result size (tuples) seen at a barrier.
+  size_t max_intermediate_tuples = 0;
+  size_t output_tuples = 0;
+
+  bool failed = false;
+  std::string fail_reason;
+
+  /// Sum of tuples_sent over all shuffles.
+  size_t TuplesShuffled() const;
+  /// Sum of worker_seconds.
+  double TotalCpuSeconds() const;
+  /// Max over shuffles of consumer skew.
+  double MaxShuffleSkew() const;
+
+  void EnsureWorkers(size_t num_workers);
+
+  /// Accumulates `other` into this (shuffles/stages appended, per-worker
+  /// times summed, wall clocks added, failure state propagated).
+  void Absorb(const QueryMetrics& other);
+
+  std::string ToString() const;
+};
+
+/// Computes max/avg over `loads`, treating an all-zero vector as skew 1.
+double SkewFactor(const std::vector<size_t>& loads);
+
+}  // namespace ptp
+
+#endif  // PTP_EXEC_METRICS_H_

@@ -1,0 +1,54 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+
+namespace ptp {
+
+void PipelineStats::Merge(const PipelineStats& other) {
+  if (join_outputs.size() < other.join_outputs.size()) {
+    join_outputs.resize(other.join_outputs.size(), 0);
+    join_seconds.resize(other.join_seconds.size(), 0.0);
+  }
+  for (size_t i = 0; i < other.join_outputs.size(); ++i) {
+    join_outputs[i] += other.join_outputs[i];
+    join_seconds[i] += other.join_seconds[i];
+  }
+  max_intermediate = std::max(max_intermediate, other.max_intermediate);
+}
+
+Result<Relation> LeftDeepJoinLocal(const std::vector<const Relation*>& inputs,
+                                   const std::vector<int>& order,
+                                   const std::vector<Predicate>& preds,
+                                   size_t max_intermediate_rows,
+                                   PipelineStats* stats) {
+  PTP_CHECK(!order.empty());
+  PTP_CHECK_LE(order.size(), inputs.size());
+
+  Relation acc = *inputs[static_cast<size_t>(order[0])];
+  acc = FilterByPredicates(acc, preds);
+  for (size_t i = 1; i < order.size(); ++i) {
+    const Relation& next = *inputs[static_cast<size_t>(order[i])];
+    Timer join_timer;
+    acc = SymmetricHashJoinLocal(acc, next, StrFormat("join_%zu", i));
+    acc = FilterByPredicates(acc, preds);
+    if (stats != nullptr) {
+      stats->join_outputs.push_back(acc.NumTuples());
+      stats->join_seconds.push_back(join_timer.Seconds());
+      stats->max_intermediate =
+          std::max(stats->max_intermediate, acc.NumTuples());
+    }
+    if (acc.NumTuples() > max_intermediate_rows) {
+      return Status::ResourceExhausted(
+          StrFormat("intermediate result after join %zu has %zu tuples, "
+                    "budget is %zu",
+                    i, acc.NumTuples(), max_intermediate_rows));
+    }
+  }
+  return acc;
+}
+
+}  // namespace ptp

@@ -1,0 +1,223 @@
+#include "exec/shuffle.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ptp {
+namespace {
+
+DistributedRelation MakeEmpty(const DistributedRelation& in,
+                              int num_workers) {
+  PTP_CHECK(!in.empty());
+  DistributedRelation out;
+  out.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    out.emplace_back(in[0].name(), in[0].schema());
+  }
+  return out;
+}
+
+void FinishMetrics(const DistributedRelation& out,
+                   const std::vector<size_t>& produced,
+                   ShuffleMetrics* metrics) {
+  metrics->producer_skew = SkewFactor(produced);
+  metrics->consumer_skew = SkewFactor(FragmentSizes(out));
+  metrics->tuples_sent = 0;
+  for (size_t p : produced) metrics->tuples_sent += p;
+}
+
+}  // namespace
+
+ShuffleResult HashShuffle(const DistributedRelation& in,
+                          const std::vector<int>& key_cols, int num_workers,
+                          uint64_t salt, std::string label) {
+  PTP_CHECK(!key_cols.empty());
+  ShuffleResult result;
+  result.metrics.label = std::move(label);
+  result.data = MakeEmpty(in, num_workers);
+  std::vector<size_t> produced(in.size(), 0);
+
+  const size_t arity = in[0].arity();
+  for (size_t p = 0; p < in.size(); ++p) {
+    const Relation& frag = in[p];
+    const size_t n = frag.NumTuples();
+    for (size_t row = 0; row < n; ++row) {
+      const Value* t = frag.Row(row);
+      uint64_t h = 0;
+      for (int col : key_cols) {
+        h = HashCombine(h, HashWithSalt(t[col], salt));
+      }
+      const size_t dest = h % static_cast<size_t>(num_workers);
+      result.data[dest].AddTuple(std::span<const Value>(t, arity));
+      ++produced[p];
+    }
+  }
+  FinishMetrics(result.data, produced, &result.metrics);
+  return result;
+}
+
+ShuffleResult BroadcastShuffle(const DistributedRelation& in, int num_workers,
+                               std::string label) {
+  ShuffleResult result;
+  result.metrics.label = std::move(label);
+  result.data = MakeEmpty(in, num_workers);
+  std::vector<size_t> produced(in.size(), 0);
+  for (size_t p = 0; p < in.size(); ++p) {
+    const Relation& frag = in[p];
+    for (int w = 0; w < num_workers; ++w) {
+      Relation& dest = result.data[static_cast<size_t>(w)];
+      dest.mutable_data().insert(dest.mutable_data().end(),
+                                 frag.data().begin(), frag.data().end());
+    }
+    produced[p] = frag.NumTuples() * static_cast<size_t>(num_workers);
+  }
+  FinishMetrics(result.data, produced, &result.metrics);
+  return result;
+}
+
+ShuffleResult HypercubeShuffle(const DistributedRelation& in,
+                               const std::vector<std::string>& atom_vars,
+                               const HypercubeConfig& config,
+                               const std::vector<int>& worker_of_cell,
+                               int num_workers, std::string label) {
+  PTP_CHECK_EQ(worker_of_cell.size(),
+               static_cast<size_t>(config.NumCells()));
+  ShuffleResult result;
+  result.metrics.label = std::move(label);
+  result.data = MakeEmpty(in, num_workers);
+  std::vector<size_t> produced(in.size(), 0);
+
+  HypercubeRouter router(config, atom_vars);
+  const size_t arity = in[0].arity();
+  std::vector<int> cells;
+  std::vector<int> dest_workers;
+  for (size_t p = 0; p < in.size(); ++p) {
+    const Relation& frag = in[p];
+    const size_t n = frag.NumTuples();
+    for (size_t row = 0; row < n; ++row) {
+      const Value* t = frag.Row(row);
+      cells.clear();
+      router.Route(t, &cells);
+      // Cells mapped to the same worker get one physical copy.
+      dest_workers.clear();
+      for (int cell : cells) {
+        dest_workers.push_back(worker_of_cell[static_cast<size_t>(cell)]);
+      }
+      std::sort(dest_workers.begin(), dest_workers.end());
+      dest_workers.erase(
+          std::unique(dest_workers.begin(), dest_workers.end()),
+          dest_workers.end());
+      for (int w : dest_workers) {
+        result.data[static_cast<size_t>(w)].AddTuple(
+            std::span<const Value>(t, arity));
+        ++produced[p];
+      }
+    }
+  }
+  FinishMetrics(result.data, produced, &result.metrics);
+  return result;
+}
+
+ShuffleResult KeepInPlace(const DistributedRelation& in, std::string label) {
+  ShuffleResult result;
+  result.data = in;
+  result.metrics.label = std::move(label);
+  result.metrics.tuples_sent = 0;
+  result.metrics.producer_skew = 1.0;
+  result.metrics.consumer_skew = SkewFactor(FragmentSizes(in));
+  return result;
+}
+
+SkewAwareShuffleResult SkewAwareJoinShuffle(
+    const DistributedRelation& left, const std::vector<int>& left_cols,
+    const DistributedRelation& right, const std::vector<int>& right_cols,
+    int num_workers, uint64_t salt, double threshold, std::string label) {
+  PTP_CHECK(!left_cols.empty());
+  PTP_CHECK_EQ(left_cols.size(), right_cols.size());
+  SkewAwareShuffleResult result;
+  result.left_metrics.label = label + " (left, skew-aware)";
+  result.right_metrics.label = label + " (right, skew-aware)";
+  result.left = MakeEmpty(left, num_workers);
+  result.right = MakeEmpty(right, num_workers);
+
+  auto key_hash = [&](const Value* t, const std::vector<int>& cols) {
+    uint64_t h = 0;
+    for (int col : cols) h = HashCombine(h, HashWithSalt(t[col], salt));
+    return h;
+  };
+
+  // Pass 1: global key frequencies on the left side (in a real cluster this
+  // is a sampled sketch; exact counts keep the simulation deterministic).
+  std::unordered_map<uint64_t, size_t> freq;
+  size_t left_total = 0;
+  for (const Relation& frag : left) {
+    left_total += frag.NumTuples();
+    for (size_t row = 0; row < frag.NumTuples(); ++row) {
+      ++freq[key_hash(frag.Row(row), left_cols)];
+    }
+  }
+  const double heavy_cutoff =
+      threshold * std::max(1.0, static_cast<double>(left_total) /
+                                    static_cast<double>(num_workers));
+  std::unordered_map<uint64_t, bool> heavy;
+  heavy.reserve(freq.size());
+  for (const auto& [key, count] : freq) {
+    const bool is_heavy = static_cast<double>(count) > heavy_cutoff;
+    heavy.emplace(key, is_heavy);
+    if (is_heavy) ++result.heavy_keys;
+  }
+
+  // Pass 2: left side — heavy keys round-robin, light keys hashed.
+  std::vector<size_t> left_produced(left.size(), 0);
+  size_t rr = 0;
+  for (size_t p = 0; p < left.size(); ++p) {
+    const Relation& frag = left[p];
+    const size_t arity = frag.arity();
+    for (size_t row = 0; row < frag.NumTuples(); ++row) {
+      const Value* t = frag.Row(row);
+      const uint64_t h = key_hash(t, left_cols);
+      const size_t dest = heavy.at(h)
+                              ? (rr++ % static_cast<size_t>(num_workers))
+                              : h % static_cast<size_t>(num_workers);
+      result.left[dest].AddTuple(std::span<const Value>(t, arity));
+      ++left_produced[p];
+    }
+  }
+  FinishMetrics(result.left, left_produced, &result.left_metrics);
+
+  // Pass 3: right side — heavy keys broadcast, light keys hashed.
+  std::vector<size_t> right_produced(right.size(), 0);
+  for (size_t p = 0; p < right.size(); ++p) {
+    const Relation& frag = right[p];
+    const size_t arity = frag.arity();
+    for (size_t row = 0; row < frag.NumTuples(); ++row) {
+      const Value* t = frag.Row(row);
+      const uint64_t h = key_hash(t, right_cols);
+      auto it = heavy.find(h);
+      if (it != heavy.end() && it->second) {
+        for (int w = 0; w < num_workers; ++w) {
+          result.right[static_cast<size_t>(w)].AddTuple(
+              std::span<const Value>(t, arity));
+          ++right_produced[p];
+        }
+      } else {
+        result.right[h % static_cast<size_t>(num_workers)].AddTuple(
+            std::span<const Value>(t, arity));
+        ++right_produced[p];
+      }
+    }
+  }
+  FinishMetrics(result.right, right_produced, &result.right_metrics);
+  return result;
+}
+
+std::vector<int> IdentityCellMap(const HypercubeConfig& config) {
+  std::vector<int> map(static_cast<size_t>(config.NumCells()));
+  for (size_t i = 0; i < map.size(); ++i) map[i] = static_cast<int>(i);
+  return map;
+}
+
+}  // namespace ptp

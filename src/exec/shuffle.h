@@ -1,0 +1,74 @@
+#ifndef PTP_EXEC_SHUFFLE_H_
+#define PTP_EXEC_SHUFFLE_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/cluster.h"
+#include "exec/metrics.h"
+#include "hypercube/config.h"
+
+namespace ptp {
+
+/// Output of one shuffle: the repartitioned relation plus its network /
+/// skew accounting.
+struct ShuffleResult {
+  DistributedRelation data;
+  ShuffleMetrics metrics;
+};
+
+/// Regular shuffle: hash-partitions `in` on `key_cols` (combined hash when
+/// multiple columns) across `num_workers` workers. This is shuffle (1) of
+/// Sec. 3: it forces binary joins except when all joins share one key.
+ShuffleResult HashShuffle(const DistributedRelation& in,
+                          const std::vector<int>& key_cols, int num_workers,
+                          uint64_t salt, std::string label);
+
+/// Broadcast shuffle: every worker receives a full copy of `in` (shuffle (3)
+/// of Sec. 3 — used for all but the largest relation).
+ShuffleResult BroadcastShuffle(const DistributedRelation& in, int num_workers,
+                               std::string label);
+
+/// HyperCube shuffle (Sec. 2.1): routes each tuple to the cells obtained by
+/// hashing its bound dimensions and replicating along unbound ones, then maps
+/// cells to workers with `worker_of_cell`. Cells co-located on one worker
+/// receive a single copy (this is why cell placement matters, App. B).
+ShuffleResult HypercubeShuffle(const DistributedRelation& in,
+                               const std::vector<std::string>& atom_vars,
+                               const HypercubeConfig& config,
+                               const std::vector<int>& worker_of_cell,
+                               int num_workers, std::string label);
+
+/// Identity "shuffle" that keeps the relation in place and reports zero
+/// network traffic (the partitioned big table of a broadcast plan).
+ShuffleResult KeepInPlace(const DistributedRelation& in, std::string label);
+
+/// Output of a skew-aware binary-join shuffle (both sides repartitioned in
+/// one coordinated step).
+struct SkewAwareShuffleResult {
+  DistributedRelation left;
+  DistributedRelation right;
+  ShuffleMetrics left_metrics;
+  ShuffleMetrics right_metrics;
+  /// Number of join-key values classified as heavy hitters.
+  size_t heavy_keys = 0;
+};
+
+/// Heavy-hitter-aware repartitioning for a binary join (the technique the
+/// paper's footnote 2 alludes to). Join keys whose frequency on the left
+/// side exceeds `threshold` x the average per-worker load are "heavy":
+/// the left side's heavy tuples are spread round-robin over all workers
+/// (no single worker drowns) while the right side's matching tuples are
+/// broadcast, so every pair still meets exactly once. Light keys hash as
+/// usual. Equivalent join result, bounded consumer skew.
+SkewAwareShuffleResult SkewAwareJoinShuffle(
+    const DistributedRelation& left, const std::vector<int>& left_cols,
+    const DistributedRelation& right, const std::vector<int>& right_cols,
+    int num_workers, uint64_t salt, double threshold, std::string label);
+
+/// One-cell-per-worker mapping for a config with NumCells() <= num_workers.
+std::vector<int> IdentityCellMap(const HypercubeConfig& config);
+
+}  // namespace ptp
+
+#endif  // PTP_EXEC_SHUFFLE_H_

@@ -1,0 +1,139 @@
+#include "hypercube/cell_allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace ptp {
+namespace {
+
+// Distinct projections of `cells` (ids under `config`) onto dimension subset
+// `dims_subset`.
+size_t CountDistinctProjections(const HypercubeConfig& config,
+                                const std::vector<int>& cells,
+                                const std::vector<int>& dims_subset) {
+  std::set<std::vector<int>> projections;
+  for (int cell : cells) {
+    std::vector<int> coords = config.CellToCoords(cell);
+    std::vector<int> proj;
+    proj.reserve(dims_subset.size());
+    for (int d : dims_subset) proj.push_back(coords[static_cast<size_t>(d)]);
+    projections.insert(std::move(proj));
+  }
+  return projections.size();
+}
+
+}  // namespace
+
+double AllocationMaxLoad(const ShareProblem& problem,
+                         const CellAllocation& alloc) {
+  const int num_cells = alloc.config.NumCells();
+  PTP_CHECK_EQ(alloc.worker_of_cell.size(), static_cast<size_t>(num_cells));
+  std::vector<std::vector<int>> cells_of_worker(
+      static_cast<size_t>(alloc.num_workers));
+  for (int cell = 0; cell < num_cells; ++cell) {
+    const int w = alloc.worker_of_cell[static_cast<size_t>(cell)];
+    PTP_CHECK_GE(w, 0);
+    PTP_CHECK_LT(w, alloc.num_workers);
+    cells_of_worker[static_cast<size_t>(w)].push_back(cell);
+  }
+
+  double max_load = 0;
+  for (const auto& cells : cells_of_worker) {
+    if (cells.empty()) continue;
+    double load = 0;
+    for (const auto& atom : problem.atoms) {
+      double slabs = 1.0;
+      for (int vi : atom.var_idx) {
+        slabs *= static_cast<double>(
+            alloc.config.dims[static_cast<size_t>(vi)]);
+      }
+      const double per_slab = atom.cardinality / slabs;
+      load += per_slab * static_cast<double>(CountDistinctProjections(
+                             alloc.config, cells, atom.var_idx));
+    }
+    max_load = std::max(max_load, load);
+  }
+  return max_load;
+}
+
+Result<CellAllocation> RandomCellAllocation(const ShareProblem& problem,
+                                            int num_workers, int num_cells,
+                                            uint64_t seed) {
+  if (num_workers < 1 || num_cells < num_workers) {
+    return Status::InvalidArgument(
+        "need num_cells >= num_workers >= 1 for random cell allocation");
+  }
+  PTP_ASSIGN_OR_RETURN(
+      FractionalShares frac,
+      SolveFractionalShares(problem, static_cast<double>(num_cells)));
+
+  CellAllocation alloc;
+  alloc.num_workers = num_workers;
+  alloc.config.join_vars = problem.join_vars;
+  alloc.config.dims.resize(problem.join_vars.size());
+  for (size_t i = 0; i < frac.shares.size(); ++i) {
+    alloc.config.dims[i] =
+        std::max(1, static_cast<int>(std::floor(frac.shares[i] + 1e-9)));
+  }
+  const int m1 = alloc.config.NumCells();
+
+  // Balanced random assignment: shuffle cell ids, deal them out cyclically.
+  std::vector<int> cells(static_cast<size_t>(m1));
+  for (int i = 0; i < m1; ++i) cells[static_cast<size_t>(i)] = i;
+  Rng rng(seed);
+  for (size_t i = cells.size(); i > 1; --i) {
+    std::swap(cells[i - 1], cells[rng.Uniform(i)]);
+  }
+  alloc.worker_of_cell.assign(static_cast<size_t>(m1), 0);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    alloc.worker_of_cell[static_cast<size_t>(cells[i])] =
+        static_cast<int>(i % static_cast<size_t>(num_workers));
+  }
+  return alloc;
+}
+
+Result<CellAllocation> OptimalCellAllocation(const ShareProblem& problem,
+                                             const HypercubeConfig& config,
+                                             int num_workers) {
+  const int m = config.NumCells();
+  if (m > 12 || num_workers > 4) {
+    return Status::ResourceExhausted(
+        "exhaustive cell allocation is exponential (N^M); the paper reports "
+        ">24h for N=64, M=100 — refusing M > 12 or N > 4");
+  }
+  CellAllocation best;
+  best.config = config;
+  best.num_workers = num_workers;
+  best.worker_of_cell.assign(static_cast<size_t>(m), 0);
+  double best_load = std::numeric_limits<double>::infinity();
+
+  CellAllocation current = best;
+  // DFS with symmetry breaking: cell i may only open worker ids up to
+  // (max used so far) + 1.
+  std::vector<int> assignment(static_cast<size_t>(m), 0);
+  auto recurse = [&](auto&& self, int cell, int max_used) -> void {
+    if (cell == m) {
+      current.worker_of_cell = assignment;
+      const double load = AllocationMaxLoad(problem, current);
+      if (load < best_load) {
+        best_load = load;
+        best.worker_of_cell = assignment;
+      }
+      return;
+    }
+    const int limit = std::min(num_workers - 1, max_used + 1);
+    for (int w = 0; w <= limit; ++w) {
+      assignment[static_cast<size_t>(cell)] = w;
+      self(self, cell + 1, std::max(max_used, w));
+    }
+  };
+  recurse(recurse, 0, -1);
+  return best;
+}
+
+}  // namespace ptp

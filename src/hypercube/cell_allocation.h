@@ -1,0 +1,46 @@
+#ifndef PTP_HYPERCUBE_CELL_ALLOCATION_H_
+#define PTP_HYPERCUBE_CELL_ALLOCATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hypercube/config.h"
+#include "lp/shares_lp.h"
+
+namespace ptp {
+
+/// Assignment of M hypercube cells to N physical workers:
+/// worker_of_cell[cell] in [0, N).
+struct CellAllocation {
+  HypercubeConfig config;
+  std::vector<int> worker_of_cell;
+  int num_workers = 0;
+};
+
+/// Expected max per-worker load (tuples) under a many-cells-per-worker
+/// allocation. A worker receives one slab's worth of an atom's tuples for
+/// each *distinct projection* of its cells onto the atom's bound dimensions
+/// (tuples replicate along unbound dimensions, but cells of the same slab on
+/// the same worker share one copy). Uniform-hashing expectation.
+double AllocationMaxLoad(const ShareProblem& problem,
+                         const CellAllocation& alloc);
+
+/// Naive Algorithm 2 (paper Sec. 4): build an M-cell hypercube (LP with
+/// p = num_cells, shares rounded down), then assign cells to the N workers
+/// uniformly at random (balanced counts, random placement). `seed` makes the
+/// experiment reproducible.
+Result<CellAllocation> RandomCellAllocation(const ShareProblem& problem,
+                                            int num_workers, int num_cells,
+                                            uint64_t seed);
+
+/// Naive Algorithm 3: exhaustive search for the allocation minimizing
+/// AllocationMaxLoad. Exponential (N^M); refuses inputs with M > 12 or
+/// N > 4 — the point of the paper's Sec. 4 is that this approach blows up
+/// (>24h with an ASP solver at N=64, M=100), which the guard documents.
+Result<CellAllocation> OptimalCellAllocation(const ShareProblem& problem,
+                                             const HypercubeConfig& config,
+                                             int num_workers);
+
+}  // namespace ptp
+
+#endif  // PTP_HYPERCUBE_CELL_ALLOCATION_H_

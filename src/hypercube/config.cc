@@ -1,0 +1,100 @@
+#include "hypercube/config.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ptp {
+
+int HypercubeConfig::NumCells() const {
+  int cells = 1;
+  for (int d : dims) {
+    PTP_CHECK_GE(d, 1);
+    cells *= d;
+  }
+  return cells;
+}
+
+std::vector<int> HypercubeConfig::CellToCoords(int cell) const {
+  std::vector<int> coords(dims.size());
+  for (size_t i = dims.size(); i-- > 0;) {
+    coords[i] = cell % dims[i];
+    cell /= dims[i];
+  }
+  return coords;
+}
+
+int HypercubeConfig::CoordsToCell(const std::vector<int>& coords) const {
+  PTP_CHECK_EQ(coords.size(), dims.size());
+  int cell = 0;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    PTP_DCHECK(coords[i] >= 0 && coords[i] < dims[i]);
+    cell = cell * dims[i] + coords[i];
+  }
+  return cell;
+}
+
+std::string HypercubeConfig::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < dims.size(); ++i) {
+    if (i > 0) os << "x";
+    os << dims[i];
+  }
+  os << " over (";
+  for (size_t i = 0; i < join_vars.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << join_vars[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+HypercubeRouter::HypercubeRouter(const HypercubeConfig& config,
+                                 const std::vector<std::string>& atom_vars)
+    : config_(&config) {
+  const size_t k = config.dims.size();
+  strides_.assign(k, 1);
+  for (size_t i = k; i-- > 1;) {
+    strides_[i - 1] = strides_[i] * config.dims[i];
+  }
+  for (size_t dim = 0; dim < k; ++dim) {
+    auto it = std::find(atom_vars.begin(), atom_vars.end(),
+                        config.join_vars[dim]);
+    if (it != atom_vars.end()) {
+      bound_.emplace_back(static_cast<int>(dim),
+                          static_cast<int>(it - atom_vars.begin()));
+    } else {
+      unbound_.push_back(static_cast<int>(dim));
+      replication_ *= config.dims[dim];
+    }
+  }
+}
+
+void HypercubeRouter::Route(const Value* tuple,
+                            std::vector<int>* cells_out) const {
+  // Base cell from the bound coordinates.
+  int base = 0;
+  for (const auto& [dim, col] : bound_) {
+    const int coord = static_cast<int>(
+        HashToBucket(tuple[col], static_cast<uint32_t>(config_->dims[dim]),
+                     config_->salt + static_cast<uint64_t>(dim) * 7919));
+    base += coord * strides_[static_cast<size_t>(dim)];
+  }
+  // Enumerate the cross product of unbound dimensions.
+  const size_t start = cells_out->size();
+  cells_out->push_back(base);
+  for (int dim : unbound_) {
+    const size_t count = cells_out->size() - start;
+    const int stride = strides_[static_cast<size_t>(dim)];
+    const int dim_size = config_->dims[static_cast<size_t>(dim)];
+    for (int coord = 1; coord < dim_size; ++coord) {
+      for (size_t i = 0; i < count; ++i) {
+        cells_out->push_back((*cells_out)[start + i] + coord * stride);
+      }
+    }
+  }
+}
+
+}  // namespace ptp

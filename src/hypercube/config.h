@@ -1,0 +1,67 @@
+#ifndef PTP_HYPERCUBE_CONFIG_H_
+#define PTP_HYPERCUBE_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lp/shares_lp.h"
+#include "storage/value.h"
+
+namespace ptp {
+
+/// A concrete HyperCube configuration: one dimension per join variable with
+/// an integral size ("share"). Cells are numbered 0..NumCells()-1 in mixed-
+/// radix order (first dimension most significant).
+struct HypercubeConfig {
+  /// Join variables, one per dimension (same order as ShareProblem).
+  std::vector<std::string> join_vars;
+  /// Dimension sizes; dims[i] >= 1.
+  std::vector<int> dims;
+  /// Hash-family salt; distinct salts give independent h_i per dimension.
+  uint64_t salt = 0x5eed;
+
+  int NumCells() const;
+
+  /// Mixed-radix decode of a cell id into per-dimension coordinates.
+  std::vector<int> CellToCoords(int cell) const;
+
+  /// Mixed-radix encode.
+  int CoordsToCell(const std::vector<int>& coords) const;
+
+  /// "2x4x2 over (x, y, z)"
+  std::string ToString() const;
+};
+
+/// Routes tuples of one atom to hypercube cells. For the atom's variables
+/// that are dimensions, the coordinate is h_i(value); the remaining ("star")
+/// dimensions are enumerated, replicating the tuple (Sec. 2.1).
+class HypercubeRouter {
+ public:
+  /// `atom_vars` are the atom's column variable names; columns matching a
+  /// config dimension become bound coordinates.
+  HypercubeRouter(const HypercubeConfig& config,
+                  const std::vector<std::string>& atom_vars);
+
+  /// Appends the destination cell ids for a tuple (given by column values in
+  /// atom order) to `cells_out`. Number of destinations = product of unbound
+  /// dimension sizes (the replication factor).
+  void Route(const Value* tuple, std::vector<int>* cells_out) const;
+
+  /// Replication factor for this atom: product of unbound dimension sizes.
+  int ReplicationFactor() const { return replication_; }
+
+ private:
+  const HypercubeConfig* config_;
+  /// For each bound dimension: (dimension index, atom column index).
+  std::vector<std::pair<int, int>> bound_;
+  /// Unbound dimension indices.
+  std::vector<int> unbound_;
+  /// Mixed-radix strides per dimension.
+  std::vector<int> strides_;
+  int replication_ = 1;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_HYPERCUBE_CONFIG_H_

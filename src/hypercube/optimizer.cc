@@ -1,0 +1,93 @@
+#include "hypercube/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ptp {
+namespace {
+
+constexpr double kLoadEps = 1e-9;
+
+int MaxDim(const std::vector<int>& dims) {
+  int m = 1;
+  for (int d : dims) m = std::max(m, d);
+  return m;
+}
+
+// DFS over all integral dimension vectors with product <= budget.
+template <typename Fn>
+void EnumerateDims(std::vector<int>* dims, size_t index, int budget, Fn&& fn) {
+  if (index == dims->size()) {
+    fn(*dims);
+    return;
+  }
+  for (int d = 1; d <= budget; ++d) {
+    (*dims)[index] = d;
+    EnumerateDims(dims, index + 1, budget / d, fn);
+  }
+}
+
+}  // namespace
+
+ConfigChoice OptimizeShares(const ShareProblem& problem, int num_workers,
+                            const OptimizerOptions& options) {
+  PTP_CHECK_GE(num_workers, 1);
+  const size_t k = problem.join_vars.size();
+  ConfigChoice best;
+  best.config.join_vars = problem.join_vars;
+  best.config.dims.assign(k, 1);
+  best.expected_load = std::numeric_limits<double>::infinity();
+
+  if (k == 0) {
+    best.expected_load = IntegralConfigLoad(problem, {});
+    best.cells_used = 1;
+    return best;
+  }
+
+  std::vector<int> dims(k, 1);
+  EnumerateDims(&dims, 0, num_workers, [&](const std::vector<int>& c) {
+    const double load = IntegralConfigLoad(problem, c);
+    const bool better =
+        load < best.expected_load - kLoadEps ||
+        (options.even_tiebreak && load < best.expected_load + kLoadEps &&
+         MaxDim(c) < MaxDim(best.config.dims));
+    if (better) {
+      best.expected_load = load;
+      best.config.dims = c;
+    }
+  });
+  best.cells_used = best.config.NumCells();
+  return best;
+}
+
+Result<ConfigChoice> RoundDownShares(const ShareProblem& problem,
+                                     int num_workers) {
+  PTP_ASSIGN_OR_RETURN(
+      FractionalShares frac,
+      SolveFractionalShares(problem, static_cast<double>(num_workers)));
+  ConfigChoice out;
+  out.config.join_vars = problem.join_vars;
+  out.config.dims.resize(problem.join_vars.size());
+  for (size_t i = 0; i < frac.shares.size(); ++i) {
+    // Guard against 1.9999... floating error before flooring.
+    out.config.dims[i] =
+        std::max(1, static_cast<int>(std::floor(frac.shares[i] + 1e-9)));
+  }
+  out.expected_load = IntegralConfigLoad(problem, out.config.dims);
+  out.cells_used = out.config.NumCells();
+  return out;
+}
+
+long CountIntegralConfigs(int k, int num_workers) {
+  if (k == 0) return 1;
+  long count = 0;
+  std::vector<int> dims(static_cast<size_t>(k), 1);
+  EnumerateDims(&dims, 0, num_workers,
+                [&](const std::vector<int>&) { ++count; });
+  return count;
+}
+
+}  // namespace ptp

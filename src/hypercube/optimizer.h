@@ -1,0 +1,46 @@
+#ifndef PTP_HYPERCUBE_OPTIMIZER_H_
+#define PTP_HYPERCUBE_OPTIMIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "hypercube/config.h"
+#include "lp/shares_lp.h"
+
+namespace ptp {
+
+/// Result of a share-configuration algorithm.
+struct ConfigChoice {
+  HypercubeConfig config;
+  /// Expected max per-worker load (tuples) — sum_j |S_j| / prod dims.
+  double expected_load = 0;
+  /// Number of cells actually used (== config.NumCells()).
+  int cells_used = 1;
+};
+
+/// Options for the practical algorithm (Algorithm 1 of the paper).
+struct OptimizerOptions {
+  /// Tie-break equal-workload configurations toward even dimension sizes
+  /// (paper's rule: prefer min max-dimension — more skew-resilient).
+  bool even_tiebreak = true;
+};
+
+/// Algorithm 1: enumerate every integral configuration c with nw(c) <= N,
+/// pick the one minimizing workload(c); ties go to the configuration with
+/// the smaller maximum dimension. Runs in well under 100ms for the paper's
+/// queries (reproduced by bench/micro_optimizer_runtime).
+ConfigChoice OptimizeShares(const ShareProblem& problem, int num_workers,
+                            const OptimizerOptions& options = {});
+
+/// Naive Algorithm 1 (paper Sec. 4): solve the fractional LP for p = N and
+/// round each share down to an integer (>= 1).
+Result<ConfigChoice> RoundDownShares(const ShareProblem& problem,
+                                     int num_workers);
+
+/// Number of integral configurations enumerated by OptimizeShares for a
+/// query with `k` dimensions and `N` workers (exposed for tests/benches).
+long CountIntegralConfigs(int k, int num_workers);
+
+}  // namespace ptp
+
+#endif  // PTP_HYPERCUBE_OPTIMIZER_H_

@@ -1,0 +1,106 @@
+#include "lp/shares_lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "lp/simplex.h"
+
+namespace ptp {
+
+ShareProblem MakeShareProblem(const NormalizedQuery& query) {
+  ShareProblem problem;
+  // Join variables: occur in >= 2 atoms.
+  std::vector<std::string> all_vars = query.Variables();
+  for (const std::string& var : all_vars) {
+    int count = 0;
+    for (const NormalizedAtom& atom : query.atoms) {
+      if (std::find(atom.variables.begin(), atom.variables.end(), var) !=
+          atom.variables.end()) {
+        ++count;
+      }
+    }
+    if (count >= 2) problem.join_vars.push_back(var);
+  }
+  for (const NormalizedAtom& atom : query.atoms) {
+    ShareProblem::AtomInfo info;
+    info.name = atom.relation.name();
+    info.cardinality = static_cast<double>(atom.relation.NumTuples());
+    for (size_t i = 0; i < problem.join_vars.size(); ++i) {
+      if (std::find(atom.variables.begin(), atom.variables.end(),
+                    problem.join_vars[i]) != atom.variables.end()) {
+        info.var_idx.push_back(static_cast<int>(i));
+      }
+    }
+    problem.atoms.push_back(std::move(info));
+  }
+  return problem;
+}
+
+Result<FractionalShares> SolveFractionalShares(const ShareProblem& problem,
+                                               double p) {
+  const size_t k = problem.join_vars.size();
+  if (p < 1.0) return Status::InvalidArgument("p must be >= 1");
+  if (k == 0) {
+    FractionalShares out;
+    for (const auto& atom : problem.atoms) out.load += atom.cardinality;
+    return out;
+  }
+  const double logp = std::log(std::max(p, 1.0 + 1e-12));
+
+  // Variables: e_0..e_{k-1}, then t' = t + 1 (shift keeps t' >= 0: with
+  // sum e <= 1 and mu_j >= 0, the optimal t is >= -1).
+  LinearProgram lp([&] {
+    std::vector<double> c(k + 1, 0.0);
+    c[k] = 1.0;  // minimize t'
+    return c;
+  }());
+
+  // sum_i e_i <= 1
+  {
+    std::vector<double> row(k + 1, 0.0);
+    for (size_t i = 0; i < k; ++i) row[i] = 1.0;
+    lp.AddConstraint(std::move(row), LinearProgram::Relation::kLe, 1.0);
+  }
+  // For each atom: -sum_{i in vars} e_i - t' <= -1 - mu_j
+  for (const auto& atom : problem.atoms) {
+    const double mu =
+        atom.cardinality <= 1.0 ? 0.0 : std::log(atom.cardinality) / logp;
+    std::vector<double> row(k + 1, 0.0);
+    for (int vi : atom.var_idx) row[static_cast<size_t>(vi)] = -1.0;
+    row[k] = -1.0;
+    lp.AddConstraint(std::move(row), LinearProgram::Relation::kLe, -1.0 - mu);
+  }
+
+  PTP_ASSIGN_OR_RETURN(LinearProgram::Solution sol, lp.Solve());
+
+  FractionalShares out;
+  out.exponents.assign(sol.x.begin(), sol.x.begin() + static_cast<long>(k));
+  out.shares.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    out.shares[i] = std::pow(p, out.exponents[i]);
+  }
+  out.load = 0;
+  for (const auto& atom : problem.atoms) {
+    double denom = 1.0;
+    for (int vi : atom.var_idx) denom *= out.shares[static_cast<size_t>(vi)];
+    out.load += atom.cardinality / denom;
+  }
+  return out;
+}
+
+double IntegralConfigLoad(const ShareProblem& problem,
+                          const std::vector<int>& dims) {
+  PTP_CHECK_EQ(dims.size(), problem.join_vars.size());
+  double load = 0;
+  for (const auto& atom : problem.atoms) {
+    double denom = 1.0;
+    for (int vi : atom.var_idx) {
+      denom *= static_cast<double>(dims[static_cast<size_t>(vi)]);
+    }
+    load += atom.cardinality / denom;
+  }
+  return load;
+}
+
+}  // namespace ptp

@@ -1,0 +1,59 @@
+#ifndef PTP_LP_SHARES_LP_H_
+#define PTP_LP_SHARES_LP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+
+namespace ptp {
+
+/// Abstract share-optimization instance: the query hypergraph restricted to
+/// join variables, plus per-atom cardinalities.
+struct ShareProblem {
+  /// Join variables == hypercube dimensions, in a fixed order.
+  std::vector<std::string> join_vars;
+
+  struct AtomInfo {
+    std::string name;
+    /// Indices into join_vars of this atom's join variables.
+    std::vector<int> var_idx;
+    double cardinality = 0;
+  };
+  std::vector<AtomInfo> atoms;
+};
+
+/// Builds a ShareProblem from a normalized query (join variables = variables
+/// occurring in >= 2 atoms).
+ShareProblem MakeShareProblem(const NormalizedQuery& query);
+
+/// Fractional solution of the Beame et al. share LP for p servers:
+///
+///   minimize  t
+///   s.t.      mu_j - sum_{i in vars(S_j)} e_i <= t   for every atom j
+///             sum_i e_i <= 1,  e_i >= 0
+///
+/// where mu_j = log_p |S_j| and the fractional share of variable i is
+/// p_i = p^{e_i}. The per-server load of atom j is |S_j| / prod p_i.
+struct FractionalShares {
+  std::vector<double> exponents;  ///< e_i per join variable
+  std::vector<double> shares;     ///< p^{e_i}
+  /// Sum over atoms of |S_j| / prod_{i in vars(j)} shares[i] — the expected
+  /// tuples per (fractional) server; the reference "opt." of Figure 11.
+  double load = 0;
+};
+
+Result<FractionalShares> SolveFractionalShares(const ShareProblem& problem,
+                                               double p);
+
+/// Expected max per-worker load (tuples) of concrete integral dimension
+/// sizes `dims` (one per join variable, product = number of cells used):
+/// sum_j |S_j| / prod_{i in vars(j)} dims[i]. Uniform-hashing expectation —
+/// the objective Algorithm 1 minimizes.
+double IntegralConfigLoad(const ShareProblem& problem,
+                          const std::vector<int>& dims);
+
+}  // namespace ptp
+
+#endif  // PTP_LP_SHARES_LP_H_

@@ -1,0 +1,225 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ptp {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau:
+//   rows 0..m-1: constraint rows over [structural | slack/artificial | rhs]
+//   basis[i]   : column basic in row i
+struct Tableau {
+  size_t m = 0;       // constraints
+  size_t n = 0;       // total columns excluding rhs
+  std::vector<std::vector<double>> a;  // m rows, each n+1 wide (last = rhs)
+  std::vector<int> basis;
+
+  double& rhs(size_t i) { return a[i][n]; }
+};
+
+// One simplex phase: minimize `cost` (length n) over the tableau. Returns
+// false if unbounded. Uses Bland's rule (smallest index) for both entering
+// and leaving variables to guarantee termination.
+bool RunSimplex(Tableau* t, const std::vector<double>& cost,
+                double* objective) {
+  const size_t m = t->m;
+  const size_t n = t->n;
+  // Reduced costs maintained implicitly: z_j - c_j computed on demand from
+  // the basis. For the tiny sizes here, recomputing each iteration is fine.
+  std::vector<double> y(m);  // multipliers: y_i = cost of basic var in row i
+  while (true) {
+    for (size_t i = 0; i < m; ++i) {
+      y[i] = cost[static_cast<size_t>(t->basis[i])];
+    }
+    // Find entering column with negative reduced cost (Bland: first).
+    int enter = -1;
+    for (size_t j = 0; j < n; ++j) {
+      double reduced = cost[j];
+      for (size_t i = 0; i < m; ++i) reduced -= y[i] * t->a[i][j];
+      if (reduced < -kEps) {
+        enter = static_cast<int>(j);
+        break;
+      }
+    }
+    if (enter < 0) break;  // optimal
+    // Ratio test (Bland: smallest basis index on ties).
+    int leave = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < m; ++i) {
+      double aij = t->a[i][static_cast<size_t>(enter)];
+      if (aij > kEps) {
+        double ratio = t->rhs(i) / aij;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && leave >= 0 &&
+             t->basis[i] < t->basis[static_cast<size_t>(leave)])) {
+          best_ratio = ratio;
+          leave = static_cast<int>(i);
+        }
+      }
+    }
+    if (leave < 0) return false;  // unbounded
+    // Pivot.
+    const size_t pr = static_cast<size_t>(leave);
+    const size_t pc = static_cast<size_t>(enter);
+    const double pivot = t->a[pr][pc];
+    for (size_t j = 0; j <= n; ++j) t->a[pr][j] /= pivot;
+    for (size_t i = 0; i < m; ++i) {
+      if (i == pr) continue;
+      const double factor = t->a[i][pc];
+      if (std::fabs(factor) < kEps) continue;
+      for (size_t j = 0; j <= n; ++j) {
+        t->a[i][j] -= factor * t->a[pr][j];
+      }
+    }
+    t->basis[pr] = enter;
+  }
+  double obj = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    obj += cost[static_cast<size_t>(t->basis[i])] * t->rhs(i);
+  }
+  *objective = obj;
+  return true;
+}
+
+}  // namespace
+
+LinearProgram::LinearProgram(std::vector<double> objective)
+    : c_(std::move(objective)) {}
+
+void LinearProgram::AddConstraint(std::vector<double> coeffs, Relation rel,
+                                  double rhs) {
+  PTP_CHECK_EQ(coeffs.size(), c_.size());
+  rows_.push_back(std::move(coeffs));
+  rels_.push_back(rel);
+  rhs_.push_back(rhs);
+}
+
+Result<LinearProgram::Solution> LinearProgram::Solve() const {
+  const size_t m = rows_.size();
+  const size_t nv = c_.size();
+
+  // Normalize: flip rows with negative rhs so all b >= 0.
+  std::vector<std::vector<double>> rows = rows_;
+  std::vector<Relation> rels = rels_;
+  std::vector<double> rhs = rhs_;
+  for (size_t i = 0; i < m; ++i) {
+    if (rhs[i] < 0) {
+      for (double& v : rows[i]) v = -v;
+      rhs[i] = -rhs[i];
+      if (rels[i] == Relation::kLe) {
+        rels[i] = Relation::kGe;
+      } else if (rels[i] == Relation::kGe) {
+        rels[i] = Relation::kLe;
+      }
+    }
+  }
+
+  // Column layout: [structural | slack/surplus | artificial].
+  size_t num_slack = 0;
+  for (Relation r : rels) {
+    if (r != Relation::kEq) ++num_slack;
+  }
+  size_t num_art = 0;
+  for (Relation r : rels) {
+    if (r != Relation::kLe) ++num_art;
+  }
+  // kLe rows use their slack as the initial basic variable; kGe/kEq rows use
+  // an artificial.
+  const size_t n = nv + num_slack + num_art;
+  Tableau t;
+  t.m = m;
+  t.n = n;
+  t.a.assign(m, std::vector<double>(n + 1, 0.0));
+  t.basis.assign(m, -1);
+
+  size_t slack_col = nv;
+  size_t art_col = nv + num_slack;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < nv; ++j) t.a[i][j] = rows[i][j];
+    t.a[i][n] = rhs[i];
+    switch (rels[i]) {
+      case Relation::kLe:
+        t.a[i][slack_col] = 1.0;
+        t.basis[i] = static_cast<int>(slack_col);
+        ++slack_col;
+        break;
+      case Relation::kGe:
+        t.a[i][slack_col] = -1.0;  // surplus
+        ++slack_col;
+        t.a[i][art_col] = 1.0;
+        t.basis[i] = static_cast<int>(art_col);
+        ++art_col;
+        break;
+      case Relation::kEq:
+        t.a[i][art_col] = 1.0;
+        t.basis[i] = static_cast<int>(art_col);
+        ++art_col;
+        break;
+    }
+  }
+
+  // Phase 1: minimize sum of artificials.
+  if (num_art > 0) {
+    std::vector<double> phase1_cost(n, 0.0);
+    for (size_t j = nv + num_slack; j < n; ++j) phase1_cost[j] = 1.0;
+    double obj = 0.0;
+    if (!RunSimplex(&t, phase1_cost, &obj)) {
+      return Status::Internal("phase-1 simplex reported unbounded");
+    }
+    if (obj > 1e-6) {
+      return Status::InvalidArgument("linear program is infeasible");
+    }
+    // Drive any artificial still in the basis out (degenerate rows).
+    for (size_t i = 0; i < m; ++i) {
+      if (static_cast<size_t>(t.basis[i]) >= nv + num_slack) {
+        // Pivot on any non-artificial column with nonzero coefficient.
+        for (size_t j = 0; j < nv + num_slack; ++j) {
+          if (std::fabs(t.a[i][j]) > kEps) {
+            const double pivot = t.a[i][j];
+            for (size_t k = 0; k <= n; ++k) t.a[i][k] /= pivot;
+            for (size_t r = 0; r < m; ++r) {
+              if (r == i) continue;
+              const double factor = t.a[r][j];
+              if (std::fabs(factor) < kEps) continue;
+              for (size_t k = 0; k <= n; ++k) {
+                t.a[r][k] -= factor * t.a[i][k];
+              }
+            }
+            t.basis[i] = static_cast<int>(j);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Phase 2: minimize the real objective, artificials pinned at cost
+  // +infinity-equivalent (they are zero and we simply never let them enter
+  // by giving them a large cost).
+  std::vector<double> cost(n, 0.0);
+  for (size_t j = 0; j < nv; ++j) cost[j] = c_[j];
+  for (size_t j = nv + num_slack; j < n; ++j) cost[j] = 1e18;
+  double obj = 0.0;
+  if (!RunSimplex(&t, cost, &obj)) {
+    return Status::OutOfRange("linear program is unbounded");
+  }
+
+  Solution sol;
+  sol.x.assign(nv, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (static_cast<size_t>(t.basis[i]) < nv) {
+      sol.x[static_cast<size_t>(t.basis[i])] = t.rhs(i);
+    }
+  }
+  sol.objective = 0.0;
+  for (size_t j = 0; j < nv; ++j) sol.objective += c_[j] * sol.x[j];
+  return sol;
+}
+
+}  // namespace ptp

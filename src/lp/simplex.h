@@ -1,0 +1,51 @@
+#ifndef PTP_LP_SIMPLEX_H_
+#define PTP_LP_SIMPLEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptp {
+
+/// Linear program in the form
+///   minimize    c^T x
+///   subject to  A_i x (<= | = | >=) b_i   for each row i
+///               x >= 0
+///
+/// Solved by a dense two-phase primal simplex with Bland's anti-cycling
+/// rule. Problem sizes here are tiny (<= ~10 variables, ~10 constraints:
+/// one share per join variable, one load constraint per atom), so an exact,
+/// simple tableau implementation is the right tool — this replaces the
+/// paper's use of GLPK.
+class LinearProgram {
+ public:
+  enum class Relation { kLe, kEq, kGe };
+
+  /// Creates a program over `num_vars` variables with objective `c`.
+  explicit LinearProgram(std::vector<double> objective);
+
+  size_t num_vars() const { return c_.size(); }
+
+  /// Adds constraint `coeffs . x (rel) rhs`; coeffs.size() == num_vars().
+  void AddConstraint(std::vector<double> coeffs, Relation rel, double rhs);
+
+  struct Solution {
+    std::vector<double> x;
+    double objective = 0.0;
+  };
+
+  /// Solves the program. Returns InvalidArgument for infeasible programs and
+  /// OutOfRange for unbounded ones.
+  Result<Solution> Solve() const;
+
+ private:
+  std::vector<double> c_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<Relation> rels_;
+  std::vector<double> rhs_;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_LP_SIMPLEX_H_

@@ -1,0 +1,170 @@
+#include "plan/advisor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/str_util.h"
+#include "hypercube/optimizer.h"
+#include "lp/shares_lp.h"
+#include "query/planner.h"
+
+namespace ptp {
+namespace {
+
+// Exact size of the binary join of `a` and `b` on all shared variables:
+// sum over shared keys of freq_a * freq_b. O(|a| + |b|) with hash maps —
+// cheap enough for the advisor and immune to the independence-assumption
+// underestimation that plagues skewed graphs (Ioannidis/Christodoulakis).
+double ExactFirstJoinSize(const NormalizedAtom& a, const NormalizedAtom& b) {
+  std::vector<size_t> cols_a, cols_b;
+  for (size_t i = 0; i < a.variables.size(); ++i) {
+    for (size_t j = 0; j < b.variables.size(); ++j) {
+      if (a.variables[i] == b.variables[j]) {
+        cols_a.push_back(i);
+        cols_b.push_back(j);
+      }
+    }
+  }
+  if (cols_a.empty()) {
+    return static_cast<double>(a.relation.NumTuples()) *
+           static_cast<double>(b.relation.NumTuples());
+  }
+  auto freq = [](const Relation& rel, const std::vector<size_t>& cols) {
+    std::map<Tuple, size_t> counts;
+    Tuple key;
+    for (size_t row = 0; row < rel.NumTuples(); ++row) {
+      key.clear();
+      for (size_t c : cols) key.push_back(rel.At(row, c));
+      ++counts[key];
+    }
+    return counts;
+  };
+  const auto fa = freq(a.relation, cols_a);
+  const auto fb = freq(b.relation, cols_b);
+  double total = 0;
+  for (const auto& [key, count] : fa) {
+    auto it = fb.find(key);
+    if (it != fb.end()) {
+      total += static_cast<double>(count) * static_cast<double>(it->second);
+    }
+  }
+  return total;
+}
+
+// Largest single-value frequency in column `col` of `rel`.
+size_t MaxValueFrequency(const Relation& rel, size_t col) {
+  std::map<Value, size_t> counts;
+  size_t max_count = 0;
+  for (size_t row = 0; row < rel.NumTuples(); ++row) {
+    max_count = std::max(max_count, ++counts[rel.At(row, col)]);
+  }
+  return max_count;
+}
+
+}  // namespace
+
+StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers) {
+  StrategyAdvice advice;
+  const double w = static_cast<double>(num_workers);
+
+  double total_input = 0;
+  double largest = 0;
+  for (const NormalizedAtom& atom : query.atoms) {
+    const double card = static_cast<double>(atom.relation.NumTuples());
+    total_input += card;
+    largest = std::max(largest, card);
+  }
+
+  // Regular shuffle: inputs plus every estimated intermediate is reshuffled.
+  const std::vector<int> order = GreedyLeftDeepOrder(query);
+  const std::vector<double> sizes = EstimateLeftDeepSizes(query, order);
+  advice.est_rs_tuples = total_input;
+  for (size_t i = 1; i + 1 < sizes.size(); ++i) {
+    advice.est_rs_tuples += sizes[i];
+    advice.est_max_intermediate =
+        std::max(advice.est_max_intermediate, sizes[i]);
+  }
+  // The independence assumption badly underestimates the first join on
+  // skewed data; replace its estimate with the exact frequency-vector size.
+  if (order.size() >= 2) {
+    const double exact = ExactFirstJoinSize(
+        query.atoms[static_cast<size_t>(order[0])],
+        query.atoms[static_cast<size_t>(order[1])]);
+    if (sizes.size() > 1 && exact > sizes[1]) {
+      advice.est_rs_tuples += exact - (sizes.size() > 2 ? sizes[1] : 0.0);
+      advice.est_max_intermediate =
+          std::max(advice.est_max_intermediate, exact);
+    }
+  }
+
+  // Broadcast: everything but the largest relation goes to all workers.
+  advice.est_br_tuples = (total_input - largest) * w;
+
+  // HyperCube: per-atom replication under the Algorithm-1 configuration.
+  ShareProblem problem = MakeShareProblem(query);
+  ConfigChoice config = OptimizeShares(problem, num_workers);
+  advice.est_hc_tuples = 0;
+  for (const NormalizedAtom& atom : query.atoms) {
+    HypercubeRouter router(config.config, atom.variables);
+    advice.est_hc_tuples += static_cast<double>(atom.relation.NumTuples()) *
+                            router.ReplicationFactor();
+  }
+
+  // Heavy-hitter skew proxy on the first binary join's shared columns.
+  if (order.size() >= 2) {
+    const NormalizedAtom& first = query.atoms[static_cast<size_t>(order[0])];
+    const NormalizedAtom& second = query.atoms[static_cast<size_t>(order[1])];
+    for (size_t col = 0; col < first.variables.size(); ++col) {
+      const std::string& var = first.variables[col];
+      if (std::find(second.variables.begin(), second.variables.end(), var) ==
+          second.variables.end()) {
+        continue;
+      }
+      const double avg_load =
+          std::max(1.0, static_cast<double>(first.relation.NumTuples()) / w);
+      advice.est_rs_skew = std::max(
+          advice.est_rs_skew,
+          static_cast<double>(MaxValueFrequency(first.relation, col)) /
+              avg_load);
+    }
+  }
+
+  // Decision logic (Table 6 regimes).
+  const bool small_intermediates =
+      advice.est_max_intermediate <= 2.0 * total_input;
+  const bool low_skew = advice.est_rs_skew <= 4.0;
+  const bool rs_cheapest =
+      advice.est_rs_tuples <=
+      std::min(advice.est_hc_tuples, advice.est_br_tuples);
+
+  if (small_intermediates && low_skew && rs_cheapest) {
+    advice.shuffle = ShuffleKind::kRegular;
+    // Per-round sorting pays off only while the sorted data stays small.
+    advice.join = advice.est_max_intermediate <= total_input
+                      ? JoinKind::kTributary
+                      : JoinKind::kHashJoin;
+    advice.rationale = StrFormat(
+        "small intermediates (est max %.0f <= 2x input %.0f), low skew "
+        "(%.1f) and cheapest shuffle -> regular shuffle",
+        advice.est_max_intermediate, total_input, advice.est_rs_skew);
+    return advice;
+  }
+
+  advice.join = JoinKind::kTributary;  // TJ wins whenever data is replicated
+  if (advice.est_hc_tuples <= advice.est_br_tuples) {
+    advice.shuffle = ShuffleKind::kHypercube;
+    advice.rationale = StrFormat(
+        "large intermediates or skew; HyperCube replication (%.0f tuples) "
+        "beats broadcast (%.0f)",
+        advice.est_hc_tuples, advice.est_br_tuples);
+  } else {
+    advice.shuffle = ShuffleKind::kBroadcast;
+    advice.rationale = StrFormat(
+        "large intermediates but a high-dimensional cube: broadcast "
+        "(%.0f tuples) beats HyperCube replication (%.0f)",
+        advice.est_br_tuples, advice.est_hc_tuples);
+  }
+  return advice;
+}
+
+}  // namespace ptp

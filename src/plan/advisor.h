@@ -1,0 +1,43 @@
+#ifndef PTP_PLAN_ADVISOR_H_
+#define PTP_PLAN_ADVISOR_H_
+
+#include <string>
+
+#include "plan/strategies.h"
+#include "query/query.h"
+
+namespace ptp {
+
+/// Communication-cost estimates behind a strategy recommendation.
+struct StrategyAdvice {
+  ShuffleKind shuffle = ShuffleKind::kHypercube;
+  JoinKind join = JoinKind::kTributary;
+
+  /// Estimated tuples moved by each shuffle family.
+  double est_rs_tuples = 0;  // inputs + every estimated intermediate
+  double est_br_tuples = 0;  // (total - largest) * W
+  double est_hc_tuples = 0;  // sum of inputs * replication factors
+  /// Estimated max intermediate of the left-deep plan.
+  double est_max_intermediate = 0;
+  /// Heavy-hitter proxy for the first regular-shuffle round: the largest
+  /// single-value frequency on a join column divided by the average
+  /// per-worker load (> 1 means one worker gets more than its share).
+  double est_rs_skew = 1.0;
+
+  std::string rationale;
+};
+
+/// Implements the decision logic the paper's Table 6 summary distills:
+///  * small intermediates + low skew  -> regular shuffle (TJ when the
+///    per-round sorted data stays below the inputs, else HJ);
+///  * large intermediates             -> single-round plans with the
+///    Tributary join; HyperCube when its replication beats broadcast,
+///    broadcast otherwise (the Q4 regime: high-dimensional cubes);
+///  * HyperCube degenerates to broadcast-the-small-relation automatically
+///    via its share configuration (the Q7 regime), so "HC" covers it.
+/// Pure estimation — nothing is executed.
+StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers);
+
+}  // namespace ptp
+
+#endif  // PTP_PLAN_ADVISOR_H_

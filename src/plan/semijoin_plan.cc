@@ -1,0 +1,193 @@
+#include "plan/semijoin_plan.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "exec/local_ops.h"
+#include "exec/shuffle.h"
+
+namespace ptp {
+namespace {
+
+std::vector<std::string> SharedVars(const Schema& a, const Schema& b) {
+  std::vector<std::string> shared;
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (b.IndexOf(a.name(i)) >= 0) shared.push_back(a.name(i));
+  }
+  return shared;
+}
+
+std::vector<int> ColumnIndices(const Schema& schema,
+                               const std::vector<std::string>& vars) {
+  std::vector<int> cols;
+  for (const std::string& var : vars) {
+    int c = schema.IndexOf(var);
+    PTP_CHECK_GE(c, 0);
+    cols.push_back(c);
+  }
+  return cols;
+}
+
+// Minimal booking mirror of strategies.cc (that helper is internal there).
+struct Booker {
+  QueryMetrics* metrics;
+  int W;
+
+  void Shuffle(const ShuffleMetrics& sm, double elapsed) {
+    metrics->shuffles.push_back(sm);
+    if (sm.tuples_sent == 0) return;
+    const double per_worker = elapsed / W;
+    for (int w = 0; w < W; ++w) {
+      metrics->worker_seconds[static_cast<size_t>(w)] += per_worker;
+    }
+    metrics->wall_seconds += per_worker * std::max(1.0, sm.producer_skew);
+  }
+
+  void Stage(const std::string& label, const std::vector<double>& elapsed,
+             size_t output) {
+    StageMetrics stage;
+    stage.label = label;
+    for (double e : elapsed) {
+      stage.cpu_seconds += e;
+      stage.wall_seconds = std::max(stage.wall_seconds, e);
+    }
+    stage.output_tuples = output;
+    metrics->wall_seconds += stage.wall_seconds;
+    for (size_t w = 0; w < elapsed.size(); ++w) {
+      metrics->worker_seconds[w] += elapsed[w];
+    }
+    metrics->stages.push_back(stage);
+  }
+};
+
+}  // namespace
+
+Result<StrategyResult> RunSemijoinPlan(const ConjunctiveQuery& query,
+                                       const NormalizedQuery& normalized,
+                                       const StrategyOptions& options,
+                                       SemijoinBreakdown* breakdown) {
+  PTP_ASSIGN_OR_RETURN(JoinTree tree, BuildJoinTree(query));
+  const int W = options.num_workers;
+
+  StrategyResult result;
+  result.metrics.EnsureWorkers(static_cast<size_t>(W));
+  Booker booker{&result.metrics, W};
+
+  // Working distributed state, one per atom.
+  std::vector<DistributedRelation> rels;
+  rels.reserve(normalized.atoms.size());
+  std::vector<size_t> size_before;
+  for (const NormalizedAtom& atom : normalized.atoms) {
+    rels.push_back(PartitionRoundRobin(atom.relation, W));
+    size_before.push_back(atom.relation.NumTuples());
+  }
+
+  // One distributed semijoin: rels[target] <- rels[target] ⋉ rels[filter].
+  auto distributed_semijoin = [&](int target, int filter) -> Status {
+    const size_t ti = static_cast<size_t>(target);
+    const size_t fi = static_cast<size_t>(filter);
+    const std::vector<std::string> shared =
+        SharedVars(rels[ti][0].schema(), rels[fi][0].schema());
+    if (shared.empty()) {
+      if (TotalTuples(rels[fi]) == 0) {
+        for (Relation& frag : rels[ti]) frag.Clear();
+      }
+      return Status::OK();
+    }
+
+    // Local preprocessing: project the filter onto the shared keys, dedup.
+    DistributedRelation keys(static_cast<size_t>(W));
+    std::vector<double> prep_elapsed(static_cast<size_t>(W), 0.0);
+    size_t key_tuples = 0;
+    for (int w = 0; w < W; ++w) {
+      const size_t wi = static_cast<size_t>(w);
+      Timer t;
+      keys[wi] = DistinctProject(rels[fi][wi], shared, "keys");
+      prep_elapsed[wi] = t.Seconds();
+      key_tuples += keys[wi].NumTuples();
+    }
+    booker.Stage(StrFormat("project keys %s", rels[fi][0].name().c_str()),
+                 prep_elapsed, key_tuples);
+
+    // Shuffle both sides onto the shared attributes.
+    DistributedRelation target_sh, keys_sh;
+    {
+      Timer t;
+      ShuffleResult sr = HashShuffle(
+          rels[ti], ColumnIndices(rels[ti][0].schema(), shared), W,
+          options.salt, rels[ti][0].name() + " (semijoin input)");
+      booker.Shuffle(sr.metrics, t.Seconds());
+      if (breakdown != nullptr) {
+        breakdown->input_tuples_shuffled += sr.metrics.tuples_sent;
+      }
+      target_sh = std::move(sr.data);
+    }
+    {
+      Timer t;
+      ShuffleResult sr = HashShuffle(
+          keys, ColumnIndices(keys[0].schema(), shared), W, options.salt,
+          rels[fi][0].name() + " (semijoin keys)");
+      booker.Shuffle(sr.metrics, t.Seconds());
+      if (breakdown != nullptr) {
+        breakdown->projected_tuples_shuffled += sr.metrics.tuples_sent;
+      }
+      keys_sh = std::move(sr.data);
+    }
+
+    // Local semijoin.
+    std::vector<double> elapsed(static_cast<size_t>(W), 0.0);
+    size_t kept = 0;
+    for (int w = 0; w < W; ++w) {
+      const size_t wi = static_cast<size_t>(w);
+      Timer t;
+      target_sh[wi] = SemiJoinLocal(target_sh[wi], keys_sh[wi]);
+      elapsed[wi] = t.Seconds();
+      kept += target_sh[wi].NumTuples();
+    }
+    booker.Stage(StrFormat("semijoin %s ⋉ %s", rels[ti][0].name().c_str(),
+                           rels[fi][0].name().c_str()),
+                 elapsed, kept);
+    rels[ti] = std::move(target_sh);
+    return Status::OK();
+  };
+
+  // Bottom-up pass: reduce each node by its (already reduced) children.
+  for (int node : tree.bottom_up_order) {
+    for (int child : tree.children[static_cast<size_t>(node)]) {
+      PTP_RETURN_IF_ERROR(distributed_semijoin(node, child));
+    }
+  }
+  // Top-down pass: reduce each child by its (fully reduced) parent.
+  for (auto it = tree.bottom_up_order.rbegin();
+       it != tree.bottom_up_order.rend(); ++it) {
+    for (int child : tree.children[static_cast<size_t>(*it)]) {
+      PTP_RETURN_IF_ERROR(distributed_semijoin(child, *it));
+    }
+  }
+
+  if (breakdown != nullptr) {
+    breakdown->reduction_per_atom.clear();
+    for (size_t i = 0; i < rels.size(); ++i) {
+      breakdown->reduction_per_atom.emplace_back(size_before[i],
+                                                 TotalTuples(rels[i]));
+    }
+  }
+
+  // Final join over the reduced relations with the regular-shuffle plan.
+  NormalizedQuery reduced = normalized;
+  for (size_t i = 0; i < rels.size(); ++i) {
+    reduced.atoms[i].relation = Gather(rels[i]);
+  }
+  PTP_ASSIGN_OR_RETURN(
+      StrategyResult final_join,
+      RunStrategy(reduced, ShuffleKind::kRegular, JoinKind::kHashJoin,
+                  options));
+  result.metrics.Absorb(final_join.metrics);
+  result.output = std::move(final_join.output);
+  result.join_order_used = final_join.join_order_used;
+  return result;
+}
+
+}  // namespace ptp

@@ -1,0 +1,37 @@
+#ifndef PTP_PLAN_SEMIJOIN_PLAN_H_
+#define PTP_PLAN_SEMIJOIN_PLAN_H_
+
+#include "common/status.h"
+#include "plan/strategies.h"
+#include "query/hypergraph.h"
+#include "query/query.h"
+
+namespace ptp {
+
+/// Breakdown of the distributed semijoin reduction (Sec. 3.6 / GYM [4]).
+struct SemijoinBreakdown {
+  /// Tuples shuffled that belong to projected key tables (the S.B columns).
+  size_t projected_tuples_shuffled = 0;
+  /// Tuples shuffled that belong to the input tables themselves.
+  size_t input_tuples_shuffled = 0;
+  /// Dangling tuples removed per atom (input size -> reduced size).
+  std::vector<std::pair<size_t, size_t>> reduction_per_atom;
+};
+
+/// Runs the three-step distributed Yannakakis plan on an acyclic query:
+///   1. bottom-up semijoins along a GYO join tree,
+///   2. top-down semijoins,
+///   3. final join of the reduced relations (regular shuffle + hash joins).
+/// Each distributed semijoin R ⋉ S shuffles both R and the deduplicated
+/// projection of S onto the shared attributes (in our setting every relation
+/// is distributed — the paper's point about the extra cost).
+///
+/// Returns InvalidArgument for cyclic queries (no full reduction exists).
+Result<StrategyResult> RunSemijoinPlan(const ConjunctiveQuery& query,
+                                       const NormalizedQuery& normalized,
+                                       const StrategyOptions& options,
+                                       SemijoinBreakdown* breakdown = nullptr);
+
+}  // namespace ptp
+
+#endif  // PTP_PLAN_SEMIJOIN_PLAN_H_

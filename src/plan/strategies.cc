@@ -1,0 +1,587 @@
+#include "plan/strategies.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "exec/local_ops.h"
+#include "exec/pipeline.h"
+#include "exec/shuffle.h"
+#include "query/planner.h"
+#include "tj/order_optimizer.h"
+#include "tj/tributary_join.h"
+
+namespace ptp {
+namespace {
+
+std::string AtomLabel(const NormalizedAtom& atom) {
+  std::string label = atom.relation.name() + "(";
+  for (size_t i = 0; i < atom.variables.size(); ++i) {
+    if (i > 0) label += ", ";
+    label += atom.variables[i];
+  }
+  label += ")";
+  return label;
+}
+
+std::string VarsLabel(const std::vector<std::string>& vars) {
+  std::string out = "(";
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += vars[i];
+  }
+  out += ")";
+  return out;
+}
+
+// Execution context shared by the three shuffle families.
+struct Ctx {
+  const NormalizedQuery* q;
+  const StrategyOptions* opts;
+  int W;
+  StrategyResult result;
+
+  QueryMetrics& metrics() { return result.metrics; }
+
+  // Books a shuffle: records its metrics and charges its (measured) CPU to
+  // workers proportionally to tuple counts; the barrier wall-clock charge is
+  // elapsed * producer_skew / W (the slowest producer's share).
+  void BookShuffle(const ShuffleMetrics& sm, double elapsed) {
+    metrics().shuffles.push_back(sm);
+    if (sm.tuples_sent == 0) return;
+    const double per_worker = elapsed / W;
+    for (int w = 0; w < W; ++w) {
+      metrics().worker_seconds[static_cast<size_t>(w)] += per_worker;
+    }
+    metrics().wall_seconds += per_worker * std::max(1.0, sm.producer_skew);
+  }
+
+  // Books a barrier of per-worker compute times.
+  void BookStage(const std::string& label,
+                 const std::vector<double>& worker_elapsed,
+                 const std::vector<double>& sort_elapsed,
+                 const std::vector<double>& join_elapsed,
+                 size_t output_tuples) {
+    StageMetrics stage;
+    stage.label = label;
+    for (int w = 0; w < W; ++w) {
+      const size_t wi = static_cast<size_t>(w);
+      metrics().worker_seconds[wi] += worker_elapsed[wi];
+      if (!sort_elapsed.empty()) {
+        metrics().worker_sort_seconds[wi] += sort_elapsed[wi];
+      }
+      if (!join_elapsed.empty()) {
+        metrics().worker_join_seconds[wi] += join_elapsed[wi];
+      }
+      stage.cpu_seconds += worker_elapsed[wi];
+      stage.wall_seconds = std::max(stage.wall_seconds, worker_elapsed[wi]);
+    }
+    stage.output_tuples = output_tuples;
+    metrics().wall_seconds += stage.wall_seconds;
+    metrics().stages.push_back(stage);
+  }
+
+  void Fail(std::string reason) {
+    metrics().failed = true;
+    metrics().fail_reason = std::move(reason);
+  }
+
+  void TrackIntermediate(size_t tuples) {
+    metrics().max_intermediate_tuples =
+        std::max(metrics().max_intermediate_tuples, tuples);
+  }
+};
+
+// Gathers per-worker result fragments, projects to the head, and applies set
+// semantics for proper projections.
+void FinishOutput(Ctx* ctx, DistributedRelation frags) {
+  const NormalizedQuery& q = *ctx->q;
+  const std::vector<std::string> all_vars = q.Variables();
+  Relation gathered = Gather(frags);
+  Relation projected =
+      ProjectToVars(gathered, q.head_vars, "result");
+  if (q.head_vars.size() < all_vars.size()) {
+    projected.SortAndDedup();
+  }
+  ctx->result.output = std::move(projected);
+  ctx->metrics().output_tuples = ctx->result.output.NumTuples();
+}
+
+std::vector<std::string> SharedVars(const Schema& a, const Schema& b) {
+  std::vector<std::string> shared;
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (b.IndexOf(a.name(i)) >= 0) shared.push_back(a.name(i));
+  }
+  return shared;
+}
+
+std::vector<int> ColumnIndices(const Schema& schema,
+                               const std::vector<std::string>& vars) {
+  std::vector<int> cols;
+  for (const std::string& var : vars) {
+    int c = schema.IndexOf(var);
+    PTP_CHECK_GE(c, 0);
+    cols.push_back(c);
+  }
+  return cols;
+}
+
+// Chooses / validates the TJ variable order.
+std::vector<std::string> PickVarOrder(const NormalizedQuery& q,
+                                      const StrategyOptions& opts) {
+  if (!opts.var_order.empty()) return opts.var_order;
+  return OptimizeVariableOrder(q).order;
+}
+
+std::vector<int> PickJoinOrder(const NormalizedQuery& q,
+                               const StrategyOptions& opts) {
+  if (!opts.join_order.empty()) return opts.join_order;
+  return GreedyLeftDeepOrder(q);
+}
+
+// ---------------------------------------------------------------------------
+// Regular shuffle: one hash-repartitioning round per binary join.
+// ---------------------------------------------------------------------------
+Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
+                                  const StrategyOptions& opts) {
+  Ctx ctx;
+  ctx.q = &q;
+  ctx.opts = &opts;
+  ctx.W = opts.num_workers;
+  ctx.metrics().EnsureWorkers(static_cast<size_t>(ctx.W));
+  const int W = ctx.W;
+
+  std::vector<int> order = PickJoinOrder(q, opts);
+  ctx.result.join_order_used = order;
+  if (order.size() != q.atoms.size()) {
+    return Status::InvalidArgument("join order must cover all atoms");
+  }
+
+  // Initial round-robin placement.
+  std::vector<DistributedRelation> base;
+  base.reserve(q.atoms.size());
+  for (const NormalizedAtom& atom : q.atoms) {
+    base.push_back(PartitionRoundRobin(atom.relation, W));
+  }
+
+  std::vector<Predicate> pending = q.predicates;
+  DistributedRelation acc = base[static_cast<size_t>(order[0])];
+  {
+    // Apply predicates already decidable on the first atom.
+    std::vector<Predicate> applicable, rest;
+    SplitApplicablePredicates(pending, q.atoms[static_cast<size_t>(order[0])]
+                                           .relation.schema(),
+                              &applicable, &rest);
+    if (!applicable.empty()) {
+      for (Relation& frag : acc) frag = FilterByPredicates(frag, applicable);
+      pending = rest;
+    }
+  }
+
+  for (size_t step = 1; step < order.size(); ++step) {
+    const NormalizedAtom& atom = q.atoms[static_cast<size_t>(order[step])];
+    const std::vector<std::string> shared =
+        SharedVars(acc[0].schema(), atom.relation.schema());
+
+    DistributedRelation left, right;
+    if (shared.empty()) {
+      // Disconnected step: broadcast the (smaller) atom — degenerate case,
+      // none of the paper's queries hit it but the engine supports it.
+      left = std::move(acc);
+      Timer t;
+      ShuffleResult br = BroadcastShuffle(base[static_cast<size_t>(order[step])],
+                                          W, "Broadcast " + AtomLabel(atom));
+      ctx.BookShuffle(br.metrics, t.Seconds());
+      right = std::move(br.data);
+    } else if (opts.rs_skew_aware) {
+      const std::string label =
+          (step == 1 ? AtomLabel(q.atoms[static_cast<size_t>(order[0])])
+                     : StrFormat("Intermediate_%zu", step)) +
+          " x " + AtomLabel(atom) + " ->h" + VarsLabel(shared);
+      Timer t;
+      SkewAwareShuffleResult sr = SkewAwareJoinShuffle(
+          acc, ColumnIndices(acc[0].schema(), shared),
+          base[static_cast<size_t>(order[step])],
+          ColumnIndices(atom.relation.schema(), shared), W, opts.salt,
+          opts.skew_threshold, label);
+      const double elapsed = t.Seconds();
+      ctx.BookShuffle(sr.left_metrics, elapsed / 2);
+      ctx.BookShuffle(sr.right_metrics, elapsed / 2);
+      left = std::move(sr.left);
+      right = std::move(sr.right);
+    } else {
+      const std::string label_key = " ->h" + VarsLabel(shared);
+      {
+        Timer t;
+        std::string label =
+            (step == 1 ? AtomLabel(q.atoms[static_cast<size_t>(order[0])])
+                       : StrFormat("Intermediate_%zu", step)) +
+            label_key;
+        ShuffleResult sr = HashShuffle(
+            acc, ColumnIndices(acc[0].schema(), shared), W, opts.salt, label);
+        ctx.BookShuffle(sr.metrics, t.Seconds());
+        left = std::move(sr.data);
+      }
+      {
+        Timer t;
+        ShuffleResult sr = HashShuffle(
+            base[static_cast<size_t>(order[step])],
+            ColumnIndices(atom.relation.schema(), shared), W, opts.salt,
+            AtomLabel(atom) + label_key);
+        ctx.BookShuffle(sr.metrics, t.Seconds());
+        right = std::move(sr.data);
+      }
+    }
+
+    // A Tributary round must sort its intermediate input in memory; the
+    // pipelined hash join streams it. FAIL if the sort buffer won't fit.
+    if (join == JoinKind::kTributary && step >= 2) {
+      const size_t sort_budget = opts.sort_budget > 0
+                                     ? opts.sort_budget
+                                     : opts.intermediate_budget / 4;
+      const size_t to_sort = TotalTuples(left);
+      if (to_sort > sort_budget) {
+        ctx.Fail(StrFormat("Tributary sort buffer needs %zu tuples, memory "
+                           "budget is %zu (out of memory)",
+                           to_sort, sort_budget));
+        return std::move(ctx.result);
+      }
+    }
+
+    // Local binary join on every worker.
+    std::vector<Predicate> applicable;
+    {
+      // Determine the post-join schema to split predicates.
+      std::vector<std::string> joined_vars = left[0].schema().names();
+      for (const std::string& v : right[0].schema().names()) {
+        if (std::find(joined_vars.begin(), joined_vars.end(), v) ==
+            joined_vars.end()) {
+          joined_vars.push_back(v);
+        }
+      }
+      std::vector<Predicate> rest;
+      SplitApplicablePredicates(pending, Schema(joined_vars), &applicable,
+                                &rest);
+      pending = rest;
+    }
+
+    DistributedRelation joined(static_cast<size_t>(W));
+    std::vector<double> elapsed(static_cast<size_t>(W), 0.0);
+    std::vector<double> sort_s(static_cast<size_t>(W), 0.0);
+    std::vector<double> join_s(static_cast<size_t>(W), 0.0);
+    size_t round_output = 0;
+    bool failed = false;
+    for (int w = 0; w < W && !failed; ++w) {
+      const size_t wi = static_cast<size_t>(w);
+      Timer t;
+      if (join == JoinKind::kHashJoin) {
+        Timer jt;
+        Relation r = SymmetricHashJoinLocal(left[wi], right[wi],
+                                            StrFormat("int_%zu", step));
+        r = FilterByPredicates(r, applicable);
+        join_s[wi] = jt.Seconds();
+        joined[wi] = std::move(r);
+      } else {
+        // Binary Tributary join == sort-merge join (Sec. 3 "for
+        // completeness"): shared variables first in the order.
+        std::vector<std::string> var_order = shared;
+        for (const std::string& v : left[0].schema().names()) {
+          if (std::find(var_order.begin(), var_order.end(), v) ==
+              var_order.end()) {
+            var_order.push_back(v);
+          }
+        }
+        for (const std::string& v : right[0].schema().names()) {
+          if (std::find(var_order.begin(), var_order.end(), v) ==
+              var_order.end()) {
+            var_order.push_back(v);
+          }
+        }
+        TJOptions tj_opts;
+        tj_opts.max_output_rows = opts.intermediate_budget;
+        TJMetrics tj_metrics;
+        std::vector<const Relation*> inputs = {&left[wi], &right[wi]};
+        Result<Relation> r = TributaryJoin(inputs, var_order, applicable,
+                                           tj_opts, &tj_metrics);
+        sort_s[wi] = tj_metrics.sort_seconds;
+        join_s[wi] = tj_metrics.join_seconds;
+        if (!r.ok()) {
+          if (r.status().code() == StatusCode::kResourceExhausted) {
+            ctx.Fail(r.status().message());
+            failed = true;
+          } else {
+            return r.status();
+          }
+        } else {
+          joined[wi] = std::move(r).value();
+          joined[wi].set_name(StrFormat("int_%zu", step));
+        }
+      }
+      elapsed[wi] = t.Seconds();
+      round_output += joined[wi].NumTuples();
+      if (round_output > opts.intermediate_budget) {
+        ctx.Fail(StrFormat("round %zu intermediate exceeded budget of %zu "
+                           "tuples",
+                           step, opts.intermediate_budget));
+        failed = true;
+      }
+    }
+    ctx.BookStage(StrFormat("join_%zu", step), elapsed, sort_s, join_s,
+                  round_output);
+    if (failed) return std::move(ctx.result);
+    if (step + 1 < order.size()) ctx.TrackIntermediate(round_output);
+    acc = std::move(joined);
+  }
+
+  if (!pending.empty()) {
+    for (Relation& frag : acc) frag = FilterByPredicates(frag, pending);
+  }
+  FinishOutput(&ctx, std::move(acc));
+  return std::move(ctx.result);
+}
+
+// ---------------------------------------------------------------------------
+// Local one-round phase shared by broadcast and HyperCube plans.
+// ---------------------------------------------------------------------------
+Status RunLocalPhase(Ctx* ctx, JoinKind join,
+                     const std::vector<DistributedRelation>& shuffled) {
+  const NormalizedQuery& q = *ctx->q;
+  const StrategyOptions& opts = *ctx->opts;
+  const int W = ctx->W;
+
+  DistributedRelation out(static_cast<size_t>(W));
+  std::vector<double> elapsed(static_cast<size_t>(W), 0.0);
+  std::vector<double> sort_s(static_cast<size_t>(W), 0.0);
+  std::vector<double> join_s(static_cast<size_t>(W), 0.0);
+  size_t total_output = 0;
+  PipelineStats pipeline_stats;
+  bool failed = false;
+
+  std::vector<int> join_order;
+  std::vector<std::string> var_order;
+  if (join == JoinKind::kHashJoin) {
+    join_order = PickJoinOrder(q, opts);
+    ctx->result.join_order_used = join_order;
+  } else {
+    var_order = PickVarOrder(q, opts);
+    ctx->result.var_order_used = var_order;
+  }
+
+  for (int w = 0; w < W && !failed; ++w) {
+    const size_t wi = static_cast<size_t>(w);
+    std::vector<const Relation*> inputs;
+    inputs.reserve(q.atoms.size());
+    for (const DistributedRelation& dist : shuffled) {
+      inputs.push_back(&dist[wi]);
+    }
+    Timer t;
+    if (join == JoinKind::kHashJoin) {
+      PipelineStats stats;
+      Timer jt;
+      Result<Relation> r =
+          LeftDeepJoinLocal(inputs, join_order, q.predicates,
+                            opts.intermediate_budget, &stats);
+      join_s[wi] = jt.Seconds();
+      pipeline_stats.Merge(stats);
+      ctx->TrackIntermediate(stats.max_intermediate);
+      if (!r.ok()) {
+        if (r.status().code() == StatusCode::kResourceExhausted) {
+          ctx->Fail(r.status().message());
+          failed = true;
+        } else {
+          return r.status();
+        }
+      } else {
+        out[wi] = std::move(r).value();
+      }
+    } else {
+      TJOptions tj_opts;
+      tj_opts.max_output_rows = opts.intermediate_budget;
+      TJMetrics tj_metrics;
+      Result<Relation> r =
+          TributaryJoin(inputs, var_order, q.predicates, tj_opts, &tj_metrics);
+      sort_s[wi] = tj_metrics.sort_seconds;
+      join_s[wi] = tj_metrics.join_seconds;
+      if (!r.ok()) {
+        if (r.status().code() == StatusCode::kResourceExhausted) {
+          ctx->Fail(r.status().message());
+          failed = true;
+        } else {
+          return r.status();
+        }
+      } else {
+        out[wi] = std::move(r).value();
+      }
+    }
+    elapsed[wi] = t.Seconds();
+    total_output += out[wi].NumTuples();
+  }
+  ctx->BookStage(join == JoinKind::kHashJoin ? "local HJ pipeline"
+                                             : "local TJ",
+                 elapsed, sort_s, join_s, total_output);
+
+  // Per-join breakdown of the local pipeline (Table 5).
+  for (size_t i = 0; i < pipeline_stats.join_outputs.size(); ++i) {
+    StageMetrics stage;
+    stage.label = StrFormat("pipeline join %zu", i + 1);
+    stage.cpu_seconds = pipeline_stats.join_seconds[i];
+    stage.output_tuples = pipeline_stats.join_outputs[i];
+    // wall already accounted in the enclosing stage; report 0 to avoid
+    // double counting.
+    ctx->metrics().stages.push_back(stage);
+  }
+
+  if (failed) return Status::OK();
+  FinishOutput(ctx, std::move(out));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast: keep the largest relation partitioned, broadcast the others.
+// ---------------------------------------------------------------------------
+Result<StrategyResult> RunBroadcast(const NormalizedQuery& q, JoinKind join,
+                                    const StrategyOptions& opts) {
+  Ctx ctx;
+  ctx.q = &q;
+  ctx.opts = &opts;
+  ctx.W = opts.num_workers;
+  ctx.metrics().EnsureWorkers(static_cast<size_t>(ctx.W));
+  const int W = ctx.W;
+
+  size_t largest = 0;
+  for (size_t i = 1; i < q.atoms.size(); ++i) {
+    if (q.atoms[i].relation.NumTuples() >
+        q.atoms[largest].relation.NumTuples()) {
+      largest = i;
+    }
+  }
+
+  std::vector<DistributedRelation> shuffled(q.atoms.size());
+  for (size_t i = 0; i < q.atoms.size(); ++i) {
+    DistributedRelation base = PartitionRoundRobin(q.atoms[i].relation, W);
+    Timer t;
+    ShuffleResult sr =
+        i == largest
+            ? KeepInPlace(base, AtomLabel(q.atoms[i]) + " (in place)")
+            : BroadcastShuffle(base, W, "Broadcast " + AtomLabel(q.atoms[i]));
+    ctx.BookShuffle(sr.metrics, t.Seconds());
+    shuffled[i] = std::move(sr.data);
+  }
+
+  PTP_RETURN_IF_ERROR(RunLocalPhase(&ctx, join, shuffled));
+  return std::move(ctx.result);
+}
+
+// ---------------------------------------------------------------------------
+// HyperCube: single-round shuffle into an Algorithm-1 configuration.
+// ---------------------------------------------------------------------------
+Result<StrategyResult> RunHypercube(const NormalizedQuery& q, JoinKind join,
+                                    const StrategyOptions& opts) {
+  Ctx ctx;
+  ctx.q = &q;
+  ctx.opts = &opts;
+  ctx.W = opts.num_workers;
+  ctx.metrics().EnsureWorkers(static_cast<size_t>(ctx.W));
+  const int W = ctx.W;
+
+  ShareProblem problem = MakeShareProblem(q);
+  ConfigChoice choice;
+  if (opts.hc_round_down) {
+    PTP_ASSIGN_OR_RETURN(choice, RoundDownShares(problem, W));
+  } else {
+    choice = OptimizeShares(problem, W, opts.hc_options);
+  }
+  choice.config.salt = opts.salt;
+  ctx.result.hc_config = choice.config;
+  const std::vector<int> cell_map = IdentityCellMap(choice.config);
+
+  std::vector<DistributedRelation> shuffled(q.atoms.size());
+  for (size_t i = 0; i < q.atoms.size(); ++i) {
+    DistributedRelation base = PartitionRoundRobin(q.atoms[i].relation, W);
+    Timer t;
+    ShuffleResult sr =
+        HypercubeShuffle(base, q.atoms[i].variables, choice.config, cell_map,
+                         W, "HCS " + AtomLabel(q.atoms[i]));
+    ctx.BookShuffle(sr.metrics, t.Seconds());
+    shuffled[i] = std::move(sr.data);
+  }
+
+  PTP_RETURN_IF_ERROR(RunLocalPhase(&ctx, join, shuffled));
+  return std::move(ctx.result);
+}
+
+}  // namespace
+
+const char* StrategyName(ShuffleKind shuffle, JoinKind join) {
+  switch (shuffle) {
+    case ShuffleKind::kRegular:
+      return join == JoinKind::kHashJoin ? "RS_HJ" : "RS_TJ";
+    case ShuffleKind::kBroadcast:
+      return join == JoinKind::kHashJoin ? "BR_HJ" : "BR_TJ";
+    case ShuffleKind::kHypercube:
+      return join == JoinKind::kHashJoin ? "HC_HJ" : "HC_TJ";
+  }
+  return "?";
+}
+
+Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
+                                   ShuffleKind shuffle, JoinKind join,
+                                   const StrategyOptions& options) {
+  if (query.atoms.empty()) {
+    return Status::InvalidArgument("query has no atoms");
+  }
+  if (options.num_workers < 1) {
+    return Status::InvalidArgument("need at least one worker");
+  }
+  if (query.atoms.size() == 1) {
+    // Single-atom query: no join; evaluate locally.
+    Ctx ctx;
+    ctx.q = &query;
+    ctx.opts = &options;
+    ctx.W = options.num_workers;
+    ctx.metrics().EnsureWorkers(static_cast<size_t>(ctx.W));
+    DistributedRelation frags =
+        PartitionRoundRobin(query.atoms[0].relation, ctx.W);
+    for (Relation& frag : frags) {
+      frag = FilterByPredicates(frag, query.predicates);
+    }
+    FinishOutput(&ctx, std::move(frags));
+    return std::move(ctx.result);
+  }
+  switch (shuffle) {
+    case ShuffleKind::kRegular:
+      return RunRegular(query, join, options);
+    case ShuffleKind::kBroadcast:
+      return RunBroadcast(query, join, options);
+    case ShuffleKind::kHypercube:
+      return RunHypercube(query, join, options);
+  }
+  return Status::InvalidArgument("unknown shuffle kind");
+}
+
+std::vector<std::pair<ShuffleKind, JoinKind>> AllStrategies() {
+  return {
+      {ShuffleKind::kRegular, JoinKind::kHashJoin},
+      {ShuffleKind::kRegular, JoinKind::kTributary},
+      {ShuffleKind::kBroadcast, JoinKind::kHashJoin},
+      {ShuffleKind::kBroadcast, JoinKind::kTributary},
+      {ShuffleKind::kHypercube, JoinKind::kHashJoin},
+      {ShuffleKind::kHypercube, JoinKind::kTributary},
+  };
+}
+
+std::vector<StrategyResult> RunAllStrategies(const NormalizedQuery& query,
+                                             const StrategyOptions& options) {
+  std::vector<StrategyResult> results;
+  for (const auto& [shuffle, join] : AllStrategies()) {
+    Result<StrategyResult> r = RunStrategy(query, shuffle, join, options);
+    PTP_CHECK(r.ok()) << "strategy " << StrategyName(shuffle, join)
+                      << " failed: " << r.status().ToString();
+    results.push_back(std::move(r).value());
+  }
+  return results;
+}
+
+}  // namespace ptp

@@ -1,0 +1,104 @@
+#ifndef PTP_PLAN_STRATEGIES_H_
+#define PTP_PLAN_STRATEGIES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/cluster.h"
+#include "exec/metrics.h"
+#include "hypercube/optimizer.h"
+#include "query/query.h"
+
+namespace ptp {
+
+/// The three shuffle algorithms compared in Sec. 3.
+enum class ShuffleKind {
+  kRegular,    // per-join hash repartitioning (RS)
+  kBroadcast,  // largest relation stays, others broadcast (BR)
+  kHypercube,  // single-round HyperCube shuffle (HC)
+};
+
+/// The two local join algorithms compared in Sec. 3.
+enum class JoinKind {
+  kHashJoin,   // (left-deep tree of) hash joins (HJ)
+  kTributary,  // Tributary join (TJ)
+};
+
+/// "RS_HJ", "HC_TJ", ...
+const char* StrategyName(ShuffleKind shuffle, JoinKind join);
+
+struct StrategyOptions {
+  int num_workers = 16;
+  uint64_t salt = 0x9e1f;
+
+  /// FAIL the plan once any intermediate result (total across workers for
+  /// shuffled rounds; per worker for local pipelines) exceeds this many
+  /// tuples — models the paper's out-of-memory failures.
+  size_t intermediate_budget = 20'000'000;
+
+  /// Stricter budget for *intermediate* relations a Tributary join must
+  /// sort: sorting requires the whole input materialized in memory, whereas
+  /// the pipelined hash join streams it (this asymmetry is why RS_TJ FAILs
+  /// on Q4/Q5 in the paper while RS_HJ completes). Base relations are
+  /// exempt. 0 means intermediate_budget / 4.
+  size_t sort_budget = 0;
+
+  /// Explicit left-deep join order (indices into query atoms); empty =
+  /// greedy optimizer.
+  std::vector<int> join_order;
+
+  /// Explicit Tributary-join variable order; empty = Sec. 5 cost-model
+  /// optimizer.
+  std::vector<std::string> var_order;
+
+  /// Algorithm 1 options for the HyperCube configuration.
+  OptimizerOptions hc_options;
+
+  /// If true, use the naive round-down share configuration instead of
+  /// Algorithm 1 (ablation).
+  bool hc_round_down = false;
+
+  /// Regular-shuffle rounds detect heavy hitters and treat them specially
+  /// (paper footnote 2): heavy keys on the left side spread round-robin,
+  /// matching right tuples broadcast. Costs extra replication, bounds skew.
+  bool rs_skew_aware = false;
+  /// A key is heavy when its left-side frequency exceeds this multiple of
+  /// the average per-worker load.
+  double skew_threshold = 2.0;
+};
+
+/// Outcome of executing one (shuffle, join) configuration.
+struct StrategyResult {
+  /// Final result, gathered and projected to the head variables (set
+  /// semantics when the head projects). Empty when metrics.failed.
+  Relation output;
+  QueryMetrics metrics;
+
+  /// Populated for HyperCube runs.
+  HypercubeConfig hc_config;
+  /// TJ variable order actually used (TJ runs).
+  std::vector<std::string> var_order_used;
+  /// Left-deep join order actually used (HJ runs and RS rounds).
+  std::vector<int> join_order_used;
+};
+
+/// Executes `query` on the simulated cluster with the given shuffle/join
+/// configuration. Budget exhaustion is reported as success with
+/// metrics.failed = true (a FAIL data point, as in Figure 9); a non-OK
+/// Status indicates an invalid query/plan instead.
+Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
+                                   ShuffleKind shuffle, JoinKind join,
+                                   const StrategyOptions& options);
+
+/// Runs all six configurations (RS/BR/HC x HJ/TJ) and returns the results
+/// in the paper's column order: RS_HJ, RS_TJ, BR_HJ, BR_TJ, HC_HJ, HC_TJ.
+std::vector<StrategyResult> RunAllStrategies(const NormalizedQuery& query,
+                                             const StrategyOptions& options);
+
+/// Order of the six configurations as reported in the figures.
+std::vector<std::pair<ShuffleKind, JoinKind>> AllStrategies();
+
+}  // namespace ptp
+
+#endif  // PTP_PLAN_STRATEGIES_H_

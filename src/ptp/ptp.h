@@ -1,0 +1,57 @@
+#ifndef PTP_PTP_H_
+#define PTP_PTP_H_
+
+/// Umbrella header for the ptpjoin library — a reproduction of
+/// "From Theory to Practice: Efficient Join Query Evaluation in a Parallel
+/// Database System" (Chu, Balazinska, Suciu; SIGMOD 2015).
+///
+/// Typical flow:
+///   1. Build a Catalog of relations (or generate one with ptp::data).
+///   2. Parse a Datalog rule with ParseDatalog() and Normalize() it.
+///   3. Execute with RunStrategy() — pick a ShuffleKind (regular /
+///      broadcast / HyperCube) and JoinKind (hash join / Tributary join) —
+///      and inspect the returned QueryMetrics.
+/// Or use the pieces directly: TributaryJoin() as a standalone worst-case
+/// optimal join, OptimizeShares() for HyperCube configurations,
+/// OptimizeVariableOrder() for attribute orders.
+
+#include "bench_util/report.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "data/freebase_gen.h"
+#include "data/graph_gen.h"
+#include "data/workloads.h"
+#include "exec/cluster.h"
+#include "exec/local_ops.h"
+#include "exec/metrics.h"
+#include "exec/pipeline.h"
+#include "exec/shuffle.h"
+#include "hypercube/cell_allocation.h"
+#include "hypercube/config.h"
+#include "hypercube/optimizer.h"
+#include "lp/shares_lp.h"
+#include "lp/simplex.h"
+#include "plan/advisor.h"
+#include "plan/semijoin_plan.h"
+#include "plan/strategies.h"
+#include "query/hypergraph.h"
+#include "query/parser.h"
+#include "query/planner.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+#include "storage/csv.h"
+#include "storage/relation.h"
+#include "storage/stats.h"
+#include "tj/btree.h"
+#include "tj/btree_trie.h"
+#include "tj/cost_model.h"
+#include "tj/leapfrog.h"
+#include "tj/trie_iterator.h"
+#include "tj/order_optimizer.h"
+#include "tj/tributary_join.h"
+
+#endif  // PTP_PTP_H_

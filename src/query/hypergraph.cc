@@ -1,0 +1,169 @@
+#include "query/hypergraph.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace ptp {
+namespace {
+
+// One pass of the GYO reduction over mutable edge sets. Returns parents:
+// parent[i] = j if edge i was removed as a subset of (remaining) edge j,
+// parent[i] = -1 if still alive or removed as the last edge. Outputs the
+// removal order and whether the reduction succeeded (acyclic).
+struct GyoResult {
+  bool acyclic = false;
+  std::vector<int> parent;
+  std::vector<int> removal_order;  // indices of removed edges, in order
+  int last_alive = -1;
+};
+
+GyoResult RunGyo(std::vector<std::set<int>> edges) {
+  const size_t n = edges.size();
+  GyoResult result;
+  result.parent.assign(n, -1);
+  std::vector<bool> alive(n, true);
+  size_t alive_count = n;
+
+  auto vertex_occurrences = [&](int v) {
+    int count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (alive[i] && edges[i].count(v)) ++count;
+    }
+    return count;
+  };
+
+  bool progress = true;
+  while (progress && alive_count > 1) {
+    progress = false;
+    // Rule 1: drop vertices occurring in exactly one edge.
+    for (size_t i = 0; i < n; ++i) {
+      if (!alive[i]) continue;
+      std::vector<int> to_drop;
+      for (int v : edges[i]) {
+        if (vertex_occurrences(v) == 1) to_drop.push_back(v);
+      }
+      for (int v : to_drop) {
+        edges[i].erase(v);
+        progress = true;
+      }
+    }
+    // Rule 2: remove an edge contained in another alive edge.
+    for (size_t i = 0; i < n && alive_count > 1; ++i) {
+      if (!alive[i]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (i == j || !alive[j]) continue;
+        if (std::includes(edges[j].begin(), edges[j].end(), edges[i].begin(),
+                          edges[i].end())) {
+          alive[i] = false;
+          --alive_count;
+          result.parent[i] = static_cast<int>(j);
+          result.removal_order.push_back(static_cast<int>(i));
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  result.acyclic = (alive_count <= 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (alive[i]) {
+      result.last_alive = static_cast<int>(i);
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<std::set<int>> EdgesAsSets(const Hypergraph& hg) {
+  std::vector<std::set<int>> edges(hg.NumEdges());
+  for (size_t i = 0; i < hg.NumEdges(); ++i) {
+    edges[i] = std::set<int>(hg.edge(i).begin(), hg.edge(i).end());
+  }
+  return edges;
+}
+
+}  // namespace
+
+Hypergraph::Hypergraph(const ConjunctiveQuery& query) {
+  vertices_ = query.variables();
+  for (const Atom& atom : query.atoms()) {
+    std::vector<int> edge;
+    for (const std::string& var : atom.Variables()) {
+      edge.push_back(query.VariableIndex(var));
+    }
+    edges_.push_back(std::move(edge));
+  }
+}
+
+Hypergraph::Hypergraph(std::vector<std::vector<std::string>> edges) {
+  for (const auto& edge_vars : edges) {
+    std::vector<int> edge;
+    for (const std::string& var : edge_vars) {
+      auto it = std::find(vertices_.begin(), vertices_.end(), var);
+      int idx;
+      if (it == vertices_.end()) {
+        idx = static_cast<int>(vertices_.size());
+        vertices_.push_back(var);
+      } else {
+        idx = static_cast<int>(it - vertices_.begin());
+      }
+      if (std::find(edge.begin(), edge.end(), idx) == edge.end()) {
+        edge.push_back(idx);
+      }
+    }
+    edges_.push_back(std::move(edge));
+  }
+}
+
+bool Hypergraph::IsAcyclic() const {
+  if (edges_.empty()) return true;
+  return RunGyo(EdgesAsSets(*this)).acyclic;
+}
+
+std::string Hypergraph::ToString() const {
+  std::ostringstream os;
+  os << "Hypergraph{";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{";
+    for (size_t k = 0; k < edges_[i].size(); ++k) {
+      if (k > 0) os << ",";
+      os << vertices_[static_cast<size_t>(edges_[i][k])];
+    }
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& query) {
+  Hypergraph hg(query);
+  if (hg.NumEdges() == 0) {
+    return Status::InvalidArgument("query has no atoms");
+  }
+  GyoResult gyo = RunGyo(EdgesAsSets(hg));
+  if (!gyo.acyclic) {
+    return Status::InvalidArgument(
+        "query is cyclic; no join tree exists (only acyclic queries admit "
+        "full semijoin reductions)");
+  }
+  JoinTree tree;
+  tree.parent = gyo.parent;
+  tree.root = gyo.last_alive;
+  tree.children.resize(hg.NumEdges());
+  for (size_t i = 0; i < tree.parent.size(); ++i) {
+    if (tree.parent[i] >= 0) {
+      tree.children[static_cast<size_t>(tree.parent[i])].push_back(
+          static_cast<int>(i));
+    }
+  }
+  // Edges were removed leaves-first, so the removal order is already
+  // bottom-up; append the root last.
+  tree.bottom_up_order = gyo.removal_order;
+  tree.bottom_up_order.push_back(tree.root);
+  return tree;
+}
+
+}  // namespace ptp

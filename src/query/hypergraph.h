@@ -1,0 +1,58 @@
+#ifndef PTP_QUERY_HYPERGRAPH_H_
+#define PTP_QUERY_HYPERGRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace ptp {
+
+/// The query hypergraph: one vertex per variable, one (hyper)edge per atom.
+/// Used for the acyclicity test (GYO ear reduction), join-tree construction
+/// for the semijoin plan (Sec. 3.6), and as the input of the share LP.
+class Hypergraph {
+ public:
+  /// Builds the hypergraph of `query` (edge i = variables of atom i).
+  explicit Hypergraph(const ConjunctiveQuery& query);
+
+  /// Builds from explicit edges (each a set of variable names).
+  explicit Hypergraph(std::vector<std::vector<std::string>> edges);
+
+  size_t NumEdges() const { return edges_.size(); }
+  size_t NumVertices() const { return vertices_.size(); }
+  const std::vector<std::string>& vertices() const { return vertices_; }
+  /// Edge i as indices into vertices().
+  const std::vector<int>& edge(size_t i) const { return edges_[i]; }
+
+  /// GYO (Graham/Yu–Özsoyoğlu) reduction: the query is alpha-acyclic iff the
+  /// reduction eliminates all edges.
+  bool IsAcyclic() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> vertices_;
+  std::vector<std::vector<int>> edges_;
+};
+
+/// A join tree over the atoms of an acyclic query: parent[i] is the index of
+/// atom i's parent, or -1 for the root. The semijoin reduction walks this
+/// tree bottom-up then top-down (Yannakakis).
+struct JoinTree {
+  int root = -1;
+  std::vector<int> parent;
+  /// children[i] lists atom i's children.
+  std::vector<std::vector<int>> children;
+  /// Atom indices in a bottom-up order (every node appears after all its
+  /// children... i.e. leaves first, root last).
+  std::vector<int> bottom_up_order;
+};
+
+/// Builds a join tree for an acyclic query via GYO reduction.
+/// Returns InvalidArgument if the query is cyclic.
+Result<JoinTree> BuildJoinTree(const ConjunctiveQuery& query);
+
+}  // namespace ptp
+
+#endif  // PTP_QUERY_HYPERGRAPH_H_

@@ -1,0 +1,183 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace ptp {
+namespace {
+
+/// Hand-rolled recursive-descent tokenizer/parser. The grammar is tiny, so a
+/// cursor over the input with ad-hoc token functions keeps this dependency-
+/// free and easy to audit.
+class Parser {
+ public:
+  Parser(std::string_view text, Dictionary* dict)
+      : text_(text), dict_(dict) {}
+
+  Result<ConjunctiveQuery> Parse() {
+    PTP_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+    for (const Term& t : head.terms) {
+      if (!t.is_variable()) {
+        return Err("head terms must be variables");
+      }
+    }
+    SkipSpace();
+    if (!Consume(":-")) return Err("expected ':-' after head");
+
+    std::vector<Atom> atoms;
+    std::vector<Predicate> predicates;
+    while (true) {
+      SkipSpace();
+      // Lookahead: atom if ident followed by '(' — otherwise comparison.
+      size_t save = pos_;
+      PTP_ASSIGN_OR_RETURN(Term first, ParseTerm());
+      SkipSpace();
+      if (first.is_variable() && Peek() == '(') {
+        pos_ = save;
+        PTP_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+        atoms.push_back(std::move(atom));
+      } else {
+        PTP_ASSIGN_OR_RETURN(CmpOp op, ParseCmpOp());
+        PTP_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+        predicates.push_back(Predicate{first, op, rhs});
+      }
+      SkipSpace();
+      if (Consume(",")) continue;
+      if (ConsumeWord("AND") || ConsumeWord("and")) continue;
+      break;
+    }
+    SkipSpace();
+    Consume(".");
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Err("unexpected trailing input");
+    }
+
+    std::vector<std::string> head_vars;
+    for (const Term& t : head.terms) head_vars.push_back(t.var);
+    return ConjunctiveQuery(head.relation, std::move(head_vars),
+                            std::move(atoms), std::move(predicates));
+  }
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::InvalidArgument(
+        StrFormat("parse error at offset %zu: %s", pos_, msg.c_str()));
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_).starts_with(token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (!text_.substr(pos_).starts_with(word)) return false;
+    size_t end = pos_ + word.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  Result<std::string> ParseIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Term> ParseTerm() {
+    SkipSpace();
+    char c = Peek();
+    if (c == '"') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ == text_.size()) return Err("unterminated string literal");
+      std::string literal(text_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+      if (dict_ == nullptr) return Err("string literal but no dictionary");
+      return Term::Const(dict_->Intern(literal));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == start || (c == '-' && pos_ == start + 1)) {
+        return Err("malformed integer literal");
+      }
+      return Term::Const(static_cast<Value>(
+          std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr, 10)));
+    }
+    PTP_ASSIGN_OR_RETURN(std::string ident, ParseIdent());
+    return Term::Var(std::move(ident));
+  }
+
+  Result<Atom> ParseAtom() {
+    PTP_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+    if (!Consume("(")) return Err("expected '(' after relation name");
+    Atom atom;
+    atom.relation = std::move(name);
+    while (true) {
+      PTP_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      atom.terms.push_back(std::move(term));
+      if (Consume(",")) continue;
+      if (Consume(")")) break;
+      return Err("expected ',' or ')' in term list");
+    }
+    return atom;
+  }
+
+  Result<CmpOp> ParseCmpOp() {
+    SkipSpace();
+    if (Consume("<=")) return CmpOp::kLe;
+    if (Consume(">=")) return CmpOp::kGe;
+    if (Consume("!=")) return CmpOp::kNe;
+    if (Consume("==")) return CmpOp::kEq;
+    if (Consume("<")) return CmpOp::kLt;
+    if (Consume(">")) return CmpOp::kGt;
+    if (Consume("=")) return CmpOp::kEq;
+    return Err("expected comparison operator");
+  }
+
+  std::string_view text_;
+  Dictionary* dict_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseDatalog(std::string_view text,
+                                      Dictionary* dict) {
+  return Parser(text, dict).Parse();
+}
+
+}  // namespace ptp

@@ -1,0 +1,37 @@
+#ifndef PTP_QUERY_PARSER_H_
+#define PTP_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/dictionary.h"
+
+namespace ptp {
+
+/// Parses one Datalog rule in the paper's notation, e.g.
+///
+///   Twitter(x,y,z) :- Twitter_R(x,y), Twitter_S(y,z), Twitter_T(z,x).
+///   CastMember(cast) :- ObjectName(a1, "Joe Pesci"), ActorPerform(a1, p1).
+///   ActorPairs(a1,a2) :- ..., f1 > f2.
+///
+/// Grammar (whitespace-insensitive; trailing '.' optional):
+///   rule      := head ":-" body
+///   head      := ident "(" termlist ")"
+///   body      := bodyitem ("," bodyitem)*   -- "AND" also accepted
+///   bodyitem  := atom | comparison
+///   atom      := ident "(" termlist ")"
+///   termlist  := term ("," term)*
+///   term      := ident | integer | string-literal
+///   comparison:= term cmpop term,  cmpop in { < <= > >= = == != }
+///
+/// Identifiers starting with a lowercase letter are variables; identifiers
+/// starting with an uppercase letter name relations (head/atoms). String
+/// literals are interned into `dict`.
+Result<ConjunctiveQuery> ParseDatalog(std::string_view text,
+                                      Dictionary* dict);
+
+}  // namespace ptp
+
+#endif  // PTP_QUERY_PARSER_H_

@@ -1,0 +1,34 @@
+#ifndef PTP_QUERY_PLANNER_H_
+#define PTP_QUERY_PLANNER_H_
+
+#include <vector>
+
+#include "query/query.h"
+
+namespace ptp {
+
+/// Cardinality estimate for the join of two relations with known sizes and
+/// per-variable distinct counts: |L ⋈ R| ≈ |L|·|R| / Π_shared max(V(L,v),
+/// V(R,v)) — the classic System-R independence assumption.
+double EstimateJoinSize(double left_card,
+                        const std::vector<double>& left_distinct,
+                        double right_card,
+                        const std::vector<double>& right_distinct);
+
+/// Chooses a left-deep join order over the normalized atoms: start from the
+/// atom with the smallest cardinality that participates in a join, then
+/// greedily append the connected atom minimizing the estimated intermediate
+/// size. Returns atom indices in join order.
+///
+/// This stands in for the "state of the art optimizer" the paper assumes for
+/// its regular-shuffle plans (App. A, Q6 discussion).
+std::vector<int> GreedyLeftDeepOrder(const NormalizedQuery& query);
+
+/// Estimated intermediate cardinalities along a given left-deep order:
+/// result[i] = estimated size after joining the first i+1 atoms.
+std::vector<double> EstimateLeftDeepSizes(const NormalizedQuery& query,
+                                          const std::vector<int>& order);
+
+}  // namespace ptp
+
+#endif  // PTP_QUERY_PLANNER_H_

@@ -1,0 +1,31 @@
+#include "storage/catalog.h"
+
+namespace ptp {
+
+void Catalog::Put(Relation rel) {
+  std::string name = rel.name();
+  relations_.insert_or_assign(std::move(name), std::move(rel));
+}
+
+Result<const Relation*> Catalog::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+size_t Catalog::TotalTuples() const {
+  size_t total = 0;
+  for (const auto& [name, rel] : relations_) total += rel.NumTuples();
+  return total;
+}
+
+}  // namespace ptp

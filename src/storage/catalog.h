@@ -1,0 +1,47 @@
+#ifndef PTP_STORAGE_CATALOG_H_
+#define PTP_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/relation.h"
+
+namespace ptp {
+
+/// A named collection of base relations plus the shared string dictionary.
+/// This plays the role of the "database" a query is evaluated against; the
+/// simulated cluster partitions a Catalog's relations across workers.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Registers `rel` under rel.name(); replaces any existing entry.
+  void Put(Relation rel);
+
+  /// Looks up a relation by name.
+  Result<const Relation*> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  /// Names of all registered relations, sorted.
+  std::vector<std::string> Names() const;
+
+  Dictionary& dictionary() { return dictionary_; }
+  const Dictionary& dictionary() const { return dictionary_; }
+
+  /// Sum of NumTuples over all relations.
+  size_t TotalTuples() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+  Dictionary dictionary_;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_STORAGE_CATALOG_H_

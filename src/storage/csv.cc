@@ -1,0 +1,91 @@
+#include "storage/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/str_util.h"
+
+namespace ptp {
+namespace {
+
+bool ParseInt(std::string_view field, Value* out) {
+  if (field.empty()) return false;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+Result<Relation> ReadCsv(std::istream& in, const std::string& name,
+                         const Schema& schema, Dictionary* dict,
+                         const CsvOptions& options) {
+  Relation rel(name, schema);
+  std::string line;
+  size_t line_no = 0;
+  bool header_pending = options.skip_header;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields =
+        SplitAndTrim(trimmed, options.delimiter);
+    if (header_pending) {
+      header_pending = false;
+      continue;
+    }
+    if (fields.size() != schema.arity()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu: expected %zu fields, got %zu", line_no,
+                    schema.arity(), fields.size()));
+    }
+    Tuple tuple;
+    tuple.reserve(fields.size());
+    for (const std::string& field : fields) {
+      Value v;
+      if (ParseInt(field, &v)) {
+        tuple.push_back(v);
+      } else if (dict != nullptr) {
+        tuple.push_back(dict->Intern(field));
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("line %zu: non-integer field '%s' and no dictionary",
+                      line_no, field.c_str()));
+      }
+    }
+    rel.AddTuple(tuple);
+  }
+  return rel;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path, const std::string& name,
+                             const Schema& schema, Dictionary* dict,
+                             const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return ReadCsv(in, name, schema, dict, options);
+}
+
+Status WriteCsv(std::ostream& out, const Relation& rel,
+                const CsvOptions& options) {
+  for (size_t row = 0; row < rel.NumTuples(); ++row) {
+    for (size_t col = 0; col < rel.arity(); ++col) {
+      if (col > 0) out << options.delimiter;
+      out << rel.At(row, col);
+    }
+    out << '\n';
+  }
+  if (!out.good()) {
+    return Status::Internal("stream error while writing CSV");
+  }
+  return Status::OK();
+}
+
+}  // namespace ptp

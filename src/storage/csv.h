@@ -1,0 +1,45 @@
+#ifndef PTP_STORAGE_CSV_H_
+#define PTP_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "storage/dictionary.h"
+#include "storage/relation.h"
+
+namespace ptp {
+
+/// CSV/TSV import-export for relations, so users can run the engine over
+/// real edge lists (e.g. an actual Twitter follower snapshot) instead of the
+/// synthetic generators.
+///
+/// Format: one tuple per line, fields separated by `delimiter`. A field
+/// that parses as an integer becomes its value; anything else is interned
+/// through `dict` (which must then be non-null). A first line matching the
+/// expected column count but containing non-integer fields is treated as a
+/// header only when `skip_header` is set.
+struct CsvOptions {
+  char delimiter = ',';
+  bool skip_header = false;
+};
+
+/// Reads a relation named `name` with `schema` from `in`.
+Result<Relation> ReadCsv(std::istream& in, const std::string& name,
+                         const Schema& schema, Dictionary* dict,
+                         const CsvOptions& options = {});
+
+/// Convenience: reads from a file path.
+Result<Relation> ReadCsvFile(const std::string& path, const std::string& name,
+                             const Schema& schema, Dictionary* dict,
+                             const CsvOptions& options = {});
+
+/// Writes `rel` to `out`, one tuple per line, values as integers (dictionary
+/// decoding is the caller's choice — ids round-trip through ReadCsv only if
+/// re-read against the same dictionary).
+Status WriteCsv(std::ostream& out, const Relation& rel,
+                const CsvOptions& options = {});
+
+}  // namespace ptp
+
+#endif  // PTP_STORAGE_CSV_H_

@@ -1,0 +1,27 @@
+#include "storage/dictionary.h"
+
+#include "common/logging.h"
+
+namespace ptp {
+
+Value Dictionary::Intern(const std::string& s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  Value id = static_cast<Value>(strings_.size());
+  ids_.emplace(s, id);
+  strings_.push_back(s);
+  return id;
+}
+
+Value Dictionary::Lookup(const std::string& s) const {
+  auto it = ids_.find(s);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::String(Value id) const {
+  PTP_CHECK_GE(id, 0);
+  PTP_CHECK_LT(static_cast<size_t>(id), strings_.size());
+  return strings_[static_cast<size_t>(id)];
+}
+
+}  // namespace ptp

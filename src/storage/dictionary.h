@@ -1,0 +1,37 @@
+#ifndef PTP_STORAGE_DICTIONARY_H_
+#define PTP_STORAGE_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace ptp {
+
+/// Bidirectional string<->int64 dictionary used to encode string constants
+/// (entity names such as "Joe Pesci") into Values. Ids are dense and assigned
+/// in insertion order, so generated datasets are deterministic.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `s`, inserting it if new.
+  Value Intern(const std::string& s);
+
+  /// Returns the id for `s`, or -1 if it was never interned.
+  Value Lookup(const std::string& s) const;
+
+  /// Returns the string for `id`; id must have been produced by Intern.
+  const std::string& String(Value id) const;
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, Value> ids_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_STORAGE_DICTIONARY_H_

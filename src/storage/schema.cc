@@ -1,0 +1,22 @@
+#include "storage/schema.h"
+
+#include "common/str_util.h"
+
+namespace ptp {
+
+Schema::Schema(std::vector<std::string> names) : names_(std::move(names)) {}
+
+Schema::Schema(std::initializer_list<std::string> names) : names_(names) {}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  return "(" + Join(names_, ", ") + ")";
+}
+
+}  // namespace ptp

@@ -1,0 +1,39 @@
+#ifndef PTP_STORAGE_SCHEMA_H_
+#define PTP_STORAGE_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptp {
+
+/// Ordered list of attribute names. All attributes are int64 (see value.h),
+/// so a schema is purely the naming/arity contract of a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> names);
+  Schema(std::initializer_list<std::string> names);
+
+  size_t arity() const { return names_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of attribute `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  /// True if both schemas list the same names in the same order.
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+  /// "(a, b, c)"
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_STORAGE_SCHEMA_H_

@@ -1,0 +1,97 @@
+#include "storage/sort.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <numeric>
+
+#include "common/logging.h"
+#include "storage/relation.h"
+
+namespace ptp {
+namespace {
+
+// Sorts rows of a statically known width by viewing the flat buffer as an
+// array of std::array rows — keeps std::sort's swap cheap for the common
+// binary/ternary relations.
+template <size_t kArity>
+void SortFixed(std::vector<Value>* data) {
+  using Row = std::array<Value, kArity>;
+  static_assert(sizeof(Row) == kArity * sizeof(Value));
+  Row* begin = reinterpret_cast<Row*>(data->data());
+  Row* end = begin + data->size() / kArity;
+  std::sort(begin, end);
+}
+
+void SortGeneric(std::vector<Value>* data, size_t arity) {
+  const size_t n = data->size() / arity;
+  std::vector<uint32_t> index(n);
+  std::iota(index.begin(), index.end(), 0);
+  const Value* base = data->data();
+  std::sort(index.begin(), index.end(), [base, arity](uint32_t a, uint32_t b) {
+    return CompareRows(base + a * arity, base + b * arity, arity) < 0;
+  });
+  std::vector<Value> out(data->size());
+  Value* dst = out.data();
+  for (uint32_t row : index) {
+    std::memcpy(dst, base + static_cast<size_t>(row) * arity,
+                arity * sizeof(Value));
+    dst += arity;
+  }
+  *data = std::move(out);
+}
+
+}  // namespace
+
+void SortRowsLex(std::vector<Value>* data, size_t arity) {
+  if (arity == 0 || data->empty()) return;
+  PTP_CHECK_EQ(data->size() % arity, 0u);
+  switch (arity) {
+    case 1:
+      std::sort(data->begin(), data->end());
+      return;
+    case 2:
+      SortFixed<2>(data);
+      return;
+    case 3:
+      SortFixed<3>(data);
+      return;
+    case 4:
+      SortFixed<4>(data);
+      return;
+    default:
+      SortGeneric(data, arity);
+  }
+}
+
+size_t LowerBoundRows(const std::vector<Value>& data, size_t arity, size_t lo,
+                      size_t hi, const Value* key, size_t prefix_len) {
+  PTP_DCHECK(prefix_len <= arity);
+  const Value* base = data.data();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (CompareRows(base + mid * arity, key, prefix_len) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t UpperBoundRows(const std::vector<Value>& data, size_t arity, size_t lo,
+                      size_t hi, const Value* key, size_t prefix_len) {
+  PTP_DCHECK(prefix_len <= arity);
+  const Value* base = data.data();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (CompareRows(base + mid * arity, key, prefix_len) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ptp

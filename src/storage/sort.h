@@ -1,0 +1,29 @@
+#ifndef PTP_STORAGE_SORT_H_
+#define PTP_STORAGE_SORT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace ptp {
+
+/// Sorts `data` — a flat row-major array of rows of width `arity` —
+/// lexicographically. This is the "sorting phase" of the Tributary join; it
+/// runs after reshuffling (preprocessing into B-trees is impossible there),
+/// so the implementation favors a cache-friendly single permutation pass.
+void SortRowsLex(std::vector<Value>* data, size_t arity);
+
+/// Number of rows in the half-open row range [lo, hi) of `data` whose first
+/// `prefix_len` columns are strictly less than `key` (lexicographically).
+/// This is the binary-search primitive behind TrieIterator::Seek.
+size_t LowerBoundRows(const std::vector<Value>& data, size_t arity, size_t lo,
+                      size_t hi, const Value* key, size_t prefix_len);
+
+/// Like LowerBoundRows but counts rows less-than-or-equal (upper bound).
+size_t UpperBoundRows(const std::vector<Value>& data, size_t arity, size_t lo,
+                      size_t hi, const Value* key, size_t prefix_len);
+
+}  // namespace ptp
+
+#endif  // PTP_STORAGE_SORT_H_

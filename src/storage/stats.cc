@@ -1,0 +1,72 @@
+#include "storage/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "storage/sort.h"
+
+namespace ptp {
+
+size_t CountDistinct(const Relation& rel, size_t col) {
+  PTP_CHECK_LT(col, rel.arity());
+  std::vector<Value> values;
+  values.reserve(rel.NumTuples());
+  for (size_t row = 0; row < rel.NumTuples(); ++row) {
+    values.push_back(rel.At(row, col));
+  }
+  std::sort(values.begin(), values.end());
+  return static_cast<size_t>(
+      std::unique(values.begin(), values.end()) - values.begin());
+}
+
+size_t CountDistinctPrefixes(const Relation& rel, size_t prefix_len) {
+  PTP_CHECK_LE(prefix_len, rel.arity());
+  if (prefix_len == 0) return rel.NumTuples() == 0 ? 0 : 1;
+  // Copy the prefix columns, sort, count uniques.
+  std::vector<Value> prefixes;
+  prefixes.reserve(rel.NumTuples() * prefix_len);
+  for (size_t row = 0; row < rel.NumTuples(); ++row) {
+    const Value* r = rel.Row(row);
+    prefixes.insert(prefixes.end(), r, r + prefix_len);
+  }
+  SortRowsLex(&prefixes, prefix_len);
+  size_t n = prefixes.size() / prefix_len;
+  size_t count = n > 0 ? 1 : 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (CompareRows(prefixes.data() + (i - 1) * prefix_len,
+                    prefixes.data() + i * prefix_len, prefix_len) != 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+RelationStats ComputeStats(const Relation& rel) {
+  RelationStats stats;
+  stats.cardinality = rel.NumTuples();
+  stats.distinct_per_column.resize(rel.arity());
+  stats.prefix_distinct.resize(rel.arity());
+  for (size_t col = 0; col < rel.arity(); ++col) {
+    stats.distinct_per_column[col] = CountDistinct(rel, col);
+    stats.prefix_distinct[col] = CountDistinctPrefixes(rel, col + 1);
+  }
+  return stats;
+}
+
+std::string RelationStats::ToString() const {
+  std::ostringstream os;
+  os << "card=" << cardinality << " distinct=[";
+  for (size_t i = 0; i < distinct_per_column.size(); ++i) {
+    if (i > 0) os << ",";
+    os << distinct_per_column[i];
+  }
+  os << "] prefix_distinct=[";
+  for (size_t i = 0; i < prefix_distinct.size(); ++i) {
+    if (i > 0) os << ",";
+    os << prefix_distinct[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ptp

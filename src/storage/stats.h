@@ -1,0 +1,40 @@
+#ifndef PTP_STORAGE_STATS_H_
+#define PTP_STORAGE_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace ptp {
+
+/// The statistics the Tributary-join cost model assumes are available
+/// (Sec. 5.1): relation cardinality, per-column distinct counts, and
+/// distinct counts of every column *prefix* under a given column order.
+struct RelationStats {
+  /// |R|
+  size_t cardinality = 0;
+  /// distinct[i] = V(R, column i) — number of distinct values in column i.
+  std::vector<size_t> distinct_per_column;
+  /// prefix_distinct[k] = V(R, (c_0..c_k)) — distinct k+1-column prefixes
+  /// under the column order the stats were computed with.
+  std::vector<size_t> prefix_distinct;
+
+  std::string ToString() const;
+};
+
+/// Computes stats for `rel`. `prefix_distinct` follows the relation's current
+/// column order; callers computing stats for a specific variable order should
+/// permute columns first (the cost model does this).
+RelationStats ComputeStats(const Relation& rel);
+
+/// Number of distinct values in column `col` of `rel`.
+size_t CountDistinct(const Relation& rel, size_t col);
+
+/// Number of distinct `prefix_len`-column prefixes of `rel` after sorting.
+size_t CountDistinctPrefixes(const Relation& rel, size_t prefix_len);
+
+}  // namespace ptp
+
+#endif  // PTP_STORAGE_STATS_H_

@@ -1,0 +1,20 @@
+#ifndef PTP_STORAGE_VALUE_H_
+#define PTP_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ptp {
+
+/// All attribute values are 64-bit integers. String constants (e.g. Freebase
+/// entity names) are dictionary-encoded via ptp::Dictionary, mirroring how a
+/// columnar engine would store them.
+using Value = int64_t;
+
+/// A materialized tuple (used at API boundaries; hot paths operate on flat
+/// arrays inside Relation instead).
+using Tuple = std::vector<Value>;
+
+}  // namespace ptp
+
+#endif  // PTP_STORAGE_VALUE_H_

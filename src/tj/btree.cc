@@ -1,0 +1,238 @@
+#include "tj/btree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ptp {
+
+struct BPlusTree::Node {
+  explicit Node(bool is_leaf) : leaf(is_leaf) {}
+
+  bool leaf;
+  /// Flat rows: a leaf's data rows, or an internal node's separator rows.
+  std::vector<Value> rows;
+  /// Internal nodes: children.size() == NumRows() + 1. All rows in
+  /// children[i] compare < separator i; rows in children[i+1] compare >=.
+  std::vector<Node*> children;
+  /// Leaves: next leaf in key order.
+  Node* next = nullptr;
+
+  size_t NumRows(size_t arity) const { return rows.size() / arity; }
+  const Value* RowAt(size_t arity, size_t i) const {
+    return rows.data() + i * arity;
+  }
+};
+
+namespace {
+
+void DeleteSubtree(BPlusTree::Node* node) {
+  if (node == nullptr) return;
+  for (BPlusTree::Node* child : node->children) DeleteSubtree(child);
+  delete node;
+}
+
+// Index of the first row in `node` (flat rows, width `arity`) whose first
+// `prefix_len` columns are >= key.
+size_t LowerBoundInNode(const BPlusTree::Node& node, size_t arity,
+                        const Value* key, size_t prefix_len) {
+  size_t lo = 0, hi = node.NumRows(arity);
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (CompareRows(node.RowAt(arity, mid), key, prefix_len) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BPlusTree::BPlusTree(size_t arity, size_t fanout)
+    : arity_(arity), fanout_(fanout) {
+  PTP_CHECK_GE(arity_, 1u);
+  PTP_CHECK_GE(fanout_, 4u);
+  root_ = new Node(/*is_leaf=*/true);
+}
+
+BPlusTree::~BPlusTree() { DeleteSubtree(root_); }
+
+void BPlusTree::InsertAll(const Relation& rel) {
+  PTP_CHECK_EQ(rel.arity(), arity_);
+  for (size_t row = 0; row < rel.NumTuples(); ++row) {
+    Insert(rel.Row(row));
+  }
+}
+
+void BPlusTree::Insert(const Value* row) {
+  // Recursive insert; on split, returns the new right sibling and fills
+  // `separator` (first row of the right subtree).
+  struct Inserter {
+    BPlusTree* tree;
+    const Value* row;
+
+    Node* InsertInto(Node* node, std::vector<Value>* separator) {
+      const size_t arity = tree->arity_;
+      if (node->leaf) {
+        const size_t idx = [&] {
+          size_t lo = 0, hi = node->NumRows(arity);
+          while (lo < hi) {
+            const size_t mid = lo + (hi - lo) / 2;
+            if (CompareRows(node->RowAt(arity, mid), row, arity) <= 0) {
+              lo = mid + 1;
+            } else {
+              hi = mid;
+            }
+          }
+          return lo;
+        }();
+        node->rows.insert(node->rows.begin() + static_cast<long>(idx * arity),
+                          row, row + arity);
+      } else {
+        // First separator strictly greater than row -> descend left of it.
+        size_t child_idx = node->NumRows(arity);
+        for (size_t i = 0; i < node->NumRows(arity); ++i) {
+          if (CompareRows(node->RowAt(arity, i), row, arity) > 0) {
+            child_idx = i;
+            break;
+          }
+        }
+        std::vector<Value> child_sep;
+        Node* right =
+            InsertInto(node->children[child_idx], &child_sep);
+        if (right != nullptr) {
+          node->rows.insert(
+              node->rows.begin() + static_cast<long>(child_idx * arity),
+              child_sep.begin(), child_sep.end());
+          node->children.insert(
+              node->children.begin() + static_cast<long>(child_idx) + 1,
+              right);
+        }
+      }
+
+      // Split if overfull.
+      if (node->NumRows(arity) < tree->fanout_) return nullptr;
+      const size_t mid = node->NumRows(arity) / 2;
+      Node* right = new Node(node->leaf);
+      if (node->leaf) {
+        right->rows.assign(node->rows.begin() + static_cast<long>(mid * arity),
+                           node->rows.end());
+        node->rows.resize(mid * arity);
+        right->next = node->next;
+        node->next = right;
+        separator->assign(right->rows.begin(),
+                          right->rows.begin() + static_cast<long>(arity));
+      } else {
+        // Middle separator moves up; right node takes separators after it.
+        separator->assign(
+            node->rows.begin() + static_cast<long>(mid * arity),
+            node->rows.begin() + static_cast<long>((mid + 1) * arity));
+        right->rows.assign(
+            node->rows.begin() + static_cast<long>((mid + 1) * arity),
+            node->rows.end());
+        right->children.assign(node->children.begin() + static_cast<long>(mid) + 1,
+                               node->children.end());
+        node->rows.resize(mid * arity);
+        node->children.resize(mid + 1);
+      }
+      return right;
+    }
+  };
+
+  std::vector<Value> separator;
+  Node* right = Inserter{this, row}.InsertInto(root_, &separator);
+  if (right != nullptr) {
+    Node* new_root = new Node(/*is_leaf=*/false);
+    new_root->rows = separator;
+    new_root->children = {root_, right};
+    root_ = new_root;
+  }
+  ++size_;
+}
+
+BPlusTree::Pos BPlusTree::Begin() const {
+  if (size_ == 0) return Pos{};
+  Node* node = root_;
+  while (!node->leaf) node = node->children.front();
+  return Pos{node, 0};
+}
+
+BPlusTree::Pos BPlusTree::LowerBound(const Value* key,
+                                     size_t prefix_len) const {
+  PTP_DCHECK(prefix_len <= arity_);
+  if (size_ == 0) return Pos{};
+  Node* node = root_;
+  while (!node->leaf) {
+    // Descend into the leftmost child that can contain a row >= key: the
+    // child left of the first separator comparing >= key on the prefix.
+    const size_t idx = LowerBoundInNode(*node, arity_, key, prefix_len);
+    node = node->children[idx];
+  }
+  size_t idx = LowerBoundInNode(*node, arity_, key, prefix_len);
+  // All rows in this leaf may be < key; the answer then starts at the head
+  // of the next leaf (separators equal to key can route us one leaf left).
+  while (node != nullptr && idx >= node->NumRows(arity_)) {
+    node = node->next;
+    idx = 0;
+  }
+  if (node == nullptr) return Pos{};
+  return Pos{node, idx};
+}
+
+BPlusTree::Pos BPlusTree::Next(Pos pos) const {
+  PTP_DCHECK(!pos.IsEnd());
+  ++pos.index;
+  while (pos.leaf != nullptr && pos.index >= pos.leaf->NumRows(arity_)) {
+    pos.leaf = pos.leaf->next;
+    pos.index = 0;
+  }
+  if (pos.leaf == nullptr) return Pos{};
+  return pos;
+}
+
+const Value* BPlusTree::Row(Pos pos) const {
+  PTP_DCHECK(!pos.IsEnd());
+  return pos.leaf->RowAt(arity_, pos.index);
+}
+
+bool BPlusTree::CheckInvariants() const {
+  // Walk the leaf chain: globally sorted, count matches size().
+  size_t count = 0;
+  const Value* prev = nullptr;
+  for (Pos pos = Begin(); !pos.IsEnd(); pos = Next(pos)) {
+    const Value* row = Row(pos);
+    if (prev != nullptr && CompareRows(prev, row, arity_) > 0) {
+      PTP_LOG(Error) << "B+-tree leaf chain out of order";
+      return false;
+    }
+    prev = row;
+    ++count;
+  }
+  if (count != size_) {
+    PTP_LOG(Error) << "B+-tree size mismatch: walked " << count
+                   << ", size() = " << size_;
+    return false;
+  }
+  // Node occupancy: every node below fanout.
+  struct Walker {
+    const BPlusTree* tree;
+    bool ok = true;
+    void Walk(const Node* node) {
+      if (node->NumRows(tree->arity_) >= tree->fanout_) ok = false;
+      if (!node->leaf &&
+          node->children.size() != node->NumRows(tree->arity_) + 1) {
+        ok = false;
+      }
+      for (const Node* child : node->children) Walk(child);
+    }
+  } walker{this};
+  walker.Walk(root_);
+  if (!walker.ok) {
+    PTP_LOG(Error) << "B+-tree node occupancy/fanout invariant violated";
+  }
+  return walker.ok;
+}
+
+}  // namespace ptp

@@ -1,0 +1,79 @@
+#ifndef PTP_TJ_BTREE_H_
+#define PTP_TJ_BTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace ptp {
+
+/// In-memory B+-tree over fixed-arity rows ordered lexicographically — the
+/// storage layout LogicBlox's LFTJ assumes (Sec. 2.2). Rows live in linked
+/// leaves; internal nodes hold separator rows. Built by insertion ("on the
+/// fly"), which is what the paper argues is more expensive than sorting an
+/// array when no preprocessing is possible.
+///
+/// Supported operations: Insert, prefix LowerBound (descend from root,
+/// O(log n)), and ordered leaf iteration via Pos.
+class BPlusTree {
+ public:
+  /// `arity` is the row width; `fanout` the max rows/children per node.
+  explicit BPlusTree(size_t arity, size_t fanout = 32);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) = delete;
+  BPlusTree& operator=(BPlusTree&&) = delete;
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts one row (duplicates allowed).
+  void Insert(const Value* row);
+
+  /// Bulk-inserts every row of `rel` (schema arity must match).
+  void InsertAll(const Relation& rel);
+
+  struct Node;  // opaque
+
+  /// Position of one row: a leaf and an index into it. Default = end().
+  struct Pos {
+    Node* leaf = nullptr;
+    size_t index = 0;
+
+    bool IsEnd() const { return leaf == nullptr; }
+    bool operator==(const Pos& o) const {
+      return leaf == o.leaf && index == o.index;
+    }
+  };
+
+  /// First row (or end if empty).
+  Pos Begin() const;
+
+  /// First row whose first `prefix_len` columns are >= `key`
+  /// lexicographically; end() if none. O(log n) root-to-leaf descent.
+  Pos LowerBound(const Value* key, size_t prefix_len) const;
+
+  /// The row following `pos` in order (amortized O(1) via leaf links).
+  Pos Next(Pos pos) const;
+
+  /// The row at `pos`; pos must not be end.
+  const Value* Row(Pos pos) const;
+
+  /// Validates B+-tree invariants (ordering, occupancy, leaf links);
+  /// returns false and logs on violation. Test hook.
+  bool CheckInvariants() const;
+
+ private:
+  size_t arity_;
+  size_t fanout_;
+  size_t size_ = 0;
+  Node* root_ = nullptr;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_TJ_BTREE_H_

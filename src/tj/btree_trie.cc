@@ -1,0 +1,81 @@
+#include "tj/btree_trie.h"
+
+#include "common/logging.h"
+
+namespace ptp {
+
+BTreeTrieIterator::BTreeTrieIterator(const BPlusTree* tree) : tree_(tree) {
+  prefix_.resize(tree_->arity());
+}
+
+Value BTreeTrieIterator::Key() const {
+  PTP_DCHECK(depth() >= 0 && !AtEnd());
+  return levels_.back().key;
+}
+
+void BTreeTrieIterator::Open() {
+  PTP_CHECK_LT(levels_.size(), tree_->arity());
+  BPlusTree::Pos pos;
+  if (levels_.empty()) {
+    pos = tree_->Begin();
+  } else {
+    PTP_DCHECK(!AtEnd());
+    pos = levels_.back().pos;  // first row of the parent's key block
+  }
+  Level level;
+  level.pos = pos;
+  level.at_end = pos.IsEnd();
+  if (!level.at_end) {
+    level.key = tree_->Row(pos)[levels_.size()];
+  }
+  levels_.push_back(level);
+  if (!levels_.back().at_end) {
+    prefix_[levels_.size() - 1] = levels_.back().key;
+  }
+}
+
+void BTreeTrieIterator::Up() {
+  PTP_DCHECK(!levels_.empty());
+  levels_.pop_back();
+}
+
+void BTreeTrieIterator::SeekInternal(Value v) {
+  Level& level = levels_.back();
+  const size_t d = levels_.size() - 1;
+  prefix_[d] = v;
+  BPlusTree::Pos pos = tree_->LowerBound(prefix_.data(), d + 1);
+  if (pos.IsEnd()) {
+    level.at_end = true;
+    return;
+  }
+  // The found row must still share the bound prefix above this level.
+  const Value* row = tree_->Row(pos);
+  if (d > 0 && CompareRows(row, prefix_.data(), d) != 0) {
+    level.at_end = true;
+    return;
+  }
+  level.pos = pos;
+  level.key = row[d];
+  prefix_[d] = level.key;
+}
+
+void BTreeTrieIterator::Next() {
+  Level& level = levels_.back();
+  PTP_DCHECK(!level.at_end);
+  if (level.key == std::numeric_limits<Value>::max()) {
+    level.at_end = true;
+    return;
+  }
+  ++num_seeks_;
+  SeekInternal(level.key + 1);
+}
+
+void BTreeTrieIterator::Seek(Value v) {
+  Level& level = levels_.back();
+  PTP_DCHECK(!level.at_end);
+  if (level.key >= v) return;
+  ++num_seeks_;
+  SeekInternal(v);
+}
+
+}  // namespace ptp

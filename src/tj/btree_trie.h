@@ -1,0 +1,53 @@
+#ifndef PTP_TJ_BTREE_TRIE_H_
+#define PTP_TJ_BTREE_TRIE_H_
+
+#include <limits>
+#include <vector>
+
+#include "tj/btree.h"
+#include "tj/trie_cursor.h"
+
+namespace ptp {
+
+/// The LFTJ trie-iterator API over a B+-tree — the LogicBlox-style backend
+/// (Sec. 2.2). Each Seek/Next is a root-to-leaf descent bounded to the
+/// current prefix (O(log n); LogicBlox's finger-search amortizes this to
+/// O(1), which we deliberately do not replicate: the paper's argument is
+/// about *build* cost, which dominates when the tree must be constructed
+/// after reshuffling).
+class BTreeTrieIterator final : public TrieCursor {
+ public:
+  /// `tree` must outlive the iterator.
+  explicit BTreeTrieIterator(const BPlusTree* tree);
+
+  int depth() const override { return static_cast<int>(levels_.size()) - 1; }
+  bool AtEnd() const override { return levels_.back().at_end; }
+  Value Key() const override;
+  void Open() override;
+  void Up() override;
+  void Next() override;
+  void Seek(Value v) override;
+  bool EmptyRelation() const override { return tree_->empty(); }
+  size_t num_seeks() const override { return num_seeks_; }
+
+ private:
+  struct Level {
+    BPlusTree::Pos pos;  // first row of the current key block
+    Value key = 0;
+    bool at_end = false;
+  };
+
+  /// Repositions the top level at the first row >= (bound prefix, v); sets
+  /// at_end if no such row shares the bound prefix.
+  void SeekInternal(Value v);
+
+  const BPlusTree* tree_;
+  std::vector<Level> levels_;
+  /// Scratch buffer holding the bound key prefix for LowerBound calls.
+  std::vector<Value> prefix_;
+  size_t num_seeks_ = 0;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_TJ_BTREE_TRIE_H_

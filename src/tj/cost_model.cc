@@ -1,0 +1,92 @@
+#include "tj/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "storage/stats.h"
+
+namespace ptp {
+
+TJCostModel::TJCostModel(std::vector<const Relation*> inputs)
+    : inputs_(std::move(inputs)) {}
+
+double TJCostModel::PrefixDistinct(size_t input, const std::vector<int>& perm,
+                                   size_t len) {
+  PTP_DCHECK(len >= 1 && len <= perm.size());
+  auto key = std::make_tuple(input, perm, len);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+  // Materialize the first `len` permuted columns and count distinct rows.
+  std::vector<int> prefix_perm(perm.begin(), perm.begin() + static_cast<long>(len));
+  Relation prefix = inputs_[input]->PermuteColumns(prefix_perm, "prefix");
+  const double count = static_cast<double>(
+      CountDistinctPrefixes(prefix, prefix.arity()));
+  memo_.emplace(std::move(key), count);
+  return count;
+}
+
+std::vector<double> TJCostModel::StepSizes(
+    const std::vector<std::string>& var_order) {
+  // For each input: its column permutation under the order and, per global
+  // step, the prefix length reached.
+  struct InputOrder {
+    std::vector<int> perm;          // columns in global-order sequence
+    std::vector<int> step_of_level; // global step index of each trie level
+  };
+  std::vector<InputOrder> orders(inputs_.size());
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const Schema& schema = inputs_[i]->schema();
+    std::vector<std::pair<int, int>> order_and_col;
+    for (size_t col = 0; col < schema.arity(); ++col) {
+      int idx = -1;
+      for (size_t v = 0; v < var_order.size(); ++v) {
+        if (var_order[v] == schema.name(col)) {
+          idx = static_cast<int>(v);
+          break;
+        }
+      }
+      PTP_CHECK_GE(idx, 0);
+      order_and_col.emplace_back(idx, static_cast<int>(col));
+    }
+    std::sort(order_and_col.begin(), order_and_col.end());
+    for (const auto& [step, col] : order_and_col) {
+      orders[i].perm.push_back(col);
+      orders[i].step_of_level.push_back(step);
+    }
+  }
+
+  std::vector<double> step_sizes(var_order.size(),
+                                 std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    const InputOrder& io = orders[i];
+    for (size_t level = 0; level < io.perm.size(); ++level) {
+      const size_t step = static_cast<size_t>(io.step_of_level[level]);
+      const double v_here = PrefixDistinct(i, io.perm, level + 1);
+      const double estimate =
+          level == 0 ? v_here
+                     : v_here / std::max(1.0, PrefixDistinct(i, io.perm, level));
+      step_sizes[step] = std::min(step_sizes[step], estimate);
+    }
+  }
+  for (double& s : step_sizes) {
+    if (!std::isfinite(s)) s = 0;  // variable in no input: no work
+  }
+  return step_sizes;
+}
+
+double TJCostModel::EstimateCost(const std::vector<std::string>& var_order) {
+  return FoldStepCost(StepSizes(var_order));
+}
+
+double FoldStepCost(const std::vector<double>& step_sizes) {
+  // Cost_i = S_i + S_i * Cost_{i+1}, evaluated right to left.
+  double cost = 0;
+  for (size_t i = step_sizes.size(); i-- > 0;) {
+    cost = step_sizes[i] + step_sizes[i] * cost;
+  }
+  return cost;
+}
+
+}  // namespace ptp

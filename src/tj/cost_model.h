@@ -1,0 +1,56 @@
+#ifndef PTP_TJ_COST_MODEL_H_
+#define PTP_TJ_COST_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace ptp {
+
+/// Cost model for the Tributary join (paper Sec. 5.1).
+///
+/// For a global variable order phi(1) ... phi(k), the per-step intersection
+/// size is estimated as
+///
+///   S_1 = min over atoms R_j containing phi(1) of V(R_j, (phi(1)))
+///   S_i = min over atoms R_j containing phi(i) of
+///           V(R_j, p_{i,j}) / V(R_j, p_{i-1,j})
+///
+/// where p_{i,j} is the prefix of R_j's variables (in global order) up to
+/// and including phi(i), and V(R, p) is the number of distinct p-prefixes.
+/// The total cost (estimated number of binary searches) follows the
+/// recursion of Eq. (4):   Cost_i = S_i + S_i * Cost_{i+1}.
+///
+/// Prefix-distinct statistics are computed lazily per (atom, column
+/// permutation) and memoized, so evaluating all n! orders of a query touches
+/// each atom-local permutation only once.
+class TJCostModel {
+ public:
+  /// `inputs` must outlive the model; schemas carry variable names.
+  explicit TJCostModel(std::vector<const Relation*> inputs);
+
+  /// Estimated cost of `var_order` (must cover all input variables).
+  double EstimateCost(const std::vector<std::string>& var_order);
+
+  /// The per-step intersection estimates S_1..S_k for `var_order`
+  /// (exposed for tests and the greedy optimizer).
+  std::vector<double> StepSizes(const std::vector<std::string>& var_order);
+
+ private:
+  /// V(R_input, prefix of length `len` under column permutation `perm`).
+  double PrefixDistinct(size_t input, const std::vector<int>& perm,
+                        size_t len);
+
+  std::vector<const Relation*> inputs_;
+  /// Memo: (input, perm, len) -> distinct count.
+  std::map<std::tuple<size_t, std::vector<int>, size_t>, double> memo_;
+};
+
+/// Folds step sizes into the Eq. (4) cost.
+double FoldStepCost(const std::vector<double>& step_sizes);
+
+}  // namespace ptp
+
+#endif  // PTP_TJ_COST_MODEL_H_

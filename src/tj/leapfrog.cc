@@ -1,0 +1,74 @@
+#include "tj/leapfrog.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ptp {
+
+LeapfrogJoin::LeapfrogJoin(std::vector<TrieCursor*> iters)
+    : iters_(std::move(iters)) {
+  PTP_CHECK(!iters_.empty());
+  for (TrieCursor* it : iters_) {
+    if (it->AtEnd()) {
+      at_end_ = true;
+      return;
+    }
+  }
+  // Sort by current key so iters_[p] is the smallest and the predecessor
+  // (cyclically) holds the largest key.
+  std::sort(iters_.begin(), iters_.end(),
+            [](const TrieCursor* a, const TrieCursor* b) {
+              return a->Key() < b->Key();
+            });
+  p_ = 0;
+  Search();
+}
+
+void LeapfrogJoin::Search() {
+  // Invariant: iters_ is cyclically ordered by key starting at p_; the
+  // max key is held by the predecessor of p_.
+  Value max_key =
+      iters_[(p_ + iters_.size() - 1) % iters_.size()]->Key();
+  while (true) {
+    TrieCursor* it = iters_[p_];
+    if (it->Key() == max_key) {
+      key_ = max_key;
+      return;  // all k iterators agree
+    }
+    it->Seek(max_key);
+    if (it->AtEnd()) {
+      at_end_ = true;
+      return;
+    }
+    max_key = it->Key();
+    p_ = (p_ + 1) % iters_.size();
+  }
+}
+
+void LeapfrogJoin::Next() {
+  PTP_DCHECK(!at_end_);
+  TrieCursor* it = iters_[p_];
+  it->Next();
+  if (it->AtEnd()) {
+    at_end_ = true;
+    return;
+  }
+  p_ = (p_ + 1) % iters_.size();
+  Search();
+}
+
+void LeapfrogJoin::Seek(Value v) {
+  PTP_DCHECK(!at_end_);
+  if (key_ >= v) return;
+  TrieCursor* it = iters_[p_];
+  it->Seek(v);
+  if (it->AtEnd()) {
+    at_end_ = true;
+    return;
+  }
+  p_ = (p_ + 1) % iters_.size();
+  Search();
+}
+
+}  // namespace ptp

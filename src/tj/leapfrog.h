@@ -1,0 +1,39 @@
+#ifndef PTP_TJ_LEAPFROG_H_
+#define PTP_TJ_LEAPFROG_H_
+
+#include <vector>
+
+#include "tj/trie_cursor.h"
+
+namespace ptp {
+
+/// Leapfrog intersection of k trie iterators positioned at the same level
+/// (Veldhuizen '14, Algorithm "leapfrog-join"): enumerates the values common
+/// to all iterators in ascending order by repeatedly seeking the smallest
+/// iterator past the largest key.
+class LeapfrogJoin {
+ public:
+  /// All iterators must already be Open()ed at the level to intersect.
+  explicit LeapfrogJoin(std::vector<TrieCursor*> iters);
+
+  bool AtEnd() const { return at_end_; }
+  /// Current common key; requires !AtEnd().
+  Value Key() const { return key_; }
+  /// Advances to the next common key.
+  void Next();
+  /// Positions at the least common key >= v.
+  void Seek(Value v);
+
+ private:
+  /// Core search loop: leapfrogs until all iterators agree on one key.
+  void Search();
+
+  std::vector<TrieCursor*> iters_;
+  size_t p_ = 0;  // index of the iterator to move next
+  Value key_ = 0;
+  bool at_end_ = false;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_TJ_LEAPFROG_H_

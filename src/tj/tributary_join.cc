@@ -1,0 +1,335 @@
+#include "tj/tributary_join.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "exec/local_ops.h"
+#include "tj/btree.h"
+#include "tj/btree_trie.h"
+#include "tj/leapfrog.h"
+#include "tj/trie_iterator.h"
+
+namespace ptp {
+namespace {
+
+// A comparison predicate resolved against the global variable order.
+struct ResolvedPredicate {
+  int lhs_idx;  // index into var_order, or -1 for constant
+  Value lhs_const;
+  CmpOp op;
+  int rhs_idx;
+  Value rhs_const;
+  // Depth at which both sides are bound (max var index; 0 if both constant).
+  int ready_depth;
+};
+
+// The recursive join driver (paper Sec. 2.2: find a value for the current
+// variable via leapfrog intersection, then recurse into the residual query).
+class Joiner {
+ public:
+  // Takes ownership of the trie storage (sorted relations or B+-trees) and
+  // the cursors over it.
+  Joiner(std::vector<Relation> sorted_inputs,
+         std::vector<std::unique_ptr<BPlusTree>> trees,
+         std::vector<std::unique_ptr<TrieCursor>> cursors,
+         std::vector<std::vector<int>> iters_per_depth,
+         std::vector<ResolvedPredicate> preds, size_t num_vars,
+         const TJOptions& options)
+      : inputs_(std::move(sorted_inputs)),
+        trees_(std::move(trees)),
+        iters_(std::move(cursors)),
+        iters_per_depth_(std::move(iters_per_depth)),
+        preds_(std::move(preds)),
+        num_vars_(num_vars),
+        options_(options) {
+    binding_.resize(num_vars_);
+  }
+
+  Status Run(Relation* out) {
+    out_ = out;
+    PTP_RETURN_IF_ERROR(Recurse(0));
+    return Status::OK();
+  }
+
+  /// Count-only run: no materialization; returns the result cardinality.
+  Result<size_t> RunCount() {
+    out_ = nullptr;
+    PTP_RETURN_IF_ERROR(Recurse(0));
+    return count_;
+  }
+
+  size_t TotalSeeks() const {
+    size_t total = 0;
+    for (const auto& it : iters_) total += it->num_seeks();
+    return total;
+  }
+
+ private:
+  bool PredicatesHold(int depth) const {
+    for (const ResolvedPredicate& p : preds_) {
+      if (p.ready_depth != depth) continue;
+      const Value l = p.lhs_idx >= 0 ? binding_[static_cast<size_t>(p.lhs_idx)]
+                                     : p.lhs_const;
+      const Value r = p.rhs_idx >= 0 ? binding_[static_cast<size_t>(p.rhs_idx)]
+                                     : p.rhs_const;
+      if (!Predicate::Eval(l, p.op, r)) return false;
+    }
+    return true;
+  }
+
+  Status Recurse(int depth) {
+    if (static_cast<size_t>(depth) == num_vars_) {
+      ++count_;
+      if (out_ != nullptr) out_->AddTuple(binding_);
+      if (count_ > options_.max_output_rows) {
+        return Status::ResourceExhausted(
+            StrFormat("Tributary join output exceeded %zu rows",
+                      options_.max_output_rows));
+      }
+      return Status::OK();
+    }
+
+    const std::vector<int>& participating =
+        iters_per_depth_[static_cast<size_t>(depth)];
+    PTP_DCHECK(!participating.empty());
+
+    // Open the participating iterators one level deeper; if any relation has
+    // no rows under the current prefix, the residual query is empty.
+    std::vector<TrieCursor*> open;
+    open.reserve(participating.size());
+    bool empty = false;
+    for (int idx : participating) {
+      TrieCursor& it = *iters_[static_cast<size_t>(idx)];
+      if (it.depth() >= 0 && it.AtEnd()) {
+        empty = true;
+        break;
+      }
+      if (it.EmptyRelation()) {
+        empty = true;
+        break;
+      }
+      it.Open();
+      open.push_back(&it);
+      if (it.AtEnd()) {
+        empty = true;
+        break;
+      }
+    }
+    Status status;
+    if (!empty) {
+      LeapfrogJoin leapfrog(open);
+      while (!leapfrog.AtEnd()) {
+        binding_[static_cast<size_t>(depth)] = leapfrog.Key();
+        if (PredicatesHold(depth)) {
+          status = Recurse(depth + 1);
+          if (!status.ok()) break;
+        }
+        if (TotalSeeks() > options_.max_seeks) {
+          status = Status::ResourceExhausted(StrFormat(
+              "Tributary join exceeded %zu seeks", options_.max_seeks));
+          break;
+        }
+        leapfrog.Next();
+      }
+    }
+    for (TrieCursor* it : open) it->Up();
+    return status;
+  }
+
+  std::vector<Relation> inputs_;
+  std::vector<std::unique_ptr<BPlusTree>> trees_;
+  std::vector<std::unique_ptr<TrieCursor>> iters_;
+  std::vector<std::vector<int>> iters_per_depth_;
+  std::vector<ResolvedPredicate> preds_;
+  size_t num_vars_;
+  TJOptions options_;
+  Tuple binding_;
+  Relation* out_ = nullptr;
+  size_t count_ = 0;
+};
+
+// Shared preparation for TributaryJoin / TributaryCount: permutes and sorts
+// (or tree-builds) the inputs and constructs the Joiner.
+struct PreparedJoin {
+  std::unique_ptr<Joiner> joiner;
+  double sort_seconds = 0;
+};
+
+}  // namespace
+
+namespace {
+
+Result<PreparedJoin> Prepare(const std::vector<const Relation*>& inputs,
+                             const std::vector<std::string>& var_order,
+                             const std::vector<Predicate>& predicates,
+                             const TJOptions& options) {
+  if (inputs.empty()) {
+    return Status::InvalidArgument("Tributary join needs at least one input");
+  }
+  auto order_index = [&](const std::string& var) {
+    for (size_t i = 0; i < var_order.size(); ++i) {
+      if (var_order[i] == var) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // Sort phase: permute each input's columns into global-order position and
+  // sort lexicographically.
+  Timer sort_timer;
+  std::vector<Relation> sorted;
+  sorted.reserve(inputs.size());
+  // iters_per_depth[d] = inputs whose trie level matching var_order[d]
+  // exists (i.e. atoms containing that variable).
+  std::vector<std::vector<int>> iters_per_depth(var_order.size());
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Relation& rel = *inputs[i];
+    // Column permutation: this atom's variables in global-order sequence.
+    std::vector<std::pair<int, int>> order_and_col;  // (global idx, column)
+    for (size_t col = 0; col < rel.arity(); ++col) {
+      const int idx = order_index(rel.schema().name(col));
+      if (idx < 0) {
+        return Status::InvalidArgument(
+            "variable '" + rel.schema().name(col) +
+            "' of input '" + rel.name() + "' missing from var_order");
+      }
+      order_and_col.emplace_back(idx, static_cast<int>(col));
+    }
+    std::sort(order_and_col.begin(), order_and_col.end());
+    std::vector<int> perm;
+    perm.reserve(order_and_col.size());
+    for (size_t level = 0; level < order_and_col.size(); ++level) {
+      perm.push_back(order_and_col[level].second);
+      iters_per_depth[static_cast<size_t>(order_and_col[level].first)]
+          .push_back(static_cast<int>(i));
+    }
+    Relation permuted = rel.PermuteColumns(perm);
+    if (options.backend == TJBackend::kSortedArray) {
+      permuted.SortLex();
+    }
+    sorted.push_back(std::move(permuted));
+  }
+
+  // Build the trie storage: sorting already happened above for the array
+  // backend; the B-tree backend pays its on-the-fly insertion build here.
+  std::vector<std::unique_ptr<BPlusTree>> trees;
+  std::vector<std::unique_ptr<TrieCursor>> cursors;
+  if (options.backend == TJBackend::kBTree) {
+    trees.reserve(sorted.size());
+    for (Relation& rel : sorted) {
+      auto tree = std::make_unique<BPlusTree>(rel.arity());
+      tree->InsertAll(rel);
+      rel.Clear();  // rows now live in the tree
+      trees.push_back(std::move(tree));
+    }
+    for (const auto& tree : trees) {
+      cursors.push_back(std::make_unique<BTreeTrieIterator>(tree.get()));
+    }
+  }
+  const double sort_seconds = sort_timer.Seconds();
+
+  for (size_t d = 0; d < var_order.size(); ++d) {
+    if (iters_per_depth[d].empty()) {
+      return Status::InvalidArgument("variable '" + var_order[d] +
+                                     "' occurs in no input relation");
+    }
+  }
+
+  // Resolve predicates against the order.
+  std::vector<ResolvedPredicate> resolved;
+  for (const Predicate& pred : predicates) {
+    ResolvedPredicate r;
+    r.op = pred.op;
+    r.lhs_idx = pred.lhs.is_variable() ? order_index(pred.lhs.var) : -1;
+    r.lhs_const = pred.lhs.constant;
+    r.rhs_idx = pred.rhs.is_variable() ? order_index(pred.rhs.var) : -1;
+    r.rhs_const = pred.rhs.constant;
+    if ((pred.lhs.is_variable() && r.lhs_idx < 0) ||
+        (pred.rhs.is_variable() && r.rhs_idx < 0)) {
+      return Status::InvalidArgument("predicate variable missing from order: " +
+                                     pred.ToString());
+    }
+    r.ready_depth = std::max(r.lhs_idx, r.rhs_idx);
+    if (r.ready_depth < 0) r.ready_depth = 0;  // constant-only predicate
+    resolved.push_back(r);
+  }
+
+  // Cursors point at the Relation objects inside `storage`; moving the
+  // vector into Joiner transfers its heap buffer, so element addresses (and
+  // thus the cursors) stay valid.
+  std::vector<Relation> storage = std::move(sorted);
+  if (options.backend == TJBackend::kSortedArray) {
+    cursors.reserve(storage.size());
+    for (const Relation& rel : storage) {
+      cursors.push_back(std::make_unique<TrieIterator>(&rel));
+    }
+  }
+  PreparedJoin prepared;
+  prepared.sort_seconds = sort_seconds;
+  prepared.joiner = std::make_unique<Joiner>(
+      std::move(storage), std::move(trees), std::move(cursors),
+      std::move(iters_per_depth), std::move(resolved), var_order.size(),
+      options);
+  return prepared;
+}
+
+}  // namespace
+
+Result<Relation> TributaryJoin(const std::vector<const Relation*>& inputs,
+                               const std::vector<std::string>& var_order,
+                               const std::vector<Predicate>& predicates,
+                               const TJOptions& options, TJMetrics* metrics) {
+  PTP_ASSIGN_OR_RETURN(PreparedJoin prepared,
+                       Prepare(inputs, var_order, predicates, options));
+  Timer join_timer;
+  Relation out("tj_result", Schema(var_order));
+  Status status = prepared.joiner->Run(&out);
+  if (metrics != nullptr) {
+    metrics->sort_seconds = prepared.sort_seconds;
+    metrics->join_seconds = join_timer.Seconds();
+    metrics->seeks = prepared.joiner->TotalSeeks();
+    metrics->output_tuples = out.NumTuples();
+  }
+  if (!status.ok()) return status;
+  return out;
+}
+
+Result<size_t> TributaryCount(const std::vector<const Relation*>& inputs,
+                              const std::vector<std::string>& var_order,
+                              const std::vector<Predicate>& predicates,
+                              const TJOptions& options, TJMetrics* metrics) {
+  PTP_ASSIGN_OR_RETURN(PreparedJoin prepared,
+                       Prepare(inputs, var_order, predicates, options));
+  Timer join_timer;
+  Result<size_t> count = prepared.joiner->RunCount();
+  if (metrics != nullptr) {
+    metrics->sort_seconds = prepared.sort_seconds;
+    metrics->join_seconds = join_timer.Seconds();
+    metrics->seeks = prepared.joiner->TotalSeeks();
+    metrics->output_tuples = count.ok() ? *count : 0;
+  }
+  return count;
+}
+
+Result<Relation> TributaryJoinQuery(const NormalizedQuery& query,
+                                    const std::vector<std::string>& var_order,
+                                    const TJOptions& options,
+                                    TJMetrics* metrics) {
+  std::vector<const Relation*> inputs;
+  inputs.reserve(query.atoms.size());
+  for (const NormalizedAtom& atom : query.atoms) {
+    inputs.push_back(&atom.relation);
+  }
+  PTP_ASSIGN_OR_RETURN(
+      Relation full,
+      TributaryJoin(inputs, var_order, query.predicates, options, metrics));
+  if (query.head_vars == var_order) return full;
+  Relation projected = ProjectToVars(full, query.head_vars, "tj_result");
+  if (query.head_vars.size() < var_order.size()) {
+    projected.SortAndDedup();
+  }
+  return projected;
+}
+
+}  // namespace ptp

@@ -1,0 +1,85 @@
+#ifndef PTP_TJ_TRIBUTARY_JOIN_H_
+#define PTP_TJ_TRIBUTARY_JOIN_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/relation.h"
+
+namespace ptp {
+
+/// Instrumentation of one Tributary-join invocation.
+struct TJMetrics {
+  /// Seconds spent permuting + sorting the inputs (the dominating cost of TJ
+  /// per Sec. 2.2 — this is why HC_TJ beats BR_TJ on Q1).
+  double sort_seconds = 0;
+  /// Seconds spent inside the multiway join itself.
+  double join_seconds = 0;
+  /// Total Seek() operations across all trie iterators (the unit the Sec. 5
+  /// cost model estimates).
+  size_t seeks = 0;
+  size_t output_tuples = 0;
+};
+
+/// Storage backend for the multiway join's tries (Sec. 2.2 trade-off).
+enum class TJBackend {
+  /// Sort the inputs into flat arrays and binary-search (Tributary join —
+  /// the paper's choice: sorting on the fly is cheaper than tree building).
+  kSortedArray,
+  /// Build a B+-tree per input on the fly (the LogicBlox LFTJ layout,
+  /// viable when relations are preprocessed but expensive after a shuffle).
+  kBTree,
+};
+
+struct TJOptions {
+  /// Abort with ResourceExhausted beyond this many output rows.
+  size_t max_output_rows = std::numeric_limits<size_t>::max();
+  /// Abort with ResourceExhausted beyond this many seek operations (used to
+  /// emulate the paper's 1000-second query timeout in Sec. 5.2).
+  size_t max_seeks = std::numeric_limits<size_t>::max();
+  /// Trie storage backend; metrics.sort_seconds covers the sort (array) or
+  /// tree-build (B-tree) phase either way.
+  TJBackend backend = TJBackend::kSortedArray;
+};
+
+/// Tributary join: worst-case-optimal (up to a log factor) multiway join in
+/// the LFTJ style over sorted arrays.
+///
+/// `inputs` are relations whose schema names are variable names (one column
+/// per distinct variable; see Normalize()). `var_order` is the global
+/// attribute order; it must contain every variable of every input. Inputs
+/// are permuted to the order and sorted internally (the timed "sort phase").
+/// Comparison predicates are applied as soon as their variables are bound,
+/// pruning the search tree.
+///
+/// Returns the full join result with schema = var_order (callers project to
+/// the query head).
+Result<Relation> TributaryJoin(const std::vector<const Relation*>& inputs,
+                               const std::vector<std::string>& var_order,
+                               const std::vector<Predicate>& predicates,
+                               const TJOptions& options = {},
+                               TJMetrics* metrics = nullptr);
+
+/// Count-only evaluation: runs the same worst-case-optimal join but counts
+/// result tuples instead of materializing them — the right tool for the
+/// paper's motivating graphlet-frequency workload (Sec. 1), where only the
+/// pattern counts matter. Predicates are applied as in TributaryJoin.
+Result<size_t> TributaryCount(const std::vector<const Relation*>& inputs,
+                              const std::vector<std::string>& var_order,
+                              const std::vector<Predicate>& predicates = {},
+                              const TJOptions& options = {},
+                              TJMetrics* metrics = nullptr);
+
+/// Convenience overload for a normalized query: joins all atoms with the
+/// given order and projects to the head variables.
+Result<Relation> TributaryJoinQuery(const NormalizedQuery& query,
+                                    const std::vector<std::string>& var_order,
+                                    const TJOptions& options = {},
+                                    TJMetrics* metrics = nullptr);
+
+}  // namespace ptp
+
+#endif  // PTP_TJ_TRIBUTARY_JOIN_H_

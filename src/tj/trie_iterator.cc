@@ -1,0 +1,90 @@
+#include "tj/trie_iterator.h"
+
+#include "common/logging.h"
+#include "storage/sort.h"
+
+namespace ptp {
+
+TrieIterator::TrieIterator(const Relation* rel) : rel_(rel) {
+  PTP_DCHECK(rel_->IsSortedLex());
+}
+
+Value TrieIterator::Key() const {
+  PTP_DCHECK(depth() >= 0 && !AtEnd());
+  const Level& level = levels_.back();
+  return rel_->At(level.pos, static_cast<size_t>(depth()));
+}
+
+void TrieIterator::FindBlockEnd() {
+  Level& level = levels_.back();
+  const size_t d = levels_.size();  // prefix length including this column
+  // First row whose d-column prefix exceeds the current row's — the rows in
+  // the enclosing range share the d-1 prefix, so this isolates the key block.
+  level.block_end = UpperBoundRows(rel_->data(), rel_->arity(), level.pos,
+                                   level.hi, rel_->Row(level.pos), d);
+}
+
+void TrieIterator::Open() {
+  size_t lo, hi;
+  if (levels_.empty()) {
+    lo = 0;
+    hi = rel_->NumTuples();
+  } else {
+    PTP_DCHECK(!AtEnd());
+    lo = levels_.back().pos;
+    hi = levels_.back().block_end;
+  }
+  PTP_DCHECK(lo < hi);
+  PTP_CHECK_LT(levels_.size(), rel_->arity());
+  levels_.push_back(Level{lo, hi, lo, lo, false});
+  FindBlockEnd();
+}
+
+void TrieIterator::Up() {
+  PTP_DCHECK(!levels_.empty());
+  levels_.pop_back();
+}
+
+void TrieIterator::Next() {
+  Level& level = levels_.back();
+  PTP_DCHECK(!level.at_end);
+  ++num_nexts_;
+  level.pos = level.block_end;
+  if (level.pos >= level.hi) {
+    level.at_end = true;
+    return;
+  }
+  FindBlockEnd();
+}
+
+void TrieIterator::Seek(Value v) {
+  Level& level = levels_.back();
+  PTP_DCHECK(!level.at_end);
+  ++num_seeks_;
+  const size_t col = levels_.size() - 1;
+  if (rel_->At(level.pos, col) >= v) {
+    return;  // already positioned
+  }
+  // Binary search for the first row with column value >= v within
+  // [block_end, hi) — rows before block_end share the current (smaller) key.
+  size_t lo = level.block_end;
+  size_t hi = level.hi;
+  const auto& data = rel_->data();
+  const size_t arity = rel_->arity();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (data[mid * arity + col] < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  level.pos = lo;
+  if (level.pos >= level.hi) {
+    level.at_end = true;
+    return;
+  }
+  FindBlockEnd();
+}
+
+}  // namespace ptp

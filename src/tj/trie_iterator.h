@@ -1,0 +1,81 @@
+#ifndef PTP_TJ_TRIE_ITERATOR_H_
+#define PTP_TJ_TRIE_ITERATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/relation.h"
+#include "tj/trie_cursor.h"
+
+namespace ptp {
+
+/// Presents a lexicographically sorted relation as a trie, implementing the
+/// LFTJ iterator API (Veldhuizen '14) over a flat array instead of a B-tree:
+///
+///   Open()  — descend to the first key of the next attribute level
+///   Up()    — return to the parent level
+///   Next()  — advance to the next distinct key at this level
+///   Seek(v) — least key >= v at this level (binary search, O(log n);
+///             the paper's Sec. 2.2 trade-off vs. LogicBlox's O(1) B-tree)
+///   Key() / AtEnd()
+///
+/// A level's keys are the distinct values of column `depth` among the rows
+/// that share the current prefix; those rows are a contiguous sub-array, so
+/// state per level is just a [lo, hi) range plus the current key block.
+class TrieIterator final : public TrieCursor {
+ public:
+  /// `rel` must outlive the iterator and be sorted with SortLex().
+  explicit TrieIterator(const Relation* rel);
+
+  /// Current level; -1 before the first Open().
+  int depth() const override { return static_cast<int>(levels_.size()) - 1; }
+
+  /// True if positioned past the last key of the current level.
+  bool AtEnd() const override { return levels_.back().at_end; }
+
+  /// Current key; requires !AtEnd() and depth() >= 0.
+  Value Key() const override;
+
+  /// Descends to the first key one level deeper. Requires !AtEnd() (or
+  /// depth() == -1 and a nonempty relation).
+  void Open() override;
+
+  /// Ascends one level. Requires depth() >= 0.
+  void Up() override;
+
+  /// Advances to the next distinct key at this level.
+  void Next() override;
+
+  /// Positions at the least key >= v at this level, or AtEnd().
+  void Seek(Value v) override;
+
+  bool EmptyRelation() const override { return rel_->NumTuples() == 0; }
+
+  /// Number of Seek() calls performed (cost-model instrumentation).
+  size_t num_seeks() const override { return num_seeks_; }
+  /// Number of Next() calls performed.
+  size_t num_nexts() const { return num_nexts_; }
+
+  const Relation& relation() const { return *rel_; }
+
+ private:
+  struct Level {
+    size_t lo;         // first row with the current prefix
+    size_t hi;         // one past the last row with the current prefix
+    size_t pos;        // first row of the current key block
+    size_t block_end;  // one past the last row of the current key block
+    bool at_end;
+  };
+
+  /// Recomputes block_end for the key at `pos` of the top level.
+  void FindBlockEnd();
+
+  const Relation* rel_;
+  std::vector<Level> levels_;
+  size_t num_seeks_ = 0;
+  size_t num_nexts_ = 0;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_TJ_TRIE_ITERATOR_H_

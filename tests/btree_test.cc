@@ -1,0 +1,212 @@
+#include "tj/btree.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "tj/btree_trie.h"
+#include "tj/leapfrog.h"
+#include "tj/trie_iterator.h"
+#include "tj/tributary_join.h"
+
+namespace ptp {
+namespace {
+
+TEST(BPlusTreeTest, InsertAndOrderedScan) {
+  BPlusTree tree(1, /*fanout=*/4);
+  const std::vector<Value> values = {5, 1, 9, 3, 7, 2, 8, 4, 6, 0};
+  for (Value v : values) tree.Insert(&v);
+  EXPECT_EQ(tree.size(), values.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<Value> walked;
+  for (auto pos = tree.Begin(); !pos.IsEnd(); pos = tree.Next(pos)) {
+    walked.push_back(tree.Row(pos)[0]);
+  }
+  EXPECT_EQ(walked, (std::vector<Value>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(BPlusTreeTest, DuplicatesKept) {
+  BPlusTree tree(1, 4);
+  for (int i = 0; i < 20; ++i) {
+    Value v = 7;
+    tree.Insert(&v);
+  }
+  EXPECT_EQ(tree.size(), 20u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BPlusTreeTest, LowerBoundFullKey) {
+  BPlusTree tree(1, 4);
+  for (Value v : {10, 20, 30, 40, 50}) tree.Insert(&v);
+  Value key = 25;
+  auto pos = tree.LowerBound(&key, 1);
+  ASSERT_FALSE(pos.IsEnd());
+  EXPECT_EQ(tree.Row(pos)[0], 30);
+  key = 50;
+  pos = tree.LowerBound(&key, 1);
+  ASSERT_FALSE(pos.IsEnd());
+  EXPECT_EQ(tree.Row(pos)[0], 50);
+  key = 51;
+  EXPECT_TRUE(tree.LowerBound(&key, 1).IsEnd());
+}
+
+TEST(BPlusTreeTest, LowerBoundPrefix) {
+  BPlusTree tree(2, 4);
+  for (Value a = 0; a < 10; ++a) {
+    for (Value b = 0; b < 3; ++b) {
+      Value row[] = {a, b * 10};
+      tree.Insert(row);
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  Value key[] = {4, 0};
+  auto pos = tree.LowerBound(key, 1);  // prefix only
+  ASSERT_FALSE(pos.IsEnd());
+  EXPECT_EQ(tree.Row(pos)[0], 4);
+  EXPECT_EQ(tree.Row(pos)[1], 0);
+  Value key2[] = {4, 15};
+  pos = tree.LowerBound(key2, 2);
+  ASSERT_FALSE(pos.IsEnd());
+  EXPECT_EQ(tree.Row(pos)[0], 4);
+  EXPECT_EQ(tree.Row(pos)[1], 20);
+}
+
+TEST(BPlusTreeTest, RandomizedAgainstSortedVector) {
+  Rng rng(44);
+  BPlusTree tree(2, 8);
+  std::vector<Tuple> rows;
+  for (int i = 0; i < 2000; ++i) {
+    Tuple t = {static_cast<Value>(rng.Uniform(50)),
+               static_cast<Value>(rng.Uniform(50))};
+    rows.push_back(t);
+    tree.Insert(t.data());
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::sort(rows.begin(), rows.end());
+  size_t i = 0;
+  for (auto pos = tree.Begin(); !pos.IsEnd(); pos = tree.Next(pos), ++i) {
+    ASSERT_LT(i, rows.size());
+    EXPECT_EQ(tree.Row(pos)[0], rows[i][0]);
+    EXPECT_EQ(tree.Row(pos)[1], rows[i][1]);
+  }
+  EXPECT_EQ(i, rows.size());
+  // Random lower-bound probes against std::lower_bound.
+  for (int probe = 0; probe < 200; ++probe) {
+    Tuple key = {static_cast<Value>(rng.Uniform(55)),
+                 static_cast<Value>(rng.Uniform(55))};
+    auto expected = std::lower_bound(rows.begin(), rows.end(), key);
+    auto pos = tree.LowerBound(key.data(), 2);
+    if (expected == rows.end()) {
+      EXPECT_TRUE(pos.IsEnd());
+    } else {
+      ASSERT_FALSE(pos.IsEnd());
+      EXPECT_EQ(tree.Row(pos)[0], (*expected)[0]);
+      EXPECT_EQ(tree.Row(pos)[1], (*expected)[1]);
+    }
+  }
+}
+
+TEST(BTreeTrieIteratorTest, MatchesArrayTrieWalk) {
+  Rng rng(45);
+  Relation rel = test::RandomBinaryRelation("R", {"a", "b"}, 300, 25, &rng);
+  BPlusTree tree(2);
+  tree.InsertAll(rel);
+  BTreeTrieIterator it(&tree);
+
+  Relation sorted = rel;
+  sorted.SortLex();
+  // Walk level 0 and for each key the level-1 keys; compare against the
+  // sorted relation's distinct structure.
+  it.Open();
+  size_t row = 0;
+  while (!it.AtEnd()) {
+    const Value a = it.Key();
+    EXPECT_EQ(a, sorted.At(row, 0));
+    it.Open();
+    while (!it.AtEnd()) {
+      ASSERT_LT(row, sorted.NumTuples());
+      EXPECT_EQ(a, sorted.At(row, 0));
+      EXPECT_EQ(it.Key(), sorted.At(row, 1));
+      // Skip duplicates in the sorted relation.
+      while (row < sorted.NumTuples() && sorted.At(row, 0) == a &&
+             sorted.At(row, 1) == it.Key()) {
+        ++row;
+      }
+      it.Next();
+    }
+    it.Up();
+    it.Next();
+  }
+  EXPECT_EQ(row, sorted.NumTuples());
+}
+
+TEST(BTreeTrieIteratorTest, SeekWithinPrefix) {
+  BPlusTree tree(2);
+  for (Value b : {2, 4, 8}) {
+    Value row[] = {1, b};
+    tree.Insert(row);
+  }
+  Value row2[] = {2, 1};
+  tree.Insert(row2);
+  BTreeTrieIterator it(&tree);
+  it.Open();   // a = 1
+  it.Open();   // b in {2,4,8}
+  it.Seek(5);
+  EXPECT_EQ(it.Key(), 8);
+  it.Seek(9);  // must not leak into a=2
+  EXPECT_TRUE(it.AtEnd());
+  it.Up();
+  it.Next();
+  EXPECT_EQ(it.Key(), 2);
+}
+
+TEST(BTreeBackendTest, TributaryJoinResultsIdentical) {
+  Rng rng(46);
+  NormalizedQuery q;
+  q.atoms.push_back(
+      {{"x", "y"}, test::RandomBinaryRelation("R", {"x", "y"}, 150, 18, &rng)});
+  q.atoms.push_back(
+      {{"y", "z"}, test::RandomBinaryRelation("S", {"y", "z"}, 150, 18, &rng)});
+  q.atoms.push_back(
+      {{"z", "x"}, test::RandomBinaryRelation("T", {"z", "x"}, 150, 18, &rng)});
+  q.head_vars = {"x", "y", "z"};
+
+  TJOptions array_opts;
+  auto array_result = TributaryJoinQuery(q, {"x", "y", "z"}, array_opts);
+  ASSERT_TRUE(array_result.ok());
+
+  TJOptions btree_opts;
+  btree_opts.backend = TJBackend::kBTree;
+  TJMetrics btree_metrics;
+  auto btree_result =
+      TributaryJoinQuery(q, {"x", "y", "z"}, btree_opts, &btree_metrics);
+  ASSERT_TRUE(btree_result.ok()) << btree_result.status().ToString();
+
+  EXPECT_TRUE(array_result->EqualsUnordered(*btree_result));
+  EXPECT_GT(btree_metrics.sort_seconds, 0.0);  // the tree build phase
+}
+
+TEST(BTreeBackendTest, LeapfrogAcrossMixedBackends) {
+  // The leapfrog machinery is backend-agnostic: intersect an array trie
+  // with a B-tree trie.
+  Relation a("A", Schema{"x"});
+  for (Value v : {1, 3, 5, 7, 9, 11}) a.AddTuple({v});
+  a.SortLex();
+  BPlusTree tree(1);
+  for (Value v : {2, 3, 7, 8, 11}) tree.Insert(&v);
+
+  TrieIterator ia(&a);
+  BTreeTrieIterator ib(&tree);
+  ia.Open();
+  ib.Open();
+  LeapfrogJoin lf({&ia, &ib});
+  std::vector<Value> common;
+  while (!lf.AtEnd()) {
+    common.push_back(lf.Key());
+    lf.Next();
+  }
+  EXPECT_EQ(common, (std::vector<Value>{3, 7, 11}));
+}
+
+}  // namespace
+}  // namespace ptp

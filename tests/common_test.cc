@@ -1,0 +1,133 @@
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "gtest/gtest.h"
+
+namespace ptp {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arity");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterEven(int v) {
+  PTP_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  auto ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto err = QuarterEven(6);  // 6/2 = 3, odd
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(HashTest, Mix64ChangesOnEveryBitFlip) {
+  const uint64_t base = Mix64(0x1234);
+  for (int bit = 0; bit < 64; ++bit) {
+    EXPECT_NE(Mix64(0x1234ULL ^ (1ULL << bit)), base) << bit;
+  }
+}
+
+TEST(HashTest, SaltsGiveIndependentFamilies) {
+  // The HyperCube algorithm requires an independent h_i per dimension: with
+  // the same values, different salts must disagree somewhere.
+  int disagreements = 0;
+  for (int64_t v = 0; v < 100; ++v) {
+    if (HashToBucket(v, 8, 1) != HashToBucket(v, 8, 2)) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 50);
+}
+
+TEST(HashTest, BucketsInRangeAndBalancedish) {
+  std::vector<int> counts(16, 0);
+  for (int64_t v = 0; v < 16000; ++v) {
+    uint32_t b = HashToBucket(v, 16, 5);
+    ASSERT_LT(b, 16u);
+    ++counts[b];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+  EXPECT_EQ(HashToBucket(1234, 1, 5), 0u);  // single bucket short-circuits
+}
+
+TEST(StrUtilTest, SplitAndTrim) {
+  EXPECT_EQ(SplitAndTrim(" a , b ,c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAndTrim("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitAndTrim("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StrUtilTest, StripAndStartsWith) {
+  EXPECT_EQ(StripWhitespace("  hi \t"), "hi");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StrUtilTest, JoinAndFormat) {
+  EXPECT_EQ(Join({"x", "y", "z"}, " < "), "x < y < z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(StrFormat("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+}  // namespace
+}  // namespace ptp

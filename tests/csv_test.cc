@@ -1,0 +1,85 @@
+#include "storage/csv.h"
+
+#include <sstream>
+
+#include "gtest/gtest.h"
+
+namespace ptp {
+namespace {
+
+TEST(CsvTest, ReadsIntegers) {
+  std::istringstream in("1,2\n3,4\n\n5,6\n");
+  auto rel = ReadCsv(in, "R", Schema{"a", "b"}, nullptr);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->NumTuples(), 3u);
+  EXPECT_EQ(rel->GetTuple(1), (Tuple{3, 4}));
+}
+
+TEST(CsvTest, InternsStrings) {
+  Dictionary dict;
+  std::istringstream in("1,Joe Pesci\n2,Robert De Niro\n3,Joe Pesci\n");
+  auto rel = ReadCsv(in, "Names", Schema{"id", "name"}, &dict);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->NumTuples(), 3u);
+  EXPECT_EQ(rel->At(0, 1), rel->At(2, 1));
+  EXPECT_EQ(dict.String(rel->At(1, 1)), "Robert De Niro");
+}
+
+TEST(CsvTest, StringsWithoutDictionaryRejected) {
+  std::istringstream in("1,abc\n");
+  auto rel = ReadCsv(in, "R", Schema{"a", "b"}, nullptr);
+  EXPECT_EQ(rel.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, ArityMismatchRejected) {
+  std::istringstream in("1,2,3\n");
+  auto rel = ReadCsv(in, "R", Schema{"a", "b"}, nullptr);
+  EXPECT_FALSE(rel.ok());
+}
+
+TEST(CsvTest, HeaderSkipped) {
+  std::istringstream in("src,dst\n1,2\n");
+  CsvOptions options;
+  options.skip_header = true;
+  Dictionary dict;
+  auto rel = ReadCsv(in, "R", Schema{"a", "b"}, &dict, options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->NumTuples(), 1u);
+}
+
+TEST(CsvTest, TabDelimiter) {
+  std::istringstream in("1\t2\n3\t4\n");
+  CsvOptions options;
+  options.delimiter = '\t';
+  auto rel = ReadCsv(in, "R", Schema{"a", "b"}, nullptr, options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->NumTuples(), 2u);
+}
+
+TEST(CsvTest, NegativeValues) {
+  std::istringstream in("-5,10\n");
+  auto rel = ReadCsv(in, "R", Schema{"a", "b"}, nullptr);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->At(0, 0), -5);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Relation rel("R", Schema{"a", "b", "c"});
+  rel.AddTuple({1, -2, 3});
+  rel.AddTuple({40, 50, 60});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(out, rel).ok());
+  std::istringstream in(out.str());
+  auto back = ReadCsv(in, "R", rel.schema(), nullptr);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->EqualsUnordered(rel));
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto rel = ReadCsvFile("/nonexistent/definitely/missing.csv", "R",
+                         Schema{"a"}, nullptr);
+  EXPECT_EQ(rel.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ptp

@@ -1,0 +1,194 @@
+#include <algorithm>
+#include <map>
+
+#include "data/freebase_gen.h"
+#include "data/graph_gen.h"
+#include "data/workloads.h"
+#include "data/zipf.h"
+#include "gtest/gtest.h"
+#include "storage/stats.h"
+
+namespace ptp {
+namespace {
+
+TEST(ZipfTest, SamplesWithinRangeAndSkewed) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(1);
+  std::vector<size_t> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    size_t v = zipf.Sample(&rng);
+    ASSERT_LT(v, 100u);
+    ++counts[v];
+  }
+  // Rank 0 must dominate rank 50 heavily under s=1.
+  EXPECT_GT(counts[0], counts[50] * 10);
+  // Every decile gets some mass.
+  EXPECT_GT(counts[99] + counts[98] + counts[97], 0u);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniformish) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(2);
+  std::vector<size_t> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t c : counts) {
+    EXPECT_GT(c, 700u);
+    EXPECT_LT(c, 1300u);
+  }
+}
+
+TEST(GraphGenTest, DeterministicAndDeduplicated) {
+  GraphGenOptions opts;
+  opts.num_nodes = 500;
+  opts.num_edges = 3000;
+  opts.seed = 9;
+  Relation a = GeneratePowerLawGraph(opts);
+  Relation b = GeneratePowerLawGraph(opts);
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.NumTuples(), 3000u);
+  Relation dedup = a;
+  dedup.SortAndDedup();
+  EXPECT_EQ(dedup.NumTuples(), a.NumTuples());
+  // No self loops.
+  for (size_t i = 0; i < a.NumTuples(); ++i) {
+    EXPECT_NE(a.At(i, 0), a.At(i, 1));
+  }
+}
+
+TEST(GraphGenTest, PowerLawHasHeavyHubs) {
+  GraphGenOptions opts;
+  opts.num_nodes = 2000;
+  opts.num_edges = 20000;
+  opts.zipf_exponent = 0.9;
+  opts.seed = 10;
+  Relation g = GeneratePowerLawGraph(opts);
+  std::map<Value, size_t> outdeg;
+  for (size_t i = 0; i < g.NumTuples(); ++i) ++outdeg[g.At(i, 0)];
+  size_t max_deg = 0;
+  for (const auto& [v, d] : outdeg) max_deg = std::max(max_deg, d);
+  const double avg = static_cast<double>(g.NumTuples()) /
+                     static_cast<double>(outdeg.size());
+  // A power-law graph has hubs far above the average degree.
+  EXPECT_GT(static_cast<double>(max_deg), 8 * avg);
+}
+
+TEST(GraphGenTest, UniformGraphHasNoExtremeHubs) {
+  Relation g = GenerateUniformGraph(2000, 20000, 11);
+  std::map<Value, size_t> outdeg;
+  for (size_t i = 0; i < g.NumTuples(); ++i) ++outdeg[g.At(i, 0)];
+  size_t max_deg = 0;
+  for (const auto& [v, d] : outdeg) max_deg = std::max(max_deg, d);
+  const double avg = static_cast<double>(g.NumTuples()) /
+                     static_cast<double>(outdeg.size());
+  EXPECT_LT(static_cast<double>(max_deg), 5 * avg);
+}
+
+TEST(FreebaseGenTest, SchemasAndProportionsMatchPaper) {
+  FreebaseDataset ds = GenerateFreebase();
+  for (const char* name :
+       {"ObjectName", "ActorPerform", "PerformFilm", "DirectorFilm",
+        "HonorAward", "HonorActor", "HonorYear"}) {
+    EXPECT_TRUE(ds.catalog.Contains(name)) << name;
+  }
+  auto card = [&](const char* name) {
+    return (*ds.catalog.Get(name))->NumTuples();
+  };
+  // |ActorPerform| == |PerformFilm| (one film per performance).
+  EXPECT_EQ(card("ActorPerform"), card("PerformFilm"));
+  // ObjectName dwarfs the join tables (paper: 54x).
+  EXPECT_GT(card("ObjectName"), 10 * card("ActorPerform"));
+  // Honor tables are an order of magnitude smaller.
+  EXPECT_LT(card("HonorAward"), card("ActorPerform") / 5);
+}
+
+TEST(FreebaseGenTest, FamousEntitiesResolvable) {
+  FreebaseDataset ds = GenerateFreebase();
+  EXPECT_EQ(ds.catalog.dictionary().Lookup("Joe Pesci"), ds.joe_pesci);
+  EXPECT_EQ(ds.catalog.dictionary().Lookup("Robert De Niro"), ds.de_niro);
+  EXPECT_EQ(ds.catalog.dictionary().Lookup("The Academy Awards"),
+            ds.academy_awards);
+  // Pesci and De Niro share at least one film.
+  const Relation& ap = **ds.catalog.Get("ActorPerform");
+  const Relation& pf = **ds.catalog.Get("PerformFilm");
+  const Relation& on = **ds.catalog.Get("ObjectName");
+  // Resolve actor ids via ObjectName.
+  Value pesci = -1, deniro = -1;
+  for (size_t i = 0; i < on.NumTuples(); ++i) {
+    if (on.At(i, 1) == ds.joe_pesci) pesci = on.At(i, 0);
+    if (on.At(i, 1) == ds.de_niro) deniro = on.At(i, 0);
+  }
+  ASSERT_GE(pesci, 0);
+  ASSERT_GE(deniro, 0);
+  std::map<Value, Value> perform_to_film;
+  for (size_t i = 0; i < pf.NumTuples(); ++i) {
+    perform_to_film[pf.At(i, 0)] = pf.At(i, 1);
+  }
+  std::set<Value> pesci_films, deniro_films;
+  for (size_t i = 0; i < ap.NumTuples(); ++i) {
+    if (ap.At(i, 0) == pesci) {
+      pesci_films.insert(perform_to_film.at(ap.At(i, 1)));
+    }
+    if (ap.At(i, 0) == deniro) {
+      deniro_films.insert(perform_to_film.at(ap.At(i, 1)));
+    }
+  }
+  std::vector<Value> shared;
+  std::set_intersection(pesci_films.begin(), pesci_films.end(),
+                        deniro_films.begin(), deniro_films.end(),
+                        std::back_inserter(shared));
+  EXPECT_GE(shared.size(), 2u);
+}
+
+TEST(FreebaseGenTest, ScalingScalesCardinalities) {
+  FreebaseGenOptions base;
+  FreebaseGenOptions half = base.Scaled(0.5);
+  EXPECT_EQ(half.num_performances, base.num_performances / 2);
+  EXPECT_GE(half.num_awards, 2u);
+}
+
+TEST(WorkloadFactoryTest, AllEightQueriesBuild) {
+  WorkloadScale scale;
+  scale.twitter.num_nodes = 300;
+  scale.twitter.num_edges = 1500;
+  scale.freebase_scale = 0.05;
+  WorkloadFactory factory(scale);
+  const bool expect_cyclic[] = {true, true, false, true,
+                                true, true, false, true};
+  for (int q = 1; q <= 8; ++q) {
+    auto wl = factory.Make(q);
+    ASSERT_TRUE(wl.ok()) << "Q" << q << ": " << wl.status().ToString();
+    EXPECT_EQ(wl->id, "Q" + std::to_string(q));
+    EXPECT_EQ(wl->cyclic, expect_cyclic[q - 1]) << wl->id;
+    EXPECT_FALSE(wl->normalized.atoms.empty());
+    // Constant selections were pushed down: no atom relation exceeds its
+    // base cardinality, and Q3/Q7's selected ObjectName atoms are tiny.
+    if (q == 3 || q == 7) {
+      bool has_tiny = false;
+      for (const auto& atom : wl->normalized.atoms) {
+        if (atom.relation.NumTuples() <= 2) has_tiny = true;
+      }
+      EXPECT_TRUE(has_tiny) << wl->id;
+    }
+  }
+}
+
+TEST(WorkloadFactoryTest, DatasetsSharedAcrossQueries) {
+  WorkloadScale scale;
+  scale.twitter.num_nodes = 200;
+  scale.twitter.num_edges = 800;
+  scale.freebase_scale = 0.05;
+  WorkloadFactory factory(scale);
+  auto q1 = factory.Make(1);
+  auto q2 = factory.Make(2);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_EQ(q1->catalog.get(), q2->catalog.get());
+}
+
+TEST(WorkloadFactoryTest, InvalidQueryNumberRejected) {
+  WorkloadFactory factory;
+  EXPECT_FALSE(factory.Make(0).ok());
+  EXPECT_FALSE(factory.Make(9).ok());
+}
+
+}  // namespace
+}  // namespace ptp

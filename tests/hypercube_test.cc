@@ -1,0 +1,250 @@
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "hypercube/cell_allocation.h"
+#include "hypercube/config.h"
+#include "hypercube/optimizer.h"
+
+namespace ptp {
+namespace {
+
+ShareProblem TriangleProblem(double m1, double m2, double m3) {
+  ShareProblem p;
+  p.join_vars = {"x", "y", "z"};
+  p.atoms = {{"S1", {0, 1}, m1}, {"S2", {1, 2}, m2}, {"S3", {2, 0}, m3}};
+  return p;
+}
+
+TEST(HypercubeConfigTest, CellCoordRoundTrip) {
+  HypercubeConfig config;
+  config.join_vars = {"x", "y", "z"};
+  config.dims = {2, 3, 4};
+  EXPECT_EQ(config.NumCells(), 24);
+  for (int cell = 0; cell < 24; ++cell) {
+    EXPECT_EQ(config.CoordsToCell(config.CellToCoords(cell)), cell);
+  }
+  EXPECT_EQ(config.CellToCoords(0), (std::vector<int>{0, 0, 0}));
+  EXPECT_EQ(config.CellToCoords(23), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(HypercubeRouterTest, BoundTupleGoesToReplicatedCells) {
+  HypercubeConfig config;
+  config.join_vars = {"x", "y", "z"};
+  config.dims = {2, 2, 3};
+  // Atom R(x, y): z unbound -> replication factor 3.
+  HypercubeRouter router(config, {"x", "y"});
+  EXPECT_EQ(router.ReplicationFactor(), 3);
+  Value tuple[] = {77, 13};
+  std::vector<int> cells;
+  router.Route(tuple, &cells);
+  ASSERT_EQ(cells.size(), 3u);
+  // All three destinations agree on the x/y coordinates and differ in z.
+  std::set<int> zs;
+  auto c0 = config.CellToCoords(cells[0]);
+  for (int cell : cells) {
+    auto c = config.CellToCoords(cell);
+    EXPECT_EQ(c[0], c0[0]);
+    EXPECT_EQ(c[1], c0[1]);
+    zs.insert(c[2]);
+  }
+  EXPECT_EQ(zs.size(), 3u);
+}
+
+TEST(HypercubeRouterTest, FullyBoundTupleGoesToOneCell) {
+  HypercubeConfig config;
+  config.join_vars = {"x", "y"};
+  config.dims = {4, 4};
+  HypercubeRouter router(config, {"x", "y"});
+  EXPECT_EQ(router.ReplicationFactor(), 1);
+  Value tuple[] = {5, 6};
+  std::vector<int> cells;
+  router.Route(tuple, &cells);
+  EXPECT_EQ(cells.size(), 1u);
+}
+
+TEST(HypercubeRouterTest, RoutingIsDeterministic) {
+  HypercubeConfig config;
+  config.join_vars = {"x", "y", "z"};
+  config.dims = {2, 4, 2};
+  HypercubeRouter router(config, {"y", "z"});
+  Value tuple[] = {123, 456};
+  std::vector<int> a, b;
+  router.Route(tuple, &a);
+  router.Route(tuple, &b);
+  EXPECT_EQ(a, b);
+}
+
+// The key HyperCube correctness property: any combination of atom tuples
+// that agrees on the join variables meets on at least one common cell.
+TEST(HypercubeRouterTest, JoiningTuplesMeetOnACell) {
+  HypercubeConfig config;
+  config.join_vars = {"x", "y", "z"};
+  config.dims = {3, 2, 4};
+  HypercubeRouter r_router(config, {"x", "y"});
+  HypercubeRouter s_router(config, {"y", "z"});
+  HypercubeRouter t_router(config, {"z", "x"});
+  for (Value x = 0; x < 5; ++x) {
+    for (Value y = 0; y < 5; ++y) {
+      for (Value z = 0; z < 5; ++z) {
+        Value r[] = {x, y}, s[] = {y, z}, t[] = {z, x};
+        std::vector<int> rc, sc, tc;
+        r_router.Route(r, &rc);
+        s_router.Route(s, &sc);
+        t_router.Route(t, &tc);
+        std::sort(rc.begin(), rc.end());
+        std::sort(sc.begin(), sc.end());
+        std::sort(tc.begin(), tc.end());
+        std::vector<int> rs, rst;
+        std::set_intersection(rc.begin(), rc.end(), sc.begin(), sc.end(),
+                              std::back_inserter(rs));
+        std::set_intersection(rs.begin(), rs.end(), tc.begin(), tc.end(),
+                              std::back_inserter(rst));
+        EXPECT_EQ(rst.size(), 1u) << "x=" << x << " y=" << y << " z=" << z;
+      }
+    }
+  }
+}
+
+TEST(OptimizerTest, SymmetricTriangleOn64Gets4x4x4) {
+  ConfigChoice c = OptimizeShares(TriangleProblem(1e6, 1e6, 1e6), 64);
+  EXPECT_EQ(c.config.dims, (std::vector<int>{4, 4, 4}));
+  EXPECT_EQ(c.cells_used, 64);
+  EXPECT_NEAR(c.expected_load, 3e6 / 16.0, 1e-6);
+}
+
+TEST(OptimizerTest, TriangleOn63UsesNonTrivialConfig) {
+  // The paper's motivating example: rounding 63^(1/3) down to 3x3x3 wastes
+  // workers (0.33m); Algorithm 1 must find something strictly better.
+  ConfigChoice ours = OptimizeShares(TriangleProblem(1e6, 1e6, 1e6), 63);
+  auto down = RoundDownShares(TriangleProblem(1e6, 1e6, 1e6), 63);
+  ASSERT_TRUE(down.ok());
+  EXPECT_EQ(down->config.dims, (std::vector<int>{3, 3, 3}));
+  EXPECT_LT(ours.expected_load, down->expected_load);
+  EXPECT_LE(ours.config.NumCells(), 63);
+}
+
+TEST(OptimizerTest, SkewedSizesBroadcastSmallRelation) {
+  // |S1| tiny: optimal integral config concentrates shares on z (the
+  // variable joining the two big relations) — dims (1, 1, p).
+  ConfigChoice c = OptimizeShares(TriangleProblem(10, 1e6, 1e6), 64);
+  EXPECT_EQ(c.config.dims[0], 1);
+  EXPECT_EQ(c.config.dims[1], 1);
+  EXPECT_EQ(c.config.dims[2], 64);
+}
+
+TEST(OptimizerTest, EvenTiebreakPrefersSquareConfig) {
+  // Two variables, symmetric: 8x8 beats 4x16 / 64x1 at equal-ish load.
+  ShareProblem p;
+  p.join_vars = {"x", "y"};
+  p.atoms = {{"A", {0}, 1e6}, {"B", {0, 1}, 1e6}, {"C", {1}, 1e6}};
+  ConfigChoice with_tiebreak = OptimizeShares(p, 64);
+  EXPECT_EQ(std::max(with_tiebreak.config.dims[0],
+                     with_tiebreak.config.dims[1]),
+            8);
+}
+
+TEST(OptimizerTest, NeverExceedsWorkerBudget) {
+  for (int n : {1, 2, 7, 15, 63, 64, 65}) {
+    ConfigChoice c = OptimizeShares(TriangleProblem(3e5, 1e6, 7e5), n);
+    EXPECT_LE(c.config.NumCells(), n);
+    EXPECT_GE(c.config.NumCells(), 1);
+  }
+}
+
+TEST(OptimizerTest, OurAlgorithmNeverWorseThanRoundDown) {
+  for (int n : {5, 12, 15, 31, 63, 64, 100}) {
+    for (double skew : {1.0, 3.0, 10.0}) {
+      ShareProblem p = TriangleProblem(1e6, 1e6 * skew, 1e6);
+      ConfigChoice ours = OptimizeShares(p, n);
+      auto down = RoundDownShares(p, n);
+      ASSERT_TRUE(down.ok());
+      EXPECT_LE(ours.expected_load, down->expected_load * (1 + 1e-9))
+          << "n=" << n << " skew=" << skew;
+    }
+  }
+}
+
+TEST(OptimizerTest, CountIntegralConfigsMatchesBruteForce) {
+  // k=2, N=6: pairs (a,b) with a*b <= 6:
+  // a=1: b 1..6 (6); a=2: b 1..3 (3); a=3: 1..2 (2); a=4,5,6: 1 each (3).
+  EXPECT_EQ(CountIntegralConfigs(2, 6), 14);
+  EXPECT_EQ(CountIntegralConfigs(1, 10), 10);
+  EXPECT_EQ(CountIntegralConfigs(0, 10), 1);
+}
+
+TEST(CellAllocationTest, RandomAllocationIsBalancedAndComplete) {
+  ShareProblem p = TriangleProblem(1e6, 1e6, 1e6);
+  auto alloc = RandomCellAllocation(p, 4, 64, /*seed=*/3);
+  ASSERT_TRUE(alloc.ok()) << alloc.status().ToString();
+  const int m = alloc->config.NumCells();
+  EXPECT_GT(m, 4);
+  std::vector<int> counts(4, 0);
+  for (int w : alloc->worker_of_cell) {
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, 4);
+    ++counts[static_cast<size_t>(w)];
+  }
+  const int max_count = *std::max_element(counts.begin(), counts.end());
+  const int min_count = *std::min_element(counts.begin(), counts.end());
+  EXPECT_LE(max_count - min_count, 1);
+}
+
+TEST(CellAllocationTest, RandomAllocationInflatesLoadVersusOneCellPerWorker) {
+  // App. B: random placement forces each worker to receive a large part of
+  // the replicated relations.
+  ShareProblem p = TriangleProblem(1e6, 1e6, 1e6);
+  ConfigChoice ours = OptimizeShares(p, 64);
+  auto random = RandomCellAllocation(p, 64, 4096, /*seed=*/5);
+  ASSERT_TRUE(random.ok());
+  const double random_load = AllocationMaxLoad(p, *random);
+  EXPECT_GT(random_load, ours.expected_load * 1.5);
+}
+
+TEST(CellAllocationTest, OptimalAllocationRefusesLargeInstances) {
+  ShareProblem p = TriangleProblem(100, 100, 100);
+  HypercubeConfig config;
+  config.join_vars = p.join_vars;
+  config.dims = {4, 4, 4};
+  auto result = OptimalCellAllocation(p, config, 8);
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(CellAllocationTest, OptimalBeatsRandomOnTinyInstance) {
+  ShareProblem p;
+  p.join_vars = {"x", "y"};
+  p.atoms = {{"R", {0}, 1000}, {"S", {0, 1}, 1000}, {"T", {1}, 1000}};
+  HypercubeConfig config;
+  config.join_vars = p.join_vars;
+  config.dims = {2, 3};  // 6 cells onto 3 workers
+  auto optimal = OptimalCellAllocation(p, config, 3);
+  ASSERT_TRUE(optimal.ok()) << optimal.status().ToString();
+
+  CellAllocation random;
+  random.config = config;
+  random.num_workers = 3;
+  random.worker_of_cell = {0, 1, 2, 2, 0, 1};  // arbitrary scattered map
+  EXPECT_LE(AllocationMaxLoad(p, *optimal),
+            AllocationMaxLoad(p, random) + 1e-9);
+}
+
+TEST(CellAllocationTest, MaxLoadCountsDistinctSlabsOnce) {
+  // One worker owning two cells in the same R-slab receives R's slab once.
+  ShareProblem p;
+  p.join_vars = {"x", "y"};
+  p.atoms = {{"R", {0}, 100.0}};  // bound dims: x only
+  CellAllocation alloc;
+  alloc.config.join_vars = p.join_vars;
+  alloc.config.dims = {2, 2};
+  alloc.num_workers = 2;
+  // Worker 0 owns cells (0,0) and (0,1): same x-slab -> load 50.
+  // Worker 1 owns cells (1,0) and (1,1): load 50.
+  alloc.worker_of_cell = {0, 0, 1, 1};
+  EXPECT_NEAR(AllocationMaxLoad(p, alloc), 50.0, 1e-9);
+  // Scattered: each worker sees both x-slabs -> load 100.
+  alloc.worker_of_cell = {0, 1, 1, 0};
+  EXPECT_NEAR(AllocationMaxLoad(p, alloc), 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ptp

@@ -1,0 +1,119 @@
+#include "query/hypergraph.h"
+
+#include "gtest/gtest.h"
+#include "query/parser.h"
+
+namespace ptp {
+namespace {
+
+Hypergraph FromEdges(std::vector<std::vector<std::string>> edges) {
+  return Hypergraph(std::move(edges));
+}
+
+TEST(HypergraphTest, PathIsAcyclic) {
+  EXPECT_TRUE(FromEdges({{"x", "y"}, {"y", "z"}, {"z", "w"}}).IsAcyclic());
+}
+
+TEST(HypergraphTest, TriangleIsCyclic) {
+  EXPECT_FALSE(FromEdges({{"x", "y"}, {"y", "z"}, {"z", "x"}}).IsAcyclic());
+}
+
+TEST(HypergraphTest, StarIsAcyclic) {
+  EXPECT_TRUE(
+      FromEdges({{"h", "a"}, {"h", "b"}, {"h", "c"}, {"h", "d"}}).IsAcyclic());
+}
+
+TEST(HypergraphTest, TriangleCoveredByBigEdgeIsAcyclic) {
+  // Alpha-acyclicity: adding the covering edge {x,y,z} makes it acyclic.
+  EXPECT_TRUE(
+      FromEdges({{"x", "y"}, {"y", "z"}, {"z", "x"}, {"x", "y", "z"}})
+          .IsAcyclic());
+}
+
+TEST(HypergraphTest, FourCycleIsCyclic) {
+  EXPECT_FALSE(
+      FromEdges({{"x", "y"}, {"y", "z"}, {"z", "p"}, {"p", "x"}}).IsAcyclic());
+}
+
+TEST(HypergraphTest, SingleEdgeIsAcyclic) {
+  EXPECT_TRUE(FromEdges({{"x", "y", "z"}}).IsAcyclic());
+}
+
+TEST(HypergraphTest, DisconnectedAcyclicComponents) {
+  EXPECT_TRUE(FromEdges({{"x", "y"}, {"a", "b"}}).IsAcyclic());
+}
+
+TEST(HypergraphTest, PaperQueryCyclicityMatchesTable6) {
+  struct Case {
+    const char* text;
+    bool cyclic;
+  };
+  const Case cases[] = {
+      // Q1 triangle: cyclic.
+      {"T(x,y,z) :- R(x,y), S(y,z), U(z,x).", true},
+      // Q5 rectangle: cyclic.
+      {"T(x,y,z,p) :- R(x,y), S(y,z), U(z,p), K(p,x).", true},
+      // Q2 4-clique: cyclic.
+      {"T(x,y,z,p) :- R(x,y), S(y,z), U(z,p), P(p,x), K(x,z), L(y,p).", true},
+      // Q7 star with a dangling branch: acyclic.
+      {"T(a) :- N(aw), HA(h,aw), HC(h,a), HY(h,y).", false},
+      // Q8 actor-director: cyclic.
+      {"T(a,d) :- AP1(a,p1), AP2(a,p2), PF1(p1,f1), PF2(p2,f2), DF1(d,f1), "
+       "DF2(d,f2).",
+       true},
+  };
+  for (const Case& c : cases) {
+    auto q = ParseDatalog(c.text, nullptr);
+    ASSERT_TRUE(q.ok()) << c.text;
+    EXPECT_EQ(!Hypergraph(*q).IsAcyclic(), c.cyclic) << c.text;
+  }
+}
+
+TEST(JoinTreeTest, PathQueryYieldsChain) {
+  auto q = ParseDatalog("Q(x,w) :- R(x,y), S(y,z), U(z,w).", nullptr);
+  ASSERT_TRUE(q.ok());
+  auto tree = BuildJoinTree(*q);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->parent.size(), 3u);
+  // Exactly one root; every non-root's parent is a valid index.
+  int roots = 0;
+  for (size_t i = 0; i < tree->parent.size(); ++i) {
+    if (tree->parent[i] < 0) {
+      ++roots;
+      EXPECT_EQ(static_cast<int>(i), tree->root);
+    } else {
+      EXPECT_LT(tree->parent[i], 3);
+    }
+  }
+  EXPECT_EQ(roots, 1);
+  // bottom_up_order covers all nodes, children before parents.
+  EXPECT_EQ(tree->bottom_up_order.size(), 3u);
+  std::vector<bool> seen(3, false);
+  for (int node : tree->bottom_up_order) {
+    for (int child : tree->children[static_cast<size_t>(node)]) {
+      EXPECT_TRUE(seen[static_cast<size_t>(child)]);
+    }
+    seen[static_cast<size_t>(node)] = true;
+  }
+}
+
+TEST(JoinTreeTest, CyclicQueryIsRejected) {
+  auto q = ParseDatalog("T(x,y,z) :- R(x,y), S(y,z), U(z,x).", nullptr);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(BuildJoinTree(*q).ok());
+}
+
+TEST(JoinTreeTest, Q7StarTree) {
+  // GHD of Q7 (paper Figure 16): HonorAward is the hub.
+  auto q = ParseDatalog(
+      "T(a) :- N(aw), HA(h,aw), HC(h,a), HY(h,y).", nullptr);
+  ASSERT_TRUE(q.ok());
+  auto tree = BuildJoinTree(*q);
+  ASSERT_TRUE(tree.ok());
+  // Atom 1 (HA) shares vars with all others; it must be an ancestor of all.
+  // (The precise shape can vary, but the tree must be connected & rooted.)
+  EXPECT_GE(tree->root, 0);
+}
+
+}  // namespace
+}  // namespace ptp

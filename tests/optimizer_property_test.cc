@@ -1,0 +1,130 @@
+// Property tests for the share optimizer: Algorithm 1's exhaustive search
+// must equal a brute-force minimum, respect the worker budget, and dominate
+// the naive baselines across randomized problems.
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "hypercube/cell_allocation.h"
+#include "hypercube/optimizer.h"
+
+namespace ptp {
+namespace {
+
+ShareProblem RandomProblem(Rng* rng, size_t num_vars, size_t num_atoms) {
+  ShareProblem p;
+  for (size_t i = 0; i < num_vars; ++i) {
+    p.join_vars.push_back("v" + std::to_string(i));
+  }
+  for (size_t a = 0; a < num_atoms; ++a) {
+    ShareProblem::AtomInfo info;
+    info.name = "R" + std::to_string(a);
+    info.cardinality = 1000.0 + static_cast<double>(rng->Uniform(1000000));
+    // Each atom touches 1-3 distinct variables.
+    const size_t touch = 1 + rng->Uniform(std::min<size_t>(3, num_vars));
+    while (info.var_idx.size() < touch) {
+      int v = static_cast<int>(rng->Uniform(num_vars));
+      if (std::find(info.var_idx.begin(), info.var_idx.end(), v) ==
+          info.var_idx.end()) {
+        info.var_idx.push_back(v);
+      }
+    }
+    p.atoms.push_back(std::move(info));
+  }
+  return p;
+}
+
+// Brute force over all dim vectors with product <= n (k <= 3 only).
+double BruteForceBestLoad(const ShareProblem& p, int n) {
+  PTP_CHECK_LE(p.join_vars.size(), 3u);
+  double best = std::numeric_limits<double>::infinity();
+  const int k = static_cast<int>(p.join_vars.size());
+  std::vector<int> dims(static_cast<size_t>(k), 1);
+  std::function<void(int, int)> rec = [&](int idx, int budget) {
+    if (idx == k) {
+      best = std::min(best, IntegralConfigLoad(p, dims));
+      return;
+    }
+    for (int d = 1; d <= budget; ++d) {
+      dims[static_cast<size_t>(idx)] = d;
+      rec(idx + 1, budget / d);
+    }
+  };
+  rec(0, n);
+  return best;
+}
+
+class OptimizerRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerRandomSweep, MatchesBruteForceAndDominatesBaselines) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  const size_t num_vars = 1 + rng.Uniform(3);  // 1..3 (brute force feasible)
+  const size_t num_atoms = 2 + rng.Uniform(4);
+  ShareProblem p = RandomProblem(&rng, num_vars, num_atoms);
+  const int n = static_cast<int>(2 + rng.Uniform(80));
+
+  ConfigChoice ours = OptimizeShares(p, n);
+  EXPECT_LE(ours.config.NumCells(), n);
+  EXPECT_NEAR(ours.expected_load, BruteForceBestLoad(p, n),
+              1e-6 * ours.expected_load);
+
+  auto down = RoundDownShares(p, n);
+  ASSERT_TRUE(down.ok()) << down.status().ToString();
+  EXPECT_LE(ours.expected_load, down->expected_load * (1 + 1e-9));
+
+  auto random = RandomCellAllocation(p, n, std::max(n, 256), rng.Next());
+  if (random.ok()) {
+    EXPECT_LE(ours.expected_load,
+              AllocationMaxLoad(p, *random) * (1 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerRandomSweep,
+                         ::testing::Range(0, 25));
+
+TEST(OptimizerPropertyTest, LoadMonotoneInWorkers) {
+  // More workers can never hurt the optimal expected load.
+  Rng rng(3);
+  ShareProblem p = RandomProblem(&rng, 3, 4);
+  double prev = std::numeric_limits<double>::infinity();
+  for (int n : {1, 2, 4, 8, 16, 32, 64}) {
+    ConfigChoice c = OptimizeShares(p, n);
+    EXPECT_LE(c.expected_load, prev * (1 + 1e-9)) << "n=" << n;
+    prev = c.expected_load;
+  }
+}
+
+TEST(OptimizerPropertyTest, FractionalLowerBoundsMaxAtomLoad) {
+  // The LP's max-per-atom load lower-bounds every integral config's
+  // max-per-atom load (the quantity the LP optimizes).
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    ShareProblem p = RandomProblem(&rng, 2 + rng.Uniform(2), 3);
+    const int n = 64;
+    auto frac = SolveFractionalShares(p, n);
+    ASSERT_TRUE(frac.ok());
+    auto max_atom_load = [&](const std::vector<double>& shares) {
+      double worst = 0;
+      for (const auto& atom : p.atoms) {
+        double denom = 1;
+        for (int vi : atom.var_idx) denom *= shares[static_cast<size_t>(vi)];
+        worst = std::max(worst, atom.cardinality / denom);
+      }
+      return worst;
+    };
+    ConfigChoice ours = OptimizeShares(p, n);
+    std::vector<double> integral_shares;
+    for (int d : ours.config.dims) {
+      integral_shares.push_back(static_cast<double>(d));
+    }
+    EXPECT_LE(max_atom_load(frac->shares),
+              max_atom_load(integral_shares) * (1 + 1e-6));
+  }
+}
+
+}  // namespace
+}  // namespace ptp

@@ -1,0 +1,78 @@
+// Robustness: the Datalog parser must return Status (never crash, never
+// hang) on arbitrary inputs — random bytes, truncations of valid queries,
+// and single-character mutations.
+
+#include <string>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "query/parser.h"
+
+namespace ptp {
+namespace {
+
+const char* kValid =
+    "ActorPairs(a1, a2) :- ActorPerform(a1, p1), PerformFilm(p1, f1), "
+    "ObjectName(a2, \"Joe Pesci\"), f1 > 1990.";
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    const size_t len = rng.Uniform(60);
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(32 + rng.Uniform(95)));
+    }
+    Dictionary dict;
+    auto result = ParseDatalog(input, &dict);  // must not crash
+    (void)result;
+  }
+}
+
+TEST(ParserFuzzTest, TruncationsNeverCrash) {
+  const std::string valid = kValid;
+  for (size_t cut = 0; cut <= valid.size(); ++cut) {
+    Dictionary dict;
+    auto result = ParseDatalog(valid.substr(0, cut), &dict);
+    if (cut == valid.size()) {
+      EXPECT_TRUE(result.ok());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, SingleCharMutationsNeverCrash) {
+  const std::string valid = kValid;
+  Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = valid;
+    mutated[rng.Uniform(mutated.size())] =
+        static_cast<char>(32 + rng.Uniform(95));
+    Dictionary dict;
+    auto result = ParseDatalog(mutated, &dict);
+    (void)result;
+  }
+}
+
+TEST(ParserFuzzTest, DeeplyNestedJunkRejectedQuickly) {
+  // Pathological inputs must fail fast, not blow the stack or loop.
+  Dictionary dict;
+  std::string many_parens = "Q(x) :- R(";
+  many_parens += std::string(10000, '(');
+  EXPECT_FALSE(ParseDatalog(many_parens, &dict).ok());
+
+  std::string many_commas = "Q(x) :- R(x";
+  for (int i = 0; i < 10000; ++i) many_commas += ",x";
+  many_commas += ")";
+  EXPECT_TRUE(ParseDatalog(many_commas, &dict).ok());  // large but valid
+}
+
+TEST(ParserFuzzTest, ValidQueriesStillParseAfterFuzzing) {
+  Dictionary dict;
+  auto q = ParseDatalog(kValid, &dict);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->atoms().size(), 3u);
+  EXPECT_EQ(q->predicates().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ptp

@@ -1,0 +1,112 @@
+#include "query/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace ptp {
+namespace {
+
+TEST(ParserTest, TriangleQuery) {
+  auto q = ParseDatalog(
+      "T(x,y,z) :- R(x,y), S(y,z), U(z,x).", nullptr);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->head_name(), "T");
+  EXPECT_EQ(q->head_vars(), (std::vector<std::string>{"x", "y", "z"}));
+  ASSERT_EQ(q->atoms().size(), 3u);
+  EXPECT_EQ(q->atoms()[2].relation, "U");
+  EXPECT_TRUE(q->predicates().empty());
+}
+
+TEST(ParserTest, WhitespaceAndTrailingDotOptional) {
+  auto q = ParseDatalog("  T( x , y )   :-   R(x,y)  ", nullptr);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->atoms().size(), 1u);
+}
+
+TEST(ParserTest, IntegerConstants) {
+  auto q = ParseDatalog("Q(x) :- R(x, 42), S(x, -7).", nullptr);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->atoms()[0].terms[1].is_constant());
+  EXPECT_EQ(q->atoms()[0].terms[1].constant, 42);
+  EXPECT_EQ(q->atoms()[1].terms[1].constant, -7);
+}
+
+TEST(ParserTest, StringConstantsInternedIntoDictionary) {
+  Dictionary dict;
+  auto q = ParseDatalog(
+      "Q(x) :- ObjectName(x, \"Joe Pesci\"), ObjectName(x, \"Joe Pesci\").",
+      &dict);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_TRUE(q->atoms()[0].terms[1].is_constant());
+  EXPECT_EQ(q->atoms()[0].terms[1].constant,
+            q->atoms()[1].terms[1].constant);
+  EXPECT_EQ(dict.String(q->atoms()[0].terms[1].constant), "Joe Pesci");
+}
+
+TEST(ParserTest, StringConstantWithoutDictionaryFails) {
+  auto q = ParseDatalog("Q(x) :- R(x, \"a\").", nullptr);
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(ParserTest, ComparisonPredicates) {
+  auto q = ParseDatalog(
+      "Q(a,b) :- R(a,f1), S(b,f2), f1 > f2, a != b, b >= 3.", nullptr);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->predicates().size(), 3u);
+  EXPECT_EQ(q->predicates()[0].op, CmpOp::kGt);
+  EXPECT_EQ(q->predicates()[1].op, CmpOp::kNe);
+  EXPECT_EQ(q->predicates()[2].op, CmpOp::kGe);
+  EXPECT_TRUE(q->predicates()[2].rhs.is_constant());
+}
+
+TEST(ParserTest, AndKeywordAccepted) {
+  auto q = ParseDatalog(
+      "Q(a) :- HonorYear(h, y), y >= 1990 AND y < 2000, HonorActor(h, a).",
+      nullptr);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->atoms().size(), 2u);
+  EXPECT_EQ(q->predicates().size(), 2u);
+}
+
+TEST(ParserTest, PaperQ4Parses) {
+  auto q = ParseDatalog(
+      "ActorPairs(a1, a2) :- ActorPerform(a1, p1), PerformFilm(p1, f1), "
+      "PerformFilm(p2, f1), ActorPerform(a2, p2), ActorPerform(a2, p3), "
+      "PerformFilm(p3, f2), PerformFilm(p4, f2), ActorPerform(a1, p4), "
+      "f1 > f2.",
+      nullptr);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->atoms().size(), 8u);
+  EXPECT_EQ(q->predicates().size(), 1u);
+  EXPECT_EQ(q->variables().size(), 8u);
+}
+
+TEST(ParserTest, RejectsMissingBody) {
+  EXPECT_FALSE(ParseDatalog("Q(x)", nullptr).ok());
+  EXPECT_FALSE(ParseDatalog("Q(x) :-", nullptr).ok());
+}
+
+TEST(ParserTest, RejectsConstantInHead) {
+  EXPECT_FALSE(ParseDatalog("Q(3) :- R(x, 3).", nullptr).ok());
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseDatalog("Q(x) :- R(x, y). garbage", nullptr).ok());
+}
+
+TEST(ParserTest, RejectsUnterminatedString) {
+  Dictionary dict;
+  EXPECT_FALSE(ParseDatalog("Q(x) :- R(x, \"oops).", &dict).ok());
+}
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  Dictionary dict;
+  const char* text = "Q(x, z) :- R(x, y), S(y, z), x < z.";
+  auto q = ParseDatalog(text, &dict);
+  ASSERT_TRUE(q.ok());
+  auto q2 = ParseDatalog(q->ToString(), &dict);
+  ASSERT_TRUE(q2.ok()) << q2.status().ToString();
+  EXPECT_EQ(q->ToString(), q2->ToString());
+}
+
+}  // namespace
+}  // namespace ptp

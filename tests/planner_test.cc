@@ -1,0 +1,84 @@
+#include "query/planner.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ptp {
+namespace {
+
+TEST(EstimateJoinSizeTest, IndependenceFormula) {
+  // |L|=100 |R|=200, one shared var with distinct 10 vs 20:
+  // 100*200 / max(10,20) = 1000.
+  EXPECT_DOUBLE_EQ(EstimateJoinSize(100, {10}, 200, {20}), 1000.0);
+  // No shared vars -> cross product.
+  EXPECT_DOUBLE_EQ(EstimateJoinSize(10, {}, 20, {}), 200.0);
+}
+
+NormalizedQuery SelectiveChain(uint64_t seed) {
+  // Tiny(a) -- R(a,b) -- S(b,c): the greedy order must start with the
+  // selective Tiny side.
+  Rng rng(seed);
+  NormalizedQuery q;
+  Relation tiny("Tiny", Schema{"a"});
+  tiny.AddTuple({1});
+  tiny.AddTuple({2});
+  q.atoms.push_back({{"a"}, tiny});
+  q.atoms.push_back(
+      {{"a", "b"}, test::RandomBinaryRelation("R", {"a", "b"}, 200, 40, &rng)});
+  q.atoms.push_back(
+      {{"b", "c"}, test::RandomBinaryRelation("S", {"b", "c"}, 200, 40, &rng)});
+  q.head_vars = {"c"};
+  return q;
+}
+
+TEST(GreedyLeftDeepOrderTest, CoversAllAtomsOnce) {
+  NormalizedQuery q = SelectiveChain(1);
+  std::vector<int> order = GreedyLeftDeepOrder(q);
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(GreedyLeftDeepOrderTest, StartsWithSelectiveAtom) {
+  NormalizedQuery q = SelectiveChain(2);
+  std::vector<int> order = GreedyLeftDeepOrder(q);
+  // The 2-tuple Tiny atom should participate in the seed pair.
+  EXPECT_TRUE(order[0] == 0 || order[1] == 0)
+      << "order starts " << order[0] << ", " << order[1];
+}
+
+TEST(GreedyLeftDeepOrderTest, ConnectedBeforeCrossProduct) {
+  // R(a,b), S(b,c), X(q,r): X is disconnected and must come last.
+  Rng rng(3);
+  NormalizedQuery q;
+  q.atoms.push_back(
+      {{"a", "b"}, test::RandomBinaryRelation("R", {"a", "b"}, 50, 10, &rng)});
+  q.atoms.push_back(
+      {{"b", "c"}, test::RandomBinaryRelation("S", {"b", "c"}, 50, 10, &rng)});
+  q.atoms.push_back(
+      {{"q", "r"}, test::RandomBinaryRelation("X", {"q", "r"}, 5, 10, &rng)});
+  q.head_vars = {"a"};
+  std::vector<int> order = GreedyLeftDeepOrder(q);
+  EXPECT_EQ(order.back(), 2);
+}
+
+TEST(EstimateLeftDeepSizesTest, MonotoneDefinitions) {
+  NormalizedQuery q = SelectiveChain(4);
+  std::vector<int> order = GreedyLeftDeepOrder(q);
+  std::vector<double> sizes = EstimateLeftDeepSizes(q, order);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_GT(sizes[0], 0.0);
+}
+
+TEST(GreedyLeftDeepOrderTest, SingleAtom) {
+  Rng rng(5);
+  NormalizedQuery q;
+  q.atoms.push_back(
+      {{"a", "b"}, test::RandomBinaryRelation("R", {"a", "b"}, 10, 5, &rng)});
+  q.head_vars = {"a"};
+  EXPECT_EQ(GreedyLeftDeepOrder(q), (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace ptp

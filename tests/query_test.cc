@@ -1,0 +1,129 @@
+#include "query/query.h"
+
+#include "gtest/gtest.h"
+#include "storage/catalog.h"
+
+namespace ptp {
+namespace {
+
+Catalog TwoRelationCatalog() {
+  Catalog c;
+  Relation r("R", Schema{"c1", "c2"});
+  r.AddTuple({1, 2});
+  r.AddTuple({2, 3});
+  r.AddTuple({3, 3});
+  c.Put(std::move(r));
+  Relation s("S", Schema{"c1", "c2"});
+  s.AddTuple({2, 10});
+  s.AddTuple({3, 20});
+  c.Put(std::move(s));
+  return c;
+}
+
+ConjunctiveQuery PathQuery() {
+  Atom r{"R", {Term::Var("x"), Term::Var("y")}};
+  Atom s{"S", {Term::Var("y"), Term::Var("z")}};
+  return ConjunctiveQuery("Q", {"x", "z"}, {r, s});
+}
+
+TEST(AtomTest, VariablesDeduplicated) {
+  Atom a{"R", {Term::Var("x"), Term::Var("y"), Term::Var("x")}};
+  EXPECT_EQ(a.Variables(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(a.HasVariable("y"));
+  EXPECT_FALSE(a.HasVariable("z"));
+}
+
+TEST(PredicateTest, EvalAllOps) {
+  EXPECT_TRUE(Predicate::Eval(1, CmpOp::kLt, 2));
+  EXPECT_FALSE(Predicate::Eval(2, CmpOp::kLt, 2));
+  EXPECT_TRUE(Predicate::Eval(2, CmpOp::kLe, 2));
+  EXPECT_TRUE(Predicate::Eval(3, CmpOp::kGt, 2));
+  EXPECT_TRUE(Predicate::Eval(2, CmpOp::kGe, 2));
+  EXPECT_TRUE(Predicate::Eval(2, CmpOp::kEq, 2));
+  EXPECT_TRUE(Predicate::Eval(1, CmpOp::kNe, 2));
+}
+
+TEST(ConjunctiveQueryTest, VariablesInFirstOccurrenceOrder) {
+  ConjunctiveQuery q = PathQuery();
+  EXPECT_EQ(q.variables(), (std::vector<std::string>{"x", "y", "z"}));
+  EXPECT_EQ(q.JoinVariables(), (std::vector<std::string>{"y"}));
+  EXPECT_EQ(q.VariableIndex("z"), 2);
+  EXPECT_EQ(q.VariableIndex("nope"), -1);
+}
+
+TEST(ConjunctiveQueryTest, ValidateCatchesBadArity) {
+  Catalog c = TwoRelationCatalog();
+  Atom bad{"R", {Term::Var("x")}};  // R has arity 2
+  ConjunctiveQuery q("Q", {"x"}, {bad});
+  EXPECT_FALSE(q.Validate(c).ok());
+}
+
+TEST(ConjunctiveQueryTest, ValidateCatchesUnknownRelation) {
+  Catalog c = TwoRelationCatalog();
+  Atom bad{"Nope", {Term::Var("x"), Term::Var("y")}};
+  ConjunctiveQuery q("Q", {"x"}, {bad});
+  EXPECT_EQ(q.Validate(c).code(), StatusCode::kNotFound);
+}
+
+TEST(ConjunctiveQueryTest, ValidateCatchesFreeHeadVariable) {
+  Catalog c = TwoRelationCatalog();
+  Atom r{"R", {Term::Var("x"), Term::Var("y")}};
+  ConjunctiveQuery q("Q", {"w"}, {r});
+  EXPECT_FALSE(q.Validate(c).ok());
+}
+
+TEST(NormalizeTest, PlainAtomsPassThrough) {
+  Catalog c = TwoRelationCatalog();
+  auto nq = Normalize(PathQuery(), c);
+  ASSERT_TRUE(nq.ok());
+  ASSERT_EQ(nq->atoms.size(), 2u);
+  EXPECT_EQ(nq->atoms[0].variables, (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(nq->atoms[0].relation.NumTuples(), 3u);
+  // Schema names are rewritten to variable names.
+  EXPECT_EQ(nq->atoms[0].relation.schema().names(),
+            (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(NormalizeTest, ConstantSelectionIsPushedDown) {
+  Catalog c = TwoRelationCatalog();
+  Atom r{"R", {Term::Var("x"), Term::Const(3)}};
+  ConjunctiveQuery q("Q", {"x"}, {r});
+  auto nq = Normalize(q, c);
+  ASSERT_TRUE(nq.ok());
+  // Rows with c2 == 3: (2,3) and (3,3) -> projected to x.
+  EXPECT_EQ(nq->atoms[0].relation.NumTuples(), 2u);
+  EXPECT_EQ(nq->atoms[0].variables, (std::vector<std::string>{"x"}));
+}
+
+TEST(NormalizeTest, RepeatedVariableBecomesFilter) {
+  Catalog c = TwoRelationCatalog();
+  Atom r{"R", {Term::Var("x"), Term::Var("x")}};
+  ConjunctiveQuery q("Q", {"x"}, {r});
+  auto nq = Normalize(q, c);
+  ASSERT_TRUE(nq.ok());
+  // Only (3,3) has c1 == c2.
+  ASSERT_EQ(nq->atoms[0].relation.NumTuples(), 1u);
+  EXPECT_EQ(nq->atoms[0].relation.At(0, 0), 3);
+}
+
+TEST(NormalizeTest, HeadAndPredicatesPreserved) {
+  Catalog c = TwoRelationCatalog();
+  ConjunctiveQuery q(
+      "Q", {"x", "z"},
+      {Atom{"R", {Term::Var("x"), Term::Var("y")}},
+       Atom{"S", {Term::Var("y"), Term::Var("z")}}},
+      {Predicate{Term::Var("x"), CmpOp::kLt, Term::Var("z")}});
+  auto nq = Normalize(q, c);
+  ASSERT_TRUE(nq.ok());
+  EXPECT_EQ(nq->head_vars, (std::vector<std::string>{"x", "z"}));
+  ASSERT_EQ(nq->predicates.size(), 1u);
+  EXPECT_EQ(nq->Variables(), (std::vector<std::string>{"x", "y", "z"}));
+}
+
+TEST(QueryToStringTest, RendersDatalog) {
+  ConjunctiveQuery q = PathQuery();
+  EXPECT_EQ(q.ToString(), "Q(x, z) :- R(x, y), S(y, z).");
+}
+
+}  // namespace
+}  // namespace ptp

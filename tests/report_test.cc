@@ -1,0 +1,51 @@
+#include "bench_util/report.h"
+
+#include "common/str_util.h"
+
+#include "gtest/gtest.h"
+
+namespace ptp {
+namespace {
+
+TEST(WithCommasTest, GroupsDigits) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(1234567), "1,234,567");
+  EXPECT_EQ(WithCommas(13371468), "13,371,468");
+}
+
+TEST(FormatSecondsTest, AdaptivePrecision) {
+  EXPECT_EQ(FormatSeconds(0.00123), "0.0012s");
+  EXPECT_EQ(FormatSeconds(1.234), "1.234s");
+  EXPECT_EQ(FormatSeconds(42.0), "42.0s");
+}
+
+TEST(FormatMillionsTest, SwitchesUnits) {
+  EXPECT_EQ(FormatMillions(999), "999");
+  EXPECT_EQ(FormatMillions(13371468), "13.37M");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.AddRow({"xxxxx", "y"});
+  std::string out = t.ToString();
+  // Both rows have the same width up to trailing spaces.
+  auto lines = SplitAndTrim(out, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_NE(out.find("a      long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxx  y"), std::string::npos);
+}
+
+TEST(PearsonCorrelationTest, KnownValues) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {1, -1, 1, -1}), -0.4472,
+              1e-3);
+  // Degenerate inputs.
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1}, {2}), 0.0);
+}
+
+}  // namespace
+}  // namespace ptp

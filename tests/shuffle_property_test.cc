@@ -1,0 +1,188 @@
+// Property tests for the shuffle layer: content preservation,
+// co-partitioning, determinism, and the HyperCube meeting guarantee across
+// randomized inputs and cluster sizes.
+
+#include <map>
+#include <set>
+
+#include "exec/local_ops.h"
+#include "exec/shuffle.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace ptp {
+namespace {
+
+class HashShuffleSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HashShuffleSweep, PreservesAndCoPartitions) {
+  const auto [seed, workers] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  Relation rel = test::RandomBinaryRelation("R", {"x", "y"}, 300, 40, &rng);
+  DistributedRelation dist = PartitionRoundRobin(rel, workers);
+  ShuffleResult sr = HashShuffle(dist, {1}, workers, 12345, "t");
+  EXPECT_TRUE(Gather(sr.data).EqualsUnordered(rel));
+  EXPECT_EQ(sr.metrics.tuples_sent, rel.NumTuples());
+  std::map<Value, size_t> home;
+  for (size_t w = 0; w < sr.data.size(); ++w) {
+    for (size_t row = 0; row < sr.data[w].NumTuples(); ++row) {
+      auto [it, inserted] = home.emplace(sr.data[w].At(row, 1), w);
+      EXPECT_EQ(it->second, w);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsWorkers, HashShuffleSweep,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Values(1, 2, 5, 16)));
+
+TEST(HashShuffleTest, DeterministicAcrossCalls) {
+  Rng rng(5);
+  Relation rel = test::RandomBinaryRelation("R", {"x", "y"}, 100, 20, &rng);
+  DistributedRelation dist = PartitionRoundRobin(rel, 6);
+  ShuffleResult a = HashShuffle(dist, {0}, 6, 9, "a");
+  ShuffleResult b = HashShuffle(dist, {0}, 6, 9, "b");
+  for (size_t w = 0; w < 6; ++w) {
+    EXPECT_EQ(a.data[w].data(), b.data[w].data());
+  }
+}
+
+TEST(HashShuffleTest, DifferentSaltsGiveDifferentPartitions) {
+  Rng rng(6);
+  Relation rel = test::RandomBinaryRelation("R", {"x", "y"}, 400, 200, &rng);
+  DistributedRelation dist = PartitionRoundRobin(rel, 8);
+  ShuffleResult a = HashShuffle(dist, {0}, 8, 1, "a");
+  ShuffleResult b = HashShuffle(dist, {0}, 8, 2, "b");
+  bool any_difference = false;
+  for (size_t w = 0; w < 8; ++w) {
+    if (a.data[w].data() != b.data[w].data()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+// HyperCube property over random configurations: every pair of tuples that
+// joins must meet on exactly one worker under the identity cell map.
+class HypercubeMeetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypercubeMeetSweep, BinaryJoinMeetsExactlyOnce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  HypercubeConfig config;
+  config.join_vars = {"a", "b", "c"};
+  config.dims = {static_cast<int>(1 + rng.Uniform(4)),
+                 static_cast<int>(1 + rng.Uniform(4)),
+                 static_cast<int>(1 + rng.Uniform(4))};
+  config.salt = rng.Next();
+  HypercubeRouter r1(config, {"a", "b"});
+  HypercubeRouter r2(config, {"b", "c"});
+  HypercubeRouter r3(config, {"c", "a"});
+  for (int trial = 0; trial < 50; ++trial) {
+    const Value a = static_cast<Value>(rng.Uniform(100));
+    const Value b = static_cast<Value>(rng.Uniform(100));
+    const Value c = static_cast<Value>(rng.Uniform(100));
+    Value t1[] = {a, b}, t2[] = {b, c}, t3[] = {c, a};
+    std::vector<int> c1, c2, c3;
+    r1.Route(t1, &c1);
+    r2.Route(t2, &c2);
+    r3.Route(t3, &c3);
+    std::set<int> s1(c1.begin(), c1.end());
+    std::set<int> s2(c2.begin(), c2.end());
+    std::set<int> s3(c3.begin(), c3.end());
+    int common = 0;
+    for (int cell : s1) {
+      if (s2.count(cell) && s3.count(cell)) ++common;
+    }
+    EXPECT_EQ(common, 1) << "dims " << config.dims[0] << "x"
+                         << config.dims[1] << "x" << config.dims[2];
+    // Replication factors are exactly the unbound dimension products.
+    EXPECT_EQ(static_cast<int>(c1.size()), config.dims[2]);
+    EXPECT_EQ(static_cast<int>(c2.size()), config.dims[0]);
+    EXPECT_EQ(static_cast<int>(c3.size()), config.dims[1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypercubeMeetSweep, ::testing::Range(0, 10));
+
+TEST(HypercubeShuffleTest, SharedWorkerReceivesOneCopy) {
+  // With a cell map sending all cells to one worker, each tuple must be
+  // physically sent once despite multiple destination cells.
+  Relation rel("R", Schema{"x", "y"});
+  for (Value i = 0; i < 50; ++i) rel.AddTuple({i, i + 1});
+  HypercubeConfig config;
+  config.join_vars = {"x", "y", "z"};
+  config.dims = {2, 2, 4};
+  std::vector<int> all_to_zero(static_cast<size_t>(config.NumCells()), 0);
+  ShuffleResult sr = HypercubeShuffle(PartitionRoundRobin(rel, 4), {"x", "y"},
+                                      config, all_to_zero, 4, "t");
+  EXPECT_EQ(sr.metrics.tuples_sent, rel.NumTuples());  // one copy each
+  EXPECT_EQ(sr.data[0].NumTuples(), rel.NumTuples());
+}
+
+TEST(SkewAwareShuffleTest, JoinResultUnchangedAndSkewBounded) {
+  // One mega-hub key y=0 would normally drown a single worker.
+  Relation left("L", Schema{"x", "y"});
+  Relation right("R", Schema{"y", "z"});
+  for (Value i = 0; i < 600; ++i) left.AddTuple({i, 0});
+  for (Value i = 0; i < 100; ++i) left.AddTuple({i, 1 + i % 7});
+  for (Value i = 0; i < 40; ++i) right.AddTuple({0, i});
+  for (Value i = 0; i < 40; ++i) right.AddTuple({1 + i % 7, 100 + i});
+
+  const int kW = 8;
+  auto dl = PartitionRoundRobin(left, kW);
+  auto dr = PartitionRoundRobin(right, kW);
+  SkewAwareShuffleResult sa =
+      SkewAwareJoinShuffle(dl, {1}, dr, {0}, kW, 3, 2.0, "t");
+  EXPECT_GE(sa.heavy_keys, 1u);
+
+  // Left content preserved exactly; right replicated only for heavy keys.
+  EXPECT_TRUE(Gather(sa.left).EqualsUnordered(left));
+  EXPECT_GT(sa.right_metrics.tuples_sent, right.NumTuples());
+
+  // Consumer skew on the left must be bounded (plain hashing would put all
+  // 600 hub tuples on one worker: skew ~6.9).
+  ShuffleResult plain = HashShuffle(dl, {1}, kW, 3, "plain");
+  EXPECT_GT(plain.metrics.consumer_skew, 3.0);
+  EXPECT_LT(sa.left_metrics.consumer_skew, 2.0);
+
+  // The distributed join result matches the plain-shuffle join.
+  auto join_all = [&](const DistributedRelation& a,
+                      const DistributedRelation& b) {
+    Relation out("out", Schema{"x", "y", "z"});
+    for (int w = 0; w < kW; ++w) {
+      Relation j = HashJoinLocal(a[static_cast<size_t>(w)],
+                                 b[static_cast<size_t>(w)]);
+      Relation p = ProjectToVars(j, {"x", "y", "z"});
+      out.mutable_data().insert(out.mutable_data().end(), p.data().begin(),
+                                p.data().end());
+    }
+    return out;
+  };
+  ShuffleResult plain_r = HashShuffle(dr, {0}, kW, 3, "plain_r");
+  Relation expected = join_all(plain.data, plain_r.data);
+  Relation actual = join_all(sa.left, sa.right);
+  EXPECT_TRUE(actual.EqualsUnordered(expected));
+}
+
+TEST(SkewAwareShuffleTest, NoHeavyKeysDegeneratesToHashShuffle) {
+  Rng rng(12);
+  Relation left = test::RandomBinaryRelation("L", {"x", "y"}, 200, 190, &rng);
+  Relation right = test::RandomBinaryRelation("R", {"y", "z"}, 200, 190, &rng);
+  auto dl = PartitionRoundRobin(left, 4);
+  auto dr = PartitionRoundRobin(right, 4);
+  SkewAwareShuffleResult sa =
+      SkewAwareJoinShuffle(dl, {1}, dr, {0}, 4, 3, 4.0, "t");
+  EXPECT_EQ(sa.heavy_keys, 0u);
+  EXPECT_EQ(sa.right_metrics.tuples_sent, right.NumTuples());
+}
+
+TEST(BroadcastShuffleTest, ProducerLoadsBalanced) {
+  Rng rng(7);
+  Relation rel = test::RandomBinaryRelation("R", {"x", "y"}, 128, 30, &rng);
+  DistributedRelation dist = PartitionRoundRobin(rel, 4);
+  ShuffleResult sr = BroadcastShuffle(dist, 4, "b");
+  EXPECT_NEAR(sr.metrics.producer_skew, 1.0, 0.05);
+  EXPECT_DOUBLE_EQ(sr.metrics.consumer_skew, 1.0);
+}
+
+}  // namespace
+}  // namespace ptp

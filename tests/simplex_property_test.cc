@@ -1,0 +1,107 @@
+// Property tests for the simplex solver: random small LPs validated against
+// a dense grid search over the feasible region.
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "lp/simplex.h"
+
+namespace ptp {
+namespace {
+
+using Rel = LinearProgram::Relation;
+
+// Brute-force optimum of min c.x over {x >= 0, A x <= b} by scanning a fine
+// grid over [0, 10]^2. Good enough to bound the true optimum within the
+// grid resolution for the bounded instances we generate.
+double GridOptimum(const std::vector<double>& c,
+                   const std::vector<std::vector<double>>& rows,
+                   const std::vector<double>& rhs) {
+  double best = std::numeric_limits<double>::infinity();
+  const int kSteps = 200;
+  for (int i = 0; i <= kSteps; ++i) {
+    for (int j = 0; j <= kSteps; ++j) {
+      const double x = 10.0 * i / kSteps;
+      const double y = 10.0 * j / kSteps;
+      bool feasible = true;
+      for (size_t r = 0; r < rows.size(); ++r) {
+        if (rows[r][0] * x + rows[r][1] * y > rhs[r] + 1e-9) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) best = std::min(best, c[0] * x + c[1] * y);
+    }
+  }
+  return best;
+}
+
+class SimplexRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomSweep, MatchesGridSearch) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 3);
+  // Random bounded instance: 3 constraints with positive coefficients (so
+  // the region is bounded within [0,10]^2 by adding x,y <= 10), mixed-sign
+  // objective.
+  std::vector<double> c = {rng.NextDouble() * 4 - 2, rng.NextDouble() * 4 - 2};
+  std::vector<std::vector<double>> rows;
+  std::vector<double> rhs;
+  for (int i = 0; i < 3; ++i) {
+    rows.push_back({rng.NextDouble() * 2, rng.NextDouble() * 2});
+    rhs.push_back(1.0 + rng.NextDouble() * 9);
+  }
+  rows.push_back({1, 0});
+  rhs.push_back(10);
+  rows.push_back({0, 1});
+  rhs.push_back(10);
+
+  LinearProgram lp(c);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    lp.AddConstraint(rows[i], Rel::kLe, rhs[i]);
+  }
+  auto sol = lp.Solve();
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  const double grid = GridOptimum(c, rows, rhs);
+  // Simplex must be at least as good as the grid (it is exact) and the grid
+  // approximates the optimum to ~0.15 given the Lipschitz constants here.
+  EXPECT_LE(sol->objective, grid + 1e-6);
+  EXPECT_GE(sol->objective, grid - 0.2);
+  // The returned point must be feasible.
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i][0] * sol->x[0] + rows[i][1] * sol->x[1],
+              rhs[i] + 1e-6);
+  }
+  EXPECT_GE(sol->x[0], -1e-9);
+  EXPECT_GE(sol->x[1], -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomSweep, ::testing::Range(0, 20));
+
+TEST(SimplexTest, DegenerateRedundantConstraints) {
+  // Duplicated and redundant constraints must not cycle (Bland's rule).
+  LinearProgram lp({1.0, 1.0});
+  for (int i = 0; i < 5; ++i) {
+    lp.AddConstraint({1, 1}, Rel::kGe, 2);
+    lp.AddConstraint({1, 0}, Rel::kLe, 5);
+  }
+  auto sol = lp.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 2.0, 1e-6);
+}
+
+TEST(SimplexTest, EqualityPlusInequalityMix) {
+  // min x + 2y + 3z  s.t. x + y + z = 6, y >= 1, z <= 2.
+  LinearProgram lp({1, 2, 3});
+  lp.AddConstraint({1, 1, 1}, Rel::kEq, 6);
+  lp.AddConstraint({0, 1, 0}, Rel::kGe, 1);
+  lp.AddConstraint({0, 0, 1}, Rel::kLe, 2);
+  auto sol = lp.Solve();
+  ASSERT_TRUE(sol.ok());
+  // Optimal: x = 5, y = 1, z = 0 -> 7.
+  EXPECT_NEAR(sol->objective, 7.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ptp

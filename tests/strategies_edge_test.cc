@@ -1,0 +1,156 @@
+// Edge-case and failure-injection tests for the strategy layer.
+
+#include "gtest/gtest.h"
+#include "plan/strategies.h"
+#include "query/parser.h"
+#include "test_util.h"
+
+namespace ptp {
+namespace {
+
+NormalizedQuery TriangleOn(Catalog catalog) {
+  auto parsed = ParseDatalog("T(x,y,z) :- R(x,y), S(y,z), U(z,x).", nullptr);
+  PTP_CHECK(parsed.ok());
+  auto nq = Normalize(*parsed, catalog);
+  PTP_CHECK(nq.ok()) << nq.status().ToString();
+  return std::move(nq).value();
+}
+
+Catalog TriangleCatalog(size_t tuples, uint64_t seed) {
+  Rng rng(seed);
+  Catalog catalog;
+  catalog.Put(test::RandomBinaryRelation("R", {"x", "y"}, tuples, 10, &rng));
+  catalog.Put(test::RandomBinaryRelation("S", {"y", "z"}, tuples, 10, &rng));
+  catalog.Put(test::RandomBinaryRelation("U", {"z", "x"}, tuples, 10, &rng));
+  return catalog;
+}
+
+TEST(StrategyEdgeTest, EmptyRelationsYieldEmptyResults) {
+  Catalog catalog;
+  catalog.Put(Relation("R", Schema{"c1", "c2"}));
+  catalog.Put(Relation("S", Schema{"c1", "c2"}));
+  catalog.Put(Relation("U", Schema{"c1", "c2"}));
+  NormalizedQuery q = TriangleOn(std::move(catalog));
+  StrategyOptions opts;
+  opts.num_workers = 4;
+  for (const auto& [shuffle, join] : AllStrategies()) {
+    auto result = RunStrategy(q, shuffle, join, opts);
+    ASSERT_TRUE(result.ok()) << StrategyName(shuffle, join) << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->output.NumTuples(), 0u) << StrategyName(shuffle, join);
+    EXPECT_FALSE(result->metrics.failed);
+  }
+}
+
+TEST(StrategyEdgeTest, OneEmptyInputAmongNonEmpty) {
+  Catalog catalog = TriangleCatalog(50, 1);
+  catalog.Put(Relation("S", Schema{"c1", "c2"}));  // overwrite S with empty
+  NormalizedQuery q = TriangleOn(std::move(catalog));
+  StrategyOptions opts;
+  opts.num_workers = 4;
+  for (const auto& [shuffle, join] : AllStrategies()) {
+    auto result = RunStrategy(q, shuffle, join, opts);
+    ASSERT_TRUE(result.ok()) << StrategyName(shuffle, join);
+    EXPECT_EQ(result->output.NumTuples(), 0u) << StrategyName(shuffle, join);
+  }
+}
+
+TEST(StrategyEdgeTest, SingleWorkerDegeneratesGracefully) {
+  NormalizedQuery q = TriangleOn(TriangleCatalog(80, 2));
+  StrategyOptions opts;
+  opts.num_workers = 1;
+  const Relation* reference = nullptr;
+  Relation ref_store;
+  for (const auto& [shuffle, join] : AllStrategies()) {
+    auto result = RunStrategy(q, shuffle, join, opts);
+    ASSERT_TRUE(result.ok()) << StrategyName(shuffle, join);
+    if (reference == nullptr) {
+      ref_store = result->output;
+      reference = &ref_store;
+    } else {
+      EXPECT_TRUE(result->output.EqualsUnordered(*reference))
+          << StrategyName(shuffle, join);
+    }
+    // With one worker nothing is really shuffled by HC (replication 1).
+    if (shuffle == ShuffleKind::kHypercube) {
+      EXPECT_EQ(result->hc_config.NumCells(), 1);
+    }
+  }
+}
+
+TEST(StrategyEdgeTest, ZeroWorkersRejected) {
+  NormalizedQuery q = TriangleOn(TriangleCatalog(10, 3));
+  StrategyOptions opts;
+  opts.num_workers = 0;
+  auto result =
+      RunStrategy(q, ShuffleKind::kRegular, JoinKind::kHashJoin, opts);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StrategyEdgeTest, EmptyQueryRejected) {
+  NormalizedQuery q;
+  StrategyOptions opts;
+  auto result =
+      RunStrategy(q, ShuffleKind::kRegular, JoinKind::kHashJoin, opts);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StrategyEdgeTest, BadJoinOrderRejected) {
+  NormalizedQuery q = TriangleOn(TriangleCatalog(20, 4));
+  StrategyOptions opts;
+  opts.num_workers = 2;
+  opts.join_order = {0};  // must cover all atoms
+  auto result =
+      RunStrategy(q, ShuffleKind::kRegular, JoinKind::kHashJoin, opts);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StrategyEdgeTest, ConstantOnlyPredicateFiltersEverything) {
+  Catalog catalog = TriangleCatalog(40, 5);
+  auto parsed = ParseDatalog(
+      "T(x,y,z) :- R(x,y), S(y,z), U(z,x), 1 > 2.", nullptr);
+  ASSERT_TRUE(parsed.ok());
+  auto nq = Normalize(*parsed, catalog);
+  ASSERT_TRUE(nq.ok());
+  StrategyOptions opts;
+  opts.num_workers = 3;
+  for (const auto& [shuffle, join] : AllStrategies()) {
+    auto result = RunStrategy(*nq, shuffle, join, opts);
+    ASSERT_TRUE(result.ok()) << StrategyName(shuffle, join);
+    EXPECT_EQ(result->output.NumTuples(), 0u) << StrategyName(shuffle, join);
+  }
+}
+
+TEST(StrategyEdgeTest, MoreWorkersThanTuples) {
+  NormalizedQuery q = TriangleOn(TriangleCatalog(5, 6));
+  StrategyOptions opts;
+  opts.num_workers = 64;
+  const Relation* reference = nullptr;
+  Relation ref_store;
+  for (const auto& [shuffle, join] : AllStrategies()) {
+    auto result = RunStrategy(q, shuffle, join, opts);
+    ASSERT_TRUE(result.ok()) << StrategyName(shuffle, join);
+    if (reference == nullptr) {
+      ref_store = result->output;
+      reference = &ref_store;
+    } else {
+      EXPECT_TRUE(result->output.EqualsUnordered(*reference));
+    }
+  }
+}
+
+TEST(StrategyEdgeTest, WallNeverExceedsCpu) {
+  NormalizedQuery q = TriangleOn(TriangleCatalog(200, 7));
+  StrategyOptions opts;
+  opts.num_workers = 8;
+  for (const auto& [shuffle, join] : AllStrategies()) {
+    auto result = RunStrategy(q, shuffle, join, opts);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->metrics.wall_seconds,
+              result->metrics.TotalCpuSeconds() + 1e-6)
+        << StrategyName(shuffle, join);
+  }
+}
+
+}  // namespace
+}  // namespace ptp

@@ -1,0 +1,149 @@
+#include "tj/trie_iterator.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "tj/leapfrog.h"
+
+namespace ptp {
+namespace {
+
+Relation SortedRel(std::vector<Tuple> rows,
+                   std::vector<std::string> names) {
+  Relation r("R", Schema(std::move(names)));
+  for (const Tuple& t : rows) r.AddTuple(t);
+  r.SortLex();
+  return r;
+}
+
+TEST(TrieIteratorTest, WalksFirstLevelDistinctKeys) {
+  Relation r = SortedRel({{1, 5}, {1, 7}, {2, 3}, {4, 1}, {4, 9}}, {"a", "b"});
+  TrieIterator it(&r);
+  it.Open();
+  std::vector<Value> keys;
+  while (!it.AtEnd()) {
+    keys.push_back(it.Key());
+    it.Next();
+  }
+  EXPECT_EQ(keys, (std::vector<Value>{1, 2, 4}));
+}
+
+TEST(TrieIteratorTest, SecondLevelScopedToPrefix) {
+  Relation r = SortedRel({{1, 5}, {1, 7}, {2, 3}, {4, 1}, {4, 9}}, {"a", "b"});
+  TrieIterator it(&r);
+  it.Open();          // a = 1
+  it.Open();          // b within a=1
+  std::vector<Value> keys;
+  while (!it.AtEnd()) {
+    keys.push_back(it.Key());
+    it.Next();
+  }
+  EXPECT_EQ(keys, (std::vector<Value>{5, 7}));
+  it.Up();
+  it.Next();  // a = 2
+  EXPECT_EQ(it.Key(), 2);
+  it.Open();
+  EXPECT_EQ(it.Key(), 3);
+}
+
+TEST(TrieIteratorTest, SeekFindsLeastKeyGE) {
+  Relation r = SortedRel({{1, 0}, {3, 0}, {7, 0}, {9, 0}}, {"a", "b"});
+  TrieIterator it(&r);
+  it.Open();
+  it.Seek(2);
+  EXPECT_EQ(it.Key(), 3);
+  it.Seek(3);  // seek to current key: stays
+  EXPECT_EQ(it.Key(), 3);
+  it.Seek(8);
+  EXPECT_EQ(it.Key(), 9);
+  it.Seek(10);
+  EXPECT_TRUE(it.AtEnd());
+}
+
+TEST(TrieIteratorTest, SeekWithinPrefixRange) {
+  Relation r = SortedRel({{1, 2}, {1, 4}, {1, 8}, {2, 1}, {2, 9}}, {"a", "b"});
+  TrieIterator it(&r);
+  it.Open();  // a=1
+  it.Open();  // b in {2,4,8}
+  it.Seek(5);
+  EXPECT_EQ(it.Key(), 8);
+  it.Seek(9);  // exceeds the a=1 block; must not leak into a=2's values
+  EXPECT_TRUE(it.AtEnd());
+}
+
+TEST(TrieIteratorTest, UpRestoresParentPosition) {
+  Relation r = SortedRel({{1, 2}, {3, 4}}, {"a", "b"});
+  TrieIterator it(&r);
+  it.Open();
+  it.Next();  // a=3
+  it.Open();  // b=4
+  EXPECT_EQ(it.Key(), 4);
+  it.Up();
+  EXPECT_EQ(it.Key(), 3);
+}
+
+TEST(TrieIteratorTest, CountsSeeks) {
+  Relation r = SortedRel({{1, 0}, {5, 0}}, {"a", "b"});
+  TrieIterator it(&r);
+  it.Open();
+  it.Seek(4);
+  it.Seek(6);
+  EXPECT_EQ(it.num_seeks(), 2u);
+}
+
+TEST(LeapfrogTest, IntersectsThreeLists) {
+  Relation a = SortedRel({{1}, {3}, {4}, {7}, {9}}, {"x"});
+  Relation b = SortedRel({{2}, {3}, {7}, {8}, {9}}, {"x"});
+  Relation c = SortedRel({{0}, {3}, {5}, {7}, {9}, {11}}, {"x"});
+  TrieIterator ia(&a), ib(&b), ic(&c);
+  ia.Open();
+  ib.Open();
+  ic.Open();
+  LeapfrogJoin lf({&ia, &ib, &ic});
+  std::vector<Value> common;
+  while (!lf.AtEnd()) {
+    common.push_back(lf.Key());
+    lf.Next();
+  }
+  EXPECT_EQ(common, (std::vector<Value>{3, 7, 9}));
+}
+
+TEST(LeapfrogTest, EmptyIntersection) {
+  Relation a = SortedRel({{1}, {2}}, {"x"});
+  Relation b = SortedRel({{3}, {4}}, {"x"});
+  TrieIterator ia(&a), ib(&b);
+  ia.Open();
+  ib.Open();
+  LeapfrogJoin lf({&ia, &ib});
+  EXPECT_TRUE(lf.AtEnd());
+}
+
+TEST(LeapfrogTest, SingleIteratorEnumeratesAll) {
+  Relation a = SortedRel({{1}, {5}, {5}, {9}}, {"x"});
+  TrieIterator ia(&a);
+  ia.Open();
+  LeapfrogJoin lf({&ia});
+  std::vector<Value> keys;
+  while (!lf.AtEnd()) {
+    keys.push_back(lf.Key());
+    lf.Next();
+  }
+  EXPECT_EQ(keys, (std::vector<Value>{1, 5, 9}));
+}
+
+TEST(LeapfrogTest, SeekAdvancesAllIterators) {
+  Relation a = SortedRel({{1}, {4}, {8}, {12}}, {"x"});
+  Relation b = SortedRel({{1}, {4}, {8}, {12}}, {"x"});
+  TrieIterator ia(&a), ib(&b);
+  ia.Open();
+  ib.Open();
+  LeapfrogJoin lf({&ia, &ib});
+  EXPECT_EQ(lf.Key(), 1);
+  lf.Seek(5);
+  EXPECT_EQ(lf.Key(), 8);
+  lf.Seek(100);
+  EXPECT_TRUE(lf.AtEnd());
+}
+
+}  // namespace
+}  // namespace ptp
