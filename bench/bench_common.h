@@ -2,8 +2,10 @@
 #define PTP_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "ptp/ptp.h"
@@ -23,6 +25,11 @@ struct BenchConfig {
   uint64_t seed = 42;
   size_t intermediate_budget = 20'000'000;
   size_t sort_budget = 0;  // 0 = budget / 4
+  /// When nonempty, a Chrome/Perfetto trace of the run is written here
+  /// (open in chrome://tracing or ui.perfetto.dev).
+  std::string trace_path;
+  /// When nonempty, EXPLAIN ANALYZE JSON for every strategy is written here.
+  std::string json_path;
 
   /// Parses flags on top of `base` (benches bake in per-figure defaults).
   static BenchConfig FromArgs(int argc, char** argv, BenchConfig base) {
@@ -44,12 +51,14 @@ struct BenchConfig {
           eat("--freebase-scale=", [&](const std::string& v) { c.freebase_scale = std::stod(v); }) ||
           eat("--seed=", [&](const std::string& v) { c.seed = std::stoul(v); }) ||
           eat("--budget=", [&](const std::string& v) { c.intermediate_budget = std::stoul(v); }) ||
-          eat("--sort-budget=", [&](const std::string& v) { c.sort_budget = std::stoul(v); });
+          eat("--sort-budget=", [&](const std::string& v) { c.sort_budget = std::stoul(v); }) ||
+          eat("--trace=", [&](const std::string& v) { c.trace_path = v; }) ||
+          eat("--json=", [&](const std::string& v) { c.json_path = v; });
       if (!ok) {
         std::cerr << "unknown flag: " << arg
                   << "\nflags: --workers= --twitter-nodes= --twitter-edges= "
                      "--twitter-zipf= --freebase-scale= --seed= --budget= "
-                     "--sort-budget=\n";
+                     "--sort-budget= --trace=<file> --json=<file>\n";
         std::exit(2);
       }
     }
@@ -98,11 +107,51 @@ inline std::vector<StrategyResult> RunSixConfigs(
   }
   std::cout << input << " input tuples across " << wl->normalized.atoms.size()
             << " atoms\n\n";
+  // Observability: --trace= records a Chrome trace of the whole run;
+  // --json= exports per-strategy EXPLAIN ANALYZE (with the counter registry
+  // embedded). Both are off by default, leaving the hot paths on their
+  // single-branch disabled fast path.
+  std::unique_ptr<TraceSession> trace;
+  std::unique_ptr<CounterRegistry> counters;
+  if (!config.trace_path.empty()) {
+    trace = std::make_unique<TraceSession>();
+    trace->NameTrack(kCoordinatorTrack, "coordinator");
+    for (int w = 0; w < config.workers; ++w) {
+      trace->NameTrack(WorkerTrack(w), StrFormat("worker %d", w));
+    }
+    SetActiveTraceSession(trace.get());
+  }
+  if (!config.trace_path.empty() || !config.json_path.empty()) {
+    counters = std::make_unique<CounterRegistry>();
+    SetActiveCounterRegistry(counters.get());
+  }
+
   StrategyOptions options = config.ToOptions();
   if (patch_options) patch_options(&options);
   std::vector<StrategyResult> results =
       RunAllStrategies(wl->normalized, options);
+
+  if (trace != nullptr) {
+    SetActiveTraceSession(nullptr);
+    Status s = trace->WriteJsonFile(config.trace_path);
+    PTP_CHECK(s.ok()) << s.ToString();
+  }
+  if (counters != nullptr) SetActiveCounterRegistry(nullptr);
+
   PrintSixConfigFigure(title, results, paper);
+  if (trace != nullptr) {
+    std::cout << "trace written to " << config.trace_path << " ("
+              << trace->events().size() << " events)\n";
+  }
+  if (!config.json_path.empty()) {
+    std::ofstream out(config.json_path);
+    PTP_CHECK(out.good()) << "cannot open " << config.json_path;
+    ExplainOptions eo;
+    eo.counters = counters.get();
+    WriteStrategiesJson(out, results, eo);
+    std::cout << "EXPLAIN ANALYZE JSON written to " << config.json_path
+              << "\n";
+  }
 
   // Consistency check across the non-failed runs.
   const Relation* reference = nullptr;

@@ -1,6 +1,7 @@
 // Quickstart: list all triangles of a small social graph three ways —
 // single-machine Tributary join, then the HC_TJ and RS_HJ distributed
-// strategies — and compare the metrics.
+// strategies — and compare the metrics via EXPLAIN ANALYZE, with the whole
+// run recorded as a Chrome trace (quickstart.trace.json).
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
@@ -62,7 +63,17 @@ int main() {
             << ", " << tj_metrics.seeks << " seeks)\n\n";
 
   // 4. Distributed execution: HyperCube + Tributary join vs. regular
-  //    shuffle + hash join on a 16-worker simulated cluster.
+  //    shuffle + hash join on a 16-worker simulated cluster — with the
+  //    observability layer switched on for the duration.
+  TraceSession trace;
+  CounterRegistry counters;
+  trace.NameTrack(kCoordinatorTrack, "coordinator");
+  for (int w = 0; w < 16; ++w) {
+    trace.NameTrack(WorkerTrack(w), StrFormat("worker %d", w));
+  }
+  SetActiveTraceSession(&trace);
+  SetActiveCounterRegistry(&counters);
+
   StrategyOptions opts;
   opts.num_workers = 16;
   for (auto [shuffle, join] :
@@ -73,21 +84,23 @@ int main() {
       std::cerr << result.status().ToString() << "\n";
       return 1;
     }
-    std::cout << StrategyName(shuffle, join) << ": output="
-              << result->output.NumTuples()
-              << " tuples, shuffled=" << result->metrics.TuplesShuffled()
-              << " tuples, wall=" << FormatSeconds(result->metrics.wall_seconds)
-              << ", cpu=" << FormatSeconds(result->metrics.TotalCpuSeconds())
-              << ", max shuffle skew="
-              << result->metrics.MaxShuffleSkew() << "\n";
-    if (shuffle == ShuffleKind::kHypercube) {
-      std::cout << "  HyperCube configuration: "
-                << result->hc_config.ToString() << "\n";
-    }
+    // EXPLAIN ANALYZE: the executed plan annotated with its metrics.
+    std::cout << ExplainAnalyzeText(StrategyName(shuffle, join), *result)
+              << "\n";
     if (result->output.NumTuples() != triangles->NumTuples()) {
       std::cerr << "MISMATCH vs single-machine result!\n";
       return 1;
     }
+  }
+  SetActiveTraceSession(nullptr);
+  SetActiveCounterRegistry(nullptr);
+
+  std::cout << "counters collected while tracing:\n" << counters.ToString();
+  Status written = trace.WriteJsonFile("quickstart.trace.json");
+  if (written.ok()) {
+    std::cout << "\ntimeline written to quickstart.trace.json ("
+              << trace.events().size()
+              << " events) - open it at ui.perfetto.dev\n";
   }
   std::cout << "\nAll three evaluations agree.\n";
   return 0;

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "obs/explain.h"
 
 namespace ptp {
 
@@ -44,28 +45,6 @@ std::string TablePrinter::ToString() const {
 
 void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
 
-std::string WithCommas(size_t value) {
-  std::string digits = std::to_string(value);
-  std::string out;
-  int count = 0;
-  for (size_t i = digits.size(); i-- > 0;) {
-    out.insert(out.begin(), digits[i]);
-    if (++count % 3 == 0 && i > 0) out.insert(out.begin(), ',');
-  }
-  return out;
-}
-
-std::string FormatSeconds(double seconds) {
-  if (seconds < 0.01) return StrFormat("%.4fs", seconds);
-  if (seconds < 10) return StrFormat("%.3fs", seconds);
-  return StrFormat("%.1fs", seconds);
-}
-
-std::string FormatMillions(size_t tuples) {
-  if (tuples < 1'000'000) return WithCommas(tuples);
-  return StrFormat("%.2fM", static_cast<double>(tuples) / 1e6);
-}
-
 void PrintSixConfigFigure(const std::string& title,
                           const std::vector<StrategyResult>& results,
                           const PaperFigure& paper) {
@@ -80,16 +59,8 @@ void PrintSixConfigFigure(const std::string& title,
         i < paper.failed.size() && paper.failed[i];
     std::vector<std::string> row;
     row.push_back(StrategyName(strategies[i].first, strategies[i].second));
-    if (r.metrics.failed) {
-      row.push_back("FAIL");
-      row.push_back("FAIL");
-      row.push_back(FormatMillions(r.metrics.TuplesShuffled()));
-      row.push_back("-");
-    } else {
-      row.push_back(FormatSeconds(r.metrics.wall_seconds));
-      row.push_back(FormatSeconds(r.metrics.TotalCpuSeconds()));
-      row.push_back(FormatMillions(r.metrics.TuplesShuffled()));
-      row.push_back(WithCommas(r.metrics.output_tuples));
+    for (std::string& cell : SummaryCells(r.metrics)) {
+      row.push_back(std::move(cell));
     }
     row.push_back(paper_failed
                       ? "FAIL"

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/str_util.h"  // WithCommas / FormatSeconds / FormatMillions
 #include "plan/strategies.h"
 
 namespace ptp {
@@ -20,13 +21,6 @@ class TablePrinter {
  private:
   std::vector<std::vector<std::string>> rows_;
 };
-
-/// "12,345,678"
-std::string WithCommas(size_t value);
-/// Seconds with adaptive precision ("0.0042 s", "12.3 s").
-std::string FormatSeconds(double seconds);
-/// Millions with one decimal ("13.4M"), matching the figure axes.
-std::string FormatMillions(size_t tuples);
 
 /// Prints one paper figure's three panels (wall clock / total CPU / tuples
 /// shuffled) for the six strategy results in paper order. `paper_values`

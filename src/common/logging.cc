@@ -1,10 +1,13 @@
 #include "common/logging.h"
 
+#include <cctype>
+
 namespace ptp {
 namespace internal_logging {
 
 namespace {
-Severity g_min_severity = Severity::kWarning;
+
+LogSink g_sink = nullptr;
 
 const char* SeverityName(Severity s) {
   switch (s) {
@@ -19,15 +22,56 @@ const char* SeverityName(Severity s) {
   }
   return "UNKNOWN";
 }
+
+// The minimum severity lives behind a function-local static so the
+// PTP_LOG_LEVEL environment variable is read exactly once, at first use,
+// regardless of static-initialization order.
+Severity& MinSeverityCell() {
+  static Severity severity = [] {
+    Severity s = Severity::kWarning;
+    if (const char* env = std::getenv("PTP_LOG_LEVEL")) {
+      ParseSeverity(env, &s);
+    }
+    return s;
+  }();
+  return severity;
+}
+
 }  // namespace
 
+bool ParseSeverity(std::string_view name, Severity* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "info" || lower == "0") {
+    *out = Severity::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "1") {
+    *out = Severity::kWarning;
+  } else if (lower == "error" || lower == "2") {
+    *out = Severity::kError;
+  } else if (lower == "fatal" || lower == "3") {
+    *out = Severity::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Severity SetMinLogSeverity(Severity severity) {
-  Severity prev = g_min_severity;
-  g_min_severity = severity;
+  Severity prev = MinSeverityCell();
+  MinSeverityCell() = severity;
   return prev;
 }
 
-Severity MinLogSeverity() { return g_min_severity; }
+Severity MinLogSeverity() { return MinSeverityCell(); }
+
+LogSink SetLogSink(LogSink sink) {
+  LogSink prev = g_sink;
+  g_sink = sink;
+  return prev;
+}
 
 LogMessage::LogMessage(Severity severity, const char* file, int line)
     : severity_(severity) {
@@ -36,8 +80,10 @@ LogMessage::LogMessage(Severity severity, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (severity_ >= g_min_severity || severity_ == Severity::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+  if (severity_ >= MinSeverityCell() || severity_ == Severity::kFatal) {
+    const std::string line = stream_.str();
+    std::cerr << line << std::endl;
+    if (g_sink != nullptr) g_sink(severity_, line);
   }
   if (severity_ == Severity::kFatal) {
     std::abort();

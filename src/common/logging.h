@@ -5,12 +5,17 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ptp {
 namespace internal_logging {
 
 /// Severity levels for PTP_LOG. kFatal aborts the process after logging.
 enum class Severity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Parses "info" / "warning" / "error" / "fatal" (any case) or "0".."3".
+/// Returns false (leaving *out untouched) on anything else.
+bool ParseSeverity(std::string_view name, Severity* out);
 
 /// Stream-style log sink; writes one line to stderr on destruction.
 class LogMessage {
@@ -33,9 +38,18 @@ class LogMessage {
 };
 
 /// Minimum severity that is actually emitted; default kWarning so library
-/// code stays quiet in tests and benches. Returns previous value.
+/// code stays quiet in tests and benches, overridable with the
+/// PTP_LOG_LEVEL environment variable (read once, at first use). Returns
+/// previous value.
 Severity SetMinLogSeverity(Severity severity);
 Severity MinLogSeverity();
+
+/// Observer for emitted log lines (lines below MinLogSeverity never reach
+/// it). The active TraceSession installs one so log lines show up as
+/// instant events on the trace timeline; nullptr uninstalls. Returns the
+/// previous sink.
+using LogSink = void (*)(Severity severity, const std::string& message);
+LogSink SetLogSink(LogSink sink);
 
 }  // namespace internal_logging
 

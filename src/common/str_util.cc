@@ -61,4 +61,26 @@ std::string StrFormat(const char* fmt, ...) {
   return out;
 }
 
+std::string WithCommas(size_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (size_t i = digits.size(); i-- > 0;) {
+    out.insert(out.begin(), digits[i]);
+    if (++count % 3 == 0 && i > 0) out.insert(out.begin(), ',');
+  }
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds < 0.01) return StrFormat("%.4fs", seconds);
+  if (seconds < 10) return StrFormat("%.3fs", seconds);
+  return StrFormat("%.1fs", seconds);
+}
+
+std::string FormatMillions(size_t tuples) {
+  if (tuples < 1'000'000) return WithCommas(tuples);
+  return StrFormat("%.2fM", static_cast<double>(tuples) / 1e6);
+}
+
 }  // namespace ptp

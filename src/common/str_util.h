@@ -34,6 +34,13 @@ std::string ToString(const T& value) {
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// "12,345,678"
+std::string WithCommas(size_t value);
+/// Seconds with adaptive precision ("0.0042s", "12.3s").
+std::string FormatSeconds(double seconds);
+/// Millions with two decimals ("13.37M"), matching the figure axes.
+std::string FormatMillions(size_t tuples);
+
 }  // namespace ptp
 
 #endif  // PTP_COMMON_STR_UTIL_H_

@@ -9,7 +9,9 @@
 namespace ptp {
 
 double SkewFactor(const std::vector<size_t>& loads) {
-  if (loads.empty()) return 1.0;
+  // A single worker is balanced by definition; returning early also avoids
+  // max/avg rounding drift for huge single-element loads.
+  if (loads.size() <= 1) return 1.0;
   size_t total = std::accumulate(loads.begin(), loads.end(), size_t{0});
   if (total == 0) return 1.0;
   size_t max = *std::max_element(loads.begin(), loads.end());
@@ -41,9 +43,16 @@ double QueryMetrics::MaxShuffleSkew() const {
 }
 
 void QueryMetrics::EnsureWorkers(size_t num_workers) {
+  // Resize each vector independently: callers that populated only
+  // worker_seconds (or absorbed metrics from a run with fewer workers) must
+  // not leave the sort/join breakdowns short — Absorb indexes all three.
   if (worker_seconds.size() < num_workers) {
     worker_seconds.resize(num_workers, 0.0);
+  }
+  if (worker_sort_seconds.size() < num_workers) {
     worker_sort_seconds.resize(num_workers, 0.0);
+  }
+  if (worker_join_seconds.size() < num_workers) {
     worker_join_seconds.resize(num_workers, 0.0);
   }
 }
@@ -55,8 +64,14 @@ void QueryMetrics::Absorb(const QueryMetrics& other) {
   EnsureWorkers(other.worker_seconds.size());
   for (size_t w = 0; w < other.worker_seconds.size(); ++w) {
     worker_seconds[w] += other.worker_seconds[w];
-    worker_sort_seconds[w] += other.worker_sort_seconds[w];
-    worker_join_seconds[w] += other.worker_join_seconds[w];
+    // `other` may carry shorter (or empty) breakdown vectors, e.g. when it
+    // was hand-built or came from a different worker count.
+    if (w < other.worker_sort_seconds.size()) {
+      worker_sort_seconds[w] += other.worker_sort_seconds[w];
+    }
+    if (w < other.worker_join_seconds.size()) {
+      worker_join_seconds[w] += other.worker_join_seconds[w];
+    }
   }
   wall_seconds += other.wall_seconds;
   max_intermediate_tuples =
@@ -69,22 +84,17 @@ void QueryMetrics::Absorb(const QueryMetrics& other) {
 }
 
 std::string QueryMetrics::ToString() const {
+  // One-line digest only; the full per-shuffle / per-stage tree is rendered
+  // by ExplainAnalyzeText (obs/explain.h).
   std::ostringstream os;
   if (failed) {
-    os << "FAILED: " << fail_reason << "\n";
+    os << "FAILED: " << fail_reason << " | ";
   }
   os << StrFormat(
       "wall=%.4fs cpu=%.4fs shuffled=%zu tuples max_intermediate=%zu "
       "output=%zu",
       wall_seconds, TotalCpuSeconds(), TuplesShuffled(),
       max_intermediate_tuples, output_tuples);
-  for (const ShuffleMetrics& s : shuffles) {
-    os << "\n  " << s.ToString();
-  }
-  for (const StageMetrics& s : stages) {
-    os << "\n  stage " << s.label << ": wall=" << s.wall_seconds
-       << "s cpu=" << s.cpu_seconds << "s out=" << s.output_tuples;
-  }
   return os.str();
 }
 

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "obs/counters.h"
 
 namespace ptp {
 
@@ -33,8 +34,16 @@ Result<Relation> LeftDeepJoinLocal(const std::vector<const Relation*>& inputs,
   for (size_t i = 1; i < order.size(); ++i) {
     const Relation& next = *inputs[static_cast<size_t>(order[i])];
     Timer join_timer;
+    const size_t build_tuples = acc.NumTuples();
     acc = SymmetricHashJoinLocal(acc, next, StrFormat("join_%zu", i));
     acc = FilterByPredicates(acc, preds);
+    if (CounterRegistry* reg = ActiveCounterRegistry()) {
+      reg->Add("pipeline.joins", 1);
+      reg->Add("pipeline.build_tuples", build_tuples);
+      reg->Add("pipeline.probe_tuples", next.NumTuples());
+      reg->Add("pipeline.output_tuples", acc.NumTuples());
+      reg->Hist("pipeline.join_output")->Record(acc.NumTuples());
+    }
     if (stats != nullptr) {
       stats->join_outputs.push_back(acc.NumTuples());
       stats->join_seconds.push_back(join_timer.Seconds());

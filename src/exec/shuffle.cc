@@ -5,6 +5,8 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace ptp {
 namespace {
@@ -27,6 +29,25 @@ void FinishMetrics(const DistributedRelation& out,
   metrics->consumer_skew = SkewFactor(FragmentSizes(out));
   metrics->tuples_sent = 0;
   for (size_t p : produced) metrics->tuples_sent += p;
+
+  // Publish per-shuffle aggregates to the active observability sinks (one
+  // nullptr branch each when disabled; never inside the per-tuple loops).
+  const size_t arity = out.empty() ? 0 : out[0].arity();
+  if (CounterRegistry* reg = ActiveCounterRegistry()) {
+    reg->Add("shuffle.count", 1);
+    reg->Add("shuffle.tuples_sent", metrics->tuples_sent);
+    reg->Add("shuffle.bytes_sent", metrics->tuples_sent * arity * sizeof(Value));
+    Histogram* channels = reg->Hist("shuffle.channel_tuples");
+    for (const Relation& frag : out) channels->Record(frag.NumTuples());
+  }
+  if (TraceSession* trace = ActiveTraceSession()) {
+    trace->Counter("shuffle.tuples_sent",
+                   static_cast<double>(metrics->tuples_sent));
+    trace->Counter("shuffle.bytes_sent",
+                   static_cast<double>(metrics->tuples_sent * arity *
+                                       sizeof(Value)));
+    trace->Instant("shuffle", metrics->label, kCoordinatorTrack);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,122 @@
+#include "obs/counters.h"
+
+#include <bit>
+#include <ostream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "obs/trace.h"
+
+namespace ptp {
+namespace {
+
+CounterRegistry* g_active_registry = nullptr;
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  ++buckets_[static_cast<size_t>(std::bit_width(value))];
+  ++count_;
+  sum_ += value;
+  if (value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::string Histogram::ToString() const {
+  return StrFormat("count=%zu sum=%llu min=%llu max=%llu mean=%.1f", count_,
+                   static_cast<unsigned long long>(sum()),
+                   static_cast<unsigned long long>(min()),
+                   static_cast<unsigned long long>(max()), Mean());
+}
+
+uint64_t* CounterRegistry::Counter(std::string_view name) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return &it->second;
+}
+
+void CounterRegistry::Add(std::string_view name, uint64_t delta) {
+  *Counter(name) += delta;
+}
+
+uint64_t CounterRegistry::Value(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram* CounterRegistry::Hist(std::string_view name) {
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), Histogram()).first;
+  }
+  return &it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+CounterRegistry::CounterSnapshot() const {
+  return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+CounterRegistry::CountersWithPrefix(std::string_view prefix) const {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (!StartsWith(it->first, prefix)) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::string CounterRegistry::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, hist] : hists_) {
+    os << name << ": " << hist.ToString() << "\n";
+  }
+  return os.str();
+}
+
+void CounterRegistry::WriteJson(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(name) << ":" << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : hists_) {
+    if (!first) os << ",";
+    first = false;
+    os << JsonQuote(name) << ":{\"count\":" << hist.count()
+       << ",\"sum\":" << hist.sum() << ",\"min\":" << hist.min()
+       << ",\"max\":" << hist.max()
+       << ",\"mean\":" << StrFormat("%.6g", hist.Mean()) << "}";
+  }
+  os << "}}";
+}
+
+void CounterRegistry::Clear() {
+  counters_.clear();
+  hists_.clear();
+}
+
+CounterRegistry* ActiveCounterRegistry() { return g_active_registry; }
+
+CounterRegistry* SetActiveCounterRegistry(CounterRegistry* registry) {
+  CounterRegistry* prev = g_active_registry;
+  g_active_registry = registry;
+  return prev;
+}
+
+}  // namespace ptp

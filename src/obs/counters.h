@@ -1,0 +1,87 @@
+#ifndef PTP_OBS_COUNTERS_H_
+#define PTP_OBS_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ptp {
+
+/// Power-of-two bucketed histogram of non-negative integer samples (per-
+/// channel shuffle loads, per-join output sizes). Bucket i holds samples
+/// whose bit width is i, i.e. [2^(i-1), 2^i); bucket 0 holds zeros.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+
+  size_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const;
+  const std::array<uint64_t, 65>& buckets() const { return buckets_; }
+
+  /// "count=8 sum=120 min=3 max=40 mean=15.0"
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, 65> buckets_{};
+  size_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = ~uint64_t{0};
+  uint64_t max_ = 0;
+};
+
+/// Registry of named monotonic counters and histograms. Counter names are
+/// dotted lowercase paths, optionally suffixed with a dimension:
+/// "shuffle.tuples_sent", "tj.seeks.x" (see docs/OBSERVABILITY.md).
+///
+/// Hot paths consult ActiveCounterRegistry() (single nullptr branch when
+/// disabled) and publish aggregated deltas — per shuffle, per join — rather
+/// than incrementing per tuple, so the name lookup never sits inside a
+/// per-tuple loop.
+class CounterRegistry {
+ public:
+  /// Find-or-create; the returned pointer stays valid for the registry's
+  /// lifetime, so repeat publishers can cache it.
+  uint64_t* Counter(std::string_view name);
+  /// Adds `delta` to the named counter (counters only ever increase).
+  void Add(std::string_view name, uint64_t delta);
+  /// Current value, 0 when the counter does not exist.
+  uint64_t Value(std::string_view name) const;
+
+  Histogram* Hist(std::string_view name);
+
+  /// Counters in name order.
+  std::vector<std::pair<std::string, uint64_t>> CounterSnapshot() const;
+  /// Counters whose name starts with `prefix`, in name order.
+  std::vector<std::pair<std::string, uint64_t>> CountersWithPrefix(
+      std::string_view prefix) const;
+
+  /// One "name = value" line per counter, then histogram summaries.
+  std::string ToString() const;
+  /// {"counters":{...},"histograms":{...}} — an object, embeddable in a
+  /// larger JSON document.
+  void WriteJson(std::ostream& os) const;
+
+  void Clear();
+
+ private:
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> hists_;
+};
+
+/// Installs `registry` as the process-wide publish target (nullptr
+/// disables collection) and returns the previous registry.
+CounterRegistry* SetActiveCounterRegistry(CounterRegistry* registry);
+/// The collecting registry, or nullptr when collection is off.
+CounterRegistry* ActiveCounterRegistry();
+
+}  // namespace ptp
+
+#endif  // PTP_OBS_COUNTERS_H_

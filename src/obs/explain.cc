@@ -1,0 +1,193 @@
+#include "obs/explain.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "obs/trace.h"
+
+namespace ptp {
+namespace {
+
+std::string PlanLine(const StrategyResult& result) {
+  std::vector<std::string> parts;
+  if (!result.join_order_used.empty()) {
+    std::string order = "join order [";
+    for (size_t i = 0; i < result.join_order_used.size(); ++i) {
+      if (i > 0) order += ", ";
+      order += std::to_string(result.join_order_used[i]);
+    }
+    order += "]";
+    parts.push_back(std::move(order));
+  }
+  if (!result.var_order_used.empty()) {
+    parts.push_back("var order (" + Join(result.var_order_used, ", ") + ")");
+  }
+  if (!result.hc_config.dims.empty()) {
+    parts.push_back("hypercube " + result.hc_config.ToString());
+  }
+  return Join(parts, "; ");
+}
+
+}  // namespace
+
+std::vector<std::string> SummaryCells(const QueryMetrics& m) {
+  if (m.failed) {
+    return {"FAIL", "FAIL", FormatMillions(m.TuplesShuffled()), "-"};
+  }
+  return {FormatSeconds(m.wall_seconds), FormatSeconds(m.TotalCpuSeconds()),
+          FormatMillions(m.TuplesShuffled()), WithCommas(m.output_tuples)};
+}
+
+std::string ExplainAnalyzeText(std::string_view strategy,
+                               const StrategyResult& result,
+                               const ExplainOptions& options) {
+  const QueryMetrics& m = result.metrics;
+  std::ostringstream os;
+  os << "EXPLAIN ANALYZE " << strategy << "\n";
+  if (m.failed) {
+    os << "  FAILED: " << m.fail_reason << "\n";
+  }
+  os << "  ";
+  if (options.include_timings) {
+    os << "wall=" << FormatSeconds(m.wall_seconds)
+       << "  cpu=" << FormatSeconds(m.TotalCpuSeconds()) << "  ";
+  }
+  os << "shuffled=" << WithCommas(m.TuplesShuffled())
+     << "  max_intermediate=" << WithCommas(m.max_intermediate_tuples)
+     << "  output=" << WithCommas(m.output_tuples) << "\n";
+  const std::string plan = PlanLine(result);
+  if (!plan.empty()) {
+    os << "  plan: " << plan << "\n";
+  }
+
+  const size_t branches = m.shuffles.size() + m.stages.size();
+  size_t printed = 0;
+  auto prefix = [&] {
+    ++printed;
+    return printed == branches ? "  └─ " : "  ├─ ";
+  };
+  for (const ShuffleMetrics& s : m.shuffles) {
+    os << prefix() << "shuffle " << s.label << ": sent="
+       << WithCommas(s.tuples_sent)
+       << StrFormat(" producer_skew=%.2f consumer_skew=%.2f", s.producer_skew,
+                    s.consumer_skew)
+       << "\n";
+  }
+  for (const StageMetrics& s : m.stages) {
+    os << prefix() << "stage " << s.label << ": out="
+       << WithCommas(s.output_tuples);
+    if (options.include_timings) {
+      os << " wall=" << FormatSeconds(s.wall_seconds)
+         << " cpu=" << FormatSeconds(s.cpu_seconds);
+    }
+    os << "\n";
+  }
+
+  if (options.counters != nullptr) {
+    auto snapshot = options.counters->CounterSnapshot();
+    if (!snapshot.empty()) {
+      os << "  counters:\n";
+      for (const auto& [name, value] : snapshot) {
+        os << "    " << name << " = " << WithCommas(value) << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+void ExplainAnalyzeJson(std::ostream& os, std::string_view strategy,
+                        const StrategyResult& result,
+                        const ExplainOptions& options) {
+  const QueryMetrics& m = result.metrics;
+  os << "{\"strategy\":" << JsonQuote(strategy)
+     << ",\"failed\":" << (m.failed ? "true" : "false");
+  if (m.failed) {
+    os << ",\"fail_reason\":" << JsonQuote(m.fail_reason);
+  }
+  if (options.include_timings) {
+    os << StrFormat(",\"wall_seconds\":%.6f,\"cpu_seconds\":%.6f",
+                    m.wall_seconds, m.TotalCpuSeconds());
+  }
+  os << ",\"tuples_shuffled\":" << m.TuplesShuffled()
+     << ",\"max_intermediate_tuples\":" << m.max_intermediate_tuples
+     << ",\"output_tuples\":" << m.output_tuples;
+
+  os << ",\"plan\":{";
+  bool first = true;
+  if (!result.join_order_used.empty()) {
+    os << "\"join_order\":[";
+    for (size_t i = 0; i < result.join_order_used.size(); ++i) {
+      if (i > 0) os << ",";
+      os << result.join_order_used[i];
+    }
+    os << "]";
+    first = false;
+  }
+  if (!result.var_order_used.empty()) {
+    if (!first) os << ",";
+    os << "\"var_order\":[";
+    for (size_t i = 0; i < result.var_order_used.size(); ++i) {
+      if (i > 0) os << ",";
+      os << JsonQuote(result.var_order_used[i]);
+    }
+    os << "]";
+    first = false;
+  }
+  if (!result.hc_config.dims.empty()) {
+    if (!first) os << ",";
+    os << "\"hypercube\":" << JsonQuote(result.hc_config.ToString());
+  }
+  os << "}";
+
+  os << ",\"shuffles\":[";
+  for (size_t i = 0; i < m.shuffles.size(); ++i) {
+    const ShuffleMetrics& s = m.shuffles[i];
+    if (i > 0) os << ",";
+    os << "{\"label\":" << JsonQuote(s.label)
+       << ",\"tuples_sent\":" << s.tuples_sent
+       << StrFormat(",\"producer_skew\":%.4f,\"consumer_skew\":%.4f}",
+                    s.producer_skew, s.consumer_skew);
+  }
+  os << "],\"stages\":[";
+  for (size_t i = 0; i < m.stages.size(); ++i) {
+    const StageMetrics& s = m.stages[i];
+    if (i > 0) os << ",";
+    os << "{\"label\":" << JsonQuote(s.label);
+    if (options.include_timings) {
+      os << StrFormat(",\"wall_seconds\":%.6f,\"cpu_seconds\":%.6f",
+                      s.wall_seconds, s.cpu_seconds);
+    }
+    os << ",\"output_tuples\":" << s.output_tuples << "}";
+  }
+  os << "]}";
+}
+
+void WriteStrategiesJson(std::ostream& os,
+                         const std::vector<StrategyResult>& results,
+                         const ExplainOptions& options,
+                         const std::vector<std::string>& names) {
+  std::vector<std::string> resolved = names;
+  if (resolved.empty() && results.size() == 6) {
+    for (const auto& [shuffle, join] : AllStrategies()) {
+      resolved.emplace_back(StrategyName(shuffle, join));
+    }
+  }
+  PTP_CHECK(resolved.size() >= results.size())
+      << "strategy names missing for JSON export";
+  os << "{\"strategies\":[";
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\n";
+    ExplainAnalyzeJson(os, resolved[i], results[i], options);
+  }
+  os << "\n]";
+  if (options.counters != nullptr) {
+    os << ",\"observability\":";
+    options.counters->WriteJson(os);
+  }
+  os << "}\n";
+}
+
+}  // namespace ptp

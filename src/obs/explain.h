@@ -1,0 +1,54 @@
+#ifndef PTP_OBS_EXPLAIN_H_
+#define PTP_OBS_EXPLAIN_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/counters.h"
+#include "plan/strategies.h"
+
+namespace ptp {
+
+struct ExplainOptions {
+  /// Include wall/CPU seconds. Turn off for deterministic (golden-file)
+  /// output — counts, skews and plan shape are reproducible, timings are
+  /// not.
+  bool include_timings = true;
+  /// When set, a "counters" section is appended (text) / embedded (JSON).
+  const CounterRegistry* counters = nullptr;
+};
+
+/// EXPLAIN ANALYZE: renders the plan a strategy actually ran (join / var
+/// order, HyperCube configuration) annotated with the metrics it collected
+/// (per-shuffle traffic and skew, per-stage time and cardinality) as an
+/// indented tree. This is the one place query summaries are rendered;
+/// QueryMetrics::ToString gives only the one-line digest.
+std::string ExplainAnalyzeText(std::string_view strategy,
+                               const StrategyResult& result,
+                               const ExplainOptions& options = {});
+
+/// The same tree as a JSON object (machine-readable; consumed by the
+/// BENCH_*.json exports).
+void ExplainAnalyzeJson(std::ostream& os, std::string_view strategy,
+                        const StrategyResult& result,
+                        const ExplainOptions& options = {});
+
+/// Six-config export: {"strategies":[...per-strategy objects...],
+/// "counters":{...}} with strategies named in paper order via
+/// AllStrategies(). `results` of any size is accepted; names wrap around
+/// paper order only when exactly six results are given, otherwise callers
+/// pass explicit names through `names`.
+void WriteStrategiesJson(std::ostream& os,
+                         const std::vector<StrategyResult>& results,
+                         const ExplainOptions& options = {},
+                         const std::vector<std::string>& names = {});
+
+/// One-line summary cells {wall, cpu, shuffled, output} for a result, with
+/// FAIL substitution — shared by PrintSixConfigFigure and the text tree.
+std::vector<std::string> SummaryCells(const QueryMetrics& metrics);
+
+}  // namespace ptp
+
+#endif  // PTP_OBS_EXPLAIN_H_

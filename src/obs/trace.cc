@@ -1,0 +1,183 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace ptp {
+namespace {
+
+TraceSession* g_active_session = nullptr;
+
+const char* LogEventName(internal_logging::Severity severity) {
+  switch (severity) {
+    case internal_logging::Severity::kInfo:
+      return "log.info";
+    case internal_logging::Severity::kWarning:
+      return "log.warning";
+    case internal_logging::Severity::kError:
+      return "log.error";
+    case internal_logging::Severity::kFatal:
+      return "log.fatal";
+  }
+  return "log";
+}
+
+// Mirrors emitted log lines onto the trace timeline (installed while a
+// session is active).
+void TraceLogSink(internal_logging::Severity severity,
+                  const std::string& message) {
+  if (TraceSession* session = ActiveTraceSession()) {
+    session->Instant(LogEventName(severity), message, kCoordinatorTrack);
+  }
+}
+
+}  // namespace
+
+TraceSession::TraceSession() = default;
+
+double TraceSession::ElapsedMicros() const { return timer_.Seconds() * 1e6; }
+
+void TraceSession::Push(TraceEvent::Phase phase, std::string_view name,
+                        int track, double value, std::string_view detail) {
+  TraceEvent event;
+  event.phase = phase;
+  event.name.assign(name.data(), name.size());
+  event.ts_us = ElapsedMicros();
+  event.track = track;
+  event.value = value;
+  event.detail.assign(detail.data(), detail.size());
+  events_.push_back(std::move(event));
+}
+
+void TraceSession::BeginSpan(std::string_view name, int track) {
+  Push(TraceEvent::Phase::kBegin, name, track, 0, {});
+}
+
+void TraceSession::EndSpan(std::string_view name, int track) {
+  Push(TraceEvent::Phase::kEnd, name, track, 0, {});
+}
+
+void TraceSession::CompleteSpan(std::string_view name, int track,
+                                double duration_us) {
+  Push(TraceEvent::Phase::kComplete, name, track, duration_us, {});
+  // Rewind the timestamp so the span covers the work that just finished.
+  events_.back().ts_us =
+      std::max(0.0, events_.back().ts_us - std::max(0.0, duration_us));
+}
+
+void TraceSession::Counter(std::string_view name, double value, int track) {
+  Push(TraceEvent::Phase::kCounter, name, track, value, {});
+}
+
+void TraceSession::Instant(std::string_view name, std::string_view detail,
+                           int track) {
+  Push(TraceEvent::Phase::kInstant, name, track, 0, detail);
+}
+
+void TraceSession::NameTrack(int track, std::string_view name) {
+  Push(TraceEvent::Phase::kMetadata, "thread_name", track, 0, name);
+}
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out = "\"";
+  AppendJsonEscaped(&out, s);
+  out += "\"";
+  return out;
+}
+
+void TraceSession::WriteJson(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"name\":" << JsonQuote(e.name) << ",\"ph\":\""
+       << static_cast<char>(e.phase) << "\",\"ts\":"
+       << StrFormat("%.3f", e.ts_us) << ",\"pid\":0,\"tid\":" << e.track;
+    switch (e.phase) {
+      case TraceEvent::Phase::kComplete:
+        os << ",\"dur\":" << StrFormat("%.3f", e.value);
+        break;
+      case TraceEvent::Phase::kCounter:
+        os << ",\"args\":{\"value\":" << StrFormat("%.17g", e.value) << "}";
+        break;
+      case TraceEvent::Phase::kInstant:
+        os << ",\"s\":\"t\",\"args\":{\"message\":" << JsonQuote(e.detail)
+           << "}";
+        break;
+      case TraceEvent::Phase::kMetadata:
+        os << ",\"args\":{\"name\":" << JsonQuote(e.detail) << "}";
+        break;
+      default:
+        break;
+    }
+    os << "}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string TraceSession::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+Status TraceSession::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open trace file: " + path);
+  }
+  WriteJson(out);
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+TraceSession* ActiveTraceSession() { return g_active_session; }
+
+TraceSession* SetActiveTraceSession(TraceSession* session) {
+  TraceSession* prev = g_active_session;
+  g_active_session = session;
+  internal_logging::SetLogSink(session != nullptr ? &TraceLogSink : nullptr);
+  return prev;
+}
+
+}  // namespace ptp

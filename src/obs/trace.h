@@ -1,0 +1,124 @@
+#ifndef PTP_OBS_TRACE_H_
+#define PTP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace ptp {
+
+/// Track (Chrome trace "tid") numbering convention for the simulated
+/// cluster: track 0 is the coordinator (shuffles, planning, logging);
+/// worker w gets track w + 1. Workers execute one at a time, so spans on
+/// different tracks never overlap in real time — the timeline shows the
+/// serialized schedule, which is exactly the simulated cluster's CPU view.
+inline constexpr int kCoordinatorTrack = 0;
+constexpr int WorkerTrack(int worker) { return worker + 1; }
+
+/// One Chrome/Perfetto trace event. Phases follow the trace-event format:
+/// B/E duration spans, X complete spans (with duration), C counters,
+/// i instants, M metadata (track names).
+struct TraceEvent {
+  enum class Phase : char {
+    kBegin = 'B',
+    kEnd = 'E',
+    kComplete = 'X',
+    kCounter = 'C',
+    kInstant = 'i',
+    kMetadata = 'M',
+  };
+  Phase phase;
+  std::string name;
+  double ts_us = 0;    // microseconds since session start
+  int track = kCoordinatorTrack;
+  double value = 0;    // kCounter: counter value; kComplete: duration (us)
+  std::string detail;  // kInstant/kMetadata: free-form payload
+};
+
+/// Records trace events and serializes them as Chrome trace-event JSON
+/// (load the file in https://ui.perfetto.dev or chrome://tracing).
+///
+/// Recording is opt-in per process: instrumentation sites hold no session
+/// of their own and consult ActiveTraceSession(), so the disabled fast path
+/// is a single branch on a nullptr (see bench/micro_trace.cc). The session
+/// is not thread-safe — the simulated cluster runs workers sequentially.
+class TraceSession {
+ public:
+  TraceSession();
+
+  void BeginSpan(std::string_view name, int track);
+  void EndSpan(std::string_view name, int track);
+  /// A span known only after the fact: starts `duration_us` before now.
+  void CompleteSpan(std::string_view name, int track, double duration_us);
+  /// Samples a named counter (rendered as a stacked chart by the viewers).
+  void Counter(std::string_view name, double value,
+               int track = kCoordinatorTrack);
+  /// Zero-duration marker with a free-form payload.
+  void Instant(std::string_view name, std::string_view detail,
+               int track = kCoordinatorTrack);
+  /// Names a track in the viewer ("worker 3", "coordinator").
+  void NameTrack(int track, std::string_view name);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  /// Microseconds since the session was constructed.
+  double ElapsedMicros() const;
+  /// Drops all recorded events (the clock keeps running).
+  void Clear() { events_.clear(); }
+
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  void Push(TraceEvent::Phase phase, std::string_view name, int track,
+            double value, std::string_view detail);
+
+  Timer timer_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Installs `session` as the process-wide recording target (nullptr
+/// disables recording) and returns the previous session. While a session
+/// is active, emitted PTP_LOG lines are mirrored onto the coordinator
+/// track as instant events.
+TraceSession* SetActiveTraceSession(TraceSession* session);
+/// The currently recording session, or nullptr when tracing is off.
+TraceSession* ActiveTraceSession();
+
+/// RAII span against the active session. When tracing is disabled the
+/// constructor is one branch and the destructor another; no allocation, no
+/// event. `name` must outlive the span (labels at call sites do).
+class Span {
+ public:
+  Span(std::string_view name, int track)
+      : Span(ActiveTraceSession(), name, track) {}
+  Span(TraceSession* session, std::string_view name, int track)
+      : session_(session), name_(name), track_(track) {
+    if (session_ != nullptr) session_->BeginSpan(name_, track_);
+  }
+  ~Span() {
+    if (session_ != nullptr) session_->EndSpan(name_, track_);
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceSession* session_;
+  std::string_view name_;
+  int track_;
+};
+
+/// Appends `s` to `out` with JSON string escaping (no surrounding quotes).
+void AppendJsonEscaped(std::string* out, std::string_view s);
+/// "quoted and escaped"
+std::string JsonQuote(std::string_view s);
+
+}  // namespace ptp
+
+#endif  // PTP_OBS_TRACE_H_

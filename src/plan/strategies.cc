@@ -9,6 +9,7 @@
 #include "exec/local_ops.h"
 #include "exec/pipeline.h"
 #include "exec/shuffle.h"
+#include "obs/trace.h"
 #include "query/planner.h"
 #include "tj/order_optimizer.h"
 #include "tj/tributary_join.h"
@@ -49,6 +50,11 @@ struct Ctx {
   // workers proportionally to tuple counts; the barrier wall-clock charge is
   // elapsed * producer_skew / W (the slowest producer's share).
   void BookShuffle(const ShuffleMetrics& sm, double elapsed) {
+    if (TraceSession* trace = ActiveTraceSession()) {
+      // The shuffle already ran when it is booked, so emit a complete span
+      // ending "now" on the coordinator track.
+      trace->CompleteSpan(sm.label, kCoordinatorTrack, elapsed * 1e6);
+    }
     metrics().shuffles.push_back(sm);
     if (sm.tuples_sent == 0) return;
     const double per_worker = elapsed / W;
@@ -273,8 +279,10 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
     std::vector<double> join_s(static_cast<size_t>(W), 0.0);
     size_t round_output = 0;
     bool failed = false;
+    const std::string stage_label = StrFormat("join_%zu", step);
     for (int w = 0; w < W && !failed; ++w) {
       const size_t wi = static_cast<size_t>(w);
+      Span worker_span(stage_label, WorkerTrack(w));
       Timer t;
       if (join == JoinKind::kHashJoin) {
         Timer jt;
@@ -328,8 +336,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         failed = true;
       }
     }
-    ctx.BookStage(StrFormat("join_%zu", step), elapsed, sort_s, join_s,
-                  round_output);
+    ctx.BookStage(stage_label, elapsed, sort_s, join_s, round_output);
     if (failed) return std::move(ctx.result);
     if (step + 1 < order.size()) ctx.TrackIntermediate(round_output);
     acc = std::move(joined);
@@ -369,6 +376,8 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
     ctx->result.var_order_used = var_order;
   }
 
+  const std::string stage_label =
+      join == JoinKind::kHashJoin ? "local HJ pipeline" : "local TJ";
   for (int w = 0; w < W && !failed; ++w) {
     const size_t wi = static_cast<size_t>(w);
     std::vector<const Relation*> inputs;
@@ -376,6 +385,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
     for (const DistributedRelation& dist : shuffled) {
       inputs.push_back(&dist[wi]);
     }
+    Span worker_span(stage_label, WorkerTrack(w));
     Timer t;
     if (join == JoinKind::kHashJoin) {
       PipelineStats stats;
@@ -418,9 +428,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
     elapsed[wi] = t.Seconds();
     total_output += out[wi].NumTuples();
   }
-  ctx->BookStage(join == JoinKind::kHashJoin ? "local HJ pipeline"
-                                             : "local TJ",
-                 elapsed, sort_s, join_s, total_output);
+  ctx->BookStage(stage_label, elapsed, sort_s, join_s, total_output);
 
   // Per-join breakdown of the local pipeline (Table 5).
   for (size_t i = 0; i < pipeline_stats.join_outputs.size(); ++i) {
@@ -535,6 +543,7 @@ Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
   if (options.num_workers < 1) {
     return Status::InvalidArgument("need at least one worker");
   }
+  Span strategy_span(StrategyName(shuffle, join), kCoordinatorTrack);
   if (query.atoms.size() == 1) {
     // Single-atom query: no join; evaluate locally.
     Ctx ctx;

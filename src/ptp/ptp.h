@@ -35,6 +35,9 @@
 #include "hypercube/optimizer.h"
 #include "lp/shares_lp.h"
 #include "lp/simplex.h"
+#include "obs/counters.h"
+#include "obs/explain.h"
+#include "obs/trace.h"
 #include "plan/advisor.h"
 #include "plan/semijoin_plan.h"
 #include "plan/strategies.h"

@@ -22,6 +22,7 @@ void BTreeTrieIterator::Open() {
     PTP_DCHECK(!AtEnd());
     pos = levels_.back().pos;  // first row of the parent's key block
   }
+  ++num_opens_;
   Level level;
   level.pos = pos;
   level.at_end = pos.IsEnd();
@@ -36,6 +37,7 @@ void BTreeTrieIterator::Open() {
 
 void BTreeTrieIterator::Up() {
   PTP_DCHECK(!levels_.empty());
+  ++num_ups_;
   levels_.pop_back();
 }
 
@@ -66,6 +68,7 @@ void BTreeTrieIterator::Next() {
     level.at_end = true;
     return;
   }
+  ++num_nexts_;
   ++num_seeks_;
   SeekInternal(level.key + 1);
 }

@@ -29,6 +29,9 @@ class BTreeTrieIterator final : public TrieCursor {
   void Seek(Value v) override;
   bool EmptyRelation() const override { return tree_->empty(); }
   size_t num_seeks() const override { return num_seeks_; }
+  size_t num_nexts() const override { return num_nexts_; }
+  size_t num_opens() const override { return num_opens_; }
+  size_t num_ups() const override { return num_ups_; }
 
  private:
   struct Level {
@@ -46,6 +49,9 @@ class BTreeTrieIterator final : public TrieCursor {
   /// Scratch buffer holding the bound key prefix for LowerBound calls.
   std::vector<Value> prefix_;
   size_t num_seeks_ = 0;
+  size_t num_nexts_ = 0;
+  size_t num_opens_ = 0;
+  size_t num_ups_ = 0;
 };
 
 }  // namespace ptp

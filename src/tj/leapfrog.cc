@@ -6,8 +6,8 @@
 
 namespace ptp {
 
-LeapfrogJoin::LeapfrogJoin(std::vector<TrieCursor*> iters)
-    : iters_(std::move(iters)) {
+LeapfrogJoin::LeapfrogJoin(std::vector<TrieCursor*> iters, LeapfrogStats* stats)
+    : iters_(std::move(iters)), stats_(stats) {
   PTP_CHECK(!iters_.empty());
   for (TrieCursor* it : iters_) {
     if (it->AtEnd()) {
@@ -34,8 +34,10 @@ void LeapfrogJoin::Search() {
     TrieCursor* it = iters_[p_];
     if (it->Key() == max_key) {
       key_ = max_key;
+      if (stats_ != nullptr) ++stats_->keys;
       return;  // all k iterators agree
     }
+    if (stats_ != nullptr) ++stats_->seeks;
     it->Seek(max_key);
     if (it->AtEnd()) {
       at_end_ = true;
@@ -49,6 +51,7 @@ void LeapfrogJoin::Search() {
 void LeapfrogJoin::Next() {
   PTP_DCHECK(!at_end_);
   TrieCursor* it = iters_[p_];
+  if (stats_ != nullptr) ++stats_->nexts;
   it->Next();
   if (it->AtEnd()) {
     at_end_ = true;
@@ -62,6 +65,7 @@ void LeapfrogJoin::Seek(Value v) {
   PTP_DCHECK(!at_end_);
   if (key_ >= v) return;
   TrieCursor* it = iters_[p_];
+  if (stats_ != nullptr) ++stats_->seeks;
   it->Seek(v);
   if (it->AtEnd()) {
     at_end_ = true;

@@ -7,6 +7,16 @@
 
 namespace ptp {
 
+/// Counters for the leapfrog work done at one trie level; the Tributary
+/// join keeps one per variable, which is exactly the per-variable seek
+/// attribution the Sec. 5 cost model predicts (and the obs counter
+/// registry exports as "tj.seeks.<var>").
+struct LeapfrogStats {
+  size_t seeks = 0;   // TrieCursor::Seek calls issued by the leapfrog
+  size_t nexts = 0;   // TrieCursor::Next calls issued by the leapfrog
+  size_t keys = 0;    // common keys found (intersection output size)
+};
+
 /// Leapfrog intersection of k trie iterators positioned at the same level
 /// (Veldhuizen '14, Algorithm "leapfrog-join"): enumerates the values common
 /// to all iterators in ascending order by repeatedly seeking the smallest
@@ -14,7 +24,10 @@ namespace ptp {
 class LeapfrogJoin {
  public:
   /// All iterators must already be Open()ed at the level to intersect.
-  explicit LeapfrogJoin(std::vector<TrieCursor*> iters);
+  /// `stats`, when given, accumulates across this instance's lifetime (it
+  /// may be shared by many instances, e.g. one per recursion depth).
+  explicit LeapfrogJoin(std::vector<TrieCursor*> iters,
+                        LeapfrogStats* stats = nullptr);
 
   bool AtEnd() const { return at_end_; }
   /// Current common key; requires !AtEnd().
@@ -29,7 +42,8 @@ class LeapfrogJoin {
   void Search();
 
   std::vector<TrieCursor*> iters_;
-  size_t p_ = 0;  // index of the iterator to move next
+  LeapfrogStats* stats_ = nullptr;  // not owned; may be null
+  size_t p_ = 0;                    // index of the iterator to move next
   Value key_ = 0;
   bool at_end_ = false;
 };

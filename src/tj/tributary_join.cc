@@ -6,6 +6,7 @@
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "exec/local_ops.h"
+#include "obs/counters.h"
 #include "tj/btree.h"
 #include "tj/btree_trie.h"
 #include "tj/leapfrog.h"
@@ -45,6 +46,7 @@ class Joiner {
         num_vars_(num_vars),
         options_(options) {
     binding_.resize(num_vars_);
+    lf_stats_.resize(num_vars_);
   }
 
   Status Run(Relation* out) {
@@ -65,6 +67,28 @@ class Joiner {
     for (const auto& it : iters_) total += it->num_seeks();
     return total;
   }
+
+  size_t TotalNexts() const {
+    size_t total = 0;
+    for (const auto& it : iters_) total += it->num_nexts();
+    return total;
+  }
+
+  size_t TotalOpens() const {
+    size_t total = 0;
+    for (const auto& it : iters_) total += it->num_opens();
+    return total;
+  }
+
+  size_t TotalUps() const {
+    size_t total = 0;
+    for (const auto& it : iters_) total += it->num_ups();
+    return total;
+  }
+
+  /// Per-variable leapfrog stats: lf_stats()[d] covers the intersections
+  /// that bound var_order[d].
+  const std::vector<LeapfrogStats>& lf_stats() const { return lf_stats_; }
 
  private:
   bool PredicatesHold(int depth) const {
@@ -119,7 +143,7 @@ class Joiner {
     }
     Status status;
     if (!empty) {
-      LeapfrogJoin leapfrog(open);
+      LeapfrogJoin leapfrog(open, &lf_stats_[static_cast<size_t>(depth)]);
       while (!leapfrog.AtEnd()) {
         binding_[static_cast<size_t>(depth)] = leapfrog.Key();
         if (PredicatesHold(depth)) {
@@ -146,6 +170,7 @@ class Joiner {
   size_t num_vars_;
   TJOptions options_;
   Tuple binding_;
+  std::vector<LeapfrogStats> lf_stats_;  // one per variable (depth)
   Relation* out_ = nullptr;
   size_t count_ = 0;
 };
@@ -274,6 +299,39 @@ Result<PreparedJoin> Prepare(const std::vector<const Relation*>& inputs,
   return prepared;
 }
 
+// Fills `metrics` from the finished joiner and publishes the aggregated
+// trie-operation counts to the active counter registry (single batch after
+// the join — never per-tuple registry lookups on the hot path).
+void FinishTJMetrics(const Joiner& joiner,
+                     const std::vector<std::string>& var_order,
+                     size_t output_tuples, TJMetrics* metrics) {
+  const std::vector<LeapfrogStats>& lf = joiner.lf_stats();
+  if (metrics != nullptr) {
+    metrics->seeks = joiner.TotalSeeks();
+    metrics->nexts = joiner.TotalNexts();
+    metrics->opens = joiner.TotalOpens();
+    metrics->ups = joiner.TotalUps();
+    metrics->output_tuples = output_tuples;
+    metrics->seeks_per_var.assign(var_order.size(), 0);
+    for (size_t d = 0; d < lf.size() && d < var_order.size(); ++d) {
+      metrics->seeks_per_var[d] = lf[d].seeks;
+    }
+  }
+  CounterRegistry* reg = ActiveCounterRegistry();
+  if (reg == nullptr) return;
+  reg->Add("tj.joins", 1);
+  reg->Add("tj.seeks", joiner.TotalSeeks());
+  reg->Add("tj.nexts", joiner.TotalNexts());
+  reg->Add("tj.opens", joiner.TotalOpens());
+  reg->Add("tj.ups", joiner.TotalUps());
+  reg->Add("tj.output_tuples", output_tuples);
+  for (size_t d = 0; d < lf.size() && d < var_order.size(); ++d) {
+    reg->Add(std::string("tj.seeks.") + var_order[d], lf[d].seeks);
+    reg->Add(std::string("tj.nexts.") + var_order[d], lf[d].nexts);
+    reg->Add(std::string("tj.keys.") + var_order[d], lf[d].keys);
+  }
+}
+
 }  // namespace
 
 Result<Relation> TributaryJoin(const std::vector<const Relation*>& inputs,
@@ -288,9 +346,8 @@ Result<Relation> TributaryJoin(const std::vector<const Relation*>& inputs,
   if (metrics != nullptr) {
     metrics->sort_seconds = prepared.sort_seconds;
     metrics->join_seconds = join_timer.Seconds();
-    metrics->seeks = prepared.joiner->TotalSeeks();
-    metrics->output_tuples = out.NumTuples();
   }
+  FinishTJMetrics(*prepared.joiner, var_order, out.NumTuples(), metrics);
   if (!status.ok()) return status;
   return out;
 }
@@ -306,9 +363,9 @@ Result<size_t> TributaryCount(const std::vector<const Relation*>& inputs,
   if (metrics != nullptr) {
     metrics->sort_seconds = prepared.sort_seconds;
     metrics->join_seconds = join_timer.Seconds();
-    metrics->seeks = prepared.joiner->TotalSeeks();
-    metrics->output_tuples = count.ok() ? *count : 0;
   }
+  FinishTJMetrics(*prepared.joiner, var_order, count.ok() ? *count : 0,
+                  metrics);
   return count;
 }
 

@@ -21,7 +21,15 @@ struct TJMetrics {
   /// Total Seek() operations across all trie iterators (the unit the Sec. 5
   /// cost model estimates).
   size_t seeks = 0;
+  /// Total Next() / Open() / Up() trie operations (observability detail; the
+  /// cost model only predicts seeks).
+  size_t nexts = 0;
+  size_t opens = 0;
+  size_t ups = 0;
   size_t output_tuples = 0;
+  /// Seeks attributed to each variable of the order, i.e. issued by the
+  /// leapfrog instance binding var_order[i] (same length as var_order).
+  std::vector<size_t> seeks_per_var;
 };
 
 /// Storage backend for the multiway join's tries (Sec. 2.2 trade-off).

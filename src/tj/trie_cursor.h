@@ -35,6 +35,21 @@ class TrieCursor {
   virtual bool EmptyRelation() const = 0;
   /// Number of Seek() operations performed (cost-model instrumentation).
   virtual size_t num_seeks() const = 0;
+  /// Further operation counts backing the obs counter registry; backends
+  /// that do not track one return 0.
+  virtual size_t num_nexts() const { return 0; }
+  virtual size_t num_opens() const { return 0; }
+  virtual size_t num_ups() const { return 0; }
+  /// Seeks / nexts performed at trie level `depth` (0-based), when the
+  /// backend attributes them per level.
+  virtual size_t seeks_at_level(int depth) const {
+    (void)depth;
+    return 0;
+  }
+  virtual size_t nexts_at_level(int depth) const {
+    (void)depth;
+    return 0;
+  }
 };
 
 }  // namespace ptp

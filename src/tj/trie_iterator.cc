@@ -5,7 +5,10 @@
 
 namespace ptp {
 
-TrieIterator::TrieIterator(const Relation* rel) : rel_(rel) {
+TrieIterator::TrieIterator(const Relation* rel)
+    : rel_(rel),
+      seeks_per_level_(rel->arity(), 0),
+      nexts_per_level_(rel->arity(), 0) {
   PTP_DCHECK(rel_->IsSortedLex());
 }
 
@@ -36,12 +39,14 @@ void TrieIterator::Open() {
   }
   PTP_DCHECK(lo < hi);
   PTP_CHECK_LT(levels_.size(), rel_->arity());
+  ++num_opens_;
   levels_.push_back(Level{lo, hi, lo, lo, false});
   FindBlockEnd();
 }
 
 void TrieIterator::Up() {
   PTP_DCHECK(!levels_.empty());
+  ++num_ups_;
   levels_.pop_back();
 }
 
@@ -49,6 +54,7 @@ void TrieIterator::Next() {
   Level& level = levels_.back();
   PTP_DCHECK(!level.at_end);
   ++num_nexts_;
+  ++nexts_per_level_[levels_.size() - 1];
   level.pos = level.block_end;
   if (level.pos >= level.hi) {
     level.at_end = true;
@@ -62,6 +68,7 @@ void TrieIterator::Seek(Value v) {
   PTP_DCHECK(!level.at_end);
   ++num_seeks_;
   const size_t col = levels_.size() - 1;
+  ++seeks_per_level_[col];
   if (rel_->At(level.pos, col) >= v) {
     return;  // already positioned
   }

@@ -54,7 +54,18 @@ class TrieIterator final : public TrieCursor {
   /// Number of Seek() calls performed (cost-model instrumentation).
   size_t num_seeks() const override { return num_seeks_; }
   /// Number of Next() calls performed.
-  size_t num_nexts() const { return num_nexts_; }
+  size_t num_nexts() const override { return num_nexts_; }
+  size_t num_opens() const override { return num_opens_; }
+  size_t num_ups() const override { return num_ups_; }
+  /// Per-level attribution of the seek/next work — level i is the i-th
+  /// column of the (permuted) relation, i.e. the i-th variable of this atom
+  /// in the global order. Feeds the per-variable obs counters.
+  size_t seeks_at_level(int depth) const override {
+    return seeks_per_level_[static_cast<size_t>(depth)];
+  }
+  size_t nexts_at_level(int depth) const override {
+    return nexts_per_level_[static_cast<size_t>(depth)];
+  }
 
   const Relation& relation() const { return *rel_; }
 
@@ -74,6 +85,10 @@ class TrieIterator final : public TrieCursor {
   std::vector<Level> levels_;
   size_t num_seeks_ = 0;
   size_t num_nexts_ = 0;
+  size_t num_opens_ = 0;
+  size_t num_ups_ = 0;
+  std::vector<size_t> seeks_per_level_;
+  std::vector<size_t> nexts_per_level_;
 };
 
 }  // namespace ptp

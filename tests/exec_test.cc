@@ -39,6 +39,14 @@ TEST(MetricsTest, SkewFactorDefinition) {
   EXPECT_DOUBLE_EQ(SkewFactor({0, 0}), 1.0);
 }
 
+TEST(MetricsTest, SkewFactorSingleWorkerIsBalanced) {
+  // One worker is max == avg by definition; must be exactly 1.0 even for
+  // values where max/avg division could round.
+  EXPECT_DOUBLE_EQ(SkewFactor({7}), 1.0);
+  EXPECT_DOUBLE_EQ(SkewFactor({0}), 1.0);
+  EXPECT_DOUBLE_EQ(SkewFactor({18446744073709551615ull}), 1.0);
+}
+
 TEST(MetricsTest, AbsorbAccumulates) {
   QueryMetrics a, b;
   a.EnsureWorkers(2);
@@ -52,6 +60,37 @@ TEST(MetricsTest, AbsorbAccumulates) {
   EXPECT_DOUBLE_EQ(a.worker_seconds[0], 1.5);
   EXPECT_DOUBLE_EQ(a.wall_seconds, 3.0);
   EXPECT_EQ(a.TuplesShuffled(), 100u);
+}
+
+TEST(MetricsTest, AbsorbGrowsToLargerWorkerCount) {
+  // Absorbing metrics from a run with more workers must resize all three
+  // per-worker vectors, not just worker_seconds.
+  QueryMetrics a, b;
+  a.EnsureWorkers(2);
+  b.EnsureWorkers(4);
+  b.worker_seconds = {1.0, 1.0, 1.0, 1.0};
+  b.worker_sort_seconds = {0.25, 0.25, 0.25, 0.25};
+  b.worker_join_seconds = {0.5, 0.5, 0.5, 0.5};
+  a.Absorb(b);
+  ASSERT_EQ(a.worker_seconds.size(), 4u);
+  ASSERT_EQ(a.worker_sort_seconds.size(), 4u);
+  ASSERT_EQ(a.worker_join_seconds.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.worker_seconds[3], 1.0);
+  EXPECT_DOUBLE_EQ(a.worker_sort_seconds[3], 0.25);
+  EXPECT_DOUBLE_EQ(a.worker_join_seconds[3], 0.5);
+}
+
+TEST(MetricsTest, AbsorbHandlesHandBuiltMetricsWithoutBreakdowns) {
+  // A hand-built QueryMetrics may populate worker_seconds only; Absorb must
+  // not read past the end of the missing sort/join breakdowns.
+  QueryMetrics a, b;
+  a.EnsureWorkers(1);
+  b.worker_seconds = {2.0, 3.0};  // no EnsureWorkers: breakdowns stay empty
+  a.Absorb(b);
+  ASSERT_EQ(a.worker_seconds.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.worker_seconds[1], 3.0);
+  ASSERT_GE(a.worker_sort_seconds.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.worker_sort_seconds[1], 0.0);
 }
 
 TEST(HashShuffleTest, PreservesTuplesAndCoPartitions) {
