@@ -18,6 +18,10 @@ namespace bench {
 /// cluster-scale numbers are printed alongside for shape comparison.
 struct BenchConfig {
   int workers = 64;  // the paper's worker count
+  /// Runtime pool size the W logical workers multiplex onto. 0 = auto
+  /// (PTP_THREADS env var, else hardware concurrency); results are
+  /// bit-identical at every setting — see docs/RUNTIME.md.
+  int threads = 0;
   size_t twitter_nodes = 4000;
   size_t twitter_edges = 48000;
   double twitter_zipf = 0.7;
@@ -45,6 +49,7 @@ struct BenchConfig {
       };
       bool ok =
           eat("--workers=", [&](const std::string& v) { c.workers = std::stoi(v); }) ||
+          eat("--threads=", [&](const std::string& v) { c.threads = std::stoi(v); }) ||
           eat("--twitter-nodes=", [&](const std::string& v) { c.twitter_nodes = std::stoul(v); }) ||
           eat("--twitter-edges=", [&](const std::string& v) { c.twitter_edges = std::stoul(v); }) ||
           eat("--twitter-zipf=", [&](const std::string& v) { c.twitter_zipf = std::stod(v); }) ||
@@ -56,12 +61,14 @@ struct BenchConfig {
           eat("--json=", [&](const std::string& v) { c.json_path = v; });
       if (!ok) {
         std::cerr << "unknown flag: " << arg
-                  << "\nflags: --workers= --twitter-nodes= --twitter-edges= "
-                     "--twitter-zipf= --freebase-scale= --seed= --budget= "
-                     "--sort-budget= --trace=<file> --json=<file>\n";
+                  << "\nflags: --workers= --threads= --twitter-nodes= "
+                     "--twitter-edges= --twitter-zipf= --freebase-scale= "
+                     "--seed= --budget= --sort-budget= --trace=<file> "
+                     "--json=<file>\n";
         std::exit(2);
       }
     }
+    runtime::SetThreads(c.threads);
     return c;
   }
 

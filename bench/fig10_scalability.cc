@@ -58,11 +58,13 @@ int main(int argc, char** argv) {
 
   std::cout << "Figure 10: scalability of HC_TJ vs RS_HJ on Q1 (speedup "
                "relative to 2 workers)\n\n";
-  TablePrinter table({"workers", "HC_TJ speedup", "RS_HJ speedup", "opt.",
-                      "HC tuples shuffled", "per-worker sort",
-                      "per-worker TJ"});
+  TablePrinter table({"workers", "HC_TJ wall", "RS_HJ wall", "HC_TJ speedup",
+                      "RS_HJ speedup", "opt.", "HC tuples shuffled",
+                      "per-worker sort", "per-worker TJ"});
   for (const Row& row : rows) {
     table.AddRow({std::to_string(row.workers),
+                  FormatSeconds(row.hc_wall),
+                  FormatSeconds(row.rs_wall),
                   StrFormat("%.2fx", rows[0].hc_wall / row.hc_wall),
                   StrFormat("%.2fx", rows[0].rs_wall / row.rs_wall),
                   StrFormat("%.0fx", row.workers / 2.0),
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
                   FormatSeconds(row.per_worker_tj)});
   }
   table.Print();
+  std::cout << "\nruntime pool: " << runtime::Threads() << " thread(s)\n";
 
   const Row& first = rows.front();
   const Row& last = rows.back();

@@ -24,22 +24,31 @@ struct ShuffleMetrics {
 /// Per-operator timing breakdown (Table 5: sort time vs. join time etc.).
 struct StageMetrics {
   std::string label;
-  /// Simulated wall clock of the stage: max over workers of their time.
+  /// Measured wall clock of the stage barrier (elapsed time of the parallel
+  /// region that ran the per-worker bodies).
   double wall_seconds = 0;
   /// Total CPU: sum over workers.
   double cpu_seconds = 0;
   /// Tuples this stage produced (across all workers).
   size_t output_tuples = 0;
+  /// True when the stage aborted the query (budget exceeded / out of
+  /// memory). Set consistently at every thread count: all workers run to
+  /// completion, then the failure decision is made in worker index order,
+  /// so the stage books the same output count whether or not the engine
+  /// executed the workers concurrently.
+  bool failed = false;
 };
 
 /// End-to-end metrics of one query execution on the simulated cluster.
 ///
-/// The simulated substrate executes workers one at a time and defines
-///   wall clock  = sum over barriers of (max over workers of worker time)
-///   total CPU   = sum over workers of worker time
-/// which is exactly the quantity a perfectly-overlapped shared-nothing
-/// cluster with fast interconnect would observe; skew shows up as the gap
-/// between wall*W and CPU.
+/// The engine runs the W logical workers of every barrier on the runtime
+/// thread pool (see docs/RUNTIME.md) and defines
+///   wall clock  = sum over barriers of the measured elapsed time of the
+///                 barrier's parallel region (true wall time)
+///   total CPU   = sum over workers of their measured in-body time
+/// With --threads=1 the pool serializes the workers, so wall approaches
+/// CPU; with more threads the gap between wall*threads and CPU shows the
+/// achieved overlap, and skew shows up as stragglers inside a barrier.
 struct QueryMetrics {
   std::vector<ShuffleMetrics> shuffles;
   std::vector<StageMetrics> stages;

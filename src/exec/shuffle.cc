@@ -2,14 +2,22 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
+#include "runtime/parallel.h"
 
 namespace ptp {
 namespace {
+
+/// One producer's routing output: a flat row buffer per destination worker,
+/// reused across the producer's whole fragment. Rows are appended value-by-
+/// value into the flat buffers, so the inner loop performs no per-tuple
+/// allocation (only amortized geometric growth of the W scratch buffers).
+using DestBuffers = std::vector<std::vector<Value>>;
 
 DistributedRelation MakeEmpty(const DistributedRelation& in,
                               int num_workers) {
@@ -20,6 +28,27 @@ DistributedRelation MakeEmpty(const DistributedRelation& in,
     out.emplace_back(in[0].name(), in[0].schema());
   }
   return out;
+}
+
+/// Phase 2 of every shuffle: per destination worker, concatenate the
+/// per-(producer, consumer) buffers in producer index order. This is the
+/// exact tuple order a sequential scatter over (producer, row) produces,
+/// so the shuffled fragments are bit-identical at every thread count.
+void MergeByConsumer(const std::vector<DestBuffers>& bufs,
+                     DistributedRelation* out) {
+  const int num_workers = static_cast<int>(out->size());
+  Status status = runtime::ParallelFor(num_workers, [&](int w) {
+    const size_t wi = static_cast<size_t>(w);
+    std::vector<Value>& dest = (*out)[wi].mutable_data();
+    size_t total = dest.size();
+    for (const DestBuffers& buf : bufs) total += buf[wi].size();
+    dest.reserve(total);
+    for (const DestBuffers& buf : bufs) {
+      dest.insert(dest.end(), buf[wi].begin(), buf[wi].end());
+    }
+    return Status::OK();
+  });
+  PTP_CHECK(status.ok()) << status.ToString();
 }
 
 void FinishMetrics(const DistributedRelation& out,
@@ -60,22 +89,30 @@ ShuffleResult HashShuffle(const DistributedRelation& in,
   result.metrics.label = std::move(label);
   result.data = MakeEmpty(in, num_workers);
   std::vector<size_t> produced(in.size(), 0);
+  std::vector<DestBuffers> bufs(
+      in.size(), DestBuffers(static_cast<size_t>(num_workers)));
 
   const size_t arity = in[0].arity();
-  for (size_t p = 0; p < in.size(); ++p) {
-    const Relation& frag = in[p];
-    const size_t n = frag.NumTuples();
-    for (size_t row = 0; row < n; ++row) {
-      const Value* t = frag.Row(row);
-      uint64_t h = 0;
-      for (int col : key_cols) {
-        h = HashCombine(h, HashWithSalt(t[col], salt));
-      }
-      const size_t dest = h % static_cast<size_t>(num_workers);
-      result.data[dest].AddTuple(std::span<const Value>(t, arity));
-      ++produced[p];
-    }
-  }
+  Status status = runtime::ParallelFor(
+      static_cast<int>(in.size()), [&](int p) {
+        const size_t pi = static_cast<size_t>(p);
+        const Relation& frag = in[pi];
+        DestBuffers& dest = bufs[pi];
+        const size_t n = frag.NumTuples();
+        for (size_t row = 0; row < n; ++row) {
+          const Value* t = frag.Row(row);
+          uint64_t h = 0;
+          for (int col : key_cols) {
+            h = HashCombine(h, HashWithSalt(t[col], salt));
+          }
+          std::vector<Value>& d = dest[h % static_cast<size_t>(num_workers)];
+          d.insert(d.end(), t, t + arity);
+        }
+        produced[pi] = n;
+        return Status::OK();
+      });
+  PTP_CHECK(status.ok()) << status.ToString();
+  MergeByConsumer(bufs, &result.data);
   FinishMetrics(result.data, produced, &result.metrics);
   return result;
 }
@@ -86,14 +123,22 @@ ShuffleResult BroadcastShuffle(const DistributedRelation& in, int num_workers,
   result.metrics.label = std::move(label);
   result.data = MakeEmpty(in, num_workers);
   std::vector<size_t> produced(in.size(), 0);
-  for (size_t p = 0; p < in.size(); ++p) {
-    const Relation& frag = in[p];
-    for (int w = 0; w < num_workers; ++w) {
-      Relation& dest = result.data[static_cast<size_t>(w)];
+  // Every destination receives every fragment, in fragment order; producers
+  // are read-only, so the copy loop parallelizes over destinations.
+  Status status = runtime::ParallelFor(num_workers, [&](int w) {
+    Relation& dest = result.data[static_cast<size_t>(w)];
+    size_t total = dest.data().size();
+    for (const Relation& frag : in) total += frag.data().size();
+    dest.mutable_data().reserve(total);
+    for (const Relation& frag : in) {
       dest.mutable_data().insert(dest.mutable_data().end(),
                                  frag.data().begin(), frag.data().end());
     }
-    produced[p] = frag.NumTuples() * static_cast<size_t>(num_workers);
+    return Status::OK();
+  });
+  PTP_CHECK(status.ok()) << status.ToString();
+  for (size_t p = 0; p < in.size(); ++p) {
+    produced[p] = in[p].NumTuples() * static_cast<size_t>(num_workers);
   }
   FinishMetrics(result.data, produced, &result.metrics);
   return result;
@@ -110,34 +155,44 @@ ShuffleResult HypercubeShuffle(const DistributedRelation& in,
   result.metrics.label = std::move(label);
   result.data = MakeEmpty(in, num_workers);
   std::vector<size_t> produced(in.size(), 0);
+  std::vector<DestBuffers> bufs(
+      in.size(), DestBuffers(static_cast<size_t>(num_workers)));
 
-  HypercubeRouter router(config, atom_vars);
+  const HypercubeRouter router(config, atom_vars);
   const size_t arity = in[0].arity();
-  std::vector<int> cells;
-  std::vector<int> dest_workers;
-  for (size_t p = 0; p < in.size(); ++p) {
-    const Relation& frag = in[p];
-    const size_t n = frag.NumTuples();
-    for (size_t row = 0; row < n; ++row) {
-      const Value* t = frag.Row(row);
-      cells.clear();
-      router.Route(t, &cells);
-      // Cells mapped to the same worker get one physical copy.
-      dest_workers.clear();
-      for (int cell : cells) {
-        dest_workers.push_back(worker_of_cell[static_cast<size_t>(cell)]);
-      }
-      std::sort(dest_workers.begin(), dest_workers.end());
-      dest_workers.erase(
-          std::unique(dest_workers.begin(), dest_workers.end()),
-          dest_workers.end());
-      for (int w : dest_workers) {
-        result.data[static_cast<size_t>(w)].AddTuple(
-            std::span<const Value>(t, arity));
-        ++produced[p];
-      }
-    }
-  }
+  Status status = runtime::ParallelFor(
+      static_cast<int>(in.size()), [&](int p) {
+        const size_t pi = static_cast<size_t>(p);
+        const Relation& frag = in[pi];
+        DestBuffers& dest = bufs[pi];
+        // Per-producer scratch, reused across the fragment's rows.
+        std::vector<int> cells;
+        std::vector<int> dest_workers;
+        const size_t n = frag.NumTuples();
+        for (size_t row = 0; row < n; ++row) {
+          const Value* t = frag.Row(row);
+          cells.clear();
+          router.Route(t, &cells);
+          // Cells mapped to the same worker get one physical copy.
+          dest_workers.clear();
+          for (int cell : cells) {
+            dest_workers.push_back(
+                worker_of_cell[static_cast<size_t>(cell)]);
+          }
+          std::sort(dest_workers.begin(), dest_workers.end());
+          dest_workers.erase(
+              std::unique(dest_workers.begin(), dest_workers.end()),
+              dest_workers.end());
+          for (int w : dest_workers) {
+            std::vector<Value>& d = dest[static_cast<size_t>(w)];
+            d.insert(d.end(), t, t + arity);
+            ++produced[pi];
+          }
+        }
+        return Status::OK();
+      });
+  PTP_CHECK(status.ok()) << status.ToString();
+  MergeByConsumer(bufs, &result.data);
   FinishMetrics(result.data, produced, &result.metrics);
   return result;
 }
@@ -172,13 +227,24 @@ SkewAwareShuffleResult SkewAwareJoinShuffle(
 
   // Pass 1: global key frequencies on the left side (in a real cluster this
   // is a sampled sketch; exact counts keep the simulation deterministic).
-  std::unordered_map<uint64_t, size_t> freq;
+  // Per-fragment counts merge into one map; addition commutes, so the
+  // totals are independent of merge order and thread count.
+  std::vector<std::unordered_map<uint64_t, size_t>> frag_freq(left.size());
   size_t left_total = 0;
-  for (const Relation& frag : left) {
-    left_total += frag.NumTuples();
-    for (size_t row = 0; row < frag.NumTuples(); ++row) {
-      ++freq[key_hash(frag.Row(row), left_cols)];
-    }
+  Status status = runtime::ParallelFor(
+      static_cast<int>(left.size()), [&](int p) {
+        const size_t pi = static_cast<size_t>(p);
+        const Relation& frag = left[pi];
+        for (size_t row = 0; row < frag.NumTuples(); ++row) {
+          ++frag_freq[pi][key_hash(frag.Row(row), left_cols)];
+        }
+        return Status::OK();
+      });
+  PTP_CHECK(status.ok()) << status.ToString();
+  std::unordered_map<uint64_t, size_t> freq;
+  for (size_t p = 0; p < left.size(); ++p) {
+    left_total += left[p].NumTuples();
+    for (const auto& [key, count] : frag_freq[p]) freq[key] += count;
   }
   const double heavy_cutoff =
       threshold * std::max(1.0, static_cast<double>(left_total) /
@@ -191,28 +257,54 @@ SkewAwareShuffleResult SkewAwareJoinShuffle(
     if (is_heavy) ++result.heavy_keys;
   }
 
-  // Pass 2: left side — heavy keys round-robin, light keys hashed.
-  std::vector<size_t> left_produced(left.size(), 0);
-  size_t rr = 0;
+  // Pass 2: left side — heavy keys round-robin, light keys hashed. The
+  // round-robin cursor of the sequential scatter advances in (producer,
+  // row) order, so producer p's cursor starts at the number of heavy
+  // tuples in producers 0..p-1: precompute those prefix offsets and each
+  // producer routes independently, bit-identically to the serial scan.
+  std::vector<size_t> heavy_in_frag(left.size(), 0);
   for (size_t p = 0; p < left.size(); ++p) {
-    const Relation& frag = left[p];
+    for (const auto& [key, count] : frag_freq[p]) {
+      if (heavy.at(key)) heavy_in_frag[p] += count;
+    }
+  }
+  std::vector<size_t> rr_offset(left.size(), 0);
+  for (size_t p = 1; p < left.size(); ++p) {
+    rr_offset[p] = rr_offset[p - 1] + heavy_in_frag[p - 1];
+  }
+  std::vector<size_t> left_produced(left.size(), 0);
+  std::vector<DestBuffers> left_bufs(
+      left.size(), DestBuffers(static_cast<size_t>(num_workers)));
+  status = runtime::ParallelFor(static_cast<int>(left.size()), [&](int p) {
+    const size_t pi = static_cast<size_t>(p);
+    const Relation& frag = left[pi];
+    DestBuffers& dest = left_bufs[pi];
     const size_t arity = frag.arity();
+    size_t rr = rr_offset[pi];
     for (size_t row = 0; row < frag.NumTuples(); ++row) {
       const Value* t = frag.Row(row);
       const uint64_t h = key_hash(t, left_cols);
-      const size_t dest = heavy.at(h)
-                              ? (rr++ % static_cast<size_t>(num_workers))
-                              : h % static_cast<size_t>(num_workers);
-      result.left[dest].AddTuple(std::span<const Value>(t, arity));
-      ++left_produced[p];
+      const size_t w = heavy.at(h)
+                           ? (rr++ % static_cast<size_t>(num_workers))
+                           : h % static_cast<size_t>(num_workers);
+      std::vector<Value>& d = dest[w];
+      d.insert(d.end(), t, t + arity);
+      ++left_produced[pi];
     }
-  }
+    return Status::OK();
+  });
+  PTP_CHECK(status.ok()) << status.ToString();
+  MergeByConsumer(left_bufs, &result.left);
   FinishMetrics(result.left, left_produced, &result.left_metrics);
 
   // Pass 3: right side — heavy keys broadcast, light keys hashed.
   std::vector<size_t> right_produced(right.size(), 0);
-  for (size_t p = 0; p < right.size(); ++p) {
-    const Relation& frag = right[p];
+  std::vector<DestBuffers> right_bufs(
+      right.size(), DestBuffers(static_cast<size_t>(num_workers)));
+  status = runtime::ParallelFor(static_cast<int>(right.size()), [&](int p) {
+    const size_t pi = static_cast<size_t>(p);
+    const Relation& frag = right[pi];
+    DestBuffers& dest = right_bufs[pi];
     const size_t arity = frag.arity();
     for (size_t row = 0; row < frag.NumTuples(); ++row) {
       const Value* t = frag.Row(row);
@@ -220,17 +312,20 @@ SkewAwareShuffleResult SkewAwareJoinShuffle(
       auto it = heavy.find(h);
       if (it != heavy.end() && it->second) {
         for (int w = 0; w < num_workers; ++w) {
-          result.right[static_cast<size_t>(w)].AddTuple(
-              std::span<const Value>(t, arity));
-          ++right_produced[p];
+          std::vector<Value>& d = dest[static_cast<size_t>(w)];
+          d.insert(d.end(), t, t + arity);
+          ++right_produced[pi];
         }
       } else {
-        result.right[h % static_cast<size_t>(num_workers)].AddTuple(
-            std::span<const Value>(t, arity));
-        ++right_produced[p];
+        std::vector<Value>& d = dest[h % static_cast<size_t>(num_workers)];
+        d.insert(d.end(), t, t + arity);
+        ++right_produced[pi];
       }
     }
-  }
+    return Status::OK();
+  });
+  PTP_CHECK(status.ok()) << status.ToString();
+  MergeByConsumer(right_bufs, &result.right);
   FinishMetrics(result.right, right_produced, &result.right_metrics);
   return result;
 }

@@ -22,6 +22,17 @@ void Histogram::Record(uint64_t value) {
   if (value > max_) max_ = value;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
 double Histogram::Mean() const {
   if (count_ == 0) return 0.0;
   return static_cast<double>(sum_) / static_cast<double>(count_);
@@ -35,6 +46,16 @@ std::string Histogram::ToString() const {
 }
 
 uint64_t* CounterRegistry::Counter(std::string_view name) {
+  const int slot = runtime::CurrentThreadIndex();
+  if (slot >= 0 && slot < runtime::kMaxThreads) {
+    auto& counters = shards_[static_cast<size_t>(slot)].counters;
+    auto it = counters.find(name);
+    if (it == counters.end()) {
+      it = counters.emplace(std::string(name), 0).first;
+    }
+    return &it->second;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), 0).first;
@@ -47,11 +68,23 @@ void CounterRegistry::Add(std::string_view name, uint64_t delta) {
 }
 
 uint64_t CounterRegistry::Value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeShardsLocked();
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }
 
 Histogram* CounterRegistry::Hist(std::string_view name) {
+  const int slot = runtime::CurrentThreadIndex();
+  if (slot >= 0 && slot < runtime::kMaxThreads) {
+    auto& hists = shards_[static_cast<size_t>(slot)].hists;
+    auto it = hists.find(name);
+    if (it == hists.end()) {
+      it = hists.emplace(std::string(name), Histogram()).first;
+    }
+    return &it->second;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = hists_.find(name);
   if (it == hists_.end()) {
     it = hists_.emplace(std::string(name), Histogram()).first;
@@ -59,13 +92,34 @@ Histogram* CounterRegistry::Hist(std::string_view name) {
   return &it->second;
 }
 
+void CounterRegistry::MergeShardsLocked() const {
+  for (Shard& shard : shards_) {
+    for (auto& [name, value] : shard.counters) {
+      if (value != 0) {
+        counters_[name] += value;
+        value = 0;
+      }
+    }
+    for (auto& [name, hist] : shard.hists) {
+      if (hist.count() != 0) {
+        hists_[name].Merge(hist);
+        hist.Reset();
+      }
+    }
+  }
+}
+
 std::vector<std::pair<std::string, uint64_t>>
 CounterRegistry::CounterSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeShardsLocked();
   return {counters_.begin(), counters_.end()};
 }
 
 std::vector<std::pair<std::string, uint64_t>>
 CounterRegistry::CountersWithPrefix(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeShardsLocked();
   std::vector<std::pair<std::string, uint64_t>> out;
   for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
     if (!StartsWith(it->first, prefix)) break;
@@ -75,6 +129,8 @@ CounterRegistry::CountersWithPrefix(std::string_view prefix) const {
 }
 
 std::string CounterRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeShardsLocked();
   std::ostringstream os;
   for (const auto& [name, value] : counters_) {
     os << name << " = " << value << "\n";
@@ -86,6 +142,8 @@ std::string CounterRegistry::ToString() const {
 }
 
 void CounterRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MergeShardsLocked();
   os << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters_) {
@@ -107,8 +165,13 @@ void CounterRegistry::WriteJson(std::ostream& os) const {
 }
 
 void CounterRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   hists_.clear();
+  for (Shard& shard : shards_) {
+    shard.counters.clear();
+    shard.hists.clear();
+  }
 }
 
 CounterRegistry* ActiveCounterRegistry() { return g_active_registry; }

@@ -5,10 +5,13 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "runtime/thread_pool.h"
 
 namespace ptp {
 
@@ -18,6 +21,11 @@ namespace ptp {
 class Histogram {
  public:
   void Record(uint64_t value);
+
+  /// Adds all of `other`'s samples to this histogram (shard merging).
+  void Merge(const Histogram& other);
+  /// Forgets all samples.
+  void Reset() { *this = Histogram(); }
 
   size_t count() const { return count_; }
   uint64_t sum() const { return sum_; }
@@ -45,16 +53,29 @@ class Histogram {
 /// disabled) and publish aggregated deltas — per shuffle, per join — rather
 /// than incrementing per tuple, so the name lookup never sits inside a
 /// per-tuple loop.
+///
+/// Thread safety: writes are sharded per runtime pool thread. A pool worker
+/// (runtime::CurrentThreadIndex() >= 0) writes its own shard without
+/// locking; any other thread writes the base maps under a mutex. Reads
+/// (Value, snapshots, serialization) fold the shards into the base maps
+/// ("merge on read") and must not overlap a running parallel region — in
+/// the engine they happen on the coordinator after ParallelFor returned,
+/// which establishes the necessary happens-before edge. Counter values are
+/// plain sums, so the merged totals are independent of the thread count.
 class CounterRegistry {
  public:
   /// Find-or-create; the returned pointer stays valid for the registry's
-  /// lifetime, so repeat publishers can cache it.
+  /// lifetime and addresses the *calling thread's* shard (or the base map
+  /// for non-pool threads), so repeat publishers can cache it on the
+  /// thread they obtained it from.
   uint64_t* Counter(std::string_view name);
   /// Adds `delta` to the named counter (counters only ever increase).
   void Add(std::string_view name, uint64_t delta);
-  /// Current value, 0 when the counter does not exist.
+  /// Current merged value, 0 when the counter does not exist.
   uint64_t Value(std::string_view name) const;
 
+  /// Same sharding rules as Counter(): the histogram belongs to the
+  /// calling thread's shard and is folded into the merged view on read.
   Histogram* Hist(std::string_view name);
 
   /// Counters in name order.
@@ -72,8 +93,20 @@ class CounterRegistry {
   void Clear();
 
  private:
-  std::map<std::string, uint64_t, std::less<>> counters_;
-  std::map<std::string, Histogram, std::less<>> hists_;
+  struct Shard {
+    std::map<std::string, uint64_t, std::less<>> counters;
+    std::map<std::string, Histogram, std::less<>> hists;
+  };
+
+  /// Folds every shard into the base maps. Values are drained in place
+  /// (counters zeroed, histograms reset) so cached Counter()/Hist()
+  /// pointers stay valid and keep accumulating fresh deltas.
+  void MergeShardsLocked() const;
+
+  mutable std::mutex mu_;  // guards the base maps and shard merging
+  mutable std::map<std::string, uint64_t, std::less<>> counters_;
+  mutable std::map<std::string, Histogram, std::less<>> hists_;
+  mutable std::array<Shard, runtime::kMaxThreads> shards_;
 };
 
 /// Installs `registry` as the process-wide publish target (nullptr

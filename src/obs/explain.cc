@@ -78,6 +78,7 @@ std::string ExplainAnalyzeText(std::string_view strategy,
   for (const StageMetrics& s : m.stages) {
     os << prefix() << "stage " << s.label << ": out="
        << WithCommas(s.output_tuples);
+    if (s.failed) os << " FAILED";
     if (options.include_timings) {
       os << " wall=" << FormatSeconds(s.wall_seconds)
          << " cpu=" << FormatSeconds(s.cpu_seconds);
@@ -159,7 +160,9 @@ void ExplainAnalyzeJson(std::ostream& os, std::string_view strategy,
       os << StrFormat(",\"wall_seconds\":%.6f,\"cpu_seconds\":%.6f",
                       s.wall_seconds, s.cpu_seconds);
     }
-    os << ",\"output_tuples\":" << s.output_tuples << "}";
+    os << ",\"output_tuples\":" << s.output_tuples;
+    if (s.failed) os << ",\"failed\":true";
+    os << "}";
   }
   os << "]}";
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 
@@ -44,14 +45,22 @@ TraceSession::TraceSession() = default;
 double TraceSession::ElapsedMicros() const { return timer_.Seconds() * 1e6; }
 
 void TraceSession::Push(TraceEvent::Phase phase, std::string_view name,
-                        int track, double value, std::string_view detail) {
+                        int track, double value, std::string_view detail,
+                        double ts_rewind_us) {
   TraceEvent event;
   event.phase = phase;
   event.name.assign(name.data(), name.size());
-  event.ts_us = ElapsedMicros();
+  event.ts_us = std::max(0.0, ElapsedMicros() - std::max(0.0, ts_rewind_us));
   event.track = track;
   event.value = value;
   event.detail.assign(detail.data(), detail.size());
+  const int slot = runtime::CurrentThreadIndex();
+  if (slot >= 0 && slot < runtime::kMaxThreads) {
+    // Pool worker: exclusive buffer, no lock.
+    buffers_[static_cast<size_t>(slot)].push_back(std::move(event));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }
 
@@ -65,10 +74,10 @@ void TraceSession::EndSpan(std::string_view name, int track) {
 
 void TraceSession::CompleteSpan(std::string_view name, int track,
                                 double duration_us) {
-  Push(TraceEvent::Phase::kComplete, name, track, duration_us, {});
-  // Rewind the timestamp so the span covers the work that just finished.
-  events_.back().ts_us =
-      std::max(0.0, events_.back().ts_us - std::max(0.0, duration_us));
+  // The timestamp is rewound so the span covers the work that just
+  // finished.
+  Push(TraceEvent::Phase::kComplete, name, track, duration_us, {},
+       /*ts_rewind_us=*/duration_us);
 }
 
 void TraceSession::Counter(std::string_view name, double value, int track) {
@@ -82,6 +91,36 @@ void TraceSession::Instant(std::string_view name, std::string_view detail,
 
 void TraceSession::NameTrack(int track, std::string_view name) {
   Push(TraceEvent::Phase::kMetadata, "thread_name", track, 0, name);
+}
+
+void TraceSession::FlushLocked() const {
+  bool flushed = false;
+  for (std::vector<TraceEvent>& buf : buffers_) {
+    if (buf.empty()) continue;
+    events_.insert(events_.end(), std::make_move_iterator(buf.begin()),
+                   std::make_move_iterator(buf.end()));
+    buf.clear();
+    flushed = true;
+  }
+  if (!flushed) return;
+  // Stable sort keeps the per-thread append order for equal timestamps, so
+  // B/E pairs emitted back-to-back by one thread stay properly nested.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+}
+
+const std::vector<TraceEvent>& TraceSession::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+  return events_;
+}
+
+void TraceSession::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  for (std::vector<TraceEvent>& buf : buffers_) buf.clear();
 }
 
 void AppendJsonEscaped(std::string* out, std::string_view s) {
@@ -122,6 +161,8 @@ std::string JsonQuote(std::string_view s) {
 }
 
 void TraceSession::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& e : events_) {

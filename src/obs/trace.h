@@ -1,22 +1,26 @@
 #ifndef PTP_OBS_TRACE_H_
 #define PTP_OBS_TRACE_H_
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/status.h"
 #include "common/timer.h"
+#include "runtime/thread_pool.h"
 
 namespace ptp {
 
 /// Track (Chrome trace "tid") numbering convention for the simulated
 /// cluster: track 0 is the coordinator (shuffles, planning, logging);
-/// worker w gets track w + 1. Workers execute one at a time, so spans on
-/// different tracks never overlap in real time — the timeline shows the
-/// serialized schedule, which is exactly the simulated cluster's CPU view.
+/// logical worker w gets track w + 1 — regardless of which OS thread of the
+/// runtime pool executed it, so the timeline always shows the cluster's
+/// view, not the pool's. With --threads=1 spans on different tracks never
+/// overlap (the serialized schedule); with more threads they genuinely do.
 inline constexpr int kCoordinatorTrack = 0;
 constexpr int WorkerTrack(int worker) { return worker + 1; }
 
@@ -45,8 +49,14 @@ struct TraceEvent {
 ///
 /// Recording is opt-in per process: instrumentation sites hold no session
 /// of their own and consult ActiveTraceSession(), so the disabled fast path
-/// is a single branch on a nullptr (see bench/micro_trace.cc). The session
-/// is not thread-safe — the simulated cluster runs workers sequentially.
+/// is a single branch on a nullptr (see bench/micro_trace.cc).
+///
+/// Thread safety: each runtime pool thread records into its own event
+/// buffer without locking; other threads append to the base buffer under a
+/// mutex. Readers (events(), the JSON writers) flush the per-thread buffers
+/// into the base buffer and sort by timestamp; flushing must not overlap a
+/// running parallel region — in the engine reads happen on the coordinator
+/// after ParallelFor returned.
 class TraceSession {
  public:
   TraceSession();
@@ -64,22 +74,29 @@ class TraceSession {
   /// Names a track in the viewer ("worker 3", "coordinator").
   void NameTrack(int track, std::string_view name);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  /// All recorded events, flushed from the per-thread buffers and ordered
+  /// by timestamp.
+  const std::vector<TraceEvent>& events() const;
   /// Microseconds since the session was constructed.
   double ElapsedMicros() const;
   /// Drops all recorded events (the clock keeps running).
-  void Clear() { events_.clear(); }
+  void Clear();
 
   void WriteJson(std::ostream& os) const;
   std::string ToJson() const;
   Status WriteJsonFile(const std::string& path) const;
 
  private:
+  /// Appends to the calling thread's buffer. `ts_rewind_us` backdates the
+  /// event (CompleteSpan's after-the-fact spans).
   void Push(TraceEvent::Phase phase, std::string_view name, int track,
-            double value, std::string_view detail);
+            double value, std::string_view detail, double ts_rewind_us = 0);
+  void FlushLocked() const;
 
   Timer timer_;
-  std::vector<TraceEvent> events_;
+  mutable std::mutex mu_;  // guards events_ and buffer flushing
+  mutable std::vector<TraceEvent> events_;
+  mutable std::array<std::vector<TraceEvent>, runtime::kMaxThreads> buffers_;
 };
 
 /// Installs `session` as the process-wide recording target (nullptr

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "exec/local_ops.h"
 #include "exec/shuffle.h"
+#include "runtime/parallel.h"
 
 namespace ptp {
 namespace {
@@ -42,19 +43,19 @@ struct Booker {
     for (int w = 0; w < W; ++w) {
       metrics->worker_seconds[static_cast<size_t>(w)] += per_worker;
     }
-    metrics->wall_seconds += per_worker * std::max(1.0, sm.producer_skew);
+    metrics->wall_seconds += elapsed;
   }
 
-  void Stage(const std::string& label, const std::vector<double>& elapsed,
-             size_t output) {
+  // `region_elapsed` is the measured wall time of the parallel region that
+  // ran the per-worker bodies.
+  void Stage(const std::string& label, double region_elapsed,
+             const std::vector<double>& elapsed, size_t output) {
     StageMetrics stage;
     stage.label = label;
-    for (double e : elapsed) {
-      stage.cpu_seconds += e;
-      stage.wall_seconds = std::max(stage.wall_seconds, e);
-    }
+    for (double e : elapsed) stage.cpu_seconds += e;
+    stage.wall_seconds = region_elapsed;
     stage.output_tuples = output;
-    metrics->wall_seconds += stage.wall_seconds;
+    metrics->wall_seconds += region_elapsed;
     for (size_t w = 0; w < elapsed.size(); ++w) {
       metrics->worker_seconds[w] += elapsed[w];
     }
@@ -98,18 +99,23 @@ Result<StrategyResult> RunSemijoinPlan(const ConjunctiveQuery& query,
     }
 
     // Local preprocessing: project the filter onto the shared keys, dedup.
+    // Each worker writes only its own slot, so the barrier is deterministic
+    // at any thread count.
     DistributedRelation keys(static_cast<size_t>(W));
     std::vector<double> prep_elapsed(static_cast<size_t>(W), 0.0);
-    size_t key_tuples = 0;
-    for (int w = 0; w < W; ++w) {
+    Timer prep_timer;
+    PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
       const size_t wi = static_cast<size_t>(w);
       Timer t;
       keys[wi] = DistinctProject(rels[fi][wi], shared, "keys");
       prep_elapsed[wi] = t.Seconds();
-      key_tuples += keys[wi].NumTuples();
-    }
+      return Status::OK();
+    }));
+    const double prep_region = prep_timer.Seconds();
+    size_t key_tuples = 0;
+    for (const Relation& frag : keys) key_tuples += frag.NumTuples();
     booker.Stage(StrFormat("project keys %s", rels[fi][0].name().c_str()),
-                 prep_elapsed, key_tuples);
+                 prep_region, prep_elapsed, key_tuples);
 
     // Shuffle both sides onto the shared attributes.
     DistributedRelation target_sh, keys_sh;
@@ -138,17 +144,20 @@ Result<StrategyResult> RunSemijoinPlan(const ConjunctiveQuery& query,
 
     // Local semijoin.
     std::vector<double> elapsed(static_cast<size_t>(W), 0.0);
-    size_t kept = 0;
-    for (int w = 0; w < W; ++w) {
+    Timer sj_timer;
+    PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
       const size_t wi = static_cast<size_t>(w);
       Timer t;
       target_sh[wi] = SemiJoinLocal(target_sh[wi], keys_sh[wi]);
       elapsed[wi] = t.Seconds();
-      kept += target_sh[wi].NumTuples();
-    }
+      return Status::OK();
+    }));
+    const double sj_region = sj_timer.Seconds();
+    size_t kept = 0;
+    for (const Relation& frag : target_sh) kept += frag.NumTuples();
     booker.Stage(StrFormat("semijoin %s ⋉ %s", rels[ti][0].name().c_str(),
                            rels[fi][0].name().c_str()),
-                 elapsed, kept);
+                 sj_region, elapsed, kept);
     rels[ti] = std::move(target_sh);
     return Status::OK();
   };

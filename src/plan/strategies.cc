@@ -11,6 +11,7 @@
 #include "exec/shuffle.h"
 #include "obs/trace.h"
 #include "query/planner.h"
+#include "runtime/parallel.h"
 #include "tj/order_optimizer.h"
 #include "tj/tributary_join.h"
 
@@ -46,9 +47,9 @@ struct Ctx {
 
   QueryMetrics& metrics() { return result.metrics; }
 
-  // Books a shuffle: records its metrics and charges its (measured) CPU to
-  // workers proportionally to tuple counts; the barrier wall-clock charge is
-  // elapsed * producer_skew / W (the slowest producer's share).
+  // Books a shuffle: records its metrics, counts its measured elapsed time
+  // toward the query wall clock, and spreads the routing CPU evenly over
+  // the workers (the shuffle itself ran on the runtime pool).
   void BookShuffle(const ShuffleMetrics& sm, double elapsed) {
     if (TraceSession* trace = ActiveTraceSession()) {
       // The shuffle already ran when it is booked, so emit a complete span
@@ -61,15 +62,16 @@ struct Ctx {
     for (int w = 0; w < W; ++w) {
       metrics().worker_seconds[static_cast<size_t>(w)] += per_worker;
     }
-    metrics().wall_seconds += per_worker * std::max(1.0, sm.producer_skew);
+    metrics().wall_seconds += elapsed;
   }
 
-  // Books a barrier of per-worker compute times.
-  void BookStage(const std::string& label,
+  // Books a barrier of per-worker compute times. `region_elapsed` is the
+  // measured wall time of the parallel region that ran the workers.
+  void BookStage(const std::string& label, double region_elapsed,
                  const std::vector<double>& worker_elapsed,
                  const std::vector<double>& sort_elapsed,
                  const std::vector<double>& join_elapsed,
-                 size_t output_tuples) {
+                 size_t output_tuples, bool stage_failed) {
     StageMetrics stage;
     stage.label = label;
     for (int w = 0; w < W; ++w) {
@@ -82,10 +84,11 @@ struct Ctx {
         metrics().worker_join_seconds[wi] += join_elapsed[wi];
       }
       stage.cpu_seconds += worker_elapsed[wi];
-      stage.wall_seconds = std::max(stage.wall_seconds, worker_elapsed[wi]);
     }
+    stage.wall_seconds = region_elapsed;
     stage.output_tuples = output_tuples;
-    metrics().wall_seconds += stage.wall_seconds;
+    stage.failed = stage_failed;
+    metrics().wall_seconds += region_elapsed;
     metrics().stages.push_back(stage);
   }
 
@@ -181,7 +184,12 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
                                            .relation.schema(),
                               &applicable, &rest);
     if (!applicable.empty()) {
-      for (Relation& frag : acc) frag = FilterByPredicates(frag, applicable);
+      PTP_RETURN_IF_ERROR(runtime::ParallelFor(
+          static_cast<int>(acc.size()), [&](int f) {
+            Relation& frag = acc[static_cast<size_t>(f)];
+            frag = FilterByPredicates(frag, applicable);
+            return Status::OK();
+          }));
       pending = rest;
     }
   }
@@ -273,14 +281,38 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
       pending = rest;
     }
 
+    // The Tributary variable order is shared by all workers; build it once.
+    std::vector<std::string> var_order;
+    if (join != JoinKind::kHashJoin) {
+      // Binary Tributary join == sort-merge join (Sec. 3 "for
+      // completeness"): shared variables first in the order.
+      var_order = shared;
+      for (const std::string& v : left[0].schema().names()) {
+        if (std::find(var_order.begin(), var_order.end(), v) ==
+            var_order.end()) {
+          var_order.push_back(v);
+        }
+      }
+      for (const std::string& v : right[0].schema().names()) {
+        if (std::find(var_order.begin(), var_order.end(), v) ==
+            var_order.end()) {
+          var_order.push_back(v);
+        }
+      }
+    }
+
+    // All W workers run on the runtime pool, each writing only its own
+    // slots; no early exit, so the round behaves identically at every
+    // thread count. Failure decisions happen after the barrier, in worker
+    // index order (first error wins, exactly like the old serial loop).
     DistributedRelation joined(static_cast<size_t>(W));
     std::vector<double> elapsed(static_cast<size_t>(W), 0.0);
     std::vector<double> sort_s(static_cast<size_t>(W), 0.0);
     std::vector<double> join_s(static_cast<size_t>(W), 0.0);
-    size_t round_output = 0;
-    bool failed = false;
+    std::vector<Status> worker_status(static_cast<size_t>(W));
     const std::string stage_label = StrFormat("join_%zu", step);
-    for (int w = 0; w < W && !failed; ++w) {
+    Timer stage_timer;
+    PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
       const size_t wi = static_cast<size_t>(w);
       Span worker_span(stage_label, WorkerTrack(w));
       Timer t;
@@ -292,21 +324,6 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         join_s[wi] = jt.Seconds();
         joined[wi] = std::move(r);
       } else {
-        // Binary Tributary join == sort-merge join (Sec. 3 "for
-        // completeness"): shared variables first in the order.
-        std::vector<std::string> var_order = shared;
-        for (const std::string& v : left[0].schema().names()) {
-          if (std::find(var_order.begin(), var_order.end(), v) ==
-              var_order.end()) {
-            var_order.push_back(v);
-          }
-        }
-        for (const std::string& v : right[0].schema().names()) {
-          if (std::find(var_order.begin(), var_order.end(), v) ==
-              var_order.end()) {
-            var_order.push_back(v);
-          }
-        }
         TJOptions tj_opts;
         tj_opts.max_output_rows = opts.intermediate_budget;
         TJMetrics tj_metrics;
@@ -316,18 +333,30 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         sort_s[wi] = tj_metrics.sort_seconds;
         join_s[wi] = tj_metrics.join_seconds;
         if (!r.ok()) {
-          if (r.status().code() == StatusCode::kResourceExhausted) {
-            ctx.Fail(r.status().message());
-            failed = true;
-          } else {
-            return r.status();
-          }
+          worker_status[wi] = r.status();
         } else {
           joined[wi] = std::move(r).value();
           joined[wi].set_name(StrFormat("int_%zu", step));
         }
       }
       elapsed[wi] = t.Seconds();
+      return Status::OK();
+    }));
+    const double stage_elapsed = stage_timer.Seconds();
+
+    size_t round_output = 0;
+    bool failed = false;
+    for (int w = 0; w < W && !failed; ++w) {
+      const size_t wi = static_cast<size_t>(w);
+      const Status& st = worker_status[wi];
+      if (!st.ok()) {
+        if (st.code() == StatusCode::kResourceExhausted) {
+          ctx.Fail(st.message());
+          failed = true;
+        } else {
+          return st;
+        }
+      }
       round_output += joined[wi].NumTuples();
       if (round_output > opts.intermediate_budget) {
         ctx.Fail(StrFormat("round %zu intermediate exceeded budget of %zu "
@@ -336,14 +365,20 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         failed = true;
       }
     }
-    ctx.BookStage(stage_label, elapsed, sort_s, join_s, round_output);
+    ctx.BookStage(stage_label, stage_elapsed, elapsed, sort_s, join_s,
+                  round_output, failed);
     if (failed) return std::move(ctx.result);
     if (step + 1 < order.size()) ctx.TrackIntermediate(round_output);
     acc = std::move(joined);
   }
 
   if (!pending.empty()) {
-    for (Relation& frag : acc) frag = FilterByPredicates(frag, pending);
+    PTP_RETURN_IF_ERROR(runtime::ParallelFor(
+        static_cast<int>(acc.size()), [&](int f) {
+          Relation& frag = acc[static_cast<size_t>(f)];
+          frag = FilterByPredicates(frag, pending);
+          return Status::OK();
+        }));
   }
   FinishOutput(&ctx, std::move(acc));
   return std::move(ctx.result);
@@ -362,9 +397,8 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
   std::vector<double> elapsed(static_cast<size_t>(W), 0.0);
   std::vector<double> sort_s(static_cast<size_t>(W), 0.0);
   std::vector<double> join_s(static_cast<size_t>(W), 0.0);
-  size_t total_output = 0;
-  PipelineStats pipeline_stats;
-  bool failed = false;
+  std::vector<Status> worker_status(static_cast<size_t>(W));
+  std::vector<PipelineStats> worker_pipeline(static_cast<size_t>(W));
 
   std::vector<int> join_order;
   std::vector<std::string> var_order;
@@ -376,9 +410,13 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
     ctx->result.var_order_used = var_order;
   }
 
+  // One barrier over the W logical workers on the runtime pool; every
+  // worker runs to completion and failures are resolved afterwards in
+  // index order (first error wins), matching the serial schedule.
   const std::string stage_label =
       join == JoinKind::kHashJoin ? "local HJ pipeline" : "local TJ";
-  for (int w = 0; w < W && !failed; ++w) {
+  Timer stage_timer;
+  PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
     const size_t wi = static_cast<size_t>(w);
     std::vector<const Relation*> inputs;
     inputs.reserve(q.atoms.size());
@@ -388,21 +426,13 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
     Span worker_span(stage_label, WorkerTrack(w));
     Timer t;
     if (join == JoinKind::kHashJoin) {
-      PipelineStats stats;
       Timer jt;
       Result<Relation> r =
           LeftDeepJoinLocal(inputs, join_order, q.predicates,
-                            opts.intermediate_budget, &stats);
+                            opts.intermediate_budget, &worker_pipeline[wi]);
       join_s[wi] = jt.Seconds();
-      pipeline_stats.Merge(stats);
-      ctx->TrackIntermediate(stats.max_intermediate);
       if (!r.ok()) {
-        if (r.status().code() == StatusCode::kResourceExhausted) {
-          ctx->Fail(r.status().message());
-          failed = true;
-        } else {
-          return r.status();
-        }
+        worker_status[wi] = r.status();
       } else {
         out[wi] = std::move(r).value();
       }
@@ -415,20 +445,38 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
       sort_s[wi] = tj_metrics.sort_seconds;
       join_s[wi] = tj_metrics.join_seconds;
       if (!r.ok()) {
-        if (r.status().code() == StatusCode::kResourceExhausted) {
-          ctx->Fail(r.status().message());
-          failed = true;
-        } else {
-          return r.status();
-        }
+        worker_status[wi] = r.status();
       } else {
         out[wi] = std::move(r).value();
       }
     }
     elapsed[wi] = t.Seconds();
+    return Status::OK();
+  }));
+  const double stage_elapsed = stage_timer.Seconds();
+
+  size_t total_output = 0;
+  PipelineStats pipeline_stats;
+  bool failed = false;
+  for (int w = 0; w < W && !failed; ++w) {
+    const size_t wi = static_cast<size_t>(w);
+    if (join == JoinKind::kHashJoin) {
+      pipeline_stats.Merge(worker_pipeline[wi]);
+      ctx->TrackIntermediate(worker_pipeline[wi].max_intermediate);
+    }
+    const Status& st = worker_status[wi];
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kResourceExhausted) {
+        ctx->Fail(st.message());
+        failed = true;
+      } else {
+        return st;
+      }
+    }
     total_output += out[wi].NumTuples();
   }
-  ctx->BookStage(stage_label, elapsed, sort_s, join_s, total_output);
+  ctx->BookStage(stage_label, stage_elapsed, elapsed, sort_s, join_s,
+                 total_output, failed);
 
   // Per-join breakdown of the local pipeline (Table 5).
   for (size_t i = 0; i < pipeline_stats.join_outputs.size(); ++i) {
@@ -553,9 +601,12 @@ Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
     ctx.metrics().EnsureWorkers(static_cast<size_t>(ctx.W));
     DistributedRelation frags =
         PartitionRoundRobin(query.atoms[0].relation, ctx.W);
-    for (Relation& frag : frags) {
-      frag = FilterByPredicates(frag, query.predicates);
-    }
+    PTP_RETURN_IF_ERROR(runtime::ParallelFor(
+        static_cast<int>(frags.size()), [&](int f) {
+          Relation& frag = frags[static_cast<size_t>(f)];
+          frag = FilterByPredicates(frag, query.predicates);
+          return Status::OK();
+        }));
     FinishOutput(&ctx, std::move(frags));
     return std::move(ctx.result);
   }

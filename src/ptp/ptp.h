@@ -45,6 +45,8 @@
 #include "query/parser.h"
 #include "query/planner.h"
 #include "query/query.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
 #include "storage/catalog.h"
 #include "storage/csv.h"
 #include "storage/relation.h"

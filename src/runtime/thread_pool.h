@@ -1,0 +1,99 @@
+#ifndef PTP_RUNTIME_THREAD_POOL_H_
+#define PTP_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptp {
+namespace runtime {
+
+/// Hard cap on pool sizes, so observability sinks can size fixed per-thread
+/// shard arrays once instead of resizing them under concurrent writers.
+inline constexpr int kMaxThreads = 128;
+
+/// Index of the calling pool worker thread in [0, num_threads), or -1 when
+/// called from a thread that is not executing a pool task. During an inline
+/// (single-threaded) ParallelFor the calling thread temporarily reports
+/// index 0, so instrumented code sees a consistent "inside a parallel
+/// region" view regardless of the thread count.
+int CurrentThreadIndex();
+
+/// Fixed-size, work-stealing-free thread pool executing deterministic
+/// fork-join batches.
+///
+/// The only scheduling primitive is ParallelFor(n, body): body(i) runs
+/// exactly once for every i in [0, n), the caller blocks until all indices
+/// finished, and every index runs regardless of failures elsewhere in the
+/// batch (no early exit — see the determinism contract in
+/// docs/RUNTIME.md). Indices are claimed from a shared atomic counter, so
+/// which *thread* runs an index is nondeterministic, but as long as body(i)
+/// only writes to index-i state the observable outcome is independent of
+/// the thread count.
+///
+/// Error aggregation is first-error-wins by *lowest index*, not by wall
+/// clock: if body(3) and body(7) both fail, the batch reports index 3's
+/// error no matter which one failed first in real time. Exceptions
+/// propagate the same way (the lowest-index exception is rethrown in the
+/// caller) and take precedence over a Status error at a higher index.
+///
+/// Nested batches are rejected: calling ParallelFor from inside a pool task
+/// returns an Internal error without running anything. The simulated
+/// cluster has exactly one coordinator, and rejecting nesting keeps the
+/// no-deadlock proof trivial (a blocked batch can never wait on threads it
+/// itself occupies).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` worker threads (clamped to [1, kMaxThreads]).
+  /// A pool of one thread spawns nothing and runs batches inline on the
+  /// calling thread, in index order.
+  explicit ThreadPool(int num_threads);
+  /// Drains and joins. No batch may be in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(i) for every i in [0, n); blocks until all complete.
+  /// Returns OK, or the error of the lowest failing index. Rethrows the
+  /// lowest-index exception, if any. Concurrent callers are serialized.
+  Status ParallelFor(int n, const std::function<Status(int)>& body);
+
+ private:
+  struct Batch {
+    int n = 0;
+    const std::function<Status(int)>* body = nullptr;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::vector<Status>* statuses = nullptr;
+    std::vector<std::exception_ptr>* exceptions = nullptr;
+  };
+
+  void WorkerMain(int index);
+  void RunBatch(Batch* batch);
+  static Status Finish(const std::vector<Status>& statuses,
+                       const std::vector<std::exception_ptr>& exceptions);
+
+  const int num_threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  uint64_t epoch_ = 0;
+  std::shared_ptr<Batch> batch_;
+  std::mutex run_mu_;  // serializes ParallelFor callers
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace runtime
+}  // namespace ptp
+
+#endif  // PTP_RUNTIME_THREAD_POOL_H_

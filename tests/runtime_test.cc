@@ -1,0 +1,168 @@
+// Unit tests for the deterministic runtime pool (src/runtime/): start/stop,
+// first-error-wins aggregation, exception propagation, nested-region
+// rejection, and the contract the engine relies on — identical outcomes at
+// every thread count because every index runs and writes only its own state.
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "runtime/parallel.h"
+#include "runtime/thread_pool.h"
+
+namespace ptp {
+namespace runtime {
+namespace {
+
+TEST(ThreadPoolTest, StartStopRepeatedly) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    std::vector<int> out(64, 0);
+    Status s = pool.ParallelFor(64, [&](int i) {
+      out[static_cast<size_t>(i)] = i * i;
+      return Status::OK();
+    });
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i * i);
+  }  // ~ThreadPool joins; leaving scope repeatedly must not hang or leak.
+}
+
+TEST(ThreadPoolTest, ClampsThreadCount) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.num_threads(), 1);
+  ThreadPool huge(kMaxThreads + 100);
+  EXPECT_EQ(huge.num_threads(), kMaxThreads);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsOk) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(pool.ParallelFor(0, [](int) { return Status::OK(); }).ok());
+}
+
+TEST(ThreadPoolTest, CurrentThreadIndexScoping) {
+  EXPECT_EQ(CurrentThreadIndex(), -1);
+  ThreadPool pool(3);
+  std::vector<int> seen(16, -2);
+  Status s = pool.ParallelFor(16, [&](int i) {
+    seen[static_cast<size_t>(i)] = CurrentThreadIndex();
+    return Status::OK();
+  });
+  ASSERT_TRUE(s.ok());
+  for (int idx : seen) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, 3);
+  }
+  EXPECT_EQ(CurrentThreadIndex(), -1);
+}
+
+TEST(ThreadPoolTest, FirstErrorByIndexWinsAndEveryIndexRuns) {
+  for (int threads : {1, 8}) {
+    ThreadPool pool(threads);
+    std::atomic<int> ran{0};
+    Status s = pool.ParallelFor(32, [&](int i) {
+      ran.fetch_add(1);
+      if (i == 7) return Status::Internal("error at 7");
+      if (i == 21) return Status::InvalidArgument("error at 21");
+      return Status::OK();
+    });
+    // No early exit: a failing index must not stop the others (the engine
+    // counts on complete per-index state), and the lowest failing index
+    // decides the returned status at every thread count.
+    EXPECT_EQ(ran.load(), 32) << "threads=" << threads;
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::kInternal);
+    EXPECT_EQ(s.message(), "error at 7");
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagates) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        {
+          (void)pool.ParallelFor(8, [&](int i) -> Status {
+            if (i == 3) throw std::runtime_error("boom");
+            return Status::OK();
+          });
+        },
+        std::runtime_error)
+        << "threads=" << threads;
+    // The pool must survive an exceptional batch.
+    EXPECT_TRUE(pool.ParallelFor(4, [](int) { return Status::OK(); }).ok());
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRejected) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::vector<Status> inner(4);
+    Status s = pool.ParallelFor(4, [&](int i) {
+      inner[static_cast<size_t>(i)] =
+          ParallelFor(2, [](int) { return Status::OK(); });
+      return Status::OK();
+    });
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    for (const Status& st : inner) {
+      EXPECT_EQ(st.code(), StatusCode::kInternal) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelApiTest, SetThreadsControlsGlobalPool) {
+  SetThreads(3);
+  EXPECT_EQ(Threads(), 3);
+  EXPECT_EQ(GlobalPool().num_threads(), 3);
+  SetThreads(1);
+  EXPECT_EQ(Threads(), 1);
+  SetThreads(0);  // back to auto for other tests
+  EXPECT_GE(Threads(), 1);
+}
+
+TEST(ParallelApiTest, DeterministicAcrossThreadCounts) {
+  // The engine's contract: a body that writes only index-i state produces
+  // bit-identical results at --threads=1 and --threads=8.
+  auto run = [](int threads) {
+    SetThreads(threads);
+    std::vector<uint64_t> out(257, 0);
+    Status s = ParallelFor(257, [&](int i) {
+      uint64_t h = static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull + 1;
+      for (int k = 0; k < 100; ++k) h ^= h << 13, h ^= h >> 7, h ^= h << 17;
+      out[static_cast<size_t>(i)] = h;
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return out;
+  };
+  const std::vector<uint64_t> serial = run(1);
+  const std::vector<uint64_t> parallel = run(8);
+  SetThreads(0);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(TaskGroupTest, RunsAllTasksAndAggregatesFirstError) {
+  SetThreads(4);
+  TaskGroup group;
+  std::vector<int> done(6, 0);
+  for (int i = 0; i < 6; ++i) {
+    group.Add([&done, i] {
+      done[static_cast<size_t>(i)] = i + 1;
+      return i == 2 ? Status::NotFound("task 2") : Status::OK();
+    });
+  }
+  EXPECT_EQ(group.size(), 6u);
+  Status s = group.Run();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(done[static_cast<size_t>(i)], i + 1);
+  // A drained group runs zero tasks.
+  EXPECT_EQ(group.size(), 0u);
+  EXPECT_TRUE(group.Run().ok());
+  SetThreads(0);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace ptp

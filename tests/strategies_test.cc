@@ -2,6 +2,7 @@
 
 #include "gtest/gtest.h"
 #include "query/parser.h"
+#include "runtime/parallel.h"
 #include "test_util.h"
 
 namespace ptp {
@@ -155,6 +156,41 @@ TEST(StrategiesTest, BudgetExhaustionReportsFailNotError) {
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
   EXPECT_TRUE(rs->metrics.failed);
   EXPECT_FALSE(rs->metrics.fail_reason.empty());
+  // The stage that aborted the run is marked failed (and only that one).
+  ASSERT_FALSE(rs->metrics.stages.empty());
+  EXPECT_TRUE(rs->metrics.stages.back().failed);
+  for (size_t i = 0; i + 1 < rs->metrics.stages.size(); ++i) {
+    EXPECT_FALSE(rs->metrics.stages[i].failed);
+  }
+}
+
+TEST(StrategiesTest, AbortSemanticsIdenticalAcrossThreadCounts) {
+  // A failing run must reach the same verdict — same fail reason, same
+  // booked stages, same failed-stage marking — whether the workers ran
+  // serialized or concurrently.
+  NormalizedQuery q = RandomQuery(
+      "T(x,y,z) :- R(x,y), S(y,z), U(z,x).", 12, 300, 6);
+  StrategyOptions opts;
+  opts.num_workers = 8;
+  opts.intermediate_budget = 100;
+  runtime::SetThreads(1);
+  auto serial = RunStrategy(q, ShuffleKind::kRegular, JoinKind::kHashJoin,
+                            opts);
+  runtime::SetThreads(8);
+  auto parallel = RunStrategy(q, ShuffleKind::kRegular, JoinKind::kHashJoin,
+                              opts);
+  runtime::SetThreads(0);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_TRUE(serial->metrics.failed);
+  EXPECT_EQ(serial->metrics.failed, parallel->metrics.failed);
+  EXPECT_EQ(serial->metrics.fail_reason, parallel->metrics.fail_reason);
+  ASSERT_EQ(serial->metrics.stages.size(), parallel->metrics.stages.size());
+  for (size_t i = 0; i < serial->metrics.stages.size(); ++i) {
+    EXPECT_EQ(serial->metrics.stages[i].failed,
+              parallel->metrics.stages[i].failed);
+    EXPECT_EQ(serial->metrics.stages[i].output_tuples,
+              parallel->metrics.stages[i].output_tuples);
+  }
 }
 
 TEST(StrategiesTest, SortBudgetFailsTributaryButNotHashJoin) {
