@@ -1,0 +1,185 @@
+#include "exec/join_hash_table.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace ptp {
+namespace {
+
+// Smallest power of two >= n, at least `floor`.
+size_t NextPow2(size_t n, size_t floor) {
+  size_t cap = floor;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+// Grow when entries exceed 7/10 of the directory (linear probing stays
+// short-chained below ~0.7 load).
+bool OverLoaded(size_t entries, size_t capacity) {
+  return entries * 10 > capacity * 7;
+}
+
+size_t DirectoryFor(size_t expected_entries) {
+  return NextPow2(expected_entries * 10 / 7 + 1, 16);
+}
+
+}  // namespace
+
+void JoinHashTable::Reserve(size_t expected_entries) {
+  const size_t cap = DirectoryFor(expected_entries);
+  hashes_.reserve(expected_entries);
+  rows_.reserve(expected_entries);
+  next_.reserve(expected_entries);
+  if (cap <= slots_.size()) return;
+  slots_.assign(cap, 0);
+  mask_ = cap - 1;
+  for (uint32_t e = 0; e < rows_.size(); ++e) {
+    next_[e] = kNil;
+    Link(e);
+  }
+}
+
+void JoinHashTable::Link(uint32_t e) {
+  const uint64_t hash = hashes_[e];
+  const uint64_t tag = Tag(hash);
+  size_t i = hash & mask_;
+  for (;;) {
+    const uint64_t slot = slots_[i];
+    if (slot == 0) {
+      slots_[i] = Pack(tag, e);
+      return;
+    }
+    if ((slot >> 32) == tag && hashes_[Head(slot)] == hash) {
+      // A duplicate of this exact key hash: push onto its chain. A tag
+      // collision between different hashes probes on instead, so every
+      // chain holds one distinct hash and Next() needs no filtering.
+      next_[e] = Head(slot);
+      slots_[i] = Pack(tag, e);
+      return;
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void JoinHashTable::Grow() {
+  const size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+  slots_.assign(cap, 0);
+  mask_ = cap - 1;
+  for (uint32_t e = 0; e < rows_.size(); ++e) {
+    next_[e] = kNil;
+    Link(e);
+  }
+}
+
+void JoinHashTable::Insert(uint64_t hash, uint32_t row) {
+  if (slots_.empty() || OverLoaded(rows_.size() + 1, slots_.size())) Grow();
+  const uint32_t e = static_cast<uint32_t>(rows_.size());
+  hashes_.push_back(hash);
+  rows_.push_back(row);
+  next_.push_back(kNil);
+  Link(e);
+}
+
+void JoinHashTable::FinalizeBuild() {
+  if (rows_.empty()) return;
+  std::vector<uint64_t> hashes(hashes_.size());
+  std::vector<uint32_t> rows(rows_.size());
+  std::vector<uint32_t> next(next_.size());
+  uint32_t out = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const uint64_t slot = slots_[i];
+    if (slot == 0) continue;
+    slots_[i] = Pack(slot >> 32, out);
+    for (uint32_t e = Head(slot); e != kNil;) {
+      hashes[out] = hashes_[e];
+      rows[out] = rows_[e];
+      e = next_[e];
+      next[out] = e == kNil ? kNil : out + 1;
+      ++out;
+    }
+  }
+  PTP_DCHECK(out == rows_.size());
+  hashes_ = std::move(hashes);
+  rows_ = std::move(rows);
+  next_ = std::move(next);
+}
+
+uint32_t JoinHashTable::Find(uint64_t hash) const {
+  ++probes_;
+  if (slots_.empty()) return kNil;
+  const uint64_t tag = Tag(hash);
+  size_t i = hash & mask_;
+  for (;;) {
+    const uint64_t slot = slots_[i];
+    if (slot == 0) return kNil;
+    if ((slot >> 32) == tag) {
+      const uint32_t e = Head(slot);
+      if (hashes_[e] == hash) {
+        ++probe_hits_;
+        return e;
+      }
+      // 16-bit tag collision between different hashes: the colliding key
+      // occupies a later slot on this probe run.
+    }
+    i = (i + 1) & mask_;
+  }
+}
+
+void FlatCounter::Reserve(size_t expected_keys) {
+  const size_t cap = DirectoryFor(expected_keys);
+  keys_.reserve(expected_keys);
+  counts_.reserve(expected_keys);
+  if (cap <= slots_.size()) return;
+  slots_.assign(cap, 0);
+  mask_ = cap - 1;
+  for (uint32_t e = 0; e < keys_.size(); ++e) {
+    size_t i = Mix64(keys_[e]) & mask_;
+    while (slots_[i] != 0) i = (i + 1) & mask_;
+    slots_[i] = e + 1;
+  }
+}
+
+void FlatCounter::Grow() {
+  const size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+  slots_.assign(cap, 0);
+  mask_ = cap - 1;
+  for (uint32_t e = 0; e < keys_.size(); ++e) {
+    size_t i = Mix64(keys_[e]) & mask_;
+    while (slots_[i] != 0) i = (i + 1) & mask_;
+    slots_[i] = e + 1;
+  }
+}
+
+uint32_t FlatCounter::FindOrCreate(uint64_t key) {
+  if (slots_.empty() || OverLoaded(keys_.size() + 1, slots_.size())) Grow();
+  size_t i = Mix64(key) & mask_;
+  for (;;) {
+    const uint32_t slot = slots_[i];
+    if (slot == 0) {
+      const uint32_t e = static_cast<uint32_t>(keys_.size());
+      keys_.push_back(key);
+      counts_.push_back(0);
+      slots_[i] = e + 1;
+      return e;
+    }
+    if (keys_[slot - 1] == key) return slot - 1;
+    i = (i + 1) & mask_;
+  }
+}
+
+uint64_t FlatCounter::Add(uint64_t key, uint64_t delta) {
+  return counts_[FindOrCreate(key)] += delta;
+}
+
+uint64_t FlatCounter::Count(uint64_t key) const {
+  if (slots_.empty()) return 0;
+  size_t i = Mix64(key) & mask_;
+  for (;;) {
+    const uint32_t slot = slots_[i];
+    if (slot == 0) return 0;
+    if (keys_[slot - 1] == key) return counts_[slot - 1];
+    i = (i + 1) & mask_;
+  }
+}
+
+}  // namespace ptp

@@ -1,0 +1,153 @@
+#ifndef PTP_EXEC_JOIN_HASH_TABLE_H_
+#define PTP_EXEC_JOIN_HASH_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ptp {
+
+/// Flat open-addressing hash table mapping 64-bit key hashes to chains of
+/// 32-bit payloads (row indices). This is the local-join build/probe kernel:
+/// it replaces the seed's `std::unordered_map<uint64_t, std::vector<uint32_t>>`
+/// — one heap allocation per distinct key, a pointer chase per probe — with
+/// three flat arrays and zero per-key allocations.
+///
+/// Layout (HoneyComb-style):
+///  * `slots_`   — power-of-two directory of 64-bit fingerprint-tagged slots.
+///    A slot packs (tag << 32) | (head + 1), where `tag` is the top 16 bits
+///    of the key hash and `head` indexes the entry arrays; 0 means empty.
+///    Linear probing; the tag rejects almost all displaced neighbours
+///    without touching the entry arrays.
+///  * `hashes_` / `rows_` / `next_` — one parallel entry per Insert().
+///    Duplicates of one key hash chain through `next_` (most-recent first),
+///    so a key's whole match list lives in index arrays instead of per-key
+///    vectors. Each chain holds exactly one distinct hash — a tag collision
+///    between different hashes claims a separate slot further down the
+///    probe run — so the match walk never filters.
+///
+/// Determinism: the table state is a pure function of the Insert() sequence
+/// (growth included — rehashing re-links entries in insertion order), so
+/// per-worker builds are bit-identical at every thread count.
+///
+/// Not thread-safe; each worker builds and probes its own table.
+class JoinHashTable {
+ public:
+  static constexpr uint32_t kNil = 0xffffffffu;
+
+  JoinHashTable() = default;
+  explicit JoinHashTable(size_t expected_entries) {
+    Reserve(expected_entries);
+  }
+
+  /// Pre-sizes the slot directory for `expected_entries` inserts so the
+  /// build loop never rehashes.
+  void Reserve(size_t expected_entries);
+
+  /// Appends payload `row` under `hash` (multimap semantics: duplicates
+  /// chain; nothing is overwritten).
+  void Insert(uint64_t hash, uint32_t row);
+
+  /// Compacts the entry arrays so each slot's chain is one contiguous run
+  /// (directory order), turning the probe-side chain walk into a sequential
+  /// scan — the difference between one cache miss per duplicate and one per
+  /// cache line on skewed keys. Call once after the last Insert(); inserting
+  /// afterwards is undefined. Per-hash chain order is preserved, so emission
+  /// order and all probe results are unchanged; the compaction is a pure
+  /// function of the insert sequence, so determinism is too.
+  void FinalizeBuild();
+
+  /// First entry whose key hash equals `hash`, or kNil. Counts one probe,
+  /// and one probe hit when a candidate exists. Iterate matches with:
+  ///   for (uint32_t e = t.Find(h); e != kNil; e = t.Next(e, h)) ...
+  /// Chains are most-recently-inserted first.
+  uint32_t Find(uint64_t hash) const;
+
+  /// Next entry after `entry` with the same key hash, or kNil. Chains hold
+  /// exactly one distinct hash (tag collisions occupy separate slots), so
+  /// this is a single link read — after FinalizeBuild(), a sequential one.
+  uint32_t Next(uint32_t entry, uint64_t hash) const {
+    PTP_DCHECK(hashes_[entry] == hash);
+    (void)hash;
+    return next_[entry];
+  }
+
+  /// Payload of `entry` (a row index at every call site).
+  uint32_t Row(uint32_t entry) const { return rows_[entry]; }
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  size_t capacity() const { return slots_.size(); }
+
+  /// Find() calls performed (the `ht.probes` counter).
+  uint64_t probes() const { return probes_; }
+  /// Find() calls that located at least one candidate (`ht.probe_hits`).
+  uint64_t probe_hits() const { return probe_hits_; }
+
+ private:
+  static constexpr uint64_t Pack(uint64_t tag, uint32_t head) {
+    return (tag << 32) | (static_cast<uint64_t>(head) + 1);
+  }
+  static constexpr uint64_t Tag(uint64_t hash) { return hash >> 48; }
+  static constexpr uint32_t Head(uint64_t slot) {
+    return static_cast<uint32_t>(slot & 0xffffffffu) - 1;
+  }
+
+  /// Links entry `e` into the directory (chains under its tag's slot).
+  void Link(uint32_t e);
+  /// Doubles the directory and re-links all entries in insertion order.
+  void Grow();
+
+  std::vector<uint64_t> slots_;  // packed (tag, head+1); 0 = empty
+  std::vector<uint64_t> hashes_;  // per-entry full key hash
+  std::vector<uint32_t> rows_;    // per-entry payload
+  std::vector<uint32_t> next_;    // per-entry chain link (kNil terminates)
+  uint64_t mask_ = 0;
+  mutable uint64_t probes_ = 0;
+  mutable uint64_t probe_hits_ = 0;
+};
+
+/// Flat open-addressing counting map: 64-bit key -> uint64 count, with
+/// insertion-order iteration. Replaces the tree/node-based frequency maps in
+/// the skew-aware shuffle and the plan advisor. Keys are compared exactly
+/// (the full 64 bits are stored per entry); arbitrary keys are fine — the
+/// directory index mixes them internally.
+class FlatCounter {
+ public:
+  FlatCounter() = default;
+  explicit FlatCounter(size_t expected_keys) { Reserve(expected_keys); }
+
+  void Reserve(size_t expected_keys);
+
+  /// Adds `delta` to `key`'s count (creating it at zero) and returns the
+  /// new count.
+  uint64_t Add(uint64_t key, uint64_t delta);
+
+  /// Current count, 0 when the key was never added.
+  uint64_t Count(uint64_t key) const;
+
+  /// Number of distinct keys.
+  size_t size() const { return keys_.size(); }
+  bool empty() const { return keys_.empty(); }
+
+  /// Distinct keys in first-insertion order (deterministic iteration, unlike
+  /// std::unordered_map), with counts() parallel to it.
+  const std::vector<uint64_t>& keys() const { return keys_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  /// Entry index for `key`, creating it with count 0 if absent.
+  uint32_t FindOrCreate(uint64_t key);
+  void Grow();
+
+  std::vector<uint32_t> slots_;  // entry + 1; 0 = empty
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> counts_;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_EXEC_JOIN_HASH_TABLE_H_

@@ -1,10 +1,11 @@
 #include "exec/local_ops.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "exec/join_hash_table.h"
+#include "obs/counters.h"
 
 namespace ptp {
 namespace {
@@ -38,6 +39,16 @@ bool KeysEqual(const Value* a, const std::vector<int>& a_cols, const Value* b,
   return true;
 }
 
+// One aggregated registry publish per local join (never per tuple).
+void PublishTableStats(const JoinHashTable& table) {
+  if (CounterRegistry* reg = ActiveCounterRegistry()) {
+    reg->Add("ht.builds", 1);
+    reg->Add("ht.build_tuples", table.size());
+    reg->Add("ht.probes", table.probes());
+    reg->Add("ht.probe_hits", table.probe_hits());
+  }
+}
+
 }  // namespace
 
 Relation HashJoinLocal(const Relation& left, const Relation& right,
@@ -58,12 +69,15 @@ Relation HashJoinLocal(const Relation& left, const Relation& right,
 
   if (left.NumTuples() == 0 || right.NumTuples() == 0) return out;
 
-  // Cross product when no shared columns.
+  // Cross product when no shared columns. One reused row buffer; only its
+  // right-only suffix changes across the inner loop.
   if (left_key.empty()) {
+    Tuple t(out.arity());
     for (size_t i = 0; i < left.NumTuples(); ++i) {
+      std::copy(left.Row(i), left.Row(i) + left.arity(), t.begin());
       for (size_t j = 0; j < right.NumTuples(); ++j) {
-        Tuple t(left.Row(i), left.Row(i) + left.arity());
-        for (int c : right_extra) t.push_back(right.At(j, c));
+        size_t k = left.arity();
+        for (int c : right_extra) t[k++] = right.At(j, c);
         out.AddTuple(t);
       }
     }
@@ -77,20 +91,34 @@ Relation HashJoinLocal(const Relation& left, const Relation& right,
   const std::vector<int>& build_key = build_right ? right_key : left_key;
   const std::vector<int>& probe_key = build_right ? left_key : right_key;
 
-  std::unordered_map<uint64_t, std::vector<uint32_t>> table;
-  table.reserve(build.NumTuples());
-  for (size_t row = 0; row < build.NumTuples(); ++row) {
-    table[HashKey(build.Row(row), build_key)].push_back(
-        static_cast<uint32_t>(row));
+  // Insert in reverse row order: chains are most-recent-first, so probes
+  // then yield build rows in ascending order, matching the seed behavior.
+  JoinHashTable table(build.NumTuples());
+  for (size_t row = build.NumTuples(); row-- > 0;) {
+    table.Insert(HashKey(build.Row(row), build_key),
+                 static_cast<uint32_t>(row));
+  }
+  table.FinalizeBuild();
+
+  // Materialize the build rows in entry order. A key's duplicate chain is
+  // contiguous after FinalizeBuild(), so match enumeration on a hot key
+  // streams its build rows from the arena instead of jumping around the
+  // build relation — one prefetched line instead of one cache miss per
+  // match, which dominates on high-fanout (skewed) keys.
+  const size_t build_arity = build.arity();
+  std::vector<Value> arena(build.NumTuples() * build_arity);
+  for (size_t e = 0; e < table.size(); ++e) {
+    const Value* src = build.Row(table.Row(static_cast<uint32_t>(e)));
+    std::copy(src, src + build_arity, arena.begin() + e * build_arity);
   }
 
   Tuple t;
   for (size_t prow = 0; prow < probe.NumTuples(); ++prow) {
     const Value* p = probe.Row(prow);
-    auto it = table.find(HashKey(p, probe_key));
-    if (it == table.end()) continue;
-    for (uint32_t brow : it->second) {
-      const Value* b = build.Row(brow);
+    const uint64_t h = HashKey(p, probe_key);
+    for (uint32_t e = table.Find(h); e != JoinHashTable::kNil;
+         e = table.Next(e, h)) {
+      const Value* b = arena.data() + e * build_arity;
       if (!KeysEqual(p, probe_key, b, build_key)) continue;
       const Value* l = build_right ? p : b;
       const Value* r = build_right ? b : p;
@@ -99,6 +127,7 @@ Relation HashJoinLocal(const Relation& left, const Relation& right,
       out.AddTuple(t);
     }
   }
+  PublishTableStats(table);
   return out;
 }
 
@@ -121,9 +150,8 @@ Relation SymmetricHashJoinLocal(const Relation& left, const Relation& right,
     return HashJoinLocal(left, right, out.name());
   }
 
-  std::unordered_map<uint64_t, std::vector<uint32_t>> left_table, right_table;
-  left_table.reserve(left.NumTuples());
-  right_table.reserve(right.NumTuples());
+  JoinHashTable left_table(left.NumTuples());
+  JoinHashTable right_table(right.NumTuples());
 
   Tuple t;
   auto emit = [&](const Value* l, const Value* r) {
@@ -134,34 +162,35 @@ Relation SymmetricHashJoinLocal(const Relation& left, const Relation& right,
 
   // Round-robin pulls: each arriving tuple is inserted into its own table
   // and probes the other side's table, so every matching pair is emitted
-  // exactly once (by whichever tuple arrives second).
+  // exactly once (by whichever tuple arrives second). Probe chains walk
+  // most-recent-first; the pairing set is unchanged and per-table state is
+  // a pure function of the arrival sequence, so results stay bit-identical
+  // at every thread count.
   const size_t rounds = std::max(left.NumTuples(), right.NumTuples());
   for (size_t i = 0; i < rounds; ++i) {
     if (i < left.NumTuples()) {
       const Value* l = left.Row(i);
       const uint64_t h = HashKey(l, left_key);
-      left_table[h].push_back(static_cast<uint32_t>(i));
-      auto it = right_table.find(h);
-      if (it != right_table.end()) {
-        for (uint32_t rrow : it->second) {
-          const Value* r = right.Row(rrow);
-          if (KeysEqual(l, left_key, r, right_key)) emit(l, r);
-        }
+      left_table.Insert(h, static_cast<uint32_t>(i));
+      for (uint32_t e = right_table.Find(h); e != JoinHashTable::kNil;
+           e = right_table.Next(e, h)) {
+        const Value* r = right.Row(right_table.Row(e));
+        if (KeysEqual(l, left_key, r, right_key)) emit(l, r);
       }
     }
     if (i < right.NumTuples()) {
       const Value* r = right.Row(i);
       const uint64_t h = HashKey(r, right_key);
-      right_table[h].push_back(static_cast<uint32_t>(i));
-      auto it = left_table.find(h);
-      if (it != left_table.end()) {
-        for (uint32_t lrow : it->second) {
-          const Value* l = left.Row(lrow);
-          if (KeysEqual(l, left_key, r, right_key)) emit(l, r);
-        }
+      right_table.Insert(h, static_cast<uint32_t>(i));
+      for (uint32_t e = left_table.Find(h); e != JoinHashTable::kNil;
+           e = left_table.Next(e, h)) {
+        const Value* l = left.Row(left_table.Row(e));
+        if (KeysEqual(l, left_key, r, right_key)) emit(l, r);
       }
     }
   }
+  PublishTableStats(left_table);
+  PublishTableStats(right_table);
   return out;
 }
 
@@ -251,23 +280,42 @@ Relation SemiJoinLocal(const Relation& rel, const Relation& filter) {
     if (filter.NumTuples() > 0) out = rel;
     return out;
   }
-  std::unordered_map<uint64_t, std::vector<uint32_t>> table;
-  table.reserve(filter.NumTuples());
-  for (size_t row = 0; row < filter.NumTuples(); ++row) {
-    table[HashKey(filter.Row(row), filter_key)].push_back(
-        static_cast<uint32_t>(row));
+  JoinHashTable table(filter.NumTuples());
+  for (size_t row = filter.NumTuples(); row-- > 0;) {
+    table.Insert(HashKey(filter.Row(row), filter_key),
+                 static_cast<uint32_t>(row));
+  }
+  table.FinalizeBuild();
+  // Key columns of the filter, materialized in entry order (see the arena
+  // note in HashJoinLocal): the duplicate scan reads sequentially.
+  const size_t stride = filter_key.size();
+  std::vector<Value> keys(table.size() * stride);
+  for (size_t e = 0; e < table.size(); ++e) {
+    const Value* src = filter.Row(table.Row(static_cast<uint32_t>(e)));
+    for (size_t i = 0; i < stride; ++i) {
+      keys[e * stride + i] = src[filter_key[i]];
+    }
   }
   for (size_t row = 0; row < rel.NumTuples(); ++row) {
     const Value* t = rel.Row(row);
-    auto it = table.find(HashKey(t, rel_key));
-    if (it == table.end()) continue;
-    for (uint32_t frow : it->second) {
-      if (KeysEqual(t, rel_key, filter.Row(frow), filter_key)) {
+    const uint64_t h = HashKey(t, rel_key);
+    for (uint32_t e = table.Find(h); e != JoinHashTable::kNil;
+         e = table.Next(e, h)) {
+      const Value* k = keys.data() + e * stride;
+      bool match = true;
+      for (size_t i = 0; i < stride; ++i) {
+        if (t[rel_key[i]] != k[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
         out.AddTupleFrom(rel, row);
         break;
       }
     }
   }
+  PublishTableStats(table);
   return out;
 }
 

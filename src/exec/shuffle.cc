@@ -1,11 +1,11 @@
 #include "exec/shuffle.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "exec/join_hash_table.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
@@ -227,34 +227,42 @@ SkewAwareShuffleResult SkewAwareJoinShuffle(
 
   // Pass 1: global key frequencies on the left side (in a real cluster this
   // is a sampled sketch; exact counts keep the simulation deterministic).
-  // Per-fragment counts merge into one map; addition commutes, so the
-  // totals are independent of merge order and thread count.
-  std::vector<std::unordered_map<uint64_t, size_t>> frag_freq(left.size());
+  // Per-fragment flat counters merge into one in (fragment, first-seen)
+  // order; addition commutes, so the totals are independent of merge order
+  // and thread count.
+  std::vector<FlatCounter> frag_freq(left.size());
   size_t left_total = 0;
   Status status = runtime::ParallelFor(
       static_cast<int>(left.size()), [&](int p) {
         const size_t pi = static_cast<size_t>(p);
         const Relation& frag = left[pi];
+        frag_freq[pi].Reserve(frag.NumTuples());
         for (size_t row = 0; row < frag.NumTuples(); ++row) {
-          ++frag_freq[pi][key_hash(frag.Row(row), left_cols)];
+          frag_freq[pi].Add(key_hash(frag.Row(row), left_cols), 1);
         }
         return Status::OK();
       });
   PTP_CHECK(status.ok()) << status.ToString();
-  std::unordered_map<uint64_t, size_t> freq;
+  FlatCounter freq;
   for (size_t p = 0; p < left.size(); ++p) {
     left_total += left[p].NumTuples();
-    for (const auto& [key, count] : frag_freq[p]) freq[key] += count;
+    const FlatCounter& fc = frag_freq[p];
+    for (size_t e = 0; e < fc.size(); ++e) {
+      freq.Add(fc.keys()[e], fc.counts()[e]);
+    }
   }
   const double heavy_cutoff =
       threshold * std::max(1.0, static_cast<double>(left_total) /
                                     static_cast<double>(num_workers));
-  std::unordered_map<uint64_t, bool> heavy;
-  heavy.reserve(freq.size());
-  for (const auto& [key, count] : freq) {
-    const bool is_heavy = static_cast<double>(count) > heavy_cutoff;
-    heavy.emplace(key, is_heavy);
-    if (is_heavy) ++result.heavy_keys;
+  // A key is heavy when its global left-side frequency exceeds the cutoff;
+  // keys absent from `freq` (right-side-only) count as zero, i.e. light.
+  auto is_heavy = [&freq, heavy_cutoff](uint64_t key) {
+    return static_cast<double>(freq.Count(key)) > heavy_cutoff;
+  };
+  for (size_t e = 0; e < freq.size(); ++e) {
+    if (static_cast<double>(freq.counts()[e]) > heavy_cutoff) {
+      ++result.heavy_keys;
+    }
   }
 
   // Pass 2: left side — heavy keys round-robin, light keys hashed. The
@@ -264,8 +272,9 @@ SkewAwareShuffleResult SkewAwareJoinShuffle(
   // producer routes independently, bit-identically to the serial scan.
   std::vector<size_t> heavy_in_frag(left.size(), 0);
   for (size_t p = 0; p < left.size(); ++p) {
-    for (const auto& [key, count] : frag_freq[p]) {
-      if (heavy.at(key)) heavy_in_frag[p] += count;
+    const FlatCounter& fc = frag_freq[p];
+    for (size_t e = 0; e < fc.size(); ++e) {
+      if (is_heavy(fc.keys()[e])) heavy_in_frag[p] += fc.counts()[e];
     }
   }
   std::vector<size_t> rr_offset(left.size(), 0);
@@ -284,7 +293,7 @@ SkewAwareShuffleResult SkewAwareJoinShuffle(
     for (size_t row = 0; row < frag.NumTuples(); ++row) {
       const Value* t = frag.Row(row);
       const uint64_t h = key_hash(t, left_cols);
-      const size_t w = heavy.at(h)
+      const size_t w = is_heavy(h)
                            ? (rr++ % static_cast<size_t>(num_workers))
                            : h % static_cast<size_t>(num_workers);
       std::vector<Value>& d = dest[w];
@@ -309,8 +318,7 @@ SkewAwareShuffleResult SkewAwareJoinShuffle(
     for (size_t row = 0; row < frag.NumTuples(); ++row) {
       const Value* t = frag.Row(row);
       const uint64_t h = key_hash(t, right_cols);
-      auto it = heavy.find(h);
-      if (it != heavy.end() && it->second) {
+      if (is_heavy(h)) {
         for (int w = 0; w < num_workers; ++w) {
           std::vector<Value>& d = dest[static_cast<size_t>(w)];
           d.insert(d.end(), t, t + arity);

@@ -1,9 +1,10 @@
 #include "plan/advisor.h"
 
 #include <algorithm>
-#include <map>
 
+#include "common/hash.h"
 #include "common/str_util.h"
+#include "exec/join_hash_table.h"
 #include "hypercube/optimizer.h"
 #include "lp/shares_lp.h"
 #include "query/planner.h"
@@ -29,23 +30,30 @@ double ExactFirstJoinSize(const NormalizedAtom& a, const NormalizedAtom& b) {
     return static_cast<double>(a.relation.NumTuples()) *
            static_cast<double>(b.relation.NumTuples());
   }
+  // Count by 64-bit key hash on a flat table instead of std::map<Tuple, _>:
+  // no per-row Tuple allocation, no tree rebalancing. The estimate is a
+  // double anyway, so the astronomically unlikely hash collision would only
+  // nudge the estimate, never correctness.
   auto freq = [](const Relation& rel, const std::vector<size_t>& cols) {
-    std::map<Tuple, size_t> counts;
-    Tuple key;
+    FlatCounter counts;
+    counts.Reserve(rel.NumTuples());
     for (size_t row = 0; row < rel.NumTuples(); ++row) {
-      key.clear();
-      for (size_t c : cols) key.push_back(rel.At(row, c));
-      ++counts[key];
+      uint64_t h = 0;
+      for (size_t c : cols) {
+        h = HashCombine(h, HashWithSalt(rel.At(row, c), /*salt=*/0));
+      }
+      counts.Add(h, 1);
     }
     return counts;
   };
-  const auto fa = freq(a.relation, cols_a);
-  const auto fb = freq(b.relation, cols_b);
+  const FlatCounter fa = freq(a.relation, cols_a);
+  const FlatCounter fb = freq(b.relation, cols_b);
   double total = 0;
-  for (const auto& [key, count] : fa) {
-    auto it = fb.find(key);
-    if (it != fb.end()) {
-      total += static_cast<double>(count) * static_cast<double>(it->second);
+  for (size_t e = 0; e < fa.size(); ++e) {
+    const uint64_t other = fb.Count(fa.keys()[e]);
+    if (other != 0) {
+      total += static_cast<double>(fa.counts()[e]) *
+               static_cast<double>(other);
     }
   }
   return total;
@@ -53,10 +61,13 @@ double ExactFirstJoinSize(const NormalizedAtom& a, const NormalizedAtom& b) {
 
 // Largest single-value frequency in column `col` of `rel`.
 size_t MaxValueFrequency(const Relation& rel, size_t col) {
-  std::map<Value, size_t> counts;
+  FlatCounter counts;
+  counts.Reserve(rel.NumTuples());
   size_t max_count = 0;
   for (size_t row = 0; row < rel.NumTuples(); ++row) {
-    max_count = std::max(max_count, ++counts[rel.At(row, col)]);
+    const uint64_t c =
+        counts.Add(static_cast<uint64_t>(rel.At(row, col)), 1);
+    max_count = std::max(max_count, static_cast<size_t>(c));
   }
   return max_count;
 }

@@ -86,6 +86,12 @@ class Joiner {
     return total;
   }
 
+  size_t TotalGallopSteps() const {
+    size_t total = 0;
+    for (const auto& it : iters_) total += it->num_gallop_steps();
+    return total;
+  }
+
   /// Per-variable leapfrog stats: lf_stats()[d] covers the intersections
   /// that bound var_order[d].
   const std::vector<LeapfrogStats>& lf_stats() const { return lf_stats_; }
@@ -311,6 +317,7 @@ void FinishTJMetrics(const Joiner& joiner,
     metrics->nexts = joiner.TotalNexts();
     metrics->opens = joiner.TotalOpens();
     metrics->ups = joiner.TotalUps();
+    metrics->gallop_steps = joiner.TotalGallopSteps();
     metrics->output_tuples = output_tuples;
     metrics->seeks_per_var.assign(var_order.size(), 0);
     for (size_t d = 0; d < lf.size() && d < var_order.size(); ++d) {
@@ -324,6 +331,7 @@ void FinishTJMetrics(const Joiner& joiner,
   reg->Add("tj.nexts", joiner.TotalNexts());
   reg->Add("tj.opens", joiner.TotalOpens());
   reg->Add("tj.ups", joiner.TotalUps());
+  reg->Add("tj.gallop_steps", joiner.TotalGallopSteps());
   reg->Add("tj.output_tuples", output_tuples);
   for (size_t d = 0; d < lf.size() && d < var_order.size(); ++d) {
     reg->Add(std::string("tj.seeks.") + var_order[d], lf[d].seeks);

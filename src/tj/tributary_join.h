@@ -26,6 +26,9 @@ struct TJMetrics {
   size_t nexts = 0;
   size_t opens = 0;
   size_t ups = 0;
+  /// Galloping probe steps inside Seek() (flat-array backend only): how much
+  /// exponential bracketing the seeks needed before their binary searches.
+  size_t gallop_steps = 0;
   size_t output_tuples = 0;
   /// Seeks attributed to each variable of the order, i.e. issued by the
   /// leapfrog instance binding var_order[i] (same length as var_order).

@@ -1,5 +1,7 @@
 #include "tj/trie_iterator.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "storage/sort.h"
 
@@ -72,12 +74,24 @@ void TrieIterator::Seek(Value v) {
   if (rel_->At(level.pos, col) >= v) {
     return;  // already positioned
   }
-  // Binary search for the first row with column value >= v within
+  // The target is the first row with column value >= v within
   // [block_end, hi) — rows before block_end share the current (smaller) key.
-  size_t lo = level.block_end;
-  size_t hi = level.hi;
+  // LFTJ seeks advance monotonically and the leapfrog intersection usually
+  // lands close by, so gallop from the current position first: probe
+  // block_end + 1, +2, +4, ... to bracket the target in O(log distance)
+  // steps, then binary-search only inside that bracket.
   const auto& data = rel_->data();
   const size_t arity = rel_->arity();
+  const size_t base = level.block_end;
+  size_t bound = 1;
+  while (base + bound < level.hi && data[(base + bound) * arity + col] < v) {
+    bound <<= 1;
+    ++num_gallop_steps_;
+  }
+  // Rows at or before base + bound/2 are known < v (bound/2 was the last
+  // successful probe; bound/2 == 0 brackets [base, base + 1)).
+  size_t lo = base + bound / 2;
+  size_t hi = std::min(base + bound, level.hi);
   while (lo < hi) {
     const size_t mid = lo + (hi - lo) / 2;
     if (data[mid * arity + col] < v) {

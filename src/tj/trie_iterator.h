@@ -57,6 +57,9 @@ class TrieIterator final : public TrieCursor {
   size_t num_nexts() const override { return num_nexts_; }
   size_t num_opens() const override { return num_opens_; }
   size_t num_ups() const override { return num_ups_; }
+  /// Galloping probe steps spent bracketing Seek() targets before the
+  /// bounded binary search (see trie_iterator.cc).
+  size_t num_gallop_steps() const override { return num_gallop_steps_; }
   /// Per-level attribution of the seek/next work — level i is the i-th
   /// column of the (permuted) relation, i.e. the i-th variable of this atom
   /// in the global order. Feeds the per-variable obs counters.
@@ -87,6 +90,7 @@ class TrieIterator final : public TrieCursor {
   size_t num_nexts_ = 0;
   size_t num_opens_ = 0;
   size_t num_ups_ = 0;
+  size_t num_gallop_steps_ = 0;
   std::vector<size_t> seeks_per_level_;
   std::vector<size_t> nexts_per_level_;
 };

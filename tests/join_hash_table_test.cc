@@ -1,0 +1,182 @@
+// Unit and fuzz coverage for the flat join-kernel hash structures:
+// JoinHashTable (the local-join build/probe kernel) and FlatCounter (the
+// skew/advisor frequency map). The fuzz tests pin behaviour against the
+// standard-library containers the kernels replaced.
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/join_hash_table.h"
+#include "gtest/gtest.h"
+
+namespace ptp {
+namespace {
+
+std::vector<uint32_t> Matches(const JoinHashTable& table, uint64_t hash) {
+  std::vector<uint32_t> rows;
+  for (uint32_t e = table.Find(hash); e != JoinHashTable::kNil;
+       e = table.Next(e, hash)) {
+    rows.push_back(table.Row(e));
+  }
+  return rows;
+}
+
+TEST(JoinHashTable, EmptyFindsNothing) {
+  JoinHashTable table;
+  EXPECT_EQ(table.Find(42), JoinHashTable::kNil);
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.probes(), 1u);
+  EXPECT_EQ(table.probe_hits(), 0u);
+}
+
+TEST(JoinHashTable, InsertAndProbe) {
+  JoinHashTable table;
+  table.Insert(/*hash=*/100, /*row=*/7);
+  table.Insert(/*hash=*/200, /*row=*/9);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(Matches(table, 100), (std::vector<uint32_t>{7}));
+  EXPECT_EQ(Matches(table, 200), (std::vector<uint32_t>{9}));
+  EXPECT_TRUE(Matches(table, 300).empty());
+  EXPECT_EQ(table.probes(), 3u);
+  EXPECT_EQ(table.probe_hits(), 2u);
+}
+
+TEST(JoinHashTable, DuplicatesChainMostRecentFirst) {
+  JoinHashTable table;
+  table.Insert(5, 1);
+  table.Insert(5, 2);
+  table.Insert(5, 3);
+  // LIFO chains: callers that need ascending row order insert in reverse.
+  EXPECT_EQ(Matches(table, 5), (std::vector<uint32_t>{3, 2, 1}));
+}
+
+TEST(JoinHashTable, ReverseInsertionYieldsAscendingRows) {
+  JoinHashTable table;
+  for (uint32_t row = 3; row-- > 0;) table.Insert(5, row);
+  EXPECT_EQ(Matches(table, 5), (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(JoinHashTable, CollidingTagsAndSlotsStaySeparate) {
+  // Keys that agree in the directory index bits AND the 16-bit tag but are
+  // different full hashes: chains may merge physically, but Find/Next filter
+  // on the stored 64-bit hash, so logical match lists stay exact.
+  const uint64_t kA = 0xabcd000000000010ull;
+  const uint64_t kB = 0xabcd000000000010ull ^ (1ull << 20);  // same tag+low bits
+  JoinHashTable table;
+  table.Insert(kA, 1);
+  table.Insert(kB, 2);
+  table.Insert(kA, 3);
+  EXPECT_EQ(Matches(table, kA), (std::vector<uint32_t>{3, 1}));
+  EXPECT_EQ(Matches(table, kB), (std::vector<uint32_t>{2}));
+}
+
+TEST(JoinHashTable, GrowsFromUnreserved) {
+  JoinHashTable table;  // no Reserve: every growth path exercised
+  const size_t kN = 10000;
+  for (size_t i = 0; i < kN; ++i) {
+    table.Insert(/*hash=*/i * 2654435761u, static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(table.size(), kN);
+  EXPECT_GE(table.capacity(), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(Matches(table, i * 2654435761u),
+              (std::vector<uint32_t>{static_cast<uint32_t>(i)}))
+        << "key " << i;
+  }
+}
+
+TEST(JoinHashTable, ReserveAvoidsRehash) {
+  JoinHashTable table(/*expected_entries=*/1000);
+  const size_t cap = table.capacity();
+  for (size_t i = 0; i < 1000; ++i) {
+    table.Insert(i * 0x9e3779b97f4a7c15ull, static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(table.capacity(), cap) << "Reserve(n) then n inserts rehashed";
+}
+
+TEST(JoinHashTable, FuzzAgainstUnorderedMultimap) {
+  std::mt19937_64 rng(20150531);
+  for (int trial = 0; trial < 20; ++trial) {
+    JoinHashTable table;
+    std::unordered_multimap<uint64_t, uint32_t> reference;
+    // Small key universe so duplicates and probe misses are both common;
+    // low-entropy keys also stress tag/slot collisions.
+    std::uniform_int_distribution<uint64_t> key_dist(0, 500);
+    const int n = 1 + static_cast<int>(rng() % 4000);
+    for (int i = 0; i < n; ++i) {
+      const uint64_t key = key_dist(rng) * (trial % 2 ? 1ull : (1ull << 52));
+      const uint32_t row = static_cast<uint32_t>(i);
+      table.Insert(key, row);
+      reference.emplace(key, row);
+    }
+    ASSERT_EQ(table.size(), reference.size());
+    for (uint64_t k = 0; k <= 500; ++k) {
+      const uint64_t key = k * (trial % 2 ? 1ull : (1ull << 52));
+      std::vector<uint32_t> got = Matches(table, key);
+      std::vector<uint32_t> want;
+      auto [lo, hi] = reference.equal_range(key);
+      for (auto it = lo; it != hi; ++it) want.push_back(it->second);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "trial " << trial << " key " << key;
+    }
+    EXPECT_LE(table.probe_hits(), table.probes());
+  }
+}
+
+TEST(FlatCounter, AddAndCount) {
+  FlatCounter counter;
+  EXPECT_EQ(counter.Count(7), 0u);
+  EXPECT_EQ(counter.Add(7, 1), 1u);
+  EXPECT_EQ(counter.Add(7, 2), 3u);
+  EXPECT_EQ(counter.Add(9, 5), 5u);
+  EXPECT_EQ(counter.Count(7), 3u);
+  EXPECT_EQ(counter.Count(9), 5u);
+  EXPECT_EQ(counter.Count(8), 0u);
+  EXPECT_EQ(counter.size(), 2u);
+}
+
+TEST(FlatCounter, IteratesInFirstInsertionOrder) {
+  FlatCounter counter;
+  counter.Add(30, 1);
+  counter.Add(10, 1);
+  counter.Add(20, 1);
+  counter.Add(10, 1);
+  EXPECT_EQ(counter.keys(), (std::vector<uint64_t>{30, 10, 20}));
+  EXPECT_EQ(counter.counts(), (std::vector<uint64_t>{1, 2, 1}));
+}
+
+TEST(FlatCounter, FuzzAgainstUnorderedMap) {
+  std::mt19937_64 rng(424242);
+  for (int trial = 0; trial < 10; ++trial) {
+    FlatCounter counter;
+    std::unordered_map<uint64_t, uint64_t> reference;
+    std::uniform_int_distribution<uint64_t> key_dist(0, 300);
+    const int n = 1 + static_cast<int>(rng() % 10000);
+    for (int i = 0; i < n; ++i) {
+      const uint64_t key = key_dist(rng);
+      const uint64_t delta = rng() % 5;
+      const uint64_t got = counter.Add(key, delta);
+      const uint64_t want = (reference[key] += delta);
+      ASSERT_EQ(got, want);
+    }
+    ASSERT_EQ(counter.size(), reference.size());
+    for (const auto& [key, count] : reference) {
+      ASSERT_EQ(counter.Count(key), count) << "key " << key;
+    }
+  }
+}
+
+TEST(FlatCounter, GrowsFromUnreserved) {
+  FlatCounter counter;
+  const uint64_t kN = 50000;
+  for (uint64_t i = 0; i < kN; ++i) counter.Add(i, i);
+  ASSERT_EQ(counter.size(), kN);
+  for (uint64_t i = 0; i < kN; i += 97) EXPECT_EQ(counter.Count(i), i);
+}
+
+}  // namespace
+}  // namespace ptp

@@ -14,6 +14,7 @@
 #include "plan/semijoin_plan.h"
 #include "plan/strategies.h"
 #include "runtime/parallel.h"
+#include "storage/sort.h"
 
 namespace ptp {
 namespace {
@@ -110,6 +111,47 @@ TEST_P(ParallelConformance, SequentialAndParallelEnginesAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Q1toQ8, ParallelConformance, ::testing::Range(1, 9),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+// Same sweep with the radix sort forced on (thresholds dropped to one row),
+// so the tiny conformance workloads exercise the MSB-radix partition and —
+// at 8 threads — its ParallelFor passes. Fragment sorts must still be
+// bit-identical across thread counts.
+class RadixSortConformance : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    saved_tuning_ = SetRadixSortTuningForTest({1, 1});
+  }
+  void TearDown() override {
+    SetRadixSortTuningForTest(saved_tuning_);
+    runtime::SetThreads(0);
+  }
+
+ private:
+  RadixSortTuning saved_tuning_;
+};
+
+TEST_P(RadixSortConformance, SequentialAndParallelEnginesAgree) {
+  WorkloadFactory factory(TinyScale());
+  auto wl = factory.Make(GetParam());
+  ASSERT_TRUE(wl.ok()) << wl.status().ToString();
+
+  StrategyOptions opts;
+  opts.num_workers = 16;
+
+  for (const auto& [shuffle, join] : AllStrategies()) {
+    const std::string context = wl->id + std::string(" ") +
+                                StrategyName(shuffle, join) +
+                                " (forced radix)";
+    RunRecord serial = RunWith(1, wl->normalized, shuffle, join, opts);
+    RunRecord parallel = RunWith(8, wl->normalized, shuffle, join, opts);
+    ExpectEquivalent(serial, parallel, context);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Q1toQ8, RadixSortConformance, ::testing::Range(1, 9),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "Q" + std::to_string(info.param);
                          });
