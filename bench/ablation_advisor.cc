@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
     StrategyAdvice advice = AdviseStrategy(wl->normalized, opts.num_workers);
     std::vector<StrategyResult> results =
-        RunAllStrategies(wl->normalized, opts);
+        RunAllStrategies(wl->normalized, opts).value();
 
     const auto strategies = AllStrategies();
     int best = -1, advised = -1;

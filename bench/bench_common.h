@@ -34,10 +34,15 @@ struct BenchConfig {
   std::string trace_path;
   /// When nonempty, EXPLAIN ANALYZE JSON for every strategy is written here.
   std::string json_path;
+  /// Fault schedule (fault/fault.h grammar), e.g.
+  /// "crash@worker=3,stage=join_0;drop@x=0,p=1,c=2". Defaults to the
+  /// PTP_FAULTS env var; empty = no injection (zero-overhead fast path).
+  std::string faults;
 
   /// Parses flags on top of `base` (benches bake in per-figure defaults).
   static BenchConfig FromArgs(int argc, char** argv, BenchConfig base) {
     BenchConfig c = base;
+    if (const char* env = std::getenv("PTP_FAULTS")) c.faults = env;
     for (int i = 1; i < argc; ++i) {
       std::string arg = argv[i];
       auto eat = [&](const std::string& prefix, auto setter) {
@@ -58,13 +63,14 @@ struct BenchConfig {
           eat("--budget=", [&](const std::string& v) { c.intermediate_budget = std::stoul(v); }) ||
           eat("--sort-budget=", [&](const std::string& v) { c.sort_budget = std::stoul(v); }) ||
           eat("--trace=", [&](const std::string& v) { c.trace_path = v; }) ||
-          eat("--json=", [&](const std::string& v) { c.json_path = v; });
+          eat("--json=", [&](const std::string& v) { c.json_path = v; }) ||
+          eat("--faults=", [&](const std::string& v) { c.faults = v; });
       if (!ok) {
         std::cerr << "unknown flag: " << arg
                   << "\nflags: --workers= --threads= --twitter-nodes= "
                      "--twitter-edges= --twitter-zipf= --freebase-scale= "
                      "--seed= --budget= --sort-budget= --trace=<file> "
-                     "--json=<file>\n";
+                     "--json=<file> --faults=<schedule>\n";
         std::exit(2);
       }
     }
@@ -132,12 +138,29 @@ inline std::vector<StrategyResult> RunSixConfigs(
     counters = std::make_unique<CounterRegistry>();
     SetActiveCounterRegistry(counters.get());
   }
+  // --faults= / PTP_FAULTS turns on deterministic fault injection for the
+  // whole run (see docs/ROBUSTNESS.md). Recovery markers show up in the
+  // figure output and in the --json= EXPLAIN ANALYZE export.
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.faults.empty()) {
+    auto plan = FaultPlan::Parse(config.faults);
+    PTP_CHECK(plan.ok()) << plan.status().ToString();
+    injector = std::make_unique<FaultInjector>(std::move(plan).value());
+    SetActiveFaultInjector(injector.get());
+    std::cout << "fault schedule: " << injector->plan().ToString() << "\n\n";
+  }
 
   StrategyOptions options = config.ToOptions();
   if (patch_options) patch_options(&options);
-  std::vector<StrategyResult> results =
+  Result<std::vector<StrategyResult>> run =
       RunAllStrategies(wl->normalized, options);
+  PTP_CHECK(run.ok()) << run.status().ToString();
+  std::vector<StrategyResult> results = std::move(run).value();
 
+  if (injector != nullptr) {
+    SetActiveFaultInjector(nullptr);
+    std::cout << "faults injected: " << injector->injected() << "\n";
+  }
   if (trace != nullptr) {
     SetActiveTraceSession(nullptr);
     Status s = trace->WriteJsonFile(config.trace_path);

@@ -150,7 +150,7 @@ void BM_HashShuffle(benchmark::State& state) {
   Relation g = MakeGraph(static_cast<size_t>(state.range(0)), 11);
   DistributedRelation dist = PartitionRoundRobin(g, 64);
   for (auto _ : state) {
-    ShuffleResult r = HashShuffle(dist, {0}, 64, 1, "bench");
+    ShuffleResult r = HashShuffle(dist, {0}, 64, 1, "bench").value();
     benchmark::DoNotOptimize(r.metrics.tuples_sent);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
@@ -166,7 +166,7 @@ void BM_HypercubeShuffle(benchmark::State& state) {
   const std::vector<int> map = IdentityCellMap(config);
   for (auto _ : state) {
     ShuffleResult r =
-        HypercubeShuffle(dist, {"x", "y"}, config, map, 64, "bench");
+        HypercubeShuffle(dist, {"x", "y"}, config, map, 64, "bench").value();
     benchmark::DoNotOptimize(r.metrics.tuples_sent);
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));

@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     if (qn == 4) opts.join_order = {0, 1, 2, 3, 4, 5, 6, 7};  // Figure 7 plan
 
     std::vector<StrategyResult> results =
-        RunAllStrategies(wl->normalized, opts);
+        RunAllStrategies(wl->normalized, opts).value();
     const QueryMetrics& rs_hj = results[0].metrics;
     const QueryMetrics& hc_tj = results[5].metrics;
 

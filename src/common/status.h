@@ -17,6 +17,7 @@ enum class StatusCode {
   kResourceExhausted,  // e.g. intermediate-result budget exceeded (FAIL runs)
   kUnimplemented,
   kInternal,
+  kUnavailable,  // transient (injected) fault: retrying may succeed
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -48,6 +49,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -20,8 +20,12 @@ double SkewFactor(const std::vector<size_t>& loads) {
 }
 
 std::string ShuffleMetrics::ToString() const {
-  return StrFormat("%-28s sent=%-10zu producer_skew=%.2f consumer_skew=%.2f",
-                   label.c_str(), tuples_sent, producer_skew, consumer_skew);
+  std::string out =
+      StrFormat("%-28s sent=%-10zu producer_skew=%.2f consumer_skew=%.2f",
+                label.c_str(), tuples_sent, producer_skew, consumer_skew);
+  if (retries > 0) out += StrFormat(" retries=%zu", retries);
+  if (dups_deduped > 0) out += StrFormat(" dups_deduped=%zu", dups_deduped);
+  return out;
 }
 
 size_t QueryMetrics::TuplesShuffled() const {
@@ -74,6 +78,7 @@ void QueryMetrics::Absorb(const QueryMetrics& other) {
     }
   }
   wall_seconds += other.wall_seconds;
+  backoff_seconds += other.backoff_seconds;
   max_intermediate_tuples =
       std::max(max_intermediate_tuples, other.max_intermediate_tuples);
   output_tuples = other.output_tuples;
@@ -81,6 +86,8 @@ void QueryMetrics::Absorb(const QueryMetrics& other) {
     failed = true;
     fail_reason = other.fail_reason;
   }
+  degradations.insert(degradations.end(), other.degradations.begin(),
+                      other.degradations.end());
 }
 
 std::string QueryMetrics::ToString() const {

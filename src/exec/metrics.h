@@ -17,6 +17,10 @@ struct ShuffleMetrics {
   size_t tuples_sent = 0;
   double producer_skew = 1.0;
   double consumer_skew = 1.0;
+  /// Delivery attempts beyond the first (lost-partition recoveries).
+  size_t retries = 0;
+  /// Duplicate channel deliveries discarded by sequence-tag dedup.
+  size_t dups_deduped = 0;
 
   std::string ToString() const;
 };
@@ -37,6 +41,13 @@ struct StageMetrics {
   /// so the stage books the same output count whether or not the engine
   /// executed the workers concurrently.
   bool failed = false;
+  /// Re-executions after transient worker faults. A retried-then-succeeded
+  /// stage has retries > 0 and failed == false.
+  size_t retries = 0;
+  /// True when the stage exhausted its retries and the planner fell back to
+  /// a more robust operator (HyperCube -> hash shuffle, Tributary ->
+  /// symmetric hash join) instead of aborting.
+  bool degraded = false;
 };
 
 /// End-to-end metrics of one query execution on the simulated cluster.
@@ -61,12 +72,17 @@ struct QueryMetrics {
   std::vector<double> worker_join_seconds;
 
   double wall_seconds = 0;
+  /// Virtual exponential-backoff delay booked by retries (already included
+  /// in wall_seconds; broken out so recovery cost is visible).
+  double backoff_seconds = 0;
   /// Largest total intermediate-result size (tuples) seen at a barrier.
   size_t max_intermediate_tuples = 0;
   size_t output_tuples = 0;
 
   bool failed = false;
   std::string fail_reason;
+  /// One entry per plan degradation ("hypercube -> hash shuffle", ...).
+  std::vector<std::string> degradations;
 
   /// Sum of tuples_sent over all shuffles.
   size_t TuplesShuffled() const;

@@ -26,8 +26,18 @@ Result<Relation> LeftDeepJoinLocal(const std::vector<const Relation*>& inputs,
                                    const std::vector<Predicate>& preds,
                                    size_t max_intermediate_rows,
                                    PipelineStats* stats) {
-  PTP_CHECK(!order.empty());
-  PTP_CHECK_LE(order.size(), inputs.size());
+  // Plan-shape problems are propagated, not fatal: this runs inside worker
+  // bodies on the runtime pool, where an abort would take the cluster down
+  // instead of failing one query.
+  if (order.empty()) {
+    return Status::InvalidArgument("LeftDeepJoinLocal: empty join order");
+  }
+  if (order.size() > inputs.size()) {
+    return Status::InvalidArgument(
+        StrFormat("LeftDeepJoinLocal: join order has %zu entries for %zu "
+                  "inputs",
+                  order.size(), inputs.size()));
+  }
 
   Relation acc = *inputs[static_cast<size_t>(order[0])];
   acc = FilterByPredicates(acc, preds);

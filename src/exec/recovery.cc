@@ -1,0 +1,69 @@
+#include "exec/recovery.h"
+
+#include "common/str_util.h"
+#include "fault/fault.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
+
+namespace ptp {
+
+bool IsRetryableFailure(const Status& status) {
+  if (status.code() == StatusCode::kUnavailable) return true;
+  if (status.code() == StatusCode::kInternal) {
+    return ActiveFaultInjector() != nullptr;
+  }
+  return false;
+}
+
+Status RunWithRecovery(SiteKind kind, std::string_view label,
+                       const RecoveryOptions& opts, QueryMetrics* metrics,
+                       int* retries_out,
+                       const std::function<Status(int site, int attempt)>&
+                           attempt_fn) {
+  FaultInjector* injector = ActiveFaultInjector();
+  int site = -1;
+  if (injector != nullptr) {
+    site = kind == SiteKind::kStage ? injector->RegisterStage(label)
+                                    : injector->RegisterExchange(label);
+  }
+  if (retries_out != nullptr) *retries_out = 0;
+
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= opts.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Lineage replay: the attempt's inputs are immutable, so rerunning
+      // the body is the recovery action. The backoff delay is virtual —
+      // booked, not slept.
+      const double backoff =
+          opts.backoff_base_seconds * static_cast<double>(1 << (attempt - 1));
+      if (metrics != nullptr) {
+        metrics->wall_seconds += backoff;
+        metrics->backoff_seconds += backoff;
+      }
+      if (retries_out != nullptr) *retries_out = attempt;
+      if (CounterRegistry* reg = ActiveCounterRegistry()) {
+        reg->Add("retry.attempts", 1);
+        reg->Add("retry.backoff_ms",
+                 static_cast<uint64_t>(backoff * 1000.0));
+      }
+      if (TraceSession* trace = ActiveTraceSession()) {
+        trace->Instant(
+            "retry",
+            StrFormat("%s '%s' attempt %d after: %s",
+                      kind == SiteKind::kStage ? "stage" : "exchange",
+                      std::string(label).c_str(), attempt,
+                      last.ToString().c_str()),
+            kCoordinatorTrack);
+      }
+    }
+    last = attempt_fn(site, attempt);
+    if (last.ok()) return last;
+    if (!IsRetryableFailure(last)) return last;
+  }
+  if (CounterRegistry* reg = ActiveCounterRegistry()) {
+    reg->Add("retry.exhausted", 1);
+  }
+  return last;
+}
+
+}  // namespace ptp

@@ -1,0 +1,59 @@
+#ifndef PTP_EXEC_RECOVERY_H_
+#define PTP_EXEC_RECOVERY_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "exec/metrics.h"
+
+namespace ptp {
+
+/// Stage-level retry policy of the simulated cluster. Backoff is virtual:
+/// the coordinator books base * 2^(attempt-1) seconds per retry into the
+/// query's wall clock (and backoff_seconds) instead of sleeping, keeping
+/// test and bench runs fast while the recovery cost stays visible in the
+/// metrics.
+struct RecoveryOptions {
+  int max_retries = 3;
+  double backoff_base_seconds = 0.05;
+  /// After max_retries the planner may fall back to a more robust operator
+  /// (HyperCube -> hash shuffle, Tributary -> symmetric hash join). With
+  /// degradation off the query FAILs gracefully instead.
+  bool allow_degradation = true;
+};
+
+/// True for failures the recovery loop should replay: injected transient
+/// faults (kUnavailable) always; conservation violations (kInternal) only
+/// while a fault injector is active — without one they are real bugs and
+/// must propagate.
+bool IsRetryableFailure(const Status& status);
+
+/// What kind of site a recovery loop protects (stage barrier vs shuffle
+/// exchange) — selects the fault-site namespace and the retry counters.
+enum class SiteKind { kStage, kExchange };
+
+/// Runs `attempt_fn(site, attempt)` under the stage-level recovery loop:
+/// registers a fault site for `label` (stages and exchanges number
+/// independently, in coordinator execution order), replays the attempt on
+/// retryable failure up to `opts.max_retries` times with exponential
+/// backoff booked into `metrics` (wall + backoff_seconds, retry.attempts /
+/// retry.backoff_seconds counters, "retry" trace instants), and returns the
+/// first non-retryable error immediately or the last retryable error once
+/// retries are exhausted (the caller then degrades the plan or fails the
+/// query). `retries_out` (optional) receives the number of replays, whether
+/// or not the site eventually succeeded.
+///
+/// The attempt body must be a pure function of its immutable inputs plus
+/// (site, attempt) — lineage replay: re-running it yields bit-identical
+/// results at any thread count.
+Status RunWithRecovery(SiteKind kind, std::string_view label,
+                       const RecoveryOptions& opts, QueryMetrics* metrics,
+                       int* retries_out,
+                       const std::function<Status(int site, int attempt)>&
+                           attempt_fn);
+
+}  // namespace ptp
+
+#endif  // PTP_EXEC_RECOVERY_H_

@@ -1,11 +1,14 @@
 #include "exec/shuffle.h"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/str_util.h"
 #include "exec/join_hash_table.h"
+#include "fault/fault.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
@@ -19,9 +22,14 @@ namespace {
 /// allocation (only amortized geometric growth of the W scratch buffers).
 using DestBuffers = std::vector<std::vector<Value>>;
 
+/// Accessor for the (producer, consumer) channel buffers of an exchange.
+/// Scatter shuffles point into their DestBuffers; broadcast points every
+/// consumer of producer p at p's full fragment.
+using ChannelFn =
+    std::function<const std::vector<Value>*(size_t p, size_t w)>;
+
 DistributedRelation MakeEmpty(const DistributedRelation& in,
                               int num_workers) {
-  PTP_CHECK(!in.empty());
   DistributedRelation out;
   out.reserve(static_cast<size_t>(num_workers));
   for (int w = 0; w < num_workers; ++w) {
@@ -30,25 +38,125 @@ DistributedRelation MakeEmpty(const DistributedRelation& in,
   return out;
 }
 
-/// Phase 2 of every shuffle: per destination worker, concatenate the
-/// per-(producer, consumer) buffers in producer index order. This is the
-/// exact tuple order a sequential scatter over (producer, row) produces,
-/// so the shuffled fragments are bit-identical at every thread count.
-void MergeByConsumer(const std::vector<DestBuffers>& bufs,
-                     DistributedRelation* out) {
-  const int num_workers = static_cast<int>(out->size());
-  Status status = runtime::ParallelFor(num_workers, [&](int w) {
-    const size_t wi = static_cast<size_t>(w);
-    std::vector<Value>& dest = (*out)[wi].mutable_data();
-    size_t total = dest.size();
-    for (const DestBuffers& buf : bufs) total += buf[wi].size();
-    dest.reserve(total);
-    for (const DestBuffers& buf : bufs) {
-      dest.insert(dest.end(), buf[wi].begin(), buf[wi].end());
+/// One delivered channel buffer. `tag` is the (producer, epoch) sequence
+/// number: a retransmitted or duplicated delivery reuses the tag of the
+/// original, which is what lets the consumer discard duplicates without
+/// inspecting payloads.
+struct Delivery {
+  uint32_t producer = 0;
+  uint32_t epoch = 0;
+  const std::vector<Value>* payload = nullptr;
+};
+
+/// Phase 2 of every shuffle: deliver the per-(producer, consumer) channel
+/// buffers and concatenate them, per destination worker, in producer index
+/// order — the exact tuple order a sequential scatter over (producer, row)
+/// produces, so the shuffled fragments are bit-identical at every thread
+/// count.
+///
+/// When a fault injector is active (or always, in debug builds) delivery
+/// runs checked: injected channel faults drop or duplicate individual
+/// deliveries, consumers deduplicate by sequence tag, and the conservation
+/// invariant (values emitted == values delivered post-dedup) converts any
+/// lost channel into Status::Internal instead of silently wrong results.
+/// Fault probes happen serially on the coordinator, so the injected
+/// schedule is independent of the pool's thread count.
+Status DeliverAndMerge(size_t num_producers, const ChannelFn& channel,
+                       const ShuffleAttempt& attempt,
+                       DistributedRelation* out, ShuffleMetrics* metrics) {
+  const size_t num_workers = out->size();
+  FaultInjector* injector = ActiveFaultInjector();
+  bool checked = injector != nullptr;
+#ifndef NDEBUG
+  checked = true;
+#endif
+  if (!checked) {
+    return runtime::ParallelFor(
+        static_cast<int>(num_workers), [&](int w) {
+          const size_t wi = static_cast<size_t>(w);
+          std::vector<Value>& dest = (*out)[wi].mutable_data();
+          size_t total = dest.size();
+          for (size_t p = 0; p < num_producers; ++p) {
+            total += channel(p, wi)->size();
+          }
+          dest.reserve(total);
+          for (size_t p = 0; p < num_producers; ++p) {
+            const std::vector<Value>* buf = channel(p, wi);
+            dest.insert(dest.end(), buf->begin(), buf->end());
+          }
+          return Status::OK();
+        });
+  }
+
+  // Build each consumer's inbox on the coordinator. Probe order (producer-
+  // major) is the serial delivery order, so every fault spec fires the same
+  // way regardless of thread count.
+  const uint32_t epoch = static_cast<uint32_t>(attempt.attempt);
+  std::vector<std::vector<Delivery>> inbox(num_workers);
+  size_t emitted_values = 0;
+  for (size_t p = 0; p < num_producers; ++p) {
+    for (size_t w = 0; w < num_workers; ++w) {
+      const std::vector<Value>* buf = channel(p, w);
+      emitted_values += buf->size();
+      FaultInjector::ChannelFault fault = FaultInjector::ChannelFault::kNone;
+      if (injector != nullptr) {
+        fault = injector->OnChannel(attempt.exchange, metrics->label,
+                                    static_cast<int>(p),
+                                    static_cast<int>(w), attempt.attempt);
+      }
+      const Delivery delivery{static_cast<uint32_t>(p), epoch, buf};
+      switch (fault) {
+        case FaultInjector::ChannelFault::kDrop:
+          break;  // the channel is never delivered
+        case FaultInjector::ChannelFault::kDuplicate:
+          inbox[w].push_back(delivery);
+          inbox[w].push_back(delivery);  // retransmission, same tag
+          break;
+        case FaultInjector::ChannelFault::kNone:
+          inbox[w].push_back(delivery);
+          break;
+      }
     }
-    return Status::OK();
-  });
-  PTP_CHECK(status.ok()) << status.ToString();
+  }
+
+  std::vector<size_t> delivered_values(num_workers, 0);
+  std::vector<size_t> deduped(num_workers, 0);
+  Status status = runtime::ParallelFor(
+      static_cast<int>(num_workers), [&](int w) {
+        const size_t wi = static_cast<size_t>(w);
+        std::vector<Value>& dest = (*out)[wi].mutable_data();
+        // A tag is (producer, epoch); within one delivery epoch the
+        // producer index identifies it.
+        std::vector<uint8_t> seen(num_producers, 0);
+        size_t total = dest.size();
+        for (const Delivery& d : inbox[wi]) total += d.payload->size();
+        dest.reserve(total);
+        for (const Delivery& d : inbox[wi]) {
+          if (seen[d.producer]) {
+            ++deduped[wi];
+            continue;
+          }
+          seen[d.producer] = 1;
+          dest.insert(dest.end(), d.payload->begin(), d.payload->end());
+          delivered_values[wi] += d.payload->size();
+        }
+        return Status::OK();
+      });
+  PTP_RETURN_IF_ERROR(status);
+
+  size_t delivered = 0;
+  for (size_t w = 0; w < num_workers; ++w) {
+    delivered += delivered_values[w];
+    metrics->dups_deduped += deduped[w];
+  }
+  if (delivered != emitted_values) {
+    return Status::Internal(StrFormat(
+        "shuffle conservation violated at '%s' (exchange %d, attempt %d): "
+        "producers emitted %zu values, consumers received %zu",
+        metrics->label.c_str(), attempt.exchange, attempt.attempt,
+        emitted_values, delivered));
+  }
+  return Status::OK();
 }
 
 void FinishMetrics(const DistributedRelation& out,
@@ -66,6 +174,9 @@ void FinishMetrics(const DistributedRelation& out,
     reg->Add("shuffle.count", 1);
     reg->Add("shuffle.tuples_sent", metrics->tuples_sent);
     reg->Add("shuffle.bytes_sent", metrics->tuples_sent * arity * sizeof(Value));
+    if (metrics->dups_deduped > 0) {
+      reg->Add("shuffle.dups_deduped", metrics->dups_deduped);
+    }
     Histogram* channels = reg->Hist("shuffle.channel_tuples");
     for (const Relation& frag : out) channels->Record(frag.NumTuples());
   }
@@ -81,10 +192,16 @@ void FinishMetrics(const DistributedRelation& out,
 
 }  // namespace
 
-ShuffleResult HashShuffle(const DistributedRelation& in,
-                          const std::vector<int>& key_cols, int num_workers,
-                          uint64_t salt, std::string label) {
-  PTP_CHECK(!key_cols.empty());
+Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
+                                  const std::vector<int>& key_cols,
+                                  int num_workers, uint64_t salt,
+                                  std::string label, ShuffleAttempt attempt) {
+  if (in.empty()) {
+    return Status::InvalidArgument("HashShuffle: input has no fragments");
+  }
+  if (key_cols.empty()) {
+    return Status::InvalidArgument("HashShuffle: no key columns");
+  }
   ShuffleResult result;
   result.metrics.label = std::move(label);
   result.data = MakeEmpty(in, num_workers);
@@ -111,32 +228,29 @@ ShuffleResult HashShuffle(const DistributedRelation& in,
         produced[pi] = n;
         return Status::OK();
       });
-  PTP_CHECK(status.ok()) << status.ToString();
-  MergeByConsumer(bufs, &result.data);
+  PTP_RETURN_IF_ERROR(status);
+  PTP_RETURN_IF_ERROR(DeliverAndMerge(
+      in.size(), [&bufs](size_t p, size_t w) { return &bufs[p][w]; },
+      attempt, &result.data, &result.metrics));
   FinishMetrics(result.data, produced, &result.metrics);
   return result;
 }
 
-ShuffleResult BroadcastShuffle(const DistributedRelation& in, int num_workers,
-                               std::string label) {
+Result<ShuffleResult> BroadcastShuffle(const DistributedRelation& in,
+                                       int num_workers, std::string label,
+                                       ShuffleAttempt attempt) {
+  if (in.empty()) {
+    return Status::InvalidArgument("BroadcastShuffle: input has no fragments");
+  }
   ShuffleResult result;
   result.metrics.label = std::move(label);
   result.data = MakeEmpty(in, num_workers);
   std::vector<size_t> produced(in.size(), 0);
-  // Every destination receives every fragment, in fragment order; producers
-  // are read-only, so the copy loop parallelizes over destinations.
-  Status status = runtime::ParallelFor(num_workers, [&](int w) {
-    Relation& dest = result.data[static_cast<size_t>(w)];
-    size_t total = dest.data().size();
-    for (const Relation& frag : in) total += frag.data().size();
-    dest.mutable_data().reserve(total);
-    for (const Relation& frag : in) {
-      dest.mutable_data().insert(dest.mutable_data().end(),
-                                 frag.data().begin(), frag.data().end());
-    }
-    return Status::OK();
-  });
-  PTP_CHECK(status.ok()) << status.ToString();
+  // Every destination receives every fragment, in fragment order: producer
+  // p's channel to each consumer is p's full (read-only) fragment.
+  PTP_RETURN_IF_ERROR(DeliverAndMerge(
+      in.size(), [&in](size_t p, size_t) { return &in[p].data(); },
+      attempt, &result.data, &result.metrics));
   for (size_t p = 0; p < in.size(); ++p) {
     produced[p] = in[p].NumTuples() * static_cast<size_t>(num_workers);
   }
@@ -144,13 +258,18 @@ ShuffleResult BroadcastShuffle(const DistributedRelation& in, int num_workers,
   return result;
 }
 
-ShuffleResult HypercubeShuffle(const DistributedRelation& in,
-                               const std::vector<std::string>& atom_vars,
-                               const HypercubeConfig& config,
-                               const std::vector<int>& worker_of_cell,
-                               int num_workers, std::string label) {
-  PTP_CHECK_EQ(worker_of_cell.size(),
-               static_cast<size_t>(config.NumCells()));
+Result<ShuffleResult> HypercubeShuffle(
+    const DistributedRelation& in, const std::vector<std::string>& atom_vars,
+    const HypercubeConfig& config, const std::vector<int>& worker_of_cell,
+    int num_workers, std::string label, ShuffleAttempt attempt) {
+  if (in.empty()) {
+    return Status::InvalidArgument("HypercubeShuffle: input has no fragments");
+  }
+  if (worker_of_cell.size() != static_cast<size_t>(config.NumCells())) {
+    return Status::InvalidArgument(StrFormat(
+        "HypercubeShuffle: cell map has %zu entries for %d cells",
+        worker_of_cell.size(), config.NumCells()));
+  }
   ShuffleResult result;
   result.metrics.label = std::move(label);
   result.data = MakeEmpty(in, num_workers);
@@ -191,8 +310,10 @@ ShuffleResult HypercubeShuffle(const DistributedRelation& in,
         }
         return Status::OK();
       });
-  PTP_CHECK(status.ok()) << status.ToString();
-  MergeByConsumer(bufs, &result.data);
+  PTP_RETURN_IF_ERROR(status);
+  PTP_RETURN_IF_ERROR(DeliverAndMerge(
+      in.size(), [&bufs](size_t p, size_t w) { return &bufs[p][w]; },
+      attempt, &result.data, &result.metrics));
   FinishMetrics(result.data, produced, &result.metrics);
   return result;
 }
@@ -207,12 +328,19 @@ ShuffleResult KeepInPlace(const DistributedRelation& in, std::string label) {
   return result;
 }
 
-SkewAwareShuffleResult SkewAwareJoinShuffle(
+Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
     const DistributedRelation& left, const std::vector<int>& left_cols,
     const DistributedRelation& right, const std::vector<int>& right_cols,
-    int num_workers, uint64_t salt, double threshold, std::string label) {
-  PTP_CHECK(!left_cols.empty());
-  PTP_CHECK_EQ(left_cols.size(), right_cols.size());
+    int num_workers, uint64_t salt, double threshold, std::string label,
+    ShuffleAttempt left_attempt, ShuffleAttempt right_attempt) {
+  if (left.empty() || right.empty()) {
+    return Status::InvalidArgument(
+        "SkewAwareJoinShuffle: input has no fragments");
+  }
+  if (left_cols.empty() || left_cols.size() != right_cols.size()) {
+    return Status::InvalidArgument(
+        "SkewAwareJoinShuffle: mismatched key columns");
+  }
   SkewAwareShuffleResult result;
   result.left_metrics.label = label + " (left, skew-aware)";
   result.right_metrics.label = label + " (right, skew-aware)";
@@ -242,7 +370,7 @@ SkewAwareShuffleResult SkewAwareJoinShuffle(
         }
         return Status::OK();
       });
-  PTP_CHECK(status.ok()) << status.ToString();
+  PTP_RETURN_IF_ERROR(status);
   FlatCounter freq;
   for (size_t p = 0; p < left.size(); ++p) {
     left_total += left[p].NumTuples();
@@ -302,8 +430,10 @@ SkewAwareShuffleResult SkewAwareJoinShuffle(
     }
     return Status::OK();
   });
-  PTP_CHECK(status.ok()) << status.ToString();
-  MergeByConsumer(left_bufs, &result.left);
+  PTP_RETURN_IF_ERROR(status);
+  PTP_RETURN_IF_ERROR(DeliverAndMerge(
+      left.size(), [&left_bufs](size_t p, size_t w) { return &left_bufs[p][w]; },
+      left_attempt, &result.left, &result.left_metrics));
   FinishMetrics(result.left, left_produced, &result.left_metrics);
 
   // Pass 3: right side — heavy keys broadcast, light keys hashed.
@@ -332,8 +462,11 @@ SkewAwareShuffleResult SkewAwareJoinShuffle(
     }
     return Status::OK();
   });
-  PTP_CHECK(status.ok()) << status.ToString();
-  MergeByConsumer(right_bufs, &result.right);
+  PTP_RETURN_IF_ERROR(status);
+  PTP_RETURN_IF_ERROR(DeliverAndMerge(
+      right.size(),
+      [&right_bufs](size_t p, size_t w) { return &right_bufs[p][w]; },
+      right_attempt, &result.right, &result.right_metrics));
   FinishMetrics(result.right, right_produced, &result.right_metrics);
   return result;
 }

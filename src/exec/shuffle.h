@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "exec/cluster.h"
 #include "exec/metrics.h"
 #include "hypercube/config.h"
@@ -17,30 +18,50 @@ struct ShuffleResult {
   ShuffleMetrics metrics;
 };
 
+/// Delivery coordinates of a shuffle call: which registered exchange site
+/// this is (for fault matching, see fault/fault.h) and which delivery epoch
+/// (0 on the first try, incremented by the recovery loop on each replay).
+/// Default-constructed = unregistered site, epoch 0 — matches only
+/// wildcard-site fault specs.
+struct ShuffleAttempt {
+  int exchange = -1;
+  int attempt = 0;
+};
+
 /// Regular shuffle: hash-partitions `in` on `key_cols` (combined hash when
 /// multiple columns) across `num_workers` workers. This is shuffle (1) of
 /// Sec. 3: it forces binary joins except when all joins share one key.
-ShuffleResult HashShuffle(const DistributedRelation& in,
-                          const std::vector<int>& key_cols, int num_workers,
-                          uint64_t salt, std::string label);
+///
+/// All shuffles deliver per-(producer, consumer) channel buffers tagged
+/// with a (producer, epoch) sequence number; consumers deduplicate repeated
+/// tags, and a conservation invariant (tuples emitted == tuples delivered
+/// after dedup) returns Status::Internal on any lost channel — the detector
+/// the recovery loop retries on. The invariant is always checked in debug
+/// builds and whenever a fault injector is active.
+Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
+                                  const std::vector<int>& key_cols,
+                                  int num_workers, uint64_t salt,
+                                  std::string label,
+                                  ShuffleAttempt attempt = {});
 
 /// Broadcast shuffle: every worker receives a full copy of `in` (shuffle (3)
 /// of Sec. 3 — used for all but the largest relation).
-ShuffleResult BroadcastShuffle(const DistributedRelation& in, int num_workers,
-                               std::string label);
+Result<ShuffleResult> BroadcastShuffle(const DistributedRelation& in,
+                                       int num_workers, std::string label,
+                                       ShuffleAttempt attempt = {});
 
 /// HyperCube shuffle (Sec. 2.1): routes each tuple to the cells obtained by
 /// hashing its bound dimensions and replicating along unbound ones, then maps
 /// cells to workers with `worker_of_cell`. Cells co-located on one worker
 /// receive a single copy (this is why cell placement matters, App. B).
-ShuffleResult HypercubeShuffle(const DistributedRelation& in,
-                               const std::vector<std::string>& atom_vars,
-                               const HypercubeConfig& config,
-                               const std::vector<int>& worker_of_cell,
-                               int num_workers, std::string label);
+Result<ShuffleResult> HypercubeShuffle(
+    const DistributedRelation& in, const std::vector<std::string>& atom_vars,
+    const HypercubeConfig& config, const std::vector<int>& worker_of_cell,
+    int num_workers, std::string label, ShuffleAttempt attempt = {});
 
 /// Identity "shuffle" that keeps the relation in place and reports zero
-/// network traffic (the partitioned big table of a broadcast plan).
+/// network traffic (the partitioned big table of a broadcast plan). Nothing
+/// crosses the simulated network, so this is not a fault-injection site.
 ShuffleResult KeepInPlace(const DistributedRelation& in, std::string label);
 
 /// Output of a skew-aware binary-join shuffle (both sides repartitioned in
@@ -60,11 +81,13 @@ struct SkewAwareShuffleResult {
 /// the left side's heavy tuples are spread round-robin over all workers
 /// (no single worker drowns) while the right side's matching tuples are
 /// broadcast, so every pair still meets exactly once. Light keys hash as
-/// usual. Equivalent join result, bounded consumer skew.
-SkewAwareShuffleResult SkewAwareJoinShuffle(
+/// usual. Equivalent join result, bounded consumer skew. The two sides are
+/// two distinct exchanges for fault purposes.
+Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
     const DistributedRelation& left, const std::vector<int>& left_cols,
     const DistributedRelation& right, const std::vector<int>& right_cols,
-    int num_workers, uint64_t salt, double threshold, std::string label);
+    int num_workers, uint64_t salt, double threshold, std::string label,
+    ShuffleAttempt left_attempt = {}, ShuffleAttempt right_attempt = {});
 
 /// One-cell-per-worker mapping for a config with NumCells() <= num_workers.
 std::vector<int> IdentityCellMap(const HypercubeConfig& config);

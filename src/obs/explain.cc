@@ -49,6 +49,9 @@ std::string ExplainAnalyzeText(std::string_view strategy,
   if (m.failed) {
     os << "  FAILED: " << m.fail_reason << "\n";
   }
+  for (const std::string& d : m.degradations) {
+    os << "  DEGRADED: " << d << "\n";
+  }
   os << "  ";
   if (options.include_timings) {
     os << "wall=" << FormatSeconds(m.wall_seconds)
@@ -56,7 +59,11 @@ std::string ExplainAnalyzeText(std::string_view strategy,
   }
   os << "shuffled=" << WithCommas(m.TuplesShuffled())
      << "  max_intermediate=" << WithCommas(m.max_intermediate_tuples)
-     << "  output=" << WithCommas(m.output_tuples) << "\n";
+     << "  output=" << WithCommas(m.output_tuples);
+  if (m.backoff_seconds > 0) {
+    os << "  backoff=" << FormatSeconds(m.backoff_seconds);
+  }
+  os << "\n";
   const std::string plan = PlanLine(result);
   if (!plan.empty()) {
     os << "  plan: " << plan << "\n";
@@ -72,13 +79,17 @@ std::string ExplainAnalyzeText(std::string_view strategy,
     os << prefix() << "shuffle " << s.label << ": sent="
        << WithCommas(s.tuples_sent)
        << StrFormat(" producer_skew=%.2f consumer_skew=%.2f", s.producer_skew,
-                    s.consumer_skew)
-       << "\n";
+                    s.consumer_skew);
+    if (s.retries > 0) os << " RECOVERED retries=" << s.retries;
+    if (s.dups_deduped > 0) os << " dups_deduped=" << s.dups_deduped;
+    os << "\n";
   }
   for (const StageMetrics& s : m.stages) {
     os << prefix() << "stage " << s.label << ": out="
        << WithCommas(s.output_tuples);
     if (s.failed) os << " FAILED";
+    if (s.degraded) os << " DEGRADED";
+    if (s.retries > 0) os << " RECOVERED retries=" << s.retries;
     if (options.include_timings) {
       os << " wall=" << FormatSeconds(s.wall_seconds)
          << " cpu=" << FormatSeconds(s.cpu_seconds);
@@ -114,6 +125,17 @@ void ExplainAnalyzeJson(std::ostream& os, std::string_view strategy,
   os << ",\"tuples_shuffled\":" << m.TuplesShuffled()
      << ",\"max_intermediate_tuples\":" << m.max_intermediate_tuples
      << ",\"output_tuples\":" << m.output_tuples;
+  if (m.backoff_seconds > 0) {
+    os << StrFormat(",\"backoff_seconds\":%.6f", m.backoff_seconds);
+  }
+  if (!m.degradations.empty()) {
+    os << ",\"degradations\":[";
+    for (size_t i = 0; i < m.degradations.size(); ++i) {
+      if (i > 0) os << ",";
+      os << JsonQuote(m.degradations[i]);
+    }
+    os << "]";
+  }
 
   os << ",\"plan\":{";
   bool first = true;
@@ -148,8 +170,11 @@ void ExplainAnalyzeJson(std::ostream& os, std::string_view strategy,
     if (i > 0) os << ",";
     os << "{\"label\":" << JsonQuote(s.label)
        << ",\"tuples_sent\":" << s.tuples_sent
-       << StrFormat(",\"producer_skew\":%.4f,\"consumer_skew\":%.4f}",
+       << StrFormat(",\"producer_skew\":%.4f,\"consumer_skew\":%.4f",
                     s.producer_skew, s.consumer_skew);
+    if (s.retries > 0) os << ",\"retries\":" << s.retries;
+    if (s.dups_deduped > 0) os << ",\"dups_deduped\":" << s.dups_deduped;
+    os << "}";
   }
   os << "],\"stages\":[";
   for (size_t i = 0; i < m.stages.size(); ++i) {
@@ -162,6 +187,8 @@ void ExplainAnalyzeJson(std::ostream& os, std::string_view strategy,
     }
     os << ",\"output_tuples\":" << s.output_tuples;
     if (s.failed) os << ",\"failed\":true";
+    if (s.degraded) os << ",\"degraded\":true";
+    if (s.retries > 0) os << ",\"retries\":" << s.retries;
     os << "}";
   }
   os << "]}";

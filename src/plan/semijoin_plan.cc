@@ -6,6 +6,7 @@
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "exec/local_ops.h"
+#include "exec/recovery.h"
 #include "exec/shuffle.h"
 #include "runtime/parallel.h"
 
@@ -85,6 +86,32 @@ Result<StrategyResult> RunSemijoinPlan(const ConjunctiveQuery& query,
     size_before.push_back(atom.relation.NumTuples());
   }
 
+  // Runs one hash shuffle under the exchange recovery loop (see
+  // docs/ROBUSTNESS.md) and books it on success.
+  auto shuffle_with_recovery =
+      [&](const std::string& label, const DistributedRelation& in,
+          const std::vector<int>& cols, DistributedRelation* out,
+          size_t* tuples_sent) -> Status {
+    ShuffleResult sr;
+    Timer t;
+    int retries = 0;
+    Status st = RunWithRecovery(
+        SiteKind::kExchange, label, options.recovery, &result.metrics,
+        &retries, [&](int site, int attempt) -> Status {
+          Result<ShuffleResult> r =
+              HashShuffle(in, cols, W, options.salt, label, {site, attempt});
+          if (!r.ok()) return r.status();
+          sr = std::move(r).value();
+          return Status::OK();
+        });
+    if (!st.ok()) return st;
+    sr.metrics.retries = static_cast<size_t>(retries);
+    booker.Shuffle(sr.metrics, t.Seconds());
+    if (tuples_sent != nullptr) *tuples_sent = sr.metrics.tuples_sent;
+    *out = std::move(sr.data);
+    return Status::OK();
+  };
+
   // One distributed semijoin: rels[target] <- rels[target] ⋉ rels[filter].
   auto distributed_semijoin = [&](int target, int filter) -> Status {
     const size_t ti = static_cast<size_t>(target);
@@ -119,28 +146,15 @@ Result<StrategyResult> RunSemijoinPlan(const ConjunctiveQuery& query,
 
     // Shuffle both sides onto the shared attributes.
     DistributedRelation target_sh, keys_sh;
-    {
-      Timer t;
-      ShuffleResult sr = HashShuffle(
-          rels[ti], ColumnIndices(rels[ti][0].schema(), shared), W,
-          options.salt, rels[ti][0].name() + " (semijoin input)");
-      booker.Shuffle(sr.metrics, t.Seconds());
-      if (breakdown != nullptr) {
-        breakdown->input_tuples_shuffled += sr.metrics.tuples_sent;
-      }
-      target_sh = std::move(sr.data);
-    }
-    {
-      Timer t;
-      ShuffleResult sr = HashShuffle(
-          keys, ColumnIndices(keys[0].schema(), shared), W, options.salt,
-          rels[fi][0].name() + " (semijoin keys)");
-      booker.Shuffle(sr.metrics, t.Seconds());
-      if (breakdown != nullptr) {
-        breakdown->projected_tuples_shuffled += sr.metrics.tuples_sent;
-      }
-      keys_sh = std::move(sr.data);
-    }
+    size_t sent = 0;
+    PTP_RETURN_IF_ERROR(shuffle_with_recovery(
+        rels[ti][0].name() + " (semijoin input)", rels[ti],
+        ColumnIndices(rels[ti][0].schema(), shared), &target_sh, &sent));
+    if (breakdown != nullptr) breakdown->input_tuples_shuffled += sent;
+    PTP_RETURN_IF_ERROR(shuffle_with_recovery(
+        rels[fi][0].name() + " (semijoin keys)", keys,
+        ColumnIndices(keys[0].schema(), shared), &keys_sh, &sent));
+    if (breakdown != nullptr) breakdown->projected_tuples_shuffled += sent;
 
     // Local semijoin.
     std::vector<double> elapsed(static_cast<size_t>(W), 0.0);
@@ -162,17 +176,35 @@ Result<StrategyResult> RunSemijoinPlan(const ConjunctiveQuery& query,
     return Status::OK();
   };
 
+  // An exchange that exhausted its retries FAILs the plan gracefully (a
+  // data point, like budget exhaustion) instead of propagating an error.
+  bool gave_up = false;
+  auto reduce = [&](int target, int filter) -> Status {
+    Status st = distributed_semijoin(target, filter);
+    if (!st.ok() && IsRetryableFailure(st)) {
+      result.metrics.failed = true;
+      result.metrics.fail_reason =
+          StrFormat("semijoin exchange failed after %d retries: %s",
+                    options.recovery.max_retries, st.ToString().c_str());
+      gave_up = true;
+      return Status::OK();
+    }
+    return st;
+  };
+
   // Bottom-up pass: reduce each node by its (already reduced) children.
   for (int node : tree.bottom_up_order) {
     for (int child : tree.children[static_cast<size_t>(node)]) {
-      PTP_RETURN_IF_ERROR(distributed_semijoin(node, child));
+      PTP_RETURN_IF_ERROR(reduce(node, child));
+      if (gave_up) return result;
     }
   }
   // Top-down pass: reduce each child by its (fully reduced) parent.
   for (auto it = tree.bottom_up_order.rbegin();
        it != tree.bottom_up_order.rend(); ++it) {
     for (int child : tree.children[static_cast<size_t>(*it)]) {
-      PTP_RETURN_IF_ERROR(distributed_semijoin(child, *it));
+      PTP_RETURN_IF_ERROR(reduce(child, *it));
+      if (gave_up) return result;
     }
   }
 

@@ -1,14 +1,19 @@
 #include "plan/strategies.h"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "common/timer.h"
 #include "exec/local_ops.h"
 #include "exec/pipeline.h"
+#include "exec/recovery.h"
 #include "exec/shuffle.h"
+#include "fault/fault.h"
+#include "obs/counters.h"
 #include "obs/trace.h"
 #include "query/planner.h"
 #include "runtime/parallel.h"
@@ -66,12 +71,15 @@ struct Ctx {
   }
 
   // Books a barrier of per-worker compute times. `region_elapsed` is the
-  // measured wall time of the parallel region that ran the workers.
+  // measured wall time of the parallel region(s) that ran the workers
+  // (summed over replay attempts). A retried-then-succeeded stage books
+  // retries > 0 with failed == false.
   void BookStage(const std::string& label, double region_elapsed,
                  const std::vector<double>& worker_elapsed,
                  const std::vector<double>& sort_elapsed,
                  const std::vector<double>& join_elapsed,
-                 size_t output_tuples, bool stage_failed) {
+                 size_t output_tuples, bool stage_failed, size_t retries = 0,
+                 bool degraded = false) {
     StageMetrics stage;
     stage.label = label;
     for (int w = 0; w < W; ++w) {
@@ -88,6 +96,8 @@ struct Ctx {
     stage.wall_seconds = region_elapsed;
     stage.output_tuples = output_tuples;
     stage.failed = stage_failed;
+    stage.retries = retries;
+    stage.degraded = degraded;
     metrics().wall_seconds += region_elapsed;
     metrics().stages.push_back(stage);
   }
@@ -102,6 +112,44 @@ struct Ctx {
         std::max(metrics().max_intermediate_tuples, tuples);
   }
 };
+
+// Records a graceful plan degradation (the recovery loop gave up on an
+// operator and the planner fell back to a more robust one).
+void BookDegradation(Ctx* ctx, std::string what) {
+  if (CounterRegistry* reg = ActiveCounterRegistry()) {
+    reg->Add("retry.degraded", 1);
+  }
+  if (TraceSession* trace = ActiveTraceSession()) {
+    trace->Instant("degraded", what, kCoordinatorTrack);
+  }
+  ctx->metrics().degradations.push_back(std::move(what));
+}
+
+// Runs one shuffle under the exchange recovery loop and books it on
+// success. On exhausted retries returns the last retryable error (the
+// caller degrades the plan or FAILs the query); non-retryable errors
+// propagate unchanged.
+Status ShuffleWithRecovery(
+    Ctx* ctx, const std::string& label,
+    const std::function<Result<ShuffleResult>(ShuffleAttempt)>& shuffle_fn,
+    DistributedRelation* out) {
+  ShuffleResult result;
+  Timer t;
+  int retries = 0;
+  Status status = RunWithRecovery(
+      SiteKind::kExchange, label, ctx->opts->recovery, &ctx->metrics(),
+      &retries, [&](int site, int attempt) -> Status {
+        Result<ShuffleResult> r = shuffle_fn({site, attempt});
+        if (!r.ok()) return r.status();
+        result = std::move(r).value();
+        return Status::OK();
+      });
+  if (!status.ok()) return status;
+  result.metrics.retries = static_cast<size_t>(retries);
+  ctx->BookShuffle(result.metrics, t.Seconds());
+  *out = std::move(result.data);
+  return Status::OK();
+}
 
 // Gathers per-worker result fragments, projects to the head, and applies set
 // semantics for proper projections.
@@ -148,6 +196,23 @@ std::vector<int> PickJoinOrder(const NormalizedQuery& q,
                                const StrategyOptions& opts) {
   if (!opts.join_order.empty()) return opts.join_order;
   return GreedyLeftDeepOrder(q);
+}
+
+// Probes the active fault injector for this (site, worker, attempt) body.
+// One nullptr branch when injection is off.
+StageFault ProbeStageFault(int site, const std::string& label, int worker,
+                           int attempt) {
+  if (FaultInjector* injector = ActiveFaultInjector()) {
+    return injector->OnStage(site, label, worker, attempt);
+  }
+  return StageFault{};
+}
+
+Status InjectedCrash(const char* when, int worker,
+                     const std::string& label) {
+  return Status::Unavailable(StrFormat(
+      "injected crash of worker %d %s stage '%s'", worker, when,
+      label.c_str()));
 }
 
 // ---------------------------------------------------------------------------
@@ -200,53 +265,98 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         SharedVars(acc[0].schema(), atom.relation.schema());
 
     DistributedRelation left, right;
+    Status shuffle_status;
+    std::string exchange_label;
     if (shared.empty()) {
       // Disconnected step: broadcast the (smaller) atom — degenerate case,
       // none of the paper's queries hit it but the engine supports it.
       left = std::move(acc);
-      Timer t;
-      ShuffleResult br = BroadcastShuffle(base[static_cast<size_t>(order[step])],
-                                          W, "Broadcast " + AtomLabel(atom));
-      ctx.BookShuffle(br.metrics, t.Seconds());
-      right = std::move(br.data);
+      exchange_label = "Broadcast " + AtomLabel(atom);
+      shuffle_status = ShuffleWithRecovery(
+          &ctx, exchange_label,
+          [&](ShuffleAttempt a) {
+            return BroadcastShuffle(base[static_cast<size_t>(order[step])], W,
+                                    exchange_label, a);
+          },
+          &right);
     } else if (opts.rs_skew_aware) {
       const std::string label =
           (step == 1 ? AtomLabel(q.atoms[static_cast<size_t>(order[0])])
                      : StrFormat("Intermediate_%zu", step)) +
           " x " + AtomLabel(atom) + " ->h" + VarsLabel(shared);
+      exchange_label = label + " (left, skew-aware)";
+      // The two sides of the coordinated shuffle are two exchanges, but one
+      // replay unit: the right side's site registers on the first attempt
+      // and both sides re-deliver together on retry.
+      int right_site = -1;
+      SkewAwareShuffleResult sr;
       Timer t;
-      SkewAwareShuffleResult sr = SkewAwareJoinShuffle(
-          acc, ColumnIndices(acc[0].schema(), shared),
-          base[static_cast<size_t>(order[step])],
-          ColumnIndices(atom.relation.schema(), shared), W, opts.salt,
-          opts.skew_threshold, label);
-      const double elapsed = t.Seconds();
-      ctx.BookShuffle(sr.left_metrics, elapsed / 2);
-      ctx.BookShuffle(sr.right_metrics, elapsed / 2);
-      left = std::move(sr.left);
-      right = std::move(sr.right);
+      int retries = 0;
+      shuffle_status = RunWithRecovery(
+          SiteKind::kExchange, exchange_label, opts.recovery, &ctx.metrics(),
+          &retries, [&](int site, int attempt) -> Status {
+            if (right_site < 0) {
+              if (FaultInjector* injector = ActiveFaultInjector()) {
+                right_site = injector->RegisterExchange(
+                    label + " (right, skew-aware)");
+              }
+            }
+            Result<SkewAwareShuffleResult> r = SkewAwareJoinShuffle(
+                acc, ColumnIndices(acc[0].schema(), shared),
+                base[static_cast<size_t>(order[step])],
+                ColumnIndices(atom.relation.schema(), shared), W, opts.salt,
+                opts.skew_threshold, label, {site, attempt},
+                {right_site, attempt});
+            if (!r.ok()) return r.status();
+            sr = std::move(r).value();
+            return Status::OK();
+          });
+      if (shuffle_status.ok()) {
+        const double elapsed = t.Seconds();
+        sr.left_metrics.retries = static_cast<size_t>(retries);
+        sr.right_metrics.retries = static_cast<size_t>(retries);
+        ctx.BookShuffle(sr.left_metrics, elapsed / 2);
+        ctx.BookShuffle(sr.right_metrics, elapsed / 2);
+        left = std::move(sr.left);
+        right = std::move(sr.right);
+      }
     } else {
       const std::string label_key = " ->h" + VarsLabel(shared);
       {
-        Timer t;
-        std::string label =
+        const std::string label =
             (step == 1 ? AtomLabel(q.atoms[static_cast<size_t>(order[0])])
                        : StrFormat("Intermediate_%zu", step)) +
             label_key;
-        ShuffleResult sr = HashShuffle(
-            acc, ColumnIndices(acc[0].schema(), shared), W, opts.salt, label);
-        ctx.BookShuffle(sr.metrics, t.Seconds());
-        left = std::move(sr.data);
+        exchange_label = label;
+        shuffle_status = ShuffleWithRecovery(
+            &ctx, label,
+            [&](ShuffleAttempt a) {
+              return HashShuffle(acc, ColumnIndices(acc[0].schema(), shared),
+                                 W, opts.salt, label, a);
+            },
+            &left);
       }
-      {
-        Timer t;
-        ShuffleResult sr = HashShuffle(
-            base[static_cast<size_t>(order[step])],
-            ColumnIndices(atom.relation.schema(), shared), W, opts.salt,
-            AtomLabel(atom) + label_key);
-        ctx.BookShuffle(sr.metrics, t.Seconds());
-        right = std::move(sr.data);
+      if (shuffle_status.ok()) {
+        const std::string label = AtomLabel(atom) + label_key;
+        exchange_label = label;
+        shuffle_status = ShuffleWithRecovery(
+            &ctx, label,
+            [&](ShuffleAttempt a) {
+              return HashShuffle(base[static_cast<size_t>(order[step])],
+                                 ColumnIndices(atom.relation.schema(), shared),
+                                 W, opts.salt, label, a);
+            },
+            &right);
       }
+    }
+    if (!shuffle_status.ok()) {
+      // A lost exchange with no cheaper plan to fall back to: FAIL the
+      // query gracefully (a data point, not an abort).
+      if (!IsRetryableFailure(shuffle_status)) return shuffle_status;
+      ctx.Fail(StrFormat("exchange '%s' failed after %d retries: %s",
+                         exchange_label.c_str(), opts.recovery.max_retries,
+                         shuffle_status.ToString().c_str()));
+      return std::move(ctx.result);
     }
 
     // A Tributary round must sort its intermediate input in memory; the
@@ -305,53 +415,130 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
     // slots; no early exit, so the round behaves identically at every
     // thread count. Failure decisions happen after the barrier, in worker
     // index order (first error wins, exactly like the old serial loop).
+    //
+    // The shuffled inputs (left/right) are immutable, so the barrier is a
+    // replayable unit: a transient worker fault reruns the whole round
+    // (lineage replay), accumulating the wasted attempts' CPU.
     DistributedRelation joined(static_cast<size_t>(W));
     std::vector<double> elapsed(static_cast<size_t>(W), 0.0);
     std::vector<double> sort_s(static_cast<size_t>(W), 0.0);
     std::vector<double> join_s(static_cast<size_t>(W), 0.0);
     std::vector<Status> worker_status(static_cast<size_t>(W));
+    double region_total = 0.0;
     const std::string stage_label = StrFormat("join_%zu", step);
-    Timer stage_timer;
-    PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
-      const size_t wi = static_cast<size_t>(w);
-      Span worker_span(stage_label, WorkerTrack(w));
-      Timer t;
-      if (join == JoinKind::kHashJoin) {
-        Timer jt;
-        Relation r = SymmetricHashJoinLocal(left[wi], right[wi],
-                                            StrFormat("int_%zu", step));
-        r = FilterByPredicates(r, applicable);
-        join_s[wi] = jt.Seconds();
-        joined[wi] = std::move(r);
-      } else {
-        TJOptions tj_opts;
-        tj_opts.max_output_rows = opts.intermediate_budget;
-        TJMetrics tj_metrics;
-        std::vector<const Relation*> inputs = {&left[wi], &right[wi]};
-        Result<Relation> r = TributaryJoin(inputs, var_order, applicable,
-                                           tj_opts, &tj_metrics);
-        sort_s[wi] = tj_metrics.sort_seconds;
-        join_s[wi] = tj_metrics.join_seconds;
-        if (!r.ok()) {
-          worker_status[wi] = r.status();
-        } else {
-          joined[wi] = std::move(r).value();
-          joined[wi].set_name(StrFormat("int_%zu", step));
-        }
+
+    auto round_attempt = [&](JoinKind round_join, const std::string& label,
+                             int site, int attempt) -> Status {
+      for (int w = 0; w < W; ++w) {
+        joined[static_cast<size_t>(w)] = Relation();
+        worker_status[static_cast<size_t>(w)] = Status::OK();
       }
-      elapsed[wi] = t.Seconds();
+      Timer stage_timer;
+      PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
+        const size_t wi = static_cast<size_t>(w);
+        const StageFault fault = ProbeStageFault(site, label, w, attempt);
+        if (fault.crash_before) {
+          worker_status[wi] = InjectedCrash("before", w, label);
+          return Status::OK();
+        }
+        Span worker_span(label, WorkerTrack(w));
+        Timer t;
+        if (round_join == JoinKind::kHashJoin) {
+          Timer jt;
+          Relation r = SymmetricHashJoinLocal(left[wi], right[wi],
+                                              StrFormat("int_%zu", step));
+          r = FilterByPredicates(r, applicable);
+          join_s[wi] += jt.Seconds() * fault.delay_factor;
+          joined[wi] = std::move(r);
+        } else {
+          TJOptions tj_opts;
+          tj_opts.max_output_rows = opts.intermediate_budget;
+          TJMetrics tj_metrics;
+          std::vector<const Relation*> inputs = {&left[wi], &right[wi]};
+          Result<Relation> r = TributaryJoin(inputs, var_order, applicable,
+                                             tj_opts, &tj_metrics);
+          sort_s[wi] += tj_metrics.sort_seconds * fault.delay_factor;
+          join_s[wi] += tj_metrics.join_seconds * fault.delay_factor;
+          if (!r.ok()) {
+            worker_status[wi] = r.status();
+          } else {
+            joined[wi] = std::move(r).value();
+            joined[wi].set_name(StrFormat("int_%zu", step));
+          }
+        }
+        elapsed[wi] += t.Seconds() * fault.delay_factor;
+        if (fault.crash_during) {
+          // Work done, output lost: the fragment dies with the worker.
+          joined[wi] = Relation();
+          worker_status[wi] = InjectedCrash("during", w, label);
+        } else if (fault.operator_error && worker_status[wi].ok()) {
+          worker_status[wi] = Status::Unavailable(StrFormat(
+              "injected transient operator error on worker %d in '%s'", w,
+              label.c_str()));
+        }
+        return Status::OK();
+      }));
+      region_total += stage_timer.Seconds();
+      // First error wins, in worker index order (the serial decision
+      // sequence — identical at every thread count).
+      for (int w = 0; w < W; ++w) {
+        const Status& st = worker_status[static_cast<size_t>(w)];
+        if (!st.ok()) return st;
+      }
       return Status::OK();
-    }));
-    const double stage_elapsed = stage_timer.Seconds();
+    };
+
+    int stage_retries = 0;
+    Status round_status = RunWithRecovery(
+        SiteKind::kStage, stage_label, opts.recovery, &ctx.metrics(),
+        &stage_retries, [&](int site, int attempt) {
+          return round_attempt(join, stage_label, site, attempt);
+        });
+
+    std::string final_label = stage_label;
+    if (!round_status.ok() && IsRetryableFailure(round_status) &&
+        join == JoinKind::kTributary && opts.recovery.allow_degradation) {
+      // The Tributary round exhausted its retries: book the abandoned stage
+      // (its wasted attempts stay on the bill) and degrade to the symmetric
+      // hash join over the same immutable shuffled inputs. The fallback is
+      // a fresh fault site with a new label, so only faults that also match
+      // it (e.g. wildcard-everything persistent specs) can kill it too.
+      ctx.BookStage(stage_label, region_total, elapsed, sort_s, join_s,
+                    /*output_tuples=*/0, /*stage_failed=*/false,
+                    static_cast<size_t>(stage_retries), /*degraded=*/true);
+      BookDegradation(&ctx, stage_label + ": tributary join -> hash join");
+      std::fill(elapsed.begin(), elapsed.end(), 0.0);
+      std::fill(sort_s.begin(), sort_s.end(), 0.0);
+      std::fill(join_s.begin(), join_s.end(), 0.0);
+      region_total = 0.0;
+      final_label = stage_label + " (degraded to HJ)";
+      stage_retries = 0;
+      round_status = RunWithRecovery(
+          SiteKind::kStage, final_label, opts.recovery, &ctx.metrics(),
+          &stage_retries, [&](int site, int attempt) {
+            return round_attempt(JoinKind::kHashJoin, final_label, site,
+                                 attempt);
+          });
+    }
 
     size_t round_output = 0;
     bool failed = false;
+    if (!round_status.ok() && !IsRetryableFailure(round_status) &&
+        round_status.code() != StatusCode::kResourceExhausted) {
+      return round_status;
+    }
     for (int w = 0; w < W && !failed; ++w) {
       const size_t wi = static_cast<size_t>(w);
       const Status& st = worker_status[wi];
       if (!st.ok()) {
         if (st.code() == StatusCode::kResourceExhausted) {
           ctx.Fail(st.message());
+          failed = true;
+        } else if (IsRetryableFailure(st)) {
+          // Retries exhausted with no fallback left: graceful FAIL.
+          ctx.Fail(StrFormat("stage '%s' failed after %d retries: %s",
+                             final_label.c_str(), opts.recovery.max_retries,
+                             st.ToString().c_str()));
           failed = true;
         } else {
           return st;
@@ -365,8 +552,8 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         failed = true;
       }
     }
-    ctx.BookStage(stage_label, stage_elapsed, elapsed, sort_s, join_s,
-                  round_output, failed);
+    ctx.BookStage(final_label, region_total, elapsed, sort_s, join_s,
+                  round_output, failed, static_cast<size_t>(stage_retries));
     if (failed) return std::move(ctx.result);
     if (step + 1 < order.size()) ctx.TrackIntermediate(round_output);
     acc = std::move(joined);
@@ -399,6 +586,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
   std::vector<double> join_s(static_cast<size_t>(W), 0.0);
   std::vector<Status> worker_status(static_cast<size_t>(W));
   std::vector<PipelineStats> worker_pipeline(static_cast<size_t>(W));
+  double region_total = 0.0;
 
   std::vector<int> join_order;
   std::vector<std::string> var_order;
@@ -412,55 +600,126 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
 
   // One barrier over the W logical workers on the runtime pool; every
   // worker runs to completion and failures are resolved afterwards in
-  // index order (first error wins), matching the serial schedule.
+  // index order (first error wins), matching the serial schedule. The
+  // shuffled inputs are immutable, so the whole phase is a replayable
+  // recovery unit.
   const std::string stage_label =
       join == JoinKind::kHashJoin ? "local HJ pipeline" : "local TJ";
-  Timer stage_timer;
-  PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
-    const size_t wi = static_cast<size_t>(w);
-    std::vector<const Relation*> inputs;
-    inputs.reserve(q.atoms.size());
-    for (const DistributedRelation& dist : shuffled) {
-      inputs.push_back(&dist[wi]);
+
+  auto phase_attempt = [&](JoinKind phase_join, const std::string& label,
+                           int site, int attempt) -> Status {
+    for (int w = 0; w < W; ++w) {
+      const size_t wi = static_cast<size_t>(w);
+      out[wi] = Relation();
+      worker_status[wi] = Status::OK();
+      worker_pipeline[wi] = PipelineStats();
     }
-    Span worker_span(stage_label, WorkerTrack(w));
-    Timer t;
-    if (join == JoinKind::kHashJoin) {
-      Timer jt;
-      Result<Relation> r =
-          LeftDeepJoinLocal(inputs, join_order, q.predicates,
-                            opts.intermediate_budget, &worker_pipeline[wi]);
-      join_s[wi] = jt.Seconds();
-      if (!r.ok()) {
-        worker_status[wi] = r.status();
-      } else {
-        out[wi] = std::move(r).value();
+    Timer stage_timer;
+    PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
+      const size_t wi = static_cast<size_t>(w);
+      const StageFault fault = ProbeStageFault(site, label, w, attempt);
+      if (fault.crash_before) {
+        worker_status[wi] = InjectedCrash("before", w, label);
+        return Status::OK();
       }
-    } else {
-      TJOptions tj_opts;
-      tj_opts.max_output_rows = opts.intermediate_budget;
-      TJMetrics tj_metrics;
-      Result<Relation> r =
-          TributaryJoin(inputs, var_order, q.predicates, tj_opts, &tj_metrics);
-      sort_s[wi] = tj_metrics.sort_seconds;
-      join_s[wi] = tj_metrics.join_seconds;
-      if (!r.ok()) {
-        worker_status[wi] = r.status();
-      } else {
-        out[wi] = std::move(r).value();
+      std::vector<const Relation*> inputs;
+      inputs.reserve(q.atoms.size());
+      for (const DistributedRelation& dist : shuffled) {
+        inputs.push_back(&dist[wi]);
       }
+      Span worker_span(label, WorkerTrack(w));
+      Timer t;
+      if (phase_join == JoinKind::kHashJoin) {
+        Timer jt;
+        Result<Relation> r =
+            LeftDeepJoinLocal(inputs, join_order, q.predicates,
+                              opts.intermediate_budget, &worker_pipeline[wi]);
+        join_s[wi] += jt.Seconds() * fault.delay_factor;
+        if (!r.ok()) {
+          worker_status[wi] = r.status();
+        } else {
+          out[wi] = std::move(r).value();
+        }
+      } else {
+        TJOptions tj_opts;
+        tj_opts.max_output_rows = opts.intermediate_budget;
+        TJMetrics tj_metrics;
+        Result<Relation> r =
+            TributaryJoin(inputs, var_order, q.predicates, tj_opts,
+                          &tj_metrics);
+        sort_s[wi] += tj_metrics.sort_seconds * fault.delay_factor;
+        join_s[wi] += tj_metrics.join_seconds * fault.delay_factor;
+        if (!r.ok()) {
+          worker_status[wi] = r.status();
+        } else {
+          out[wi] = std::move(r).value();
+        }
+      }
+      elapsed[wi] += t.Seconds() * fault.delay_factor;
+      if (fault.crash_during) {
+        out[wi] = Relation();
+        worker_pipeline[wi] = PipelineStats();
+        worker_status[wi] = InjectedCrash("during", w, label);
+      } else if (fault.operator_error && worker_status[wi].ok()) {
+        worker_status[wi] = Status::Unavailable(StrFormat(
+            "injected transient operator error on worker %d in '%s'", w,
+            label.c_str()));
+      }
+      return Status::OK();
+    }));
+    region_total += stage_timer.Seconds();
+    for (int w = 0; w < W; ++w) {
+      const Status& st = worker_status[static_cast<size_t>(w)];
+      if (!st.ok()) return st;
     }
-    elapsed[wi] = t.Seconds();
     return Status::OK();
-  }));
-  const double stage_elapsed = stage_timer.Seconds();
+  };
+
+  int stage_retries = 0;
+  Status phase_status = RunWithRecovery(
+      SiteKind::kStage, stage_label, opts.recovery, &ctx->metrics(),
+      &stage_retries, [&](int site, int attempt) {
+        return phase_attempt(join, stage_label, site, attempt);
+      });
+
+  JoinKind final_join = join;
+  std::string final_label = stage_label;
+  if (!phase_status.ok() && IsRetryableFailure(phase_status) &&
+      join == JoinKind::kTributary && opts.recovery.allow_degradation) {
+    // Tributary phase exhausted its retries: degrade to the pipelined hash
+    // join over the same shuffled inputs (fresh fault site, new label).
+    ctx->BookStage(stage_label, region_total, elapsed, sort_s, join_s,
+                   /*output_tuples=*/0, /*stage_failed=*/false,
+                   static_cast<size_t>(stage_retries), /*degraded=*/true);
+    BookDegradation(ctx, "local phase: tributary join -> hash join");
+    std::fill(elapsed.begin(), elapsed.end(), 0.0);
+    std::fill(sort_s.begin(), sort_s.end(), 0.0);
+    std::fill(join_s.begin(), join_s.end(), 0.0);
+    region_total = 0.0;
+    join_order = PickJoinOrder(q, opts);
+    ctx->result.join_order_used = join_order;
+    final_join = JoinKind::kHashJoin;
+    final_label = "local TJ (degraded to HJ)";
+    stage_retries = 0;
+    phase_status = RunWithRecovery(
+        SiteKind::kStage, final_label, opts.recovery, &ctx->metrics(),
+        &stage_retries, [&](int site, int attempt) {
+          return phase_attempt(JoinKind::kHashJoin, final_label, site,
+                               attempt);
+        });
+  }
+
+  if (!phase_status.ok() && !IsRetryableFailure(phase_status) &&
+      phase_status.code() != StatusCode::kResourceExhausted) {
+    return phase_status;
+  }
 
   size_t total_output = 0;
   PipelineStats pipeline_stats;
   bool failed = false;
   for (int w = 0; w < W && !failed; ++w) {
     const size_t wi = static_cast<size_t>(w);
-    if (join == JoinKind::kHashJoin) {
+    if (final_join == JoinKind::kHashJoin) {
       pipeline_stats.Merge(worker_pipeline[wi]);
       ctx->TrackIntermediate(worker_pipeline[wi].max_intermediate);
     }
@@ -469,14 +728,19 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
       if (st.code() == StatusCode::kResourceExhausted) {
         ctx->Fail(st.message());
         failed = true;
+      } else if (IsRetryableFailure(st)) {
+        ctx->Fail(StrFormat("stage '%s' failed after %d retries: %s",
+                            final_label.c_str(), opts.recovery.max_retries,
+                            st.ToString().c_str()));
+        failed = true;
       } else {
         return st;
       }
     }
     total_output += out[wi].NumTuples();
   }
-  ctx->BookStage(stage_label, stage_elapsed, elapsed, sort_s, join_s,
-                 total_output, failed);
+  ctx->BookStage(final_label, region_total, elapsed, sort_s, join_s,
+                 total_output, failed, static_cast<size_t>(stage_retries));
 
   // Per-join breakdown of the local pipeline (Table 5).
   for (size_t i = 0; i < pipeline_stats.join_outputs.size(); ++i) {
@@ -517,13 +781,30 @@ Result<StrategyResult> RunBroadcast(const NormalizedQuery& q, JoinKind join,
   std::vector<DistributedRelation> shuffled(q.atoms.size());
   for (size_t i = 0; i < q.atoms.size(); ++i) {
     DistributedRelation base = PartitionRoundRobin(q.atoms[i].relation, W);
-    Timer t;
-    ShuffleResult sr =
-        i == largest
-            ? KeepInPlace(base, AtomLabel(q.atoms[i]) + " (in place)")
-            : BroadcastShuffle(base, W, "Broadcast " + AtomLabel(q.atoms[i]));
-    ctx.BookShuffle(sr.metrics, t.Seconds());
-    shuffled[i] = std::move(sr.data);
+    if (i == largest) {
+      // Stays in place — nothing crosses the network, no fault site.
+      Timer t;
+      ShuffleResult sr =
+          KeepInPlace(base, AtomLabel(q.atoms[i]) + " (in place)");
+      ctx.BookShuffle(sr.metrics, t.Seconds());
+      shuffled[i] = std::move(sr.data);
+      continue;
+    }
+    const std::string label = "Broadcast " + AtomLabel(q.atoms[i]);
+    Status st = ShuffleWithRecovery(
+        &ctx, label,
+        [&](ShuffleAttempt a) {
+          return BroadcastShuffle(base, W, label, a);
+        },
+        &shuffled[i]);
+    if (!st.ok()) {
+      // A broadcast plan has no cheaper shuffle to fall back to.
+      if (!IsRetryableFailure(st)) return st;
+      ctx.Fail(StrFormat("exchange '%s' failed after %d retries: %s",
+                         label.c_str(), opts.recovery.max_retries,
+                         st.ToString().c_str()));
+      return std::move(ctx.result);
+    }
   }
 
   PTP_RETURN_IF_ERROR(RunLocalPhase(&ctx, join, shuffled));
@@ -556,12 +837,39 @@ Result<StrategyResult> RunHypercube(const NormalizedQuery& q, JoinKind join,
   std::vector<DistributedRelation> shuffled(q.atoms.size());
   for (size_t i = 0; i < q.atoms.size(); ++i) {
     DistributedRelation base = PartitionRoundRobin(q.atoms[i].relation, W);
-    Timer t;
-    ShuffleResult sr =
-        HypercubeShuffle(base, q.atoms[i].variables, choice.config, cell_map,
-                         W, "HCS " + AtomLabel(q.atoms[i]));
-    ctx.BookShuffle(sr.metrics, t.Seconds());
-    shuffled[i] = std::move(sr.data);
+    const std::string label = "HCS " + AtomLabel(q.atoms[i]);
+    Status st = ShuffleWithRecovery(
+        &ctx, label,
+        [&](ShuffleAttempt a) {
+          return HypercubeShuffle(base, q.atoms[i].variables, choice.config,
+                                  cell_map, W, label, a);
+        },
+        &shuffled[i]);
+    if (!st.ok()) {
+      if (IsRetryableFailure(st) && opts.recovery.allow_degradation) {
+        // The HyperCube exchange keeps failing: degrade the whole plan to
+        // regular hash shuffles. The partial HC accounting (booked
+        // shuffles, wasted wall clock, backoff) stays on the bill, and the
+        // fallback registers fresh fault sites under its own labels.
+        BookDegradation(&ctx, StrFormat(
+                                  "'%s': hypercube shuffle -> regular hash "
+                                  "shuffle",
+                                  label.c_str()));
+        Result<StrategyResult> fallback = RunRegular(q, join, opts);
+        if (!fallback.ok()) return fallback.status();
+        StrategyResult degraded = std::move(fallback).value();
+        QueryMetrics combined = std::move(ctx.metrics());
+        combined.Absorb(degraded.metrics);
+        degraded.metrics = std::move(combined);
+        degraded.hc_config = ctx.result.hc_config;
+        return degraded;
+      }
+      if (!IsRetryableFailure(st)) return st;
+      ctx.Fail(StrFormat("exchange '%s' failed after %d retries: %s",
+                         label.c_str(), opts.recovery.max_retries,
+                         st.ToString().c_str()));
+      return std::move(ctx.result);
+    }
   }
 
   PTP_RETURN_IF_ERROR(RunLocalPhase(&ctx, join, shuffled));
@@ -591,6 +899,9 @@ Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
   if (options.num_workers < 1) {
     return Status::InvalidArgument("need at least one worker");
   }
+  // Restart fault-site numbering: a schedule means the same thing for every
+  // strategy run (site ordinals count from the strategy's first barrier).
+  if (FaultInjector* injector = ActiveFaultInjector()) injector->Reset();
   Span strategy_span(StrategyName(shuffle, join), kCoordinatorTrack);
   if (query.atoms.size() == 1) {
     // Single-atom query: no join; evaluate locally.
@@ -632,13 +943,16 @@ std::vector<std::pair<ShuffleKind, JoinKind>> AllStrategies() {
   };
 }
 
-std::vector<StrategyResult> RunAllStrategies(const NormalizedQuery& query,
-                                             const StrategyOptions& options) {
+Result<std::vector<StrategyResult>> RunAllStrategies(
+    const NormalizedQuery& query, const StrategyOptions& options) {
   std::vector<StrategyResult> results;
   for (const auto& [shuffle, join] : AllStrategies()) {
     Result<StrategyResult> r = RunStrategy(query, shuffle, join, options);
-    PTP_CHECK(r.ok()) << "strategy " << StrategyName(shuffle, join)
-                      << " failed: " << r.status().ToString();
+    if (!r.ok()) {
+      return Status(r.status().code(),
+                    StrFormat("strategy %s: %s", StrategyName(shuffle, join),
+                              r.status().message().c_str()));
+    }
     results.push_back(std::move(r).value());
   }
   return results;

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "exec/cluster.h"
 #include "exec/metrics.h"
+#include "exec/recovery.h"
 #include "hypercube/optimizer.h"
 #include "query/query.h"
 
@@ -66,6 +67,10 @@ struct StrategyOptions {
   /// A key is heavy when its left-side frequency exceeds this multiple of
   /// the average per-worker load.
   double skew_threshold = 2.0;
+
+  /// Stage-level retry/degradation policy (only observable when a fault
+  /// injector is active or an invariant check trips; see docs/ROBUSTNESS.md).
+  RecoveryOptions recovery;
 };
 
 /// Outcome of executing one (shuffle, join) configuration.
@@ -87,14 +92,25 @@ struct StrategyResult {
 /// configuration. Budget exhaustion is reported as success with
 /// metrics.failed = true (a FAIL data point, as in Figure 9); a non-OK
 /// Status indicates an invalid query/plan instead.
+///
+/// Under an active fault injector (fault/fault.h) every stage barrier and
+/// shuffle exchange runs inside the recovery loop of options.recovery:
+/// transient faults are replayed from the barrier's immutable inputs with
+/// virtual exponential backoff; after max_retries the plan degrades
+/// (HyperCube -> hash shuffle, Tributary -> symmetric hash join) or, when
+/// no cheaper plan exists, FAILs gracefully with metrics.failed = true.
+/// Recovery is deterministic: same fault schedule => same retry sequence
+/// => bit-identical output at any thread count.
 Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
                                    ShuffleKind shuffle, JoinKind join,
                                    const StrategyOptions& options);
 
 /// Runs all six configurations (RS/BR/HC x HJ/TJ) and returns the results
 /// in the paper's column order: RS_HJ, RS_TJ, BR_HJ, BR_TJ, HC_HJ, HC_TJ.
-std::vector<StrategyResult> RunAllStrategies(const NormalizedQuery& query,
-                                             const StrategyOptions& options);
+/// A non-OK Status (invalid query/plan) from any strategy is propagated —
+/// FAIL data points are still successes with metrics.failed set.
+Result<std::vector<StrategyResult>> RunAllStrategies(
+    const NormalizedQuery& query, const StrategyOptions& options);
 
 /// Order of the six configurations as reported in the figures.
 std::vector<std::pair<ShuffleKind, JoinKind>> AllStrategies();

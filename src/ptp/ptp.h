@@ -29,7 +29,9 @@
 #include "exec/local_ops.h"
 #include "exec/metrics.h"
 #include "exec/pipeline.h"
+#include "exec/recovery.h"
 #include "exec/shuffle.h"
+#include "fault/fault.h"
 #include "hypercube/cell_allocation.h"
 #include "hypercube/config.h"
 #include "hypercube/optimizer.h"

@@ -26,7 +26,8 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kResourceExhausted,
-        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
 }

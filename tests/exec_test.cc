@@ -97,7 +97,7 @@ TEST(HashShuffleTest, PreservesTuplesAndCoPartitions) {
   Rng rng(3);
   Relation rel = test::RandomBinaryRelation("R", {"x", "y"}, 200, 50, &rng);
   DistributedRelation dist = PartitionRoundRobin(rel, 8);
-  ShuffleResult sr = HashShuffle(dist, {0}, 8, 7, "R ->h(x)");
+  ShuffleResult sr = HashShuffle(dist, {0}, 8, 7, "R ->h(x)").value();
   EXPECT_EQ(TotalTuples(sr.data), rel.NumTuples());
   EXPECT_EQ(sr.metrics.tuples_sent, rel.NumTuples());
   EXPECT_TRUE(Gather(sr.data).EqualsUnordered(rel));
@@ -116,14 +116,14 @@ TEST(HashShuffleTest, MultiColumnKey) {
   Rng rng(5);
   Relation rel = test::RandomBinaryRelation("R", {"x", "y"}, 100, 10, &rng);
   DistributedRelation dist = PartitionRoundRobin(rel, 4);
-  ShuffleResult sr = HashShuffle(dist, {0, 1}, 4, 7, "R ->h(x,y)");
+  ShuffleResult sr = HashShuffle(dist, {0, 1}, 4, 7, "R ->h(x,y)").value();
   EXPECT_TRUE(Gather(sr.data).EqualsUnordered(rel));
 }
 
 TEST(BroadcastShuffleTest, EveryWorkerGetsFullCopy) {
   Relation rel = SmallRel();
   DistributedRelation dist = PartitionRoundRobin(rel, 4);
-  ShuffleResult sr = BroadcastShuffle(dist, 4, "Broadcast R");
+  ShuffleResult sr = BroadcastShuffle(dist, 4, "Broadcast R").value();
   EXPECT_EQ(sr.metrics.tuples_sent, 40u);
   EXPECT_DOUBLE_EQ(sr.metrics.consumer_skew, 1.0);
   for (const Relation& frag : sr.data) {
@@ -155,7 +155,8 @@ TEST(HypercubeShuffleTest, TriangleJoinFindableLocally) {
   auto shuffle = [&](const Relation& rel,
                      const std::vector<std::string>& vars) {
     return HypercubeShuffle(PartitionRoundRobin(rel, W), vars, config,
-                            cell_map, W, "HCS " + rel.name());
+                            cell_map, W, "HCS " + rel.name())
+        .value();
   };
   ShuffleResult sr = shuffle(r, {"x", "y"});
   ShuffleResult ss = shuffle(s, {"y", "z"});

@@ -327,7 +327,7 @@ TEST(ObservedRunTest, WorkerSpansPerStageAndShuffleCounters) {
   ScopedObservability obs;
   StrategyOptions opts;
   opts.num_workers = W;
-  std::vector<StrategyResult> results = RunAllStrategies(q, opts);
+  std::vector<StrategyResult> results = RunAllStrategies(q, opts).value();
   ASSERT_EQ(results.size(), 6u);
 
   // Index begin-events: span name -> set of tracks it appeared on.
@@ -499,7 +499,7 @@ TEST(ExplainAnalyzeTest, JsonExportsAreValid) {
   SetActiveCounterRegistry(&counters);
   StrategyOptions opts;
   opts.num_workers = 2;
-  std::vector<StrategyResult> results = RunAllStrategies(q, opts);
+  std::vector<StrategyResult> results = RunAllStrategies(q, opts).value();
   SetActiveCounterRegistry(nullptr);
 
   ExplainOptions eo;

@@ -21,7 +21,7 @@ TEST_P(HashShuffleSweep, PreservesAndCoPartitions) {
   Rng rng(static_cast<uint64_t>(seed));
   Relation rel = test::RandomBinaryRelation("R", {"x", "y"}, 300, 40, &rng);
   DistributedRelation dist = PartitionRoundRobin(rel, workers);
-  ShuffleResult sr = HashShuffle(dist, {1}, workers, 12345, "t");
+  ShuffleResult sr = HashShuffle(dist, {1}, workers, 12345, "t").value();
   EXPECT_TRUE(Gather(sr.data).EqualsUnordered(rel));
   EXPECT_EQ(sr.metrics.tuples_sent, rel.NumTuples());
   std::map<Value, size_t> home;
@@ -41,8 +41,8 @@ TEST(HashShuffleTest, DeterministicAcrossCalls) {
   Rng rng(5);
   Relation rel = test::RandomBinaryRelation("R", {"x", "y"}, 100, 20, &rng);
   DistributedRelation dist = PartitionRoundRobin(rel, 6);
-  ShuffleResult a = HashShuffle(dist, {0}, 6, 9, "a");
-  ShuffleResult b = HashShuffle(dist, {0}, 6, 9, "b");
+  ShuffleResult a = HashShuffle(dist, {0}, 6, 9, "a").value();
+  ShuffleResult b = HashShuffle(dist, {0}, 6, 9, "b").value();
   for (size_t w = 0; w < 6; ++w) {
     EXPECT_EQ(a.data[w].data(), b.data[w].data());
   }
@@ -52,8 +52,8 @@ TEST(HashShuffleTest, DifferentSaltsGiveDifferentPartitions) {
   Rng rng(6);
   Relation rel = test::RandomBinaryRelation("R", {"x", "y"}, 400, 200, &rng);
   DistributedRelation dist = PartitionRoundRobin(rel, 8);
-  ShuffleResult a = HashShuffle(dist, {0}, 8, 1, "a");
-  ShuffleResult b = HashShuffle(dist, {0}, 8, 2, "b");
+  ShuffleResult a = HashShuffle(dist, {0}, 8, 1, "a").value();
+  ShuffleResult b = HashShuffle(dist, {0}, 8, 2, "b").value();
   bool any_difference = false;
   for (size_t w = 0; w < 8; ++w) {
     if (a.data[w].data() != b.data[w].data()) any_difference = true;
@@ -113,7 +113,8 @@ TEST(HypercubeShuffleTest, SharedWorkerReceivesOneCopy) {
   config.dims = {2, 2, 4};
   std::vector<int> all_to_zero(static_cast<size_t>(config.NumCells()), 0);
   ShuffleResult sr = HypercubeShuffle(PartitionRoundRobin(rel, 4), {"x", "y"},
-                                      config, all_to_zero, 4, "t");
+                                      config, all_to_zero, 4, "t")
+                         .value();
   EXPECT_EQ(sr.metrics.tuples_sent, rel.NumTuples());  // one copy each
   EXPECT_EQ(sr.data[0].NumTuples(), rel.NumTuples());
 }
@@ -131,7 +132,7 @@ TEST(SkewAwareShuffleTest, JoinResultUnchangedAndSkewBounded) {
   auto dl = PartitionRoundRobin(left, kW);
   auto dr = PartitionRoundRobin(right, kW);
   SkewAwareShuffleResult sa =
-      SkewAwareJoinShuffle(dl, {1}, dr, {0}, kW, 3, 2.0, "t");
+      SkewAwareJoinShuffle(dl, {1}, dr, {0}, kW, 3, 2.0, "t").value();
   EXPECT_GE(sa.heavy_keys, 1u);
 
   // Left content preserved exactly; right replicated only for heavy keys.
@@ -140,7 +141,7 @@ TEST(SkewAwareShuffleTest, JoinResultUnchangedAndSkewBounded) {
 
   // Consumer skew on the left must be bounded (plain hashing would put all
   // 600 hub tuples on one worker: skew ~6.9).
-  ShuffleResult plain = HashShuffle(dl, {1}, kW, 3, "plain");
+  ShuffleResult plain = HashShuffle(dl, {1}, kW, 3, "plain").value();
   EXPECT_GT(plain.metrics.consumer_skew, 3.0);
   EXPECT_LT(sa.left_metrics.consumer_skew, 2.0);
 
@@ -157,7 +158,7 @@ TEST(SkewAwareShuffleTest, JoinResultUnchangedAndSkewBounded) {
     }
     return out;
   };
-  ShuffleResult plain_r = HashShuffle(dr, {0}, kW, 3, "plain_r");
+  ShuffleResult plain_r = HashShuffle(dr, {0}, kW, 3, "plain_r").value();
   Relation expected = join_all(plain.data, plain_r.data);
   Relation actual = join_all(sa.left, sa.right);
   EXPECT_TRUE(actual.EqualsUnordered(expected));
@@ -170,7 +171,7 @@ TEST(SkewAwareShuffleTest, NoHeavyKeysDegeneratesToHashShuffle) {
   auto dl = PartitionRoundRobin(left, 4);
   auto dr = PartitionRoundRobin(right, 4);
   SkewAwareShuffleResult sa =
-      SkewAwareJoinShuffle(dl, {1}, dr, {0}, 4, 3, 4.0, "t");
+      SkewAwareJoinShuffle(dl, {1}, dr, {0}, 4, 3, 4.0, "t").value();
   EXPECT_EQ(sa.heavy_keys, 0u);
   EXPECT_EQ(sa.right_metrics.tuples_sent, right.NumTuples());
 }
@@ -179,7 +180,7 @@ TEST(BroadcastShuffleTest, ProducerLoadsBalanced) {
   Rng rng(7);
   Relation rel = test::RandomBinaryRelation("R", {"x", "y"}, 128, 30, &rng);
   DistributedRelation dist = PartitionRoundRobin(rel, 4);
-  ShuffleResult sr = BroadcastShuffle(dist, 4, "b");
+  ShuffleResult sr = BroadcastShuffle(dist, 4, "b").value();
   EXPECT_NEAR(sr.metrics.producer_skew, 1.0, 0.05);
   EXPECT_DOUBLE_EQ(sr.metrics.consumer_skew, 1.0);
 }
