@@ -34,6 +34,11 @@ struct BenchConfig {
   std::string trace_path;
   /// When nonempty, EXPLAIN ANALYZE JSON for every strategy is written here.
   std::string json_path;
+  /// When nonempty, the query profiler is enabled for the run and its
+  /// versioned profile JSON (communication matrices, heavy-hitter key
+  /// sketches, skew decomposition, per-worker timelines) is written here.
+  /// Diff two of these with bench/profile_diff.
+  std::string profile_path;
   /// Fault schedule (fault/fault.h grammar), e.g.
   /// "crash@worker=3,stage=join_0;drop@x=0,p=1,c=2". Defaults to the
   /// PTP_FAULTS env var; empty = no injection (zero-overhead fast path).
@@ -64,13 +69,14 @@ struct BenchConfig {
           eat("--sort-budget=", [&](const std::string& v) { c.sort_budget = std::stoul(v); }) ||
           eat("--trace=", [&](const std::string& v) { c.trace_path = v; }) ||
           eat("--json=", [&](const std::string& v) { c.json_path = v; }) ||
+          eat("--profile=", [&](const std::string& v) { c.profile_path = v; }) ||
           eat("--faults=", [&](const std::string& v) { c.faults = v; });
       if (!ok) {
         std::cerr << "unknown flag: " << arg
                   << "\nflags: --workers= --threads= --twitter-nodes= "
                      "--twitter-edges= --twitter-zipf= --freebase-scale= "
                      "--seed= --budget= --sort-budget= --trace=<file> "
-                     "--json=<file> --faults=<schedule>\n";
+                     "--json=<file> --profile=<file> --faults=<schedule>\n";
         std::exit(2);
       }
     }
@@ -138,6 +144,14 @@ inline std::vector<StrategyResult> RunSixConfigs(
     counters = std::make_unique<CounterRegistry>();
     SetActiveCounterRegistry(counters.get());
   }
+  // --profile= turns on the query profiler (channel matrices, hot-key
+  // sketches, per-worker timelines); when a trace is also active the
+  // profiler additionally exports Perfetto counter tracks into it.
+  std::unique_ptr<QueryProfile> profile;
+  if (!config.profile_path.empty()) {
+    profile = std::make_unique<QueryProfile>();
+    SetActiveQueryProfile(profile.get());
+  }
   // --faults= / PTP_FAULTS turns on deterministic fault injection for the
   // whole run (see docs/ROBUSTNESS.md). Recovery markers show up in the
   // figure output and in the --json= EXPLAIN ANALYZE export.
@@ -160,6 +174,12 @@ inline std::vector<StrategyResult> RunSixConfigs(
   if (injector != nullptr) {
     SetActiveFaultInjector(nullptr);
     std::cout << "faults injected: " << injector->injected() << "\n";
+  }
+  if (profile != nullptr) {
+    SetActiveQueryProfile(nullptr);
+    Status s = WriteProfileJsonFile(config.profile_path, *profile);
+    PTP_CHECK(s.ok()) << s.ToString();
+    std::cout << "profile JSON written to " << config.profile_path << "\n";
   }
   if (trace != nullptr) {
     SetActiveTraceSession(nullptr);

@@ -2,8 +2,15 @@
 // Expected shape (paper): although the HyperCube shuffle distributes tuples
 // almost evenly, HC_TJ still shows long-tail workers (differences in
 // computation time), while BR_TJ's workers are more uniform.
+//
+// The histograms are rendered from the query profiler's per-stage worker
+// timelines (StageProfile::sort/join_seconds summed per worker), and the
+// timeline totals are cross-checked against the engine's own per-worker
+// metric accumulators to 1e-9 — the profiler must observe the same virtual
+// time the engine books.
 
 #include <algorithm>
+#include <cmath>
 
 #include "bench_common.h"
 
@@ -42,6 +49,33 @@ double BusySkew(const std::vector<double>& seconds) {
   return avg > 0 ? max_s / avg : 1.0;
 }
 
+/// Per-worker compute time (sort + join) from the profiler's stage
+/// timelines: the paper's utilization plots show the local-join phase, and
+/// the shuffle cost is attributed uniformly by the simulated engine anyway.
+std::vector<double> TimelineComputeSeconds(const ptp::StrategyProfile* section,
+                                           size_t workers) {
+  PTP_CHECK(section != nullptr) << "strategy ran without a profile section";
+  std::vector<double> out(workers, 0.0);
+  for (const ptp::StageProfile& stage : section->stages) {
+    for (size_t w = 0; w < stage.sort_seconds.size() && w < workers; ++w) {
+      out[w] += stage.sort_seconds[w] + stage.join_seconds[w];
+    }
+  }
+  return out;
+}
+
+/// The profiler's timeline must add up to the engine's own accumulators.
+void CheckTimelineAgainstMetrics(const std::vector<double>& timeline,
+                                 const ptp::QueryMetrics& m) {
+  PTP_CHECK(timeline.size() == m.worker_sort_seconds.size());
+  for (size_t w = 0; w < timeline.size(); ++w) {
+    const double metric = m.worker_sort_seconds[w] + m.worker_join_seconds[w];
+    PTP_CHECK(std::fabs(timeline[w] - metric) <= 1e-9)
+        << "worker " << w << ": profiler timeline " << timeline[w]
+        << " != metric compute time " << metric;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -55,33 +89,42 @@ int main(int argc, char** argv) {
   PTP_CHECK(wl.ok()) << wl.status().ToString();
   StrategyOptions opts = config.ToOptions();
 
+  QueryProfile profile;
+  SetActiveQueryProfile(&profile);
   auto hc = RunStrategy(wl->normalized, ShuffleKind::kHypercube,
                         JoinKind::kTributary, opts);
   auto br = RunStrategy(wl->normalized, ShuffleKind::kBroadcast,
                         JoinKind::kTributary, opts);
+  SetActiveQueryProfile(nullptr);
   PTP_CHECK(hc.ok() && br.ok());
 
-  // Compare compute time only (sort + join): the paper's utilization plots
-  // show the local-join phase, and the shuffle cost is attributed uniformly
-  // by the simulated engine anyway.
-  auto compute_seconds = [](const QueryMetrics& m) {
-    std::vector<double> out(m.worker_sort_seconds.size());
-    for (size_t w = 0; w < out.size(); ++w) {
-      out[w] = m.worker_sort_seconds[w] + m.worker_join_seconds[w];
-    }
-    return out;
-  };
-  PrintUtilization("Figure 8a: HC_TJ worker busy time (sorted)",
-                   compute_seconds(hc->metrics));
-  PrintUtilization("Figure 8b: BR_TJ worker busy time (sorted)",
-                   compute_seconds(br->metrics));
+  const size_t workers = static_cast<size_t>(opts.num_workers);
+  const std::vector<double> hc_compute = TimelineComputeSeconds(
+      profile.FindStrategy(
+          StrategyName(ShuffleKind::kHypercube, JoinKind::kTributary)),
+      workers);
+  const std::vector<double> br_compute = TimelineComputeSeconds(
+      profile.FindStrategy(
+          StrategyName(ShuffleKind::kBroadcast, JoinKind::kTributary)),
+      workers);
+  CheckTimelineAgainstMetrics(hc_compute, hc->metrics);
+  CheckTimelineAgainstMetrics(br_compute, br->metrics);
+
+  PrintUtilization("Figure 8a: HC_TJ worker busy time (sorted)", hc_compute);
+  PrintUtilization("Figure 8b: BR_TJ worker busy time (sorted)", br_compute);
+
+  if (!config.profile_path.empty()) {
+    Status s = WriteProfileJsonFile(config.profile_path, profile);
+    PTP_CHECK(s.ok()) << s.ToString();
+    std::cout << "profile JSON written to " << config.profile_path << "\n";
+  }
 
   // Paper shape: both plans show visible per-worker variance despite nearly
   // perfectly balanced *shuffles*; in the paper's run HC_TJ had the longer
   // tail. At laptop scale the ordering can flip (see EXPERIMENTS.md); the
   // robust signal is that busy-time skew exceeds the shuffle skew.
-  const double hc_busy = BusySkew(compute_seconds(hc->metrics));
-  const double br_busy = BusySkew(compute_seconds(br->metrics));
+  const double hc_busy = BusySkew(hc_compute);
+  const double br_busy = BusySkew(br_compute);
   std::cout << StrFormat(
       "shape check: computation-time skew visible in both plans "
       "(HC_TJ %.2f, BR_TJ %.2f) while HC shuffle skew is only %.2f: %s\n",

@@ -3,6 +3,7 @@
 #include "common/str_util.h"
 #include "fault/fault.h"
 #include "obs/counters.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace ptp {
@@ -41,6 +42,9 @@ Status RunWithRecovery(SiteKind kind, std::string_view label,
         metrics->backoff_seconds += backoff;
       }
       if (retries_out != nullptr) *retries_out = attempt;
+      if (QueryProfile* profile = ActiveQueryProfile()) {
+        profile->RecordBackoff(label, attempt, backoff);
+      }
       if (CounterRegistry* reg = ActiveCounterRegistry()) {
         reg->Add("retry.attempts", 1);
         reg->Add("retry.backoff_ms",

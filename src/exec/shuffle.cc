@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <utility>
 
 #include "common/hash.h"
@@ -10,6 +11,7 @@
 #include "exec/join_hash_table.h"
 #include "fault/fault.h"
 #include "obs/counters.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
 
@@ -190,6 +192,50 @@ void FinishMetrics(const DistributedRelation& out,
   }
 }
 
+/// Records the communication matrix (and optional key sketch) of a committed
+/// exchange into `profile`. Called only after DeliverAndMerge succeeded and
+/// FinishMetrics published the aggregates, so failed delivery attempts leave
+/// no profile entry (mirroring the counter accounting) and a recovered run
+/// profiles identically to a clean one. Channel sizes are read coordinator-
+/// side between barriers; the per-producer key shards are built from
+/// scatter-side row samples and folded by the caller in producer index
+/// order, so the recorded profile is bit-identical at every thread count.
+void RecordShuffleProfile(QueryProfile* profile,
+                          const ShuffleMetrics& metrics, size_t num_producers,
+                          size_t num_consumers, size_t arity,
+                          const ChannelFn& channel, SketchKeyKind key_kind,
+                          MisraGries keys, uint64_t sample_stride = 1) {
+  ShuffleProfile sp;
+  sp.label = metrics.label;
+  sp.sample_stride = sample_stride;
+  sp.matrix.Init(num_producers, num_consumers, arity);
+  if (arity > 0) {
+    for (size_t p = 0; p < num_producers; ++p) {
+      for (size_t w = 0; w < num_consumers; ++w) {
+        sp.matrix.At(p, w) = channel(p, w)->size() / arity;
+      }
+    }
+  }
+  sp.key_kind = key_kind;
+  sp.keys = std::move(keys);
+  profile->RecordShuffle(std::move(sp));
+}
+
+/// Compresses the exchange's HotKeyShard counter into a bounded-capacity
+/// heavy-hitter sketch. Survivors come out in slot order — a deterministic
+/// function of the sampled row stream, which the coordinator feeds in
+/// producer index order — so the order-sensitive Misra–Gries truncation is
+/// identical at every thread count. The shard's collision-decrement slack
+/// and cancelled weight carry into the sketch's error bound and total.
+MisraGries FoldKeyShard(const HotKeyShard& shard) {
+  std::vector<MisraGries::Entry> counts = shard.Entries();
+  uint64_t surviving_total = 0;
+  for (const MisraGries::Entry& e : counts) surviving_total += e.count;
+  return MisraGries::FromCounts(std::move(counts),
+                                shard.total() - surviving_total,
+                                shard.evicted_bound());
+}
+
 }  // namespace
 
 Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
@@ -209,6 +255,44 @@ Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
   std::vector<DestBuffers> bufs(
       in.size(), DestBuffers(static_cast<size_t>(num_workers)));
 
+  // Profiling taps: the scatter loop only writes {key, hash} samples into
+  // a preallocated flat buffer (one 16-byte store into the producer's
+  // precomputed slice, no table probe or allocator call competing with the
+  // scatter's destination buffers); the HotKeyShard is built and folded on
+  // the coordinator after commit, where its small table stays cache-hot.
+  // A single-column key is sketched by raw value; a composite key by its
+  // combined salted hash. Exchanges beyond the sample budget are sketched
+  // from a systematic 1-in-stride row sample (stride chosen from total
+  // input size, so it is identical at every thread count), each sampled
+  // tuple weighted by the stride.
+  QueryProfile* profile = ActiveQueryProfile();
+  const bool profiled = profile != nullptr;
+  const bool single_col_key = key_cols.size() == 1;
+  uint64_t stride = 1;
+  int stride_shift = 0;
+  struct KeySample {
+    uint64_t key;
+    uint64_t hash;
+  };
+  std::vector<size_t> sample_offsets;
+  std::unique_ptr<KeySample[]> key_samples;
+  if (profiled) {
+    size_t total_rows = 0;
+    for (const Relation& frag : in) total_rows += frag.NumTuples();
+    while (total_rows / stride > kHotKeySampleBudget) {
+      stride *= 2;
+      ++stride_shift;
+    }
+    sample_offsets.assign(in.size() + 1, 0);
+    for (size_t pi = 0; pi < in.size(); ++pi) {
+      const size_t n = in[pi].NumTuples();
+      // Rows 0, stride, 2*stride, ... are sampled: ceil(n / stride) slots,
+      // every one of which the scatter writes exactly once.
+      sample_offsets[pi + 1] = sample_offsets[pi] + (n + stride - 1) / stride;
+    }
+    key_samples.reset(new KeySample[sample_offsets.back()]);
+  }
+
   const size_t arity = in[0].arity();
   Status status = runtime::ParallelFor(
       static_cast<int>(in.size()), [&](int p) {
@@ -222,6 +306,11 @@ Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
           for (int col : key_cols) {
             h = HashCombine(h, HashWithSalt(t[col], salt));
           }
+          if (profiled && (row & (stride - 1)) == 0) {
+            key_samples[sample_offsets[pi] + (row >> stride_shift)] = {
+                single_col_key ? static_cast<uint64_t>(t[key_cols[0]]) : h,
+                h};
+          }
           std::vector<Value>& d = dest[h % static_cast<size_t>(num_workers)];
           d.insert(d.end(), t, t + arity);
         }
@@ -233,6 +322,19 @@ Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
       in.size(), [&bufs](size_t p, size_t w) { return &bufs[p][w]; },
       attempt, &result.data, &result.metrics));
   FinishMetrics(result.data, produced, &result.metrics);
+  if (profiled) {
+    const size_t num_samples = sample_offsets.back();
+    HotKeyShard key_shard(num_samples);
+    for (size_t s = 0; s < num_samples; ++s) {
+      key_shard.Add(key_samples[s].key, key_samples[s].hash, stride);
+    }
+    RecordShuffleProfile(
+        profile, result.metrics, in.size(),
+        static_cast<size_t>(num_workers), arity,
+        [&bufs](size_t p, size_t w) { return &bufs[p][w]; },
+        single_col_key ? SketchKeyKind::kValue : SketchKeyKind::kHash,
+        FoldKeyShard(key_shard), stride);
+  }
   return result;
 }
 
@@ -255,6 +357,15 @@ Result<ShuffleResult> BroadcastShuffle(const DistributedRelation& in,
     produced[p] = in[p].NumTuples() * static_cast<size_t>(num_workers);
   }
   FinishMetrics(result.data, produced, &result.metrics);
+  if (QueryProfile* profile = ActiveQueryProfile()) {
+    // No per-key routing: every consumer receives every fragment, so the
+    // matrix alone tells the whole story (key sketch would be meaningless).
+    RecordShuffleProfile(
+        profile, result.metrics, in.size(),
+        static_cast<size_t>(num_workers), in[0].arity(),
+        [&in](size_t p, size_t) { return &in[p].data(); },
+        SketchKeyKind::kNone, MisraGries());
+  }
   return result;
 }
 
@@ -315,6 +426,16 @@ Result<ShuffleResult> HypercubeShuffle(
       in.size(), [&bufs](size_t p, size_t w) { return &bufs[p][w]; },
       attempt, &result.data, &result.metrics));
   FinishMetrics(result.data, produced, &result.metrics);
+  if (QueryProfile* profile = ActiveQueryProfile()) {
+    // HyperCube routes by cell coordinates, not a single key, so only the
+    // channel matrix is recorded; replication shows up as row totals larger
+    // than the fragment sizes.
+    RecordShuffleProfile(
+        profile, result.metrics, in.size(),
+        static_cast<size_t>(num_workers), arity,
+        [&bufs](size_t p, size_t w) { return &bufs[p][w]; },
+        SketchKeyKind::kNone, MisraGries());
+  }
   return result;
 }
 
@@ -435,6 +556,23 @@ Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
       left.size(), [&left_bufs](size_t p, size_t w) { return &left_bufs[p][w]; },
       left_attempt, &result.left, &result.left_metrics));
   FinishMetrics(result.left, left_produced, &result.left_metrics);
+  QueryProfile* profile = ActiveQueryProfile();
+  if (profile != nullptr) {
+    // The pass-1 frequency table already holds exact global key counts
+    // (merged in producer order); reuse it as the heavy-hitter sketch
+    // source. Keys are the combined salted hashes pass 1 counted.
+    std::vector<MisraGries::Entry> exact;
+    exact.reserve(freq.size());
+    for (size_t e = 0; e < freq.size(); ++e) {
+      exact.push_back({freq.keys()[e], freq.counts()[e]});
+    }
+    MisraGries keys = MisraGries::FromCounts(std::move(exact));
+    RecordShuffleProfile(
+        profile, result.left_metrics, left.size(),
+        static_cast<size_t>(num_workers), left[0].arity(),
+        [&left_bufs](size_t p, size_t w) { return &left_bufs[p][w]; },
+        SketchKeyKind::kHash, std::move(keys));
+  }
 
   // Pass 3: right side — heavy keys broadcast, light keys hashed.
   std::vector<size_t> right_produced(right.size(), 0);
@@ -468,6 +606,15 @@ Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
       [&right_bufs](size_t p, size_t w) { return &right_bufs[p][w]; },
       right_attempt, &result.right, &result.right_metrics));
   FinishMetrics(result.right, right_produced, &result.right_metrics);
+  if (profile != nullptr) {
+    // The right side mixes per-key hashing with heavy-key broadcast, so a
+    // key sketch would double-count replicated tuples; record matrix only.
+    RecordShuffleProfile(
+        profile, result.right_metrics, right.size(),
+        static_cast<size_t>(num_workers), right[0].arity(),
+        [&right_bufs](size_t p, size_t w) { return &right_bufs[p][w]; },
+        SketchKeyKind::kNone, MisraGries());
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/str_util.h"
+#include "obs/profile_report.h"
 #include "obs/trace.h"
 
 namespace ptp {
@@ -95,6 +96,15 @@ std::string ExplainAnalyzeText(std::string_view strategy,
          << " cpu=" << FormatSeconds(s.cpu_seconds);
     }
     os << "\n";
+  }
+
+  if (options.profile != nullptr) {
+    if (const StrategyProfile* section =
+            options.profile->FindStrategy(strategy)) {
+      ProfileReportOptions profile_options;
+      profile_options.include_timings = options.include_timings;
+      os << ProfileSectionText(*section, profile_options);
+    }
   }
 
   if (options.counters != nullptr) {

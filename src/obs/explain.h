@@ -11,6 +11,8 @@
 
 namespace ptp {
 
+class QueryProfile;
+
 struct ExplainOptions {
   /// Include wall/CPU seconds. Turn off for deterministic (golden-file)
   /// output — counts, skews and plan shape are reproducible, timings are
@@ -18,6 +20,10 @@ struct ExplainOptions {
   bool include_timings = true;
   /// When set, a "counters" section is appended (text) / embedded (JSON).
   const CounterRegistry* counters = nullptr;
+  /// When set, the profiler section recorded for this strategy (top-k
+  /// channels, hot keys, skew decomposition, utilization bars) is appended
+  /// to the text report. Utilization bars honor include_timings.
+  const QueryProfile* profile = nullptr;
 };
 
 /// EXPLAIN ANALYZE: renders the plan a strategy actually ran (join / var

@@ -1,0 +1,499 @@
+#include "obs/profile_report.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "obs/trace.h"
+
+namespace ptp {
+namespace {
+
+const char* KeyKindName(SketchKeyKind kind) {
+  switch (kind) {
+    case SketchKeyKind::kNone:
+      return "none";
+    case SketchKeyKind::kValue:
+      return "value";
+    case SketchKeyKind::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+/// Sketch keys rendered for humans and for the JSON export. Raw column
+/// values print as signed decimals; multi-column combined hashes print as
+/// hex (a 64-bit hash is not meaningful as a decimal, and JSON numbers
+/// cannot carry 64 bits without precision loss — keys are always strings).
+std::string KeyString(SketchKeyKind kind, uint64_t key) {
+  if (kind == SketchKeyKind::kHash) {
+    return StrFormat("0x%016llx", static_cast<unsigned long long>(key));
+  }
+  return StrFormat("%lld", static_cast<long long>(key));
+}
+
+std::string FormatDouble(double v) { return StrFormat("%.9g", v); }
+
+struct Channel {
+  size_t producer = 0;
+  size_t consumer = 0;
+  uint64_t tuples = 0;
+};
+
+std::vector<Channel> TopChannels(const ChannelMatrix& m, size_t k) {
+  std::vector<Channel> channels;
+  channels.reserve(m.tuples.size());
+  for (size_t p = 0; p < m.producers; ++p) {
+    for (size_t c = 0; c < m.consumers; ++c) {
+      if (m.At(p, c) > 0) channels.push_back({p, c, m.At(p, c)});
+    }
+  }
+  std::sort(channels.begin(), channels.end(),
+            [](const Channel& a, const Channel& b) {
+              if (a.tuples != b.tuples) return a.tuples > b.tuples;
+              if (a.producer != b.producer) return a.producer < b.producer;
+              return a.consumer < b.consumer;
+            });
+  if (channels.size() > k) channels.resize(k);
+  return channels;
+}
+
+void AppendShuffleText(std::ostringstream& os, const ShuffleProfile& s,
+                       const ProfileReportOptions& options) {
+  os << "    shuffle " << s.label << ": "
+     << s.matrix.producers << "x" << s.matrix.consumers << " channels, "
+     << WithCommas(s.matrix.Total()) << " tuples\n";
+  const std::vector<Channel> top = TopChannels(s.matrix, options.top_channels);
+  if (!top.empty()) {
+    os << "      top channels:";
+    for (size_t i = 0; i < top.size(); ++i) {
+      os << (i == 0 ? " " : " | ") << top[i].producer << "->"
+         << top[i].consumer << " " << WithCommas(top[i].tuples);
+    }
+    os << "\n";
+  }
+  const SkewDecomposition d = DecomposeSkew(s);
+  os << StrFormat("      skew: measured=%.2f data=%.2f hash=%.2f",
+                  d.measured_skew, d.data_component, d.hash_component);
+  const double imbalance = d.data_component + d.hash_component;
+  if (imbalance > 0) {
+    os << StrFormat(" (%.0f%% data / %.0f%% hash)",
+                    100.0 * d.data_component / imbalance,
+                    100.0 * d.hash_component / imbalance);
+  }
+  os << "\n";
+  if (s.key_kind != SketchKeyKind::kNone) {
+    const std::vector<MisraGries::Entry> keys = s.keys.TopK(options.top_keys);
+    if (!keys.empty()) {
+      os << "      top keys:";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        os << (i == 0 ? " " : " | ") << KeyString(s.key_kind, keys[i].key)
+           << "~" << WithCommas(keys[i].count);
+      }
+      os << " (error<=" << WithCommas(s.keys.error_bound()) << " of "
+         << WithCommas(s.keys.total());
+      if (s.sample_stride > 1) {
+        os << ", 1-in-" << s.sample_stride << " sample";
+      }
+      os << ")\n";
+    }
+  }
+}
+
+void AppendStageText(std::ostringstream& os, const StageProfile& s,
+                     const ProfileReportOptions& options) {
+  os << "    stage " << s.label << ": out=" << WithCommas(s.output_tuples);
+  if (s.failed) os << " FAILED";
+  if (s.degraded) os << " DEGRADED";
+  if (s.retries > 0) os << " retries=" << s.retries;
+  os << "\n";
+  if (!options.include_timings || s.busy_seconds.empty() ||
+      s.wall_seconds <= 0) {
+    return;
+  }
+  double total = 0, max_busy = 0, min_busy = s.busy_seconds[0];
+  for (double b : s.busy_seconds) {
+    total += b;
+    max_busy = std::max(max_busy, b);
+    min_busy = std::min(min_busy, b);
+  }
+  const double workers = static_cast<double>(s.busy_seconds.size());
+  const double avg_busy = total / workers;
+  const double wall = s.wall_seconds;
+  auto pct = [&](double busy) { return 100.0 * busy / wall; };
+  constexpr size_t kBarWidth = 20;
+  const double avg_util = std::min(1.0, avg_busy / wall);
+  const size_t filled =
+      static_cast<size_t>(avg_util * static_cast<double>(kBarWidth) + 0.5);
+  os << StrFormat("      utilization: avg=%.0f%% min=%.0f%% max=%.0f%% |",
+                  pct(avg_busy), pct(min_busy), pct(max_busy))
+     << std::string(filled, '#') << std::string(kBarWidth - filled, '.')
+     << StrFormat("| busy skew=%.2f",
+                  avg_busy > 0 ? max_busy / avg_busy : 1.0)
+     << "\n";
+}
+
+void WriteMatrixJson(std::ostream& os, const ChannelMatrix& m) {
+  os << "[";
+  for (size_t p = 0; p < m.producers; ++p) {
+    if (p > 0) os << ",";
+    os << "[";
+    for (size_t c = 0; c < m.consumers; ++c) {
+      if (c > 0) os << ",";
+      os << m.At(p, c);
+    }
+    os << "]";
+  }
+  os << "]";
+}
+
+void WriteDoubleVectorJson(std::ostream& os, const std::vector<double>& v) {
+  os << "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ",";
+    os << FormatDouble(v[i]);
+  }
+  os << "]";
+}
+
+void WriteShuffleJson(std::ostream& os, const ShuffleProfile& s) {
+  os << "{\"label\":" << JsonQuote(s.label)
+     << ",\"producers\":" << s.matrix.producers
+     << ",\"consumers\":" << s.matrix.consumers
+     << ",\"arity\":" << s.matrix.arity
+     << ",\"tuples_sent\":" << s.matrix.Total()
+     << ",\"bytes_sent\":" << s.matrix.TotalBytes() << ",\"matrix\":";
+  WriteMatrixJson(os, s.matrix);
+  os << ",\"received\":[";
+  const std::vector<uint64_t> received = s.matrix.ColTotals();
+  for (size_t c = 0; c < received.size(); ++c) {
+    if (c > 0) os << ",";
+    os << received[c];
+  }
+  os << "]";
+  const SkewDecomposition d = DecomposeSkew(s);
+  os << ",\"skew\":{\"measured\":" << FormatDouble(d.measured_skew)
+     << ",\"data_component\":" << FormatDouble(d.data_component)
+     << ",\"hash_component\":" << FormatDouble(d.hash_component);
+  if (d.has_top_key) {
+    os << ",\"top_key\":" << JsonQuote(KeyString(s.key_kind, d.top_key))
+       << ",\"top_key_count\":" << d.top_key_count;
+  }
+  os << "},\"keys\":{\"kind\":\"" << KeyKindName(s.key_kind) << "\"";
+  if (s.key_kind != SketchKeyKind::kNone) {
+    os << ",\"capacity\":" << s.keys.capacity()
+       << ",\"total\":" << s.keys.total()
+       << ",\"error_bound\":" << s.keys.error_bound()
+       << ",\"sample_stride\":" << s.sample_stride << ",\"entries\":[";
+    const std::vector<MisraGries::Entry> entries =
+        s.keys.TopK(s.keys.capacity());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      if (i > 0) os << ",";
+      os << "{\"key\":" << JsonQuote(KeyString(s.key_kind, entries[i].key))
+         << ",\"count\":" << entries[i].count << "}";
+    }
+    os << "]";
+  }
+  os << "}}";
+}
+
+void WriteStageJson(std::ostream& os, const StageProfile& s,
+                    const ProfileReportOptions& options) {
+  os << "{\"label\":" << JsonQuote(s.label)
+     << ",\"output_tuples\":" << s.output_tuples
+     << ",\"retries\":" << s.retries
+     << ",\"failed\":" << (s.failed ? "true" : "false")
+     << ",\"degraded\":" << (s.degraded ? "true" : "false");
+  if (options.include_timings) {
+    os << ",\"wall_seconds\":" << FormatDouble(s.wall_seconds)
+       << ",\"busy_seconds\":";
+    WriteDoubleVectorJson(os, s.busy_seconds);
+    os << ",\"sort_seconds\":";
+    WriteDoubleVectorJson(os, s.sort_seconds);
+    os << ",\"join_seconds\":";
+    WriteDoubleVectorJson(os, s.join_seconds);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string ProfileSectionText(const StrategyProfile& section,
+                               const ProfileReportOptions& options) {
+  std::ostringstream os;
+  os << "  profile:\n";
+  for (const ShuffleProfile& s : section.shuffles) {
+    AppendShuffleText(os, s, options);
+  }
+  for (const StageProfile& s : section.stages) {
+    AppendStageText(os, s, options);
+  }
+  for (const RetryEpoch& e : section.retry_epochs) {
+    // The backoff is virtual (booked, never slept), so it is deterministic
+    // and safe to print in golden-file mode.
+    os << "    retry " << e.label << " attempt " << e.attempt
+       << ": backoff=" << FormatSeconds(e.backoff_seconds) << "\n";
+  }
+  return os.str();
+}
+
+void WriteProfileJson(std::ostream& os, const QueryProfile& profile,
+                      const ProfileReportOptions& options) {
+  const std::vector<StrategyProfile> sections = profile.Snapshot();
+  os << "{\"version\":" << kProfileJsonVersion << ",\"strategies\":[";
+  for (size_t i = 0; i < sections.size(); ++i) {
+    const StrategyProfile& section = sections[i];
+    if (i > 0) os << ",";
+    os << "\n{\"name\":" << JsonQuote(section.name) << ",\"shuffles\":[";
+    for (size_t s = 0; s < section.shuffles.size(); ++s) {
+      if (s > 0) os << ",";
+      os << "\n";
+      WriteShuffleJson(os, section.shuffles[s]);
+    }
+    os << "],\"stages\":[";
+    for (size_t s = 0; s < section.stages.size(); ++s) {
+      if (s > 0) os << ",";
+      os << "\n";
+      WriteStageJson(os, section.stages[s], options);
+    }
+    os << "],\"retry_epochs\":[";
+    for (size_t e = 0; e < section.retry_epochs.size(); ++e) {
+      const RetryEpoch& epoch = section.retry_epochs[e];
+      if (e > 0) os << ",";
+      os << "{\"label\":" << JsonQuote(epoch.label)
+         << ",\"attempt\":" << epoch.attempt << ",\"backoff_seconds\":"
+         << FormatDouble(epoch.backoff_seconds) << "}";
+    }
+    os << "]}";
+  }
+  os << "\n]}\n";
+}
+
+std::string ProfileJsonString(const QueryProfile& profile,
+                              const ProfileReportOptions& options) {
+  std::ostringstream os;
+  WriteProfileJson(os, profile, options);
+  return os.str();
+}
+
+Status WriteProfileJsonFile(const std::string& path,
+                            const QueryProfile& profile,
+                            const ProfileReportOptions& options) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  WriteProfileJson(out, profile, options);
+  out.close();
+  if (!out.good()) {
+    return Status::Internal("failed writing profile JSON to " + path);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser.
+// ---------------------------------------------------------------------------
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    PTP_RETURN_IF_ERROR(ParseValue(&v));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (ConsumeWord("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return Status::OK();
+    }
+    if (ConsumeWord("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      PTP_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      JsonValue value;
+      PTP_RETURN_IF_ERROR(ParseValue(&value));
+      out->object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      PTP_RETURN_IF_ERROR(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad hex digit in \\u escape");
+          }
+          // ASCII decodes exactly; anything wider is replaced (profile
+          // labels are ASCII, this parser is not a Unicode library).
+          out->push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || v->kind != Kind::kNumber) return fallback;
+  return v->number;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace ptp

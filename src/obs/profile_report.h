@@ -1,0 +1,75 @@
+#ifndef PTP_OBS_PROFILE_REPORT_H_
+#define PTP_OBS_PROFILE_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/profile.h"
+
+namespace ptp {
+
+/// Schema version of the profile JSON written by WriteProfileJson. Bump on
+/// any incompatible change; consumers (profile_diff, the CI validator)
+/// check it before reading fields.
+inline constexpr int kProfileJsonVersion = 1;
+
+struct ProfileReportOptions {
+  /// Include measured wall/busy/sort/join seconds. Turn off for
+  /// deterministic output: everything else in the profile — communication
+  /// matrices, key sketches, skew decomposition, retry epochs and their
+  /// *virtual* backoff — is bit-identical at every --threads setting.
+  bool include_timings = true;
+  /// Heaviest channels listed per shuffle in the text report.
+  size_t top_channels = 5;
+  /// Heaviest keys listed per shuffle in the text report.
+  size_t top_keys = 5;
+};
+
+/// Text report for one strategy section: per-shuffle top-k channels, skew
+/// decomposition and top-k hot keys, per-stage utilization bars. This is
+/// what EXPLAIN ANALYZE appends when ExplainOptions::profile is set.
+/// Utilization lines are measured timings and are dropped when
+/// include_timings is false (golden-file mode).
+std::string ProfileSectionText(const StrategyProfile& section,
+                               const ProfileReportOptions& options = {});
+
+/// Versioned profile JSON ({"version":1,"strategies":[...]}) for the whole
+/// profile. With include_timings=false the output is deterministic and
+/// bit-identical at every thread count.
+void WriteProfileJson(std::ostream& os, const QueryProfile& profile,
+                      const ProfileReportOptions& options = {});
+std::string ProfileJsonString(const QueryProfile& profile,
+                              const ProfileReportOptions& options = {});
+Status WriteProfileJsonFile(const std::string& path,
+                            const QueryProfile& profile,
+                            const ProfileReportOptions& options = {});
+
+/// Minimal JSON document model + recursive-descent parser, enough to read
+/// the profile JSON back (bench/profile_diff.cc, tests). The repo takes no
+/// JSON dependency; this is not a general-purpose validator, but it rejects
+/// structurally malformed input with a useful error.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered key/value pairs (duplicate keys keep the last).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Find() that returns `fallback` for missing numeric members.
+  double NumberOr(std::string_view key, double fallback) const;
+};
+
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace ptp
+
+#endif  // PTP_OBS_PROFILE_REPORT_H_

@@ -14,6 +14,7 @@
 #include "exec/shuffle.h"
 #include "fault/fault.h"
 #include "obs/counters.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "query/planner.h"
 #include "runtime/parallel.h"
@@ -100,6 +101,21 @@ struct Ctx {
     stage.degraded = degraded;
     metrics().wall_seconds += region_elapsed;
     metrics().stages.push_back(stage);
+    if (QueryProfile* profile = ActiveQueryProfile()) {
+      // The per-worker timeline mirrors exactly what was booked into
+      // QueryMetrics above, so the profiler and SkewFactor reconcile.
+      StageProfile sp;
+      sp.label = label;
+      sp.wall_seconds = region_elapsed;
+      sp.busy_seconds = worker_elapsed;
+      sp.sort_seconds = sort_elapsed;
+      sp.join_seconds = join_elapsed;
+      sp.output_tuples = output_tuples;
+      sp.retries = retries;
+      sp.failed = stage_failed;
+      sp.degraded = degraded;
+      profile->RecordStage(std::move(sp));
+    }
   }
 
   void Fail(std::string reason) {
@@ -902,6 +918,12 @@ Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
   // Restart fault-site numbering: a schedule means the same thing for every
   // strategy run (site ordinals count from the strategy's first barrier).
   if (FaultInjector* injector = ActiveFaultInjector()) injector->Reset();
+  // Open a fresh profile section; everything recorded until the next
+  // RunStrategy (shuffles, stage timelines, retry epochs — including those
+  // of an in-flight plan degradation) lands under this strategy's name.
+  if (QueryProfile* profile = ActiveQueryProfile()) {
+    profile->BeginStrategy(StrategyName(shuffle, join));
+  }
   Span strategy_span(StrategyName(shuffle, join), kCoordinatorTrack);
   if (query.atoms.size() == 1) {
     // Single-atom query: no join; evaluate locally.

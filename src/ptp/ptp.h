@@ -39,6 +39,8 @@
 #include "lp/simplex.h"
 #include "obs/counters.h"
 #include "obs/explain.h"
+#include "obs/profile.h"
+#include "obs/profile_report.h"
 #include "obs/trace.h"
 #include "plan/advisor.h"
 #include "plan/semijoin_plan.h"
