@@ -43,6 +43,19 @@ struct BenchConfig {
   /// "crash@worker=3,stage=join_0;drop@x=0,p=1,c=2". Defaults to the
   /// PTP_FAULTS env var; empty = no injection (zero-overhead fast path).
   std::string faults;
+  /// Memory-meter control: -1 (default) leaves the meter off, 0 arms byte
+  /// accounting with no budget, > 0 additionally sets a soft per-query
+  /// budget in bytes (overruns are logged and annotated, never enforced).
+  long long mem_budget = -1;
+  /// When nonempty, measured cardinality/skew feedback for the run is
+  /// recorded into this versioned JSON store (arming the memory meter so
+  /// peak bytes are captured too). Re-recording a (query, workers) pair
+  /// replaces its entry.
+  std::string feedback_out;
+  /// When nonempty, a feedback store recorded by a previous --feedback-out=
+  /// run is loaded and the advisor re-picks the strategy from the measured
+  /// values; the q-error audit is printed alongside.
+  std::string feedback_in;
 
   /// Parses flags on top of `base` (benches bake in per-figure defaults).
   static BenchConfig FromArgs(int argc, char** argv, BenchConfig base) {
@@ -70,13 +83,18 @@ struct BenchConfig {
           eat("--trace=", [&](const std::string& v) { c.trace_path = v; }) ||
           eat("--json=", [&](const std::string& v) { c.json_path = v; }) ||
           eat("--profile=", [&](const std::string& v) { c.profile_path = v; }) ||
-          eat("--faults=", [&](const std::string& v) { c.faults = v; });
+          eat("--faults=", [&](const std::string& v) { c.faults = v; }) ||
+          eat("--mem-budget=", [&](const std::string& v) { c.mem_budget = std::stoll(v); }) ||
+          eat("--feedback-out=", [&](const std::string& v) { c.feedback_out = v; }) ||
+          eat("--feedback-in=", [&](const std::string& v) { c.feedback_in = v; });
       if (!ok) {
         std::cerr << "unknown flag: " << arg
                   << "\nflags: --workers= --threads= --twitter-nodes= "
                      "--twitter-edges= --twitter-zipf= --freebase-scale= "
                      "--seed= --budget= --sort-budget= --trace=<file> "
-                     "--json=<file> --profile=<file> --faults=<schedule>\n";
+                     "--json=<file> --profile=<file> --faults=<schedule> "
+                     "--mem-budget=<bytes|-1> --feedback-out=<file> "
+                     "--feedback-in=<file>\n";
         std::exit(2);
       }
     }
@@ -152,6 +170,39 @@ inline std::vector<StrategyResult> RunSixConfigs(
     profile = std::make_unique<QueryProfile>();
     SetActiveQueryProfile(profile.get());
   }
+  // --mem-budget= (>= 0) or --feedback-out= arms the byte-accounting meter
+  // (docs/OBSERVABILITY.md): deterministic peak/live bytes per strategy,
+  // mem.* counters, and — with a positive budget — soft overrun warnings.
+  std::unique_ptr<ResourceMeter> meter;
+  if (config.mem_budget >= 0 || !config.feedback_out.empty()) {
+    meter = std::make_unique<ResourceMeter>(
+        config.mem_budget > 0 ? static_cast<uint64_t>(config.mem_budget) : 0);
+    SetActiveResourceMeter(meter.get());
+  }
+  // --feedback-in= replays a recorded feedback store through the advisor:
+  // measured cardinalities and skew replace its estimates before it
+  // re-picks a strategy.
+  FeedbackStore feedback_store;
+  const QueryFeedback* feedback = nullptr;
+  if (!config.feedback_in.empty()) {
+    Result<FeedbackStore> loaded = FeedbackStore::LoadFile(config.feedback_in);
+    PTP_CHECK(loaded.ok()) << loaded.status().ToString();
+    feedback_store = std::move(loaded).value();
+    feedback = feedback_store.Find(wl->query.ToString(), config.workers);
+    if (feedback == nullptr) {
+      std::cout << "feedback: no entry for this query at W=" << config.workers
+                << " in " << config.feedback_in << "\n\n";
+    }
+  }
+  if (!config.feedback_in.empty()) {
+    StrategyAdvice advice =
+        AdviseStrategy(wl->normalized, config.workers, feedback);
+    std::cout << "advisor" << (advice.used_feedback ? " (measured)" : "")
+              << ": " << StrategyName(advice.shuffle, advice.join) << " — "
+              << advice.rationale << "\n";
+    if (feedback != nullptr) std::cout << "\n" << QErrorAuditText(*feedback);
+    std::cout << "\n";
+  }
   // --faults= / PTP_FAULTS turns on deterministic fault injection for the
   // whole run (see docs/ROBUSTNESS.md). Recovery markers show up in the
   // figure output and in the --json= EXPLAIN ANALYZE export.
@@ -174,6 +225,30 @@ inline std::vector<StrategyResult> RunSixConfigs(
   if (injector != nullptr) {
     SetActiveFaultInjector(nullptr);
     std::cout << "faults injected: " << injector->injected() << "\n";
+  }
+  if (meter != nullptr) SetActiveResourceMeter(nullptr);
+  if (!config.feedback_out.empty()) {
+    // Merge into an existing store when the file already holds one, so a
+    // suite of benches can share a single feedback file.
+    FeedbackStore out_store;
+    if (Result<FeedbackStore> existing =
+            FeedbackStore::LoadFile(config.feedback_out);
+        existing.ok()) {
+      out_store = std::move(existing).value();
+    }
+    QueryFeedback* entry =
+        out_store.FindOrAdd(wl->query.ToString(), config.workers);
+    entry->strategies.clear();
+    size_t idx = 0;
+    for (const auto& [shuffle, join] : AllStrategies()) {
+      if (idx >= results.size()) break;
+      entry->strategies.push_back(CollectStrategyFeedback(
+          wl->normalized, StrategyName(shuffle, join), results[idx]));
+      ++idx;
+    }
+    Status s = out_store.WriteFile(config.feedback_out);
+    PTP_CHECK(s.ok()) << s.ToString();
+    std::cout << "feedback JSON written to " << config.feedback_out << "\n";
   }
   if (profile != nullptr) {
     SetActiveQueryProfile(nullptr);

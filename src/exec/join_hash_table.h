@@ -81,6 +81,16 @@ class JoinHashTable {
   bool empty() const { return rows_.empty(); }
   size_t capacity() const { return slots_.size(); }
 
+  /// Heap bytes held by the directory and entry arrays (capacity-based).
+  /// The capacities are a pure function of the Insert() sequence, so the
+  /// figure is deterministic — the memory meter charges it per build.
+  size_t MemoryBytes() const {
+    return slots_.capacity() * sizeof(uint64_t) +
+           hashes_.capacity() * sizeof(uint64_t) +
+           rows_.capacity() * sizeof(uint32_t) +
+           next_.capacity() * sizeof(uint32_t);
+  }
+
   /// Find() calls performed (the `ht.probes` counter).
   uint64_t probes() const { return probes_; }
   /// Find() calls that located at least one candidate (`ht.probe_hits`).

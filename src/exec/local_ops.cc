@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "exec/join_hash_table.h"
 #include "obs/counters.h"
+#include "obs/resource.h"
 
 namespace ptp {
 namespace {
@@ -99,6 +100,7 @@ Relation HashJoinLocal(const Relation& left, const Relation& right,
                  static_cast<uint32_t>(row));
   }
   table.FinalizeBuild();
+  ScopedMemCharge table_mem(MemCategory::kHashTable, table.MemoryBytes());
 
   // Materialize the build rows in entry order. A key's duplicate chain is
   // contiguous after FinalizeBuild(), so match enumeration on a hot key
@@ -107,6 +109,8 @@ Relation HashJoinLocal(const Relation& left, const Relation& right,
   // match, which dominates on high-fanout (skewed) keys.
   const size_t build_arity = build.arity();
   std::vector<Value> arena(build.NumTuples() * build_arity);
+  ScopedMemCharge arena_mem(MemCategory::kHashTable,
+                            arena.size() * sizeof(Value));
   for (size_t e = 0; e < table.size(); ++e) {
     const Value* src = build.Row(table.Row(static_cast<uint32_t>(e)));
     std::copy(src, src + build_arity, arena.begin() + e * build_arity);
@@ -189,6 +193,11 @@ Relation SymmetricHashJoinLocal(const Relation& left, const Relation& right,
       }
     }
   }
+  // Both tables reached final size here; charging once at the end keeps the
+  // peak figure exact without metering inside the pull loop.
+  ScopedMemCharge tables_mem(
+      MemCategory::kHashTable,
+      left_table.MemoryBytes() + right_table.MemoryBytes());
   PublishTableStats(left_table);
   PublishTableStats(right_table);
   return out;
@@ -290,6 +299,9 @@ Relation SemiJoinLocal(const Relation& rel, const Relation& filter) {
   // note in HashJoinLocal): the duplicate scan reads sequentially.
   const size_t stride = filter_key.size();
   std::vector<Value> keys(table.size() * stride);
+  ScopedMemCharge table_mem(
+      MemCategory::kHashTable,
+      table.MemoryBytes() + keys.size() * sizeof(Value));
   for (size_t e = 0; e < table.size(); ++e) {
     const Value* src = filter.Row(table.Row(static_cast<uint32_t>(e)));
     for (size_t i = 0; i < stride; ++i) {

@@ -82,6 +82,11 @@ void QueryMetrics::Absorb(const QueryMetrics& other) {
   max_intermediate_tuples =
       std::max(max_intermediate_tuples, other.max_intermediate_tuples);
   output_tuples = other.output_tuples;
+  // Peak residency is a high-water mark: sequential plan pieces reuse the
+  // same memory, so the combined peak is the larger piece, never the sum.
+  // Cumulative charges do add.
+  peak_bytes = std::max(peak_bytes, other.peak_bytes);
+  charged_bytes += other.charged_bytes;
   if (other.failed) {
     failed = true;
     fail_reason = other.fail_reason;

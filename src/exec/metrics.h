@@ -48,6 +48,9 @@ struct StageMetrics {
   /// a more robust operator (HyperCube -> hash shuffle, Tributary ->
   /// symmetric hash join) instead of aborting.
   bool degraded = false;
+  /// Peak bytes simultaneously live across the stage's workers (sum of the
+  /// per-worker peaks); 0 when no ResourceMeter was active.
+  size_t peak_bytes = 0;
 };
 
 /// End-to-end metrics of one query execution on the simulated cluster.
@@ -78,6 +81,13 @@ struct QueryMetrics {
   /// Largest total intermediate-result size (tuples) seen at a barrier.
   size_t max_intermediate_tuples = 0;
   size_t output_tuples = 0;
+  /// Query-wide high-water mark of accounted bytes (coordinator-held
+  /// fragments plus the in-flight stage's worker peaks) and cumulative
+  /// bytes charged; both 0 when no ResourceMeter was active. Absorb takes
+  /// the max of peaks (residency doesn't add across sequential plans) and
+  /// sums charges.
+  size_t peak_bytes = 0;
+  size_t charged_bytes = 0;
 
   bool failed = false;
   std::string fail_reason;

@@ -12,6 +12,7 @@
 #include "fault/fault.h"
 #include "obs/counters.h"
 #include "obs/profile.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "runtime/parallel.h"
 
@@ -318,6 +319,14 @@ Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
         return Status::OK();
       });
   PTP_RETURN_IF_ERROR(status);
+  // Channel payload bytes (Σ produced × arity × 8): the same figure the
+  // profiler's ChannelMatrix::TotalBytes() and the shuffle.bytes_sent
+  // counter report, so the three accounts reconcile exactly. RAII so a
+  // failed delivery attempt releases what its scatter charged.
+  uint64_t buffer_bytes = 0;
+  for (size_t rows : produced) buffer_bytes += rows;
+  buffer_bytes *= arity * sizeof(Value);
+  ScopedMemCharge channel_mem(MemCategory::kShuffleBuffer, buffer_bytes);
   PTP_RETURN_IF_ERROR(DeliverAndMerge(
       in.size(), [&bufs](size_t p, size_t w) { return &bufs[p][w]; },
       attempt, &result.data, &result.metrics));
@@ -350,12 +359,18 @@ Result<ShuffleResult> BroadcastShuffle(const DistributedRelation& in,
   std::vector<size_t> produced(in.size(), 0);
   // Every destination receives every fragment, in fragment order: producer
   // p's channel to each consumer is p's full (read-only) fragment.
-  PTP_RETURN_IF_ERROR(DeliverAndMerge(
-      in.size(), [&in](size_t p, size_t) { return &in[p].data(); },
-      attempt, &result.data, &result.metrics));
   for (size_t p = 0; p < in.size(); ++p) {
     produced[p] = in[p].NumTuples() * static_cast<size_t>(num_workers);
   }
+  // Logical channel payloads: each consumer's inbox copy of each fragment
+  // (what a real cluster would buffer), matching tuples_sent × arity × 8.
+  uint64_t buffer_bytes = 0;
+  for (size_t rows : produced) buffer_bytes += rows;
+  buffer_bytes *= in[0].arity() * sizeof(Value);
+  ScopedMemCharge channel_mem(MemCategory::kShuffleBuffer, buffer_bytes);
+  PTP_RETURN_IF_ERROR(DeliverAndMerge(
+      in.size(), [&in](size_t p, size_t) { return &in[p].data(); },
+      attempt, &result.data, &result.metrics));
   FinishMetrics(result.data, produced, &result.metrics);
   if (QueryProfile* profile = ActiveQueryProfile()) {
     // No per-key routing: every consumer receives every fragment, so the
@@ -422,6 +437,11 @@ Result<ShuffleResult> HypercubeShuffle(
         return Status::OK();
       });
   PTP_RETURN_IF_ERROR(status);
+  // Replicated channel payloads (see HashShuffle's reconciliation note).
+  uint64_t buffer_bytes = 0;
+  for (size_t rows : produced) buffer_bytes += rows;
+  buffer_bytes *= arity * sizeof(Value);
+  ScopedMemCharge channel_mem(MemCategory::kShuffleBuffer, buffer_bytes);
   PTP_RETURN_IF_ERROR(DeliverAndMerge(
       in.size(), [&bufs](size_t p, size_t w) { return &bufs[p][w]; },
       attempt, &result.data, &result.metrics));
@@ -552,6 +572,10 @@ Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
     return Status::OK();
   });
   PTP_RETURN_IF_ERROR(status);
+  uint64_t left_bytes = 0;
+  for (size_t rows : left_produced) left_bytes += rows;
+  left_bytes *= left[0].arity() * sizeof(Value);
+  ScopedMemCharge left_mem(MemCategory::kShuffleBuffer, left_bytes);
   PTP_RETURN_IF_ERROR(DeliverAndMerge(
       left.size(), [&left_bufs](size_t p, size_t w) { return &left_bufs[p][w]; },
       left_attempt, &result.left, &result.left_metrics));
@@ -601,6 +625,10 @@ Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
     return Status::OK();
   });
   PTP_RETURN_IF_ERROR(status);
+  uint64_t right_bytes = 0;
+  for (size_t rows : right_produced) right_bytes += rows;
+  right_bytes *= right[0].arity() * sizeof(Value);
+  ScopedMemCharge right_mem(MemCategory::kShuffleBuffer, right_bytes);
   PTP_RETURN_IF_ERROR(DeliverAndMerge(
       right.size(),
       [&right_bufs](size_t p, size_t w) { return &right_bufs[p][w]; },

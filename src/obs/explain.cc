@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "obs/profile_report.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace ptp {
@@ -107,6 +108,17 @@ std::string ExplainAnalyzeText(std::string_view strategy,
     }
   }
 
+  if (options.resources != nullptr) {
+    if (const QueryMemory* mem = options.resources->FindQuery(strategy)) {
+      // MemorySectionText renders at column 0; re-indent to the tree.
+      std::istringstream lines(MemorySectionText(*mem));
+      std::string line;
+      while (std::getline(lines, line)) {
+        os << "  " << line << "\n";
+      }
+    }
+  }
+
   if (options.counters != nullptr) {
     auto snapshot = options.counters->CounterSnapshot();
     if (!snapshot.empty()) {
@@ -135,6 +147,10 @@ void ExplainAnalyzeJson(std::ostream& os, std::string_view strategy,
   os << ",\"tuples_shuffled\":" << m.TuplesShuffled()
      << ",\"max_intermediate_tuples\":" << m.max_intermediate_tuples
      << ",\"output_tuples\":" << m.output_tuples;
+  if (m.peak_bytes > 0 || m.charged_bytes > 0) {
+    os << ",\"peak_bytes\":" << m.peak_bytes
+       << ",\"charged_bytes\":" << m.charged_bytes;
+  }
   if (m.backoff_seconds > 0) {
     os << StrFormat(",\"backoff_seconds\":%.6f", m.backoff_seconds);
   }
@@ -196,6 +212,7 @@ void ExplainAnalyzeJson(std::ostream& os, std::string_view strategy,
                       s.wall_seconds, s.cpu_seconds);
     }
     os << ",\"output_tuples\":" << s.output_tuples;
+    if (s.peak_bytes > 0) os << ",\"peak_bytes\":" << s.peak_bytes;
     if (s.failed) os << ",\"failed\":true";
     if (s.degraded) os << ",\"degraded\":true";
     if (s.retries > 0) os << ",\"retries\":" << s.retries;

@@ -12,6 +12,7 @@
 namespace ptp {
 
 class QueryProfile;
+class ResourceMeter;
 
 struct ExplainOptions {
   /// Include wall/CPU seconds. Turn off for deterministic (golden-file)
@@ -24,6 +25,12 @@ struct ExplainOptions {
   /// channels, hot keys, skew decomposition, utilization bars) is appended
   /// to the text report. Utilization bars honor include_timings.
   const QueryProfile* profile = nullptr;
+  /// When set, a "memory:" section with the byte accounting the meter
+  /// recorded for this strategy (query peak/charged, per-category charges,
+  /// per-stage worker peaks, budget verdict) is appended to the text
+  /// report. Byte figures are deterministic, so golden files may include
+  /// them.
+  const ResourceMeter* resources = nullptr;
 };
 
 /// EXPLAIN ANALYZE: renders the plan a strategy actually ran (join / var

@@ -1,0 +1,92 @@
+#ifndef PTP_OBS_FEEDBACK_H_
+#define PTP_OBS_FEEDBACK_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ptp {
+
+/// Version of the feedback-file JSON schema; bumped on breaking changes.
+/// Loaders reject files with a different major version.
+inline constexpr int kFeedbackJsonVersion = 1;
+
+/// The q-error of one cardinality estimate: max(est/act, act/est), the
+/// standard symmetric multiplicative error (1.0 = exact). Zero/negative
+/// sides are clamped to 1 tuple so degenerate operators don't divide by
+/// zero; a missing estimate (est < 0) reports 1.0 (nothing to audit).
+double QError(double estimated, double actual);
+
+/// Measured (or estimated) cardinality of one operator or exchange of one
+/// strategy run — the unit of the estimate-vs-actual audit.
+struct FeedbackOp {
+  enum class Kind { kStage, kExchange };
+  Kind kind = Kind::kStage;
+  /// Stage label ("join_1", "pipeline join 2") or exchange label
+  /// ("R ->h[x]", "Intermediate_2 ->h[y]").
+  std::string label;
+  /// Planner estimate at the same point, < 0 when the planner had none
+  /// (exchanges of pre-planned strategies, final outputs).
+  double estimated = -1;
+  /// Measured cardinality (stage output tuples / exchange tuples sent).
+  double actual = 0;
+  /// Exchanges only: measured consumer skew (max/mean tuples received).
+  double skew = 0;
+};
+
+/// One strategy's measured run for a query.
+struct StrategyFeedback {
+  std::string strategy;
+  bool failed = false;
+  double tuples_shuffled = 0;
+  double output_tuples = 0;
+  double peak_bytes = 0;
+  std::vector<FeedbackOp> ops;
+
+  /// The first op with this label, nullptr when absent.
+  const FeedbackOp* FindOp(std::string_view label) const;
+  /// Largest measured consumer skew over the exchange ops (0 when none).
+  double MaxExchangeSkew() const;
+};
+
+/// All measured strategies for one (query, cluster-size) pair.
+struct QueryFeedback {
+  /// Canonical query text (Query::ToString()) — the lookup key.
+  std::string query_key;
+  int workers = 0;
+  std::vector<StrategyFeedback> strategies;
+
+  /// The run of `strategy`, nullptr when absent.
+  const StrategyFeedback* FindStrategy(std::string_view strategy) const;
+  /// The first non-failed run whose strategy name starts with `prefix`
+  /// ("RS_", "BR_", "HC_"), nullptr when absent — how the advisor reads a
+  /// strategy family's measured shuffle volume.
+  const StrategyFeedback* FindFamily(std::string_view prefix) const;
+};
+
+/// Versioned on-disk store of measured query runs: what --feedback-out=
+/// writes and --feedback-in= loads. Re-recording a (query, workers) pair
+/// replaces its previous entry, so iterating runs converge on the latest
+/// measurements.
+struct FeedbackStore {
+  int version = kFeedbackJsonVersion;
+  std::vector<QueryFeedback> queries;
+
+  QueryFeedback* FindOrAdd(std::string_view query_key, int workers);
+  const QueryFeedback* Find(std::string_view query_key, int workers) const;
+
+  std::string ToJson() const;
+  Status WriteFile(const std::string& path) const;
+  static Result<FeedbackStore> Parse(std::string_view json);
+  static Result<FeedbackStore> LoadFile(const std::string& path);
+};
+
+/// Human-readable q-error audit of one query's feedback: per strategy, each
+/// op's estimate vs measurement with its q-error, worst first within kind.
+std::string QErrorAuditText(const QueryFeedback& feedback);
+
+}  // namespace ptp
+
+#endif  // PTP_OBS_FEEDBACK_H_

@@ -1,6 +1,7 @@
 #include "plan/advisor.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/hash.h"
 #include "common/str_util.h"
@@ -72,9 +73,27 @@ size_t MaxValueFrequency(const Relation& rel, size_t col) {
   return max_count;
 }
 
+// Parses the join index k out of a booked stage label — "join_2",
+// "join_2 (degraded to HJ)", "pipeline join 2" — so the stage can be lined
+// up with the planner's left-deep estimate sizes[k]. Returns -1 for stages
+// that aren't per-join ("local TJ", sort phases, ...).
+int JoinIndexFromLabel(const std::string& label) {
+  std::string_view rest;
+  if (StartsWith(label, "join_")) {
+    rest = std::string_view(label).substr(5);
+  } else if (StartsWith(label, "pipeline join ")) {
+    rest = std::string_view(label).substr(14);
+  } else {
+    return -1;
+  }
+  if (rest.empty() || rest[0] < '0' || rest[0] > '9') return -1;
+  return std::atoi(std::string(rest).c_str());
+}
+
 }  // namespace
 
-StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers) {
+StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers,
+                              const QueryFeedback* feedback) {
   StrategyAdvice advice;
   const double w = static_cast<double>(num_workers);
 
@@ -114,6 +133,7 @@ StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers) {
   // HyperCube: per-atom replication under the Algorithm-1 configuration.
   ShareProblem problem = MakeShareProblem(query);
   ConfigChoice config = OptimizeShares(problem, num_workers);
+  advice.hc_config = config;
   advice.est_hc_tuples = 0;
   for (const NormalizedAtom& atom : query.atoms) {
     HypercubeRouter router(config.config, atom.variables);
@@ -140,6 +160,61 @@ StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers) {
     }
   }
 
+  // Replace the guesses with measurements where the feedback has them.
+  // Substituted values have q-error 1 by construction, so the blind-vs-
+  // feedback pair quantifies how much error the replay removed.
+  bool rs_known_failed = false;
+  if (feedback != nullptr) {
+    double blind_q = 1.0;
+    auto substitute = [&](double* est, double measured) {
+      blind_q = std::max(blind_q, QError(*est, measured));
+      *est = measured;
+      advice.used_feedback = true;
+    };
+    bool any_rs_recorded = false;
+    for (const StrategyFeedback& sf : feedback->strategies) {
+      if (StartsWith(sf.strategy, "RS_")) any_rs_recorded = true;
+    }
+    if (const StrategyFeedback* rs = feedback->FindFamily("RS_")) {
+      substitute(&advice.est_rs_tuples, rs->tuples_shuffled);
+      const double skew = rs->MaxExchangeSkew();
+      if (skew > 0) advice.est_rs_skew = skew;
+    } else if (any_rs_recorded) {
+      // Every recorded regular-shuffle run failed (budget / sort memory):
+      // nothing measurable, but the family is known bad — never re-pick it.
+      rs_known_failed = true;
+    }
+    if (const StrategyFeedback* br = feedback->FindFamily("BR_")) {
+      substitute(&advice.est_br_tuples, br->tuples_shuffled);
+    }
+    if (const StrategyFeedback* hc = feedback->FindFamily("HC_")) {
+      substitute(&advice.est_hc_tuples, hc->tuples_shuffled);
+    }
+    // Measured max intermediate: non-final join stages of a regular-shuffle
+    // run measure the true global intermediates. Pipeline joins of
+    // replicated plans are the fallback — their per-worker sums can
+    // overcount under replication, but they are measurements all the same.
+    double measured_max = -1;
+    for (int pass = 0; pass < 2 && measured_max < 0; ++pass) {
+      for (const StrategyFeedback& sf : feedback->strategies) {
+        if (sf.failed) continue;
+        const bool is_rs = StartsWith(sf.strategy, "RS_");
+        if ((pass == 0) != is_rs) continue;
+        for (const FeedbackOp& op : sf.ops) {
+          if (op.kind != FeedbackOp::Kind::kStage || op.estimated < 0) {
+            continue;
+          }
+          measured_max = std::max(measured_max, op.actual);
+        }
+      }
+    }
+    if (measured_max >= 0) {
+      substitute(&advice.est_max_intermediate, measured_max);
+    }
+    advice.blind_max_qerror = blind_q;
+    advice.feedback_max_qerror = advice.used_feedback ? 1.0 : blind_q;
+  }
+
   // Decision logic (Table 6 regimes).
   const bool small_intermediates =
       advice.est_max_intermediate <= 2.0 * total_input;
@@ -148,7 +223,7 @@ StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers) {
       advice.est_rs_tuples <=
       std::min(advice.est_hc_tuples, advice.est_br_tuples);
 
-  if (small_intermediates && low_skew && rs_cheapest) {
+  if (small_intermediates && low_skew && rs_cheapest && !rs_known_failed) {
     advice.shuffle = ShuffleKind::kRegular;
     // Per-round sorting pays off only while the sorted data stays small.
     advice.join = advice.est_max_intermediate <= total_input
@@ -158,6 +233,11 @@ StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers) {
         "small intermediates (est max %.0f <= 2x input %.0f), low skew "
         "(%.1f) and cheapest shuffle -> regular shuffle",
         advice.est_max_intermediate, total_input, advice.est_rs_skew);
+    if (advice.used_feedback) {
+      advice.rationale += StrFormat(" [measured; blind q-error %.2f -> %.2f]",
+                                    advice.blind_max_qerror,
+                                    advice.feedback_max_qerror);
+    }
     return advice;
   }
 
@@ -175,7 +255,59 @@ StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers) {
         "(%.0f tuples) beats HyperCube replication (%.0f)",
         advice.est_br_tuples, advice.est_hc_tuples);
   }
+  if (rs_known_failed) advice.rationale += " (regular shuffle FAILed before)";
+  if (advice.used_feedback) {
+    advice.rationale += StrFormat(" [measured; blind q-error %.2f -> %.2f]",
+                                  advice.blind_max_qerror,
+                                  advice.feedback_max_qerror);
+  }
   return advice;
+}
+
+StrategyFeedback CollectStrategyFeedback(const NormalizedQuery& query,
+                                         const std::string& strategy_name,
+                                         const StrategyResult& result) {
+  StrategyFeedback sf;
+  sf.strategy = strategy_name;
+  sf.failed = result.metrics.failed;
+  sf.tuples_shuffled = static_cast<double>(result.metrics.TuplesShuffled());
+  sf.output_tuples = static_cast<double>(result.metrics.output_tuples);
+  sf.peak_bytes = static_cast<double>(result.metrics.peak_bytes);
+
+  // Re-derive the planner's estimates along the order the run actually
+  // executed, so every recorded stage can be audited against the estimate
+  // the optimizer would have relied on at the same point.
+  std::vector<int> order = result.join_order_used;
+  if (order.size() != query.atoms.size()) order = GreedyLeftDeepOrder(query);
+  std::vector<double> sizes;
+  if (order.size() == query.atoms.size()) {
+    sizes = EstimateLeftDeepSizes(query, order);
+  }
+
+  for (const StageMetrics& stage : result.metrics.stages) {
+    FeedbackOp op;
+    op.kind = FeedbackOp::Kind::kStage;
+    op.label = stage.label;
+    op.actual = static_cast<double>(stage.output_tuples);
+    const int k = JoinIndexFromLabel(stage.label);
+    // Only intermediate joins carry an estimate: the final join's output is
+    // already audited by output_tuples, and degradation-abandoned stages
+    // (output 0) would poison the q-error report.
+    if (k >= 1 && static_cast<size_t>(k) + 1 < sizes.size() &&
+        !stage.degraded) {
+      op.estimated = sizes[static_cast<size_t>(k)];
+    }
+    sf.ops.push_back(std::move(op));
+  }
+  for (const ShuffleMetrics& s : result.metrics.shuffles) {
+    FeedbackOp op;
+    op.kind = FeedbackOp::Kind::kExchange;
+    op.label = s.label;
+    op.actual = static_cast<double>(s.tuples_sent);
+    op.skew = s.consumer_skew;
+    sf.ops.push_back(std::move(op));
+  }
+  return sf;
 }
 
 }  // namespace ptp

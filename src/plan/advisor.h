@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "obs/feedback.h"
 #include "plan/strategies.h"
 #include "query/query.h"
 
@@ -24,6 +25,19 @@ struct StrategyAdvice {
   /// per-worker load (> 1 means one worker gets more than its share).
   double est_rs_skew = 1.0;
 
+  /// Algorithm-1 share configuration behind est_hc_tuples — what a
+  /// HyperCube run following this advice should use.
+  ConfigChoice hc_config;
+
+  /// True when measured feedback replaced at least one estimate above.
+  bool used_feedback = false;
+  /// Worst q-error of the blind estimates against the measurements the
+  /// feedback provided, and the same after the substitution (1.0 by
+  /// construction for every replaced quantity). Both 1.0 when no feedback
+  /// was supplied or nothing in it was measurable.
+  double blind_max_qerror = 1.0;
+  double feedback_max_qerror = 1.0;
+
   std::string rationale;
 };
 
@@ -36,7 +50,23 @@ struct StrategyAdvice {
 ///  * HyperCube degenerates to broadcast-the-small-relation automatically
 ///    via its share configuration (the Q7 regime), so "HC" covers it.
 /// Pure estimation — nothing is executed.
-StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers);
+///
+/// When `feedback` (a prior measured run of the same query at the same
+/// cluster size, loaded from a feedback store) is supplied, measured values
+/// replace the corresponding guesses before the decision: each family's
+/// tuples_shuffled, the max intermediate from recorded stage outputs, and
+/// the measured consumer skew of the regular-shuffle exchanges. A family
+/// whose every recorded run failed is never picked.
+StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers,
+                              const QueryFeedback* feedback = nullptr);
+
+/// Distills one executed strategy into the estimate-vs-actual record the
+/// feedback store keeps: one stage op per booked stage (non-final joins
+/// carry the planner's left-deep estimate at the same point), one exchange
+/// op per shuffle with measured volume and consumer skew.
+StrategyFeedback CollectStrategyFeedback(const NormalizedQuery& query,
+                                         const std::string& strategy_name,
+                                         const StrategyResult& result);
 
 }  // namespace ptp
 

@@ -15,6 +15,7 @@
 #include "fault/fault.h"
 #include "obs/counters.h"
 #include "obs/profile.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "query/planner.h"
 #include "runtime/parallel.h"
@@ -80,9 +81,16 @@ struct Ctx {
                  const std::vector<double>& sort_elapsed,
                  const std::vector<double>& join_elapsed,
                  size_t output_tuples, bool stage_failed, size_t retries = 0,
-                 bool degraded = false) {
+                 bool degraded = false,
+                 const std::vector<MemStats>* worker_mem = nullptr) {
     StageMetrics stage;
     stage.label = label;
+    if (worker_mem != nullptr) {
+      if (ResourceMeter* meter = ActiveResourceMeter()) {
+        stage.peak_bytes = static_cast<size_t>(
+            meter->BookStageMemory(label, *worker_mem));
+      }
+    }
     for (int w = 0; w < W; ++w) {
       const size_t wi = static_cast<size_t>(w);
       metrics().worker_seconds[wi] += worker_elapsed[wi];
@@ -190,6 +198,17 @@ std::vector<std::string> SharedVars(const Schema& a, const Schema& b) {
   return shared;
 }
 
+// Materialized bytes of a distributed relation's fragments — what the
+// coordinator "holds" between rounds in the memory account.
+uint64_t DistBytes(const DistributedRelation& frags) {
+  uint64_t bytes = 0;
+  for (const Relation& frag : frags) {
+    bytes += static_cast<uint64_t>(frag.NumTuples()) * frag.arity() *
+             sizeof(Value);
+  }
+  return bytes;
+}
+
 std::vector<int> ColumnIndices(const Schema& schema,
                                const std::vector<std::string>& vars) {
   std::vector<int> cols;
@@ -257,6 +276,10 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
   }
 
   std::vector<Predicate> pending = q.predicates;
+  // Coordinator-side fragment accounting: `carried_bytes` is the previous
+  // round's output, released when the next round's output replaces it.
+  ResourceMeter* meter = ActiveResourceMeter();
+  uint64_t carried_bytes = 0;
   DistributedRelation acc = base[static_cast<size_t>(order[0])];
   {
     // Apply predicates already decidable on the first atom.
@@ -287,6 +310,12 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
       // Disconnected step: broadcast the (smaller) atom — degenerate case,
       // none of the paper's queries hit it but the engine supports it.
       left = std::move(acc);
+      if (meter != nullptr) {
+        // The carried fragments became `left` (no shuffled copy), so the
+        // round's input charge below re-covers them.
+        meter->Release(carried_bytes);
+        carried_bytes = 0;
+      }
       exchange_label = "Broadcast " + AtomLabel(atom);
       shuffle_status = ShuffleWithRecovery(
           &ctx, exchange_label,
@@ -375,6 +404,12 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
       return std::move(ctx.result);
     }
 
+    uint64_t in_bytes = 0;
+    if (meter != nullptr) {
+      in_bytes = DistBytes(left) + DistBytes(right);
+      meter->Charge(MemCategory::kIntermediate, in_bytes);
+    }
+
     // A Tributary round must sort its intermediate input in memory; the
     // pipelined hash join streams it. FAIL if the sort buffer won't fit.
     if (join == JoinKind::kTributary && step >= 2) {
@@ -440,6 +475,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
     std::vector<double> sort_s(static_cast<size_t>(W), 0.0);
     std::vector<double> join_s(static_cast<size_t>(W), 0.0);
     std::vector<Status> worker_status(static_cast<size_t>(W));
+    std::vector<MemStats> worker_mem(static_cast<size_t>(W));
     double region_total = 0.0;
     const std::string stage_label = StrFormat("join_%zu", step);
 
@@ -448,6 +484,9 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
       for (int w = 0; w < W; ++w) {
         joined[static_cast<size_t>(w)] = Relation();
         worker_status[static_cast<size_t>(w)] = Status::OK();
+        // Per-attempt reset: only the attempt that succeeds is booked, so
+        // recovered runs account exactly like clean ones.
+        worker_mem[static_cast<size_t>(w)].Reset();
       }
       Timer stage_timer;
       PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
@@ -459,6 +498,8 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         }
         Span worker_span(label, WorkerTrack(w));
         Timer t;
+        WorkerMemScope mem_scope(meter != nullptr ? &worker_mem[wi]
+                                                  : nullptr);
         if (round_join == JoinKind::kHashJoin) {
           Timer jt;
           Relation r = SymmetricHashJoinLocal(left[wi], right[wi],
@@ -521,7 +562,8 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
       // it (e.g. wildcard-everything persistent specs) can kill it too.
       ctx.BookStage(stage_label, region_total, elapsed, sort_s, join_s,
                     /*output_tuples=*/0, /*stage_failed=*/false,
-                    static_cast<size_t>(stage_retries), /*degraded=*/true);
+                    static_cast<size_t>(stage_retries), /*degraded=*/true,
+                    &worker_mem);
       BookDegradation(&ctx, stage_label + ": tributary join -> hash join");
       std::fill(elapsed.begin(), elapsed.end(), 0.0);
       std::fill(sort_s.begin(), sort_s.end(), 0.0);
@@ -569,9 +611,19 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
       }
     }
     ctx.BookStage(final_label, region_total, elapsed, sort_s, join_s,
-                  round_output, failed, static_cast<size_t>(stage_retries));
+                  round_output, failed, static_cast<size_t>(stage_retries),
+                  /*degraded=*/false, &worker_mem);
     if (failed) return std::move(ctx.result);
     if (step + 1 < order.size()) ctx.TrackIntermediate(round_output);
+    if (meter != nullptr) {
+      // The round's output overlaps its inputs briefly (charge first for an
+      // honest peak); the shuffled copies and the previous round's output
+      // then go away.
+      const uint64_t joined_bytes = DistBytes(joined);
+      meter->Charge(MemCategory::kIntermediate, joined_bytes);
+      meter->Release(in_bytes + carried_bytes);
+      carried_bytes = joined_bytes;
+    }
     acc = std::move(joined);
   }
 
@@ -584,6 +636,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         }));
   }
   FinishOutput(&ctx, std::move(acc));
+  if (meter != nullptr) meter->Release(carried_bytes);
   return std::move(ctx.result);
 }
 
@@ -602,7 +655,17 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
   std::vector<double> join_s(static_cast<size_t>(W), 0.0);
   std::vector<Status> worker_status(static_cast<size_t>(W));
   std::vector<PipelineStats> worker_pipeline(static_cast<size_t>(W));
+  std::vector<MemStats> worker_mem(static_cast<size_t>(W));
   double region_total = 0.0;
+  // The callers charged each shuffled input as it materialized; remember
+  // the total so the phase releases it on completion.
+  ResourceMeter* meter = ActiveResourceMeter();
+  uint64_t in_bytes = 0;
+  if (meter != nullptr) {
+    for (const DistributedRelation& dist : shuffled) {
+      in_bytes += DistBytes(dist);
+    }
+  }
 
   std::vector<int> join_order;
   std::vector<std::string> var_order;
@@ -629,6 +692,8 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
       out[wi] = Relation();
       worker_status[wi] = Status::OK();
       worker_pipeline[wi] = PipelineStats();
+      // Per-attempt reset so only the successful attempt is booked.
+      worker_mem[wi].Reset();
     }
     Timer stage_timer;
     PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
@@ -645,6 +710,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
       }
       Span worker_span(label, WorkerTrack(w));
       Timer t;
+      WorkerMemScope mem_scope(meter != nullptr ? &worker_mem[wi] : nullptr);
       if (phase_join == JoinKind::kHashJoin) {
         Timer jt;
         Result<Relation> r =
@@ -706,7 +772,8 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
     // join over the same shuffled inputs (fresh fault site, new label).
     ctx->BookStage(stage_label, region_total, elapsed, sort_s, join_s,
                    /*output_tuples=*/0, /*stage_failed=*/false,
-                   static_cast<size_t>(stage_retries), /*degraded=*/true);
+                   static_cast<size_t>(stage_retries), /*degraded=*/true,
+                   &worker_mem);
     BookDegradation(ctx, "local phase: tributary join -> hash join");
     std::fill(elapsed.begin(), elapsed.end(), 0.0);
     std::fill(sort_s.begin(), sort_s.end(), 0.0);
@@ -756,7 +823,8 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
     total_output += out[wi].NumTuples();
   }
   ctx->BookStage(final_label, region_total, elapsed, sort_s, join_s,
-                 total_output, failed, static_cast<size_t>(stage_retries));
+                 total_output, failed, static_cast<size_t>(stage_retries),
+                 /*degraded=*/false, &worker_mem);
 
   // Per-join breakdown of the local pipeline (Table 5).
   for (size_t i = 0; i < pipeline_stats.join_outputs.size(); ++i) {
@@ -769,8 +837,12 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
     ctx->metrics().stages.push_back(stage);
   }
 
-  if (failed) return Status::OK();
+  if (failed) {
+    if (meter != nullptr) meter->Release(in_bytes);
+    return Status::OK();
+  }
   FinishOutput(ctx, std::move(out));
+  if (meter != nullptr) meter->Release(in_bytes);
   return Status::OK();
 }
 
@@ -794,6 +866,7 @@ Result<StrategyResult> RunBroadcast(const NormalizedQuery& q, JoinKind join,
     }
   }
 
+  ResourceMeter* meter = ActiveResourceMeter();
   std::vector<DistributedRelation> shuffled(q.atoms.size());
   for (size_t i = 0; i < q.atoms.size(); ++i) {
     DistributedRelation base = PartitionRoundRobin(q.atoms[i].relation, W);
@@ -804,6 +877,9 @@ Result<StrategyResult> RunBroadcast(const NormalizedQuery& q, JoinKind join,
           KeepInPlace(base, AtomLabel(q.atoms[i]) + " (in place)");
       ctx.BookShuffle(sr.metrics, t.Seconds());
       shuffled[i] = std::move(sr.data);
+      if (meter != nullptr) {
+        meter->Charge(MemCategory::kIntermediate, DistBytes(shuffled[i]));
+      }
       continue;
     }
     const std::string label = "Broadcast " + AtomLabel(q.atoms[i]);
@@ -820,6 +896,9 @@ Result<StrategyResult> RunBroadcast(const NormalizedQuery& q, JoinKind join,
                          label.c_str(), opts.recovery.max_retries,
                          st.ToString().c_str()));
       return std::move(ctx.result);
+    }
+    if (meter != nullptr) {
+      meter->Charge(MemCategory::kIntermediate, DistBytes(shuffled[i]));
     }
   }
 
@@ -850,6 +929,7 @@ Result<StrategyResult> RunHypercube(const NormalizedQuery& q, JoinKind join,
   ctx.result.hc_config = choice.config;
   const std::vector<int> cell_map = IdentityCellMap(choice.config);
 
+  ResourceMeter* meter = ActiveResourceMeter();
   std::vector<DistributedRelation> shuffled(q.atoms.size());
   for (size_t i = 0; i < q.atoms.size(); ++i) {
     DistributedRelation base = PartitionRoundRobin(q.atoms[i].relation, W);
@@ -885,6 +965,9 @@ Result<StrategyResult> RunHypercube(const NormalizedQuery& q, JoinKind join,
                          label.c_str(), opts.recovery.max_retries,
                          st.ToString().c_str()));
       return std::move(ctx.result);
+    }
+    if (meter != nullptr) {
+      meter->Charge(MemCategory::kIntermediate, DistBytes(shuffled[i]));
     }
   }
 
@@ -924,34 +1007,50 @@ Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
   if (QueryProfile* profile = ActiveQueryProfile()) {
     profile->BeginStrategy(StrategyName(shuffle, join));
   }
+  // The memory meter opens a section per strategy run, like the profiler.
+  ResourceMeter* meter = ActiveResourceMeter();
+  if (meter != nullptr) meter->BeginQuery(StrategyName(shuffle, join));
   Span strategy_span(StrategyName(shuffle, join), kCoordinatorTrack);
-  if (query.atoms.size() == 1) {
-    // Single-atom query: no join; evaluate locally.
-    Ctx ctx;
-    ctx.q = &query;
-    ctx.opts = &options;
-    ctx.W = options.num_workers;
-    ctx.metrics().EnsureWorkers(static_cast<size_t>(ctx.W));
-    DistributedRelation frags =
-        PartitionRoundRobin(query.atoms[0].relation, ctx.W);
-    PTP_RETURN_IF_ERROR(runtime::ParallelFor(
-        static_cast<int>(frags.size()), [&](int f) {
-          Relation& frag = frags[static_cast<size_t>(f)];
-          frag = FilterByPredicates(frag, query.predicates);
-          return Status::OK();
-        }));
-    FinishOutput(&ctx, std::move(frags));
-    return std::move(ctx.result);
+  auto run = [&]() -> Result<StrategyResult> {
+    if (query.atoms.size() == 1) {
+      // Single-atom query: no join; evaluate locally.
+      Ctx ctx;
+      ctx.q = &query;
+      ctx.opts = &options;
+      ctx.W = options.num_workers;
+      ctx.metrics().EnsureWorkers(static_cast<size_t>(ctx.W));
+      DistributedRelation frags =
+          PartitionRoundRobin(query.atoms[0].relation, ctx.W);
+      PTP_RETURN_IF_ERROR(runtime::ParallelFor(
+          static_cast<int>(frags.size()), [&](int f) {
+            Relation& frag = frags[static_cast<size_t>(f)];
+            frag = FilterByPredicates(frag, query.predicates);
+            return Status::OK();
+          }));
+      FinishOutput(&ctx, std::move(frags));
+      return std::move(ctx.result);
+    }
+    switch (shuffle) {
+      case ShuffleKind::kRegular:
+        return RunRegular(query, join, options);
+      case ShuffleKind::kBroadcast:
+        return RunBroadcast(query, join, options);
+      case ShuffleKind::kHypercube:
+        return RunHypercube(query, join, options);
+    }
+    return Status::InvalidArgument("unknown shuffle kind");
+  };
+  Result<StrategyResult> result = run();
+  if (meter != nullptr && result.ok()) {
+    // Close the section after any degradation Absorb so the metrics carry
+    // the whole run's account (HC fallbacks book into the same section).
+    uint64_t peak = 0;
+    uint64_t charged = 0;
+    meter->FinishQuery(&peak, &charged);
+    result->metrics.peak_bytes = static_cast<size_t>(peak);
+    result->metrics.charged_bytes = static_cast<size_t>(charged);
   }
-  switch (shuffle) {
-    case ShuffleKind::kRegular:
-      return RunRegular(query, join, options);
-    case ShuffleKind::kBroadcast:
-      return RunBroadcast(query, join, options);
-    case ShuffleKind::kHypercube:
-      return RunHypercube(query, join, options);
-  }
-  return Status::InvalidArgument("unknown shuffle kind");
+  return result;
 }
 
 std::vector<std::pair<ShuffleKind, JoinKind>> AllStrategies() {

@@ -39,8 +39,10 @@
 #include "lp/simplex.h"
 #include "obs/counters.h"
 #include "obs/explain.h"
+#include "obs/feedback.h"
 #include "obs/profile.h"
 #include "obs/profile_report.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "plan/advisor.h"
 #include "plan/semijoin_plan.h"

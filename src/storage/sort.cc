@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "obs/counters.h"
+#include "obs/resource.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
 #include "storage/relation.h"
@@ -179,7 +180,11 @@ void RadixSortRows(std::vector<Value>* data, size_t arity, bool parallel) {
   // Pass 2: scatter rows into their partitions. The row copy is dispatched
   // on arity once per chunk, not per row: a compile-time-width copy beats a
   // runtime-size memcpy call in the per-row loop.
+  // Charged from the calling thread (the pool threads below lack a worker
+  // scope); the size depends only on the input, never the chunk count.
   std::vector<Value> scratch(data->size());
+  ScopedMemCharge scratch_mem(MemCategory::kSortScratch,
+                              scratch.size() * sizeof(Value));
   auto scatter_rows = [&](size_t lo, size_t hi, size_t* my, auto width) {
     constexpr size_t kArity = decltype(width)::value;
     for (size_t row = lo; row < hi; ++row) {

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "exec/local_ops.h"
 #include "obs/counters.h"
+#include "obs/resource.h"
 #include "tj/btree.h"
 #include "tj/btree_trie.h"
 #include "tj/leapfrog.h"
@@ -186,6 +187,9 @@ class Joiner {
 struct PreparedJoin {
   std::unique_ptr<Joiner> joiner;
   double sort_seconds = 0;
+  /// Trie storage bytes (sorted arrays or B+-tree rows — same row count
+  /// either way), held live until the join finishes.
+  ScopedMemCharge trie_mem;
 };
 
 }  // namespace
@@ -211,6 +215,7 @@ Result<PreparedJoin> Prepare(const std::vector<const Relation*>& inputs,
   Timer sort_timer;
   std::vector<Relation> sorted;
   sorted.reserve(inputs.size());
+  uint64_t trie_bytes = 0;
   // iters_per_depth[d] = inputs whose trie level matching var_order[d]
   // exists (i.e. atoms containing that variable).
   std::vector<std::vector<int>> iters_per_depth(var_order.size());
@@ -236,6 +241,8 @@ Result<PreparedJoin> Prepare(const std::vector<const Relation*>& inputs,
           .push_back(static_cast<int>(i));
     }
     Relation permuted = rel.PermuteColumns(perm);
+    trie_bytes += static_cast<uint64_t>(permuted.NumTuples()) *
+                  permuted.arity() * sizeof(Value);
     if (options.backend == TJBackend::kSortedArray) {
       permuted.SortLex();
     }
@@ -298,6 +305,7 @@ Result<PreparedJoin> Prepare(const std::vector<const Relation*>& inputs,
   }
   PreparedJoin prepared;
   prepared.sort_seconds = sort_seconds;
+  prepared.trie_mem = ScopedMemCharge(MemCategory::kTrie, trie_bytes);
   prepared.joiner = std::make_unique<Joiner>(
       std::move(storage), std::move(trees), std::move(cursors),
       std::move(iters_per_depth), std::move(resolved), var_order.size(),
