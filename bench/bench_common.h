@@ -99,6 +99,15 @@ struct BenchConfig {
       }
     }
     runtime::SetThreads(c.threads);
+    // Auto-detection resolving to one core serializes every parallel stage
+    // and silently flattens the scaling figures — say so once, loudly.
+    static bool warned_single_core = false;
+    if (c.threads <= 0 && runtime::Threads() == 1 && !warned_single_core) {
+      warned_single_core = true;
+      std::cerr << "warning: --threads=auto resolved to a single core; "
+                   "parallel stages will run serially (pass --threads=N or "
+                   "set PTP_THREADS to override)\n";
+    }
     return c;
   }
 

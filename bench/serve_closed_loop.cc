@@ -1,0 +1,386 @@
+// Closed-loop serving benchmark: `--concurrency` client threads each keep
+// exactly one request in flight against a QueryServer, drawing from a
+// seeded mix of the paper's eight queries (docs/SERVING.md), until
+// `--queries` total requests have completed. Reports throughput and
+// latency percentiles into BENCH_serving.json (asserted by the CI smoke
+// step).
+//
+// Two properties are checked, not just measured:
+//   isolation - after the run, every response's counters/metrics/output
+//               are compared bit-for-bit against a solo run of the same
+//               (query, strategy, workers) — concurrently-served queries
+//               share the runtime pool but must never cross-charge;
+//   cache     - the plan cache must have parsed each distinct (query,
+//               workers) pair exactly once, no matter how many thousands
+//               of requests hit it.
+// Either failing exits nonzero.
+//
+// Not a google-benchmark binary: it has its own main (hence the CMake
+// special case) so it can drive client threads and emit the JSON report.
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ptp/ptp.h"
+
+namespace ptp {
+namespace {
+
+struct Config {
+  int queries = 1000;     // total completed requests across all clients
+  int concurrency = 4;    // client threads == server executors
+  int workers = 16;       // logical cluster size per query
+  int threads = 0;        // runtime pool (0 = auto)
+  uint64_t seed = 42;
+  uint64_t pool_bytes = 0;          // admission pool (0 = unlimited)
+  uint64_t query_budget_bytes = 0;  // hard per-query budget (0 = off)
+  size_t twitter_nodes = 1200;
+  size_t twitter_edges = 12000;
+  double freebase_scale = 0.25;
+  std::string query_set = "1,2,3,4,5,6,7,8";
+  std::string json_path = "BENCH_serving.json";
+};
+
+struct Completed {
+  int workload = 0;  // index into the workload vector
+  double latency_seconds = 0;
+  QueryResponse response;
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+/// What the server's executor does for one query, minus the server: fresh
+/// sinks, direct RunStrategy. The reference for the isolation check.
+struct SoloRun {
+  QueryMetrics metrics;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  Relation output;
+};
+
+SoloRun RunSolo(const Workload& wl, const std::string& strategy, int workers,
+                uint64_t query_budget_bytes) {
+  ShuffleKind shuffle = ShuffleKind::kRegular;
+  JoinKind join = JoinKind::kHashJoin;
+  for (const auto& [s, j] : AllStrategies()) {
+    if (strategy == StrategyName(s, j)) {
+      shuffle = s;
+      join = j;
+    }
+  }
+  StrategyOptions opts;
+  opts.num_workers = workers;
+  CounterRegistry counters;
+  ResourceMeter meter(query_budget_bytes, /*hard=*/true);
+  CounterRegistry* prev_reg = SetActiveCounterRegistry(&counters);
+  ResourceMeter* prev_meter = SetActiveResourceMeter(&meter);
+  Result<StrategyResult> result =
+      RunStrategy(wl.normalized, shuffle, join, opts);
+  SetActiveResourceMeter(prev_meter);
+  SetActiveCounterRegistry(prev_reg);
+  PTP_CHECK(result.ok()) << wl.id << ": " << result.status().ToString();
+  SoloRun solo;
+  solo.metrics = result->metrics;
+  solo.counters = counters.CounterSnapshot();
+  solo.output = std::move(result->output);
+  return solo;
+}
+
+}  // namespace
+}  // namespace ptp
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+
+  Config c;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto eat = [&](const std::string& prefix, auto setter) {
+      if (arg.rfind(prefix, 0) == 0) {
+        setter(arg.substr(prefix.size()));
+        return true;
+      }
+      return false;
+    };
+    const bool ok =
+        eat("--queries=", [&](const std::string& v) { c.queries = std::stoi(v); }) ||
+        eat("--concurrency=", [&](const std::string& v) { c.concurrency = std::stoi(v); }) ||
+        eat("--workers=", [&](const std::string& v) { c.workers = std::stoi(v); }) ||
+        eat("--threads=", [&](const std::string& v) { c.threads = std::stoi(v); }) ||
+        eat("--seed=", [&](const std::string& v) { c.seed = std::stoul(v); }) ||
+        eat("--pool=", [&](const std::string& v) { c.pool_bytes = std::stoull(v); }) ||
+        eat("--query-budget=", [&](const std::string& v) { c.query_budget_bytes = std::stoull(v); }) ||
+        eat("--twitter-nodes=", [&](const std::string& v) { c.twitter_nodes = std::stoul(v); }) ||
+        eat("--twitter-edges=", [&](const std::string& v) { c.twitter_edges = std::stoul(v); }) ||
+        eat("--freebase-scale=", [&](const std::string& v) { c.freebase_scale = std::stod(v); }) ||
+        eat("--query-set=", [&](const std::string& v) { c.query_set = v; }) ||
+        eat("--json=", [&](const std::string& v) { c.json_path = v; });
+    if (!ok) {
+      std::cerr << "unknown flag: " << arg
+                << "\nflags: --queries= --concurrency= --workers= "
+                   "--threads= --seed= --pool=<bytes> "
+                   "--query-budget=<bytes> --twitter-nodes= "
+                   "--twitter-edges= --freebase-scale= "
+                   "--query-set=1,2,... --json=<file>\n";
+      return 2;
+    }
+  }
+  runtime::SetThreads(c.threads);
+
+  // Build the query mix once; every client draws from the same workloads
+  // (and thus the same catalogs — the server is the only writer via
+  // dictionary interning, which the plan cache serializes).
+  WorkloadScale scale;
+  scale.twitter.num_nodes = c.twitter_nodes;
+  scale.twitter.num_edges = c.twitter_edges;
+  scale.twitter.zipf_exponent = 0.7;
+  scale.freebase_scale = c.freebase_scale;
+  scale.seed = c.seed;
+  WorkloadFactory factory(scale);
+  std::vector<Workload> workloads;
+  {
+    std::string token;
+    for (char ch : c.query_set + ",") {
+      if (ch == ',') {
+        if (!token.empty()) {
+          Result<Workload> wl = factory.Make(std::stoi(token));
+          PTP_CHECK(wl.ok()) << wl.status().ToString();
+          workloads.push_back(std::move(wl).value());
+          token.clear();
+        }
+      } else {
+        token += ch;
+      }
+    }
+  }
+  PTP_CHECK(!workloads.empty()) << "empty --query-set";
+
+  std::cout << "closed-loop serving: " << c.queries << " requests, "
+            << c.concurrency << " clients (one in flight each), mix of ";
+  for (size_t i = 0; i < workloads.size(); ++i) {
+    std::cout << (i ? "," : "") << workloads[i].id;
+  }
+  std::cout << ", W=" << c.workers << ", pool threads "
+            << runtime::Threads() << "\n";
+
+  ServerOptions so;
+  so.executors = c.concurrency;
+  so.memory_pool_bytes = c.pool_bytes;
+  so.query_budget_bytes = c.query_budget_bytes;
+  QueryServer server(so);
+
+  // Closed loop: each client owns a session and keeps exactly one request
+  // outstanding; the next request fires only when the previous response
+  // lands. The mixed arrival order is seeded and client-local, so reruns
+  // submit the same per-client query sequence.
+  std::vector<std::vector<Completed>> per_client(
+      static_cast<size_t>(c.concurrency));
+  std::atomic<int> next_ticket{0};
+  Timer wall;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(c.concurrency));
+    for (int cl = 0; cl < c.concurrency; ++cl) {
+      clients.emplace_back([&, cl] {
+        QueryServer::Session* session = nullptr;
+        {
+          static std::mutex open_mu;
+          std::lock_guard<std::mutex> lock(open_mu);
+          session = server.OpenSession(
+              "client" + std::to_string(cl + 1));
+        }
+        Rng rng(c.seed * 1000003 + static_cast<uint64_t>(cl));
+        while (next_ticket.fetch_add(1) < c.queries) {
+          const int w = static_cast<int>(rng.Uniform(workloads.size()));
+          QueryRequest req;
+          req.text = workloads[static_cast<size_t>(w)].query.ToString();
+          req.catalog = workloads[static_cast<size_t>(w)].catalog.get();
+          req.workers = c.workers;
+          Timer latency;
+          QueryHandle handle = session->Submit(req);
+          const QueryResponse& r = handle.Get();  // closed loop: block
+          Completed done;
+          done.workload = w;
+          done.latency_seconds = latency.Seconds();
+          done.response = r;
+          per_client[static_cast<size_t>(cl)].push_back(std::move(done));
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const double wall_seconds = wall.Seconds();
+  server.Drain();
+
+  std::vector<Completed> all;
+  for (std::vector<Completed>& v : per_client) {
+    for (Completed& d : v) all.push_back(std::move(d));
+  }
+  PTP_CHECK_EQ(all.size(), static_cast<size_t>(c.queries));
+
+  uint64_t ok_count = 0;
+  uint64_t failed = 0;
+  uint64_t cache_hits = 0;
+  for (const Completed& d : all) {
+    if (d.response.status.ok()) {
+      ++ok_count;
+    } else {
+      ++failed;
+    }
+    if (d.response.cache_hit) ++cache_hits;
+  }
+
+  // Isolation check: one solo reference per distinct (workload, strategy)
+  // actually served — feedback can upgrade a hot query's strategy between
+  // executions, and each upgraded plan gets its own reference — then every
+  // successful response must match its reference bit-for-bit.
+  std::map<std::pair<int, std::string>, SoloRun> references;
+  uint64_t isolation_checked = 0;
+  uint64_t isolation_mismatches = 0;
+  for (const Completed& d : all) {
+    if (!d.response.status.ok()) continue;
+    const auto key = std::make_pair(d.workload, d.response.strategy);
+    auto it = references.find(key);
+    if (it == references.end()) {
+      it = references
+               .emplace(key, RunSolo(workloads[static_cast<size_t>(
+                                         d.workload)],
+                                     d.response.strategy, c.workers,
+                                     c.query_budget_bytes))
+               .first;
+    }
+    const SoloRun& solo = it->second;
+    ++isolation_checked;
+    const QueryResponse& r = d.response;
+    const bool match = r.output.EqualsUnordered(solo.output) &&
+                       r.metrics.output_tuples == solo.metrics.output_tuples &&
+                       r.metrics.TuplesShuffled() ==
+                           solo.metrics.TuplesShuffled() &&
+                       r.metrics.peak_bytes == solo.metrics.peak_bytes &&
+                       r.metrics.charged_bytes == solo.metrics.charged_bytes &&
+                       r.counters == solo.counters;
+    if (!match) {
+      ++isolation_mismatches;
+      std::cerr << "ISOLATION MISMATCH: " << r.id << " ("
+                << workloads[static_cast<size_t>(d.workload)].id << ", "
+                << r.strategy << ") diverges from its solo run\n";
+    }
+  }
+
+  // Cache check: exactly one parse per distinct (query, workers) pair.
+  const PlanCache::Stats cache = server.plan_cache().stats();
+  const bool cache_ok = cache.parses == workloads.size() &&
+                        cache.hits + cache.misses >=
+                            static_cast<uint64_t>(c.queries);
+
+  const QueryServer::Stats stats = server.stats();
+  std::vector<double> latencies;
+  latencies.reserve(all.size());
+  for (const Completed& d : all) latencies.push_back(d.latency_seconds);
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = Percentile(latencies, 0.50);
+  const double p95 = Percentile(latencies, 0.95);
+  const double p99 = Percentile(latencies, 0.99);
+  const double qps =
+      wall_seconds > 0 ? static_cast<double>(c.queries) / wall_seconds : 0;
+
+  // Per-workload latency rows.
+  struct QueryRow {
+    std::string id;
+    std::vector<double> latencies;
+    std::vector<std::string> strategies;  // distinct, in first-seen order
+  };
+  std::vector<QueryRow> rows(workloads.size());
+  for (size_t w = 0; w < workloads.size(); ++w) rows[w].id = workloads[w].id;
+  for (const Completed& d : all) {
+    QueryRow& row = rows[static_cast<size_t>(d.workload)];
+    row.latencies.push_back(d.latency_seconds);
+    if (d.response.status.ok() &&
+        std::find(row.strategies.begin(), row.strategies.end(),
+                  d.response.strategy) == row.strategies.end()) {
+      row.strategies.push_back(d.response.strategy);
+    }
+  }
+
+  std::ofstream out(c.json_path);
+  PTP_CHECK(out.good()) << "cannot open " << c.json_path;
+  out << "{\n  \"config\": {\"queries\": " << c.queries
+      << ", \"concurrency\": " << c.concurrency
+      << ", \"workers\": " << c.workers
+      << ", \"pool_threads\": " << runtime::Threads()
+      << ", \"seed\": " << c.seed
+      << ", \"pool_bytes\": " << c.pool_bytes
+      << ", \"query_budget_bytes\": " << c.query_budget_bytes << "},\n";
+  out << "  \"totals\": {\"completed\": " << stats.completed
+      << ", \"ok\": " << ok_count << ", \"failed\": " << failed
+      << ", \"rejected\": " << stats.rejected
+      << ", \"cache_hits\": " << cache_hits
+      << ", \"wall_seconds\": " << wall_seconds
+      << ", \"qps\": " << qps << "},\n";
+  out << "  \"latency\": {\"p50_ms\": " << p50 * 1e3
+      << ", \"p95_ms\": " << p95 * 1e3 << ", \"p99_ms\": " << p99 * 1e3
+      << ", \"max_ms\": "
+      << (latencies.empty() ? 0 : latencies.back() * 1e3) << "},\n";
+  out << "  \"plan_cache\": {\"parses\": " << cache.parses
+      << ", \"hits\": " << cache.hits << ", \"misses\": " << cache.misses
+      << ", \"refreshes\": " << cache.refreshes << "},\n";
+  out << "  \"scheduler\": {\"small_dispatched\": " << stats.small_dispatched
+      << ", \"large_dispatched\": " << stats.large_dispatched
+      << ", \"admission_stalls\": " << stats.admission_stalls << "},\n";
+  out << "  \"isolation\": {\"checked\": " << isolation_checked
+      << ", \"references\": " << references.size()
+      << ", \"mismatches\": " << isolation_mismatches << "},\n";
+  out << "  \"per_query\": [\n";
+  for (size_t w = 0; w < rows.size(); ++w) {
+    QueryRow& row = rows[w];
+    std::sort(row.latencies.begin(), row.latencies.end());
+    out << "    {\"query\": \"" << row.id
+        << "\", \"count\": " << row.latencies.size()
+        << ", \"p50_ms\": " << Percentile(row.latencies, 0.50) * 1e3
+        << ", \"p99_ms\": " << Percentile(row.latencies, 0.99) * 1e3
+        << ", \"strategies\": [";
+    for (size_t s = 0; s < row.strategies.size(); ++s) {
+      out << (s ? ", " : "") << "\"" << row.strategies[s] << "\"";
+    }
+    out << "]}" << (w + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  out.close();
+
+  std::cout << "\n" << c.queries << " requests in " << wall_seconds
+            << "s — " << qps << " queries/s\n"
+            << "latency p50 " << p50 * 1e3 << " ms, p95 " << p95 * 1e3
+            << " ms, p99 " << p99 * 1e3 << " ms\n"
+            << "plan cache: " << cache.parses << " parses, " << cache.hits
+            << " hits, " << cache.misses << " misses\n"
+            << "isolation: " << isolation_checked << " responses vs "
+            << references.size() << " solo references, "
+            << isolation_mismatches << " mismatches\n"
+            << "report written to " << c.json_path << "\n";
+
+  if (isolation_mismatches > 0) {
+    std::cerr << "FAIL: " << isolation_mismatches
+              << " responses diverged from their solo runs\n";
+    return 1;
+  }
+  if (!cache_ok) {
+    std::cerr << "FAIL: plan cache parsed " << cache.parses
+              << " times for " << workloads.size()
+              << " distinct queries (hits " << cache.hits << ", misses "
+              << cache.misses << ")\n";
+    return 1;
+  }
+  return 0;
+}

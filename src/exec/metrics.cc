@@ -90,6 +90,7 @@ void QueryMetrics::Absorb(const QueryMetrics& other) {
   if (other.failed) {
     failed = true;
     fail_reason = other.fail_reason;
+    fail_code = other.fail_code;
   }
   degradations.insert(degradations.end(), other.degradations.begin(),
                       other.degradations.end());

@@ -91,6 +91,11 @@ struct QueryMetrics {
 
   bool failed = false;
   std::string fail_reason;
+  /// Machine-readable failure class for graceful FAILs (kOk when the query
+  /// succeeded): kResourceExhausted for budget-driven aborts (the serving
+  /// layer maps it to a retry-after response), kUnavailable when a stage
+  /// exhausted its fault retries. Ignored when failed == false.
+  StatusCode fail_code = StatusCode::kOk;
   /// One entry per plan degradation ("hypercube -> hash shuffle", ...).
   std::vector<std::string> degradations;
 

@@ -175,7 +175,12 @@ Status ParseEvent(std::string_view event, FaultPlan* plan) {
   return Status::OK();
 }
 
-FaultInjector* g_active_injector = nullptr;
+// Thread-propagated context slot (runtime/thread_pool.h): per coordinator
+// thread, flowing to pool workers per batch.
+int InjectorSlot() {
+  static const int slot = runtime::AllocateContextSlot();
+  return slot;
+}
 
 }  // namespace
 
@@ -395,11 +400,12 @@ void FaultInjector::Book(const FaultSpec& spec, std::string_view label,
 }
 
 FaultInjector* SetActiveFaultInjector(FaultInjector* injector) {
-  FaultInjector* prev = g_active_injector;
-  g_active_injector = injector;
-  return prev;
+  return static_cast<FaultInjector*>(
+      runtime::SetContextSlot(InjectorSlot(), injector));
 }
 
-FaultInjector* ActiveFaultInjector() { return g_active_injector; }
+FaultInjector* ActiveFaultInjector() {
+  return static_cast<FaultInjector*>(runtime::ContextSlot(InjectorSlot()));
+}
 
 }  // namespace ptp

@@ -136,7 +136,7 @@ class FaultInjector {
   std::atomic<uint64_t> injected_{0};
 };
 
-/// Installs `injector` as the process-wide fault source (nullptr disables
+/// Installs `injector` as the calling thread's fault source (nullptr disables
 /// injection — the per-site hook cost is then a single nullptr branch, like
 /// tracing) and returns the previous injector.
 FaultInjector* SetActiveFaultInjector(FaultInjector* injector);

@@ -10,7 +10,13 @@
 namespace ptp {
 namespace {
 
-CounterRegistry* g_active_registry = nullptr;
+// Thread-propagated context slot (runtime/thread_pool.h): the active
+// registry is per coordinator thread, flowing to pool workers per batch, so
+// concurrently-served queries each publish into their own registry.
+int RegistrySlot() {
+  static const int slot = runtime::AllocateContextSlot();
+  return slot;
+}
 
 }  // namespace
 
@@ -174,12 +180,13 @@ void CounterRegistry::Clear() {
   }
 }
 
-CounterRegistry* ActiveCounterRegistry() { return g_active_registry; }
+CounterRegistry* ActiveCounterRegistry() {
+  return static_cast<CounterRegistry*>(runtime::ContextSlot(RegistrySlot()));
+}
 
 CounterRegistry* SetActiveCounterRegistry(CounterRegistry* registry) {
-  CounterRegistry* prev = g_active_registry;
-  g_active_registry = registry;
-  return prev;
+  return static_cast<CounterRegistry*>(
+      runtime::SetContextSlot(RegistrySlot(), registry));
 }
 
 }  // namespace ptp

@@ -109,7 +109,7 @@ class CounterRegistry {
   mutable std::array<Shard, runtime::kMaxThreads> shards_;
 };
 
-/// Installs `registry` as the process-wide publish target (nullptr
+/// Installs `registry` as the calling thread's publish target (nullptr
 /// disables collection) and returns the previous registry.
 CounterRegistry* SetActiveCounterRegistry(CounterRegistry* registry);
 /// The collecting registry, or nullptr when collection is off.

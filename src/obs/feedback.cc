@@ -7,6 +7,7 @@
 #include "common/str_util.h"
 #include "obs/profile_report.h"
 #include "obs/trace.h"
+#include "query/normalize_text.h"
 
 namespace ptp {
 namespace {
@@ -105,11 +106,17 @@ const StrategyFeedback* QueryFeedback::FindFamily(
 
 QueryFeedback* FeedbackStore::FindOrAdd(std::string_view query_key,
                                         int workers) {
+  // Keys are canonicalized on both sides, so "q(x) :- R(x,y), S(y,x)" and
+  // "Q(x):-S(y,x) AND R(x,y)." share one entry — and stores written before
+  // normalization existed keep matching.
+  const std::string key = NormalizeQueryText(query_key);
   for (QueryFeedback& q : queries) {
-    if (q.query_key == query_key && q.workers == workers) return &q;
+    if (NormalizeQueryText(q.query_key) == key && q.workers == workers) {
+      return &q;
+    }
   }
   QueryFeedback q;
-  q.query_key = std::string(query_key);
+  q.query_key = key;
   q.workers = workers;
   queries.push_back(std::move(q));
   return &queries.back();
@@ -117,8 +124,11 @@ QueryFeedback* FeedbackStore::FindOrAdd(std::string_view query_key,
 
 const QueryFeedback* FeedbackStore::Find(std::string_view query_key,
                                          int workers) const {
+  const std::string key = NormalizeQueryText(query_key);
   for (const QueryFeedback& q : queries) {
-    if (q.query_key == query_key && q.workers == workers) return &q;
+    if (NormalizeQueryText(q.query_key) == key && q.workers == workers) {
+      return &q;
+    }
   }
   return nullptr;
 }

@@ -53,7 +53,10 @@ struct StrategyFeedback {
 
 /// All measured strategies for one (query, cluster-size) pair.
 struct QueryFeedback {
-  /// Canonical query text (Query::ToString()) — the lookup key.
+  /// Canonical query text — the lookup key. Find/FindOrAdd compare keys
+  /// modulo NormalizeQueryText (query/normalize_text.h), so any spelling
+  /// of the query (Query::ToString(), hand-written text) resolves to the
+  /// same entry.
   std::string query_key;
   int workers = 0;
   std::vector<StrategyFeedback> strategies;

@@ -5,11 +5,17 @@
 #include <utility>
 
 #include "obs/trace.h"
+#include "runtime/thread_pool.h"
 
 namespace ptp {
 namespace {
 
-std::atomic<QueryProfile*> g_active_profile{nullptr};
+// Thread-propagated context slot (runtime/thread_pool.h): per coordinator
+// thread, flowing to pool workers per batch.
+int ProfileSlot() {
+  static const int slot = runtime::AllocateContextSlot();
+  return slot;
+}
 
 /// max/avg over per-consumer loads, mirroring exec SkewFactor exactly
 /// (single-worker and all-zero vectors are balanced by definition) so the
@@ -294,11 +300,12 @@ void QueryProfile::Clear() {
 }
 
 QueryProfile* SetActiveQueryProfile(QueryProfile* profile) {
-  return g_active_profile.exchange(profile, std::memory_order_acq_rel);
+  return static_cast<QueryProfile*>(
+      runtime::SetContextSlot(ProfileSlot(), profile));
 }
 
 QueryProfile* ActiveQueryProfile() {
-  return g_active_profile.load(std::memory_order_acquire);
+  return static_cast<QueryProfile*>(runtime::ContextSlot(ProfileSlot()));
 }
 
 }  // namespace ptp

@@ -315,7 +315,7 @@ class QueryProfile {
   std::vector<double> cumulative_busy_;
 };
 
-/// Installs `profile` as the process-wide profiling target (nullptr
+/// Installs `profile` as the calling thread's profiling target (nullptr
 /// disables) and returns the previous one.
 QueryProfile* SetActiveQueryProfile(QueryProfile* profile);
 /// The collecting profile, or nullptr when profiling is off.

@@ -10,7 +10,13 @@
 namespace ptp {
 namespace {
 
-std::atomic<ResourceMeter*> g_active_meter{nullptr};
+// Thread-propagated context slot (runtime/thread_pool.h): the active meter
+// is per coordinator thread, flowing to pool workers per batch, so
+// concurrently-served queries each charge their own meter.
+int MeterSlot() {
+  static const int slot = runtime::AllocateContextSlot();
+  return slot;
+}
 
 // Per-thread redirect installed by WorkerMemScope. Worker bodies charge
 // here without locking; the coordinator folds the stats afterwards.
@@ -27,11 +33,12 @@ const char* MemCategoryName(MemCategory cat) {
 }
 
 ResourceMeter* SetActiveResourceMeter(ResourceMeter* meter) {
-  return g_active_meter.exchange(meter, std::memory_order_acq_rel);
+  return static_cast<ResourceMeter*>(
+      runtime::SetContextSlot(MeterSlot(), meter));
 }
 
 ResourceMeter* ActiveResourceMeter() {
-  return g_active_meter.load(std::memory_order_acquire);
+  return static_cast<ResourceMeter*>(runtime::ContextSlot(MeterSlot()));
 }
 
 WorkerMemScope::WorkerMemScope(MemStats* stats)
@@ -67,6 +74,7 @@ void ResourceMeter::BeginQuery(std::string_view name) {
   QueryMemory q;
   q.name = std::string(name);
   q.budget_bytes = budget_bytes_;
+  q.hard_budget = hard_;
   queries_.push_back(std::move(q));
   warned_this_query_ = false;
   if (TraceSession* trace = ActiveTraceSession()) {
@@ -94,16 +102,34 @@ void ResourceMeter::CheckBudgetLocked() {
   if (budget_bytes_ == 0 || queries_.empty()) return;
   QueryMemory& q = queries_.back();
   if (q.live_bytes <= budget_bytes_) return;
-  const uint64_t overage = q.live_bytes - budget_bytes_;
+  RecordOverageLocked(q, q.live_bytes, /*where=*/{});
+}
+
+void ResourceMeter::RecordOverageLocked(QueryMemory& q, uint64_t live_bytes,
+                                        std::string_view where) {
+  const uint64_t overage = live_bytes - budget_bytes_;
   if (overage > q.max_overage_bytes) q.max_overage_bytes = overage;
+  if (hard_ && !q.hard_breached) {
+    q.hard_breached = true;
+    q.breach_message = StrFormat(
+        "memory budget exceeded%s%s: %llu B live > %llu B hard budget",
+        where.empty() ? "" : " in ", std::string(where).c_str(),
+        static_cast<unsigned long long>(live_bytes),
+        static_cast<unsigned long long>(budget_bytes_));
+    if (CounterRegistry* reg = ActiveCounterRegistry()) {
+      reg->Add("mem.hard_budget_breaches", 1);
+    }
+  }
   if (!warned_this_query_) {
     warned_this_query_ = true;
     if (CounterRegistry* reg = ActiveCounterRegistry()) {
       reg->Add("mem.budget_overruns", 1);
     }
-    PTP_LOG(Warning) << "query '" << q.name << "' exceeded --mem-budget: "
-                     << q.live_bytes << " B live > " << budget_bytes_
-                     << " B budget (soft limit; run continues)";
+    PTP_LOG(Warning) << "query '" << q.name << "' exceeded --mem-budget"
+                     << (where.empty() ? "" : " in ") << where << ": "
+                     << live_bytes << " B live > " << budget_bytes_
+                     << (hard_ ? " B budget (hard limit; query fails)"
+                               : " B budget (soft limit; run continues)");
   }
 }
 
@@ -165,17 +191,7 @@ uint64_t ResourceMeter::BookStageMemory(std::string_view label,
   const uint64_t high_water = q.live_bytes + stage.peak_bytes;
   if (high_water > q.peak_bytes) q.peak_bytes = high_water;
   if (budget_bytes_ != 0 && high_water > budget_bytes_) {
-    const uint64_t overage = high_water - budget_bytes_;
-    if (overage > q.max_overage_bytes) q.max_overage_bytes = overage;
-    if (!warned_this_query_) {
-      warned_this_query_ = true;
-      if (CounterRegistry* reg = ActiveCounterRegistry()) {
-        reg->Add("mem.budget_overruns", 1);
-      }
-      PTP_LOG(Warning) << "query '" << q.name << "' exceeded --mem-budget in "
-                       << stage.label << ": " << high_water << " B live > "
-                       << budget_bytes_ << " B budget (soft limit)";
-    }
+    RecordOverageLocked(q, high_water, stage.label);
   }
 
   const uint64_t stage_peak = stage.peak_bytes;
@@ -208,6 +224,16 @@ const QueryMemory* ResourceMeter::FindQuery(std::string_view name) const {
   return nullptr;
 }
 
+bool ResourceMeter::hard_breached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !queries_.empty() && queries_.back().hard_breached;
+}
+
+std::string ResourceMeter::breach_message() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_.empty() ? std::string() : queries_.back().breach_message;
+}
+
 void ResourceMeter::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   queries_.clear();
@@ -232,7 +258,11 @@ std::string MemorySectionText(const QueryMemory& mem) {
                      stage.worker_peak_bytes.size());
   }
   if (mem.budget_bytes != 0) {
-    if (mem.max_overage_bytes != 0) {
+    if (mem.hard_breached) {
+      out += StrFormat("  budget %llu B BREACHED by %llu B (hard limit)\n",
+                       static_cast<unsigned long long>(mem.budget_bytes),
+                       static_cast<unsigned long long>(mem.max_overage_bytes));
+    } else if (mem.max_overage_bytes != 0) {
       out += StrFormat("  budget %llu B EXCEEDED by %llu B (soft limit)\n",
                        static_cast<unsigned long long>(mem.budget_bytes),
                        static_cast<unsigned long long>(mem.max_overage_bytes));

@@ -79,10 +79,18 @@ struct QueryMemory {
   /// Query-wide high-water mark: max over time of coordinator live bytes
   /// plus the in-flight stage's folded worker peak.
   uint64_t peak_bytes = 0;
-  /// Soft budget this run was metered against (0 = unlimited).
+  /// Budget this run was metered against (0 = unlimited).
   uint64_t budget_bytes = 0;
   /// Largest observed excess of live bytes over the budget (0 = never over).
   uint64_t max_overage_bytes = 0;
+  /// True when the budget was enforced as a hard limit (serving layer);
+  /// false for the soft --mem-budget= advisory mode.
+  bool hard_budget = false;
+  /// True when a hard budget was exceeded; the run is expected to fail with
+  /// kResourceExhausted. Never set in soft mode.
+  bool hard_breached = false;
+  /// Human-readable account of the first hard breach ("" when none).
+  std::string breach_message;
   std::vector<StageMemory> stages;
 
   uint64_t TotalCharged() const {
@@ -112,11 +120,17 @@ struct QueryMemory {
 /// coordinator; worker threads touch only their own MemStats.
 class ResourceMeter {
  public:
-  /// `budget_bytes` arms the soft per-query budget hook: when live bytes
-  /// exceed it the meter logs once per query, bumps "mem.budget_overruns",
-  /// and records the overage for EXPLAIN. 0 disables the check.
-  explicit ResourceMeter(uint64_t budget_bytes = 0)
-      : budget_bytes_(budget_bytes) {}
+  /// `budget_bytes` arms the per-query budget hook: when live bytes exceed
+  /// it the meter logs once per query, bumps "mem.budget_overruns", and
+  /// records the overage for EXPLAIN. 0 disables the check.
+  ///
+  /// `hard` escalates the budget from advisory to enforced: a breach
+  /// additionally bumps "mem.hard_budget_breaches", latches
+  /// hard_breached()/breach_message(), and the strategy layer turns that
+  /// into a graceful kResourceExhausted FAIL at the next stage boundary
+  /// (the serving layer's admission-control contract, docs/SERVING.md).
+  explicit ResourceMeter(uint64_t budget_bytes = 0, bool hard = false)
+      : budget_bytes_(budget_bytes), hard_(hard && budget_bytes != 0) {}
 
   ResourceMeter(const ResourceMeter&) = delete;
   ResourceMeter& operator=(const ResourceMeter&) = delete;
@@ -150,19 +164,30 @@ class ResourceMeter {
   const QueryMemory* FindQuery(std::string_view name) const;
 
   uint64_t budget_bytes() const { return budget_bytes_; }
+  bool hard_budget() const { return hard_; }
+
+  /// True when the current (most recent) query section breached a hard
+  /// budget. Latched until the next BeginQuery/Clear.
+  bool hard_breached() const;
+  /// Account of the first hard breach in the current section ("" if none).
+  std::string breach_message() const;
+
   void Clear();
 
  private:
   void ChargeLocked(MemCategory cat, uint64_t bytes);
   void CheckBudgetLocked();
+  void RecordOverageLocked(QueryMemory& q, uint64_t live_bytes,
+                           std::string_view where);
 
   const uint64_t budget_bytes_;
+  const bool hard_ = false;
   mutable std::mutex mu_;
   std::vector<QueryMemory> queries_;
   bool warned_this_query_ = false;
 };
 
-/// Installs `meter` as the process-wide accounting target (nullptr disables
+/// Installs `meter` as the calling thread's accounting target (nullptr disables
 /// accounting) and returns the previous meter.
 ResourceMeter* SetActiveResourceMeter(ResourceMeter* meter);
 /// The accounting meter, or nullptr when metering is off.

@@ -13,7 +13,12 @@
 namespace ptp {
 namespace {
 
-TraceSession* g_active_session = nullptr;
+// Thread-propagated context slot (runtime/thread_pool.h): per coordinator
+// thread, flowing to pool workers per batch.
+int TraceSlot() {
+  static const int slot = runtime::AllocateContextSlot();
+  return slot;
+}
 
 const char* LogEventName(internal_logging::Severity severity) {
   switch (severity) {
@@ -212,12 +217,18 @@ Status TraceSession::WriteJsonFile(const std::string& path) const {
   return Status::OK();
 }
 
-TraceSession* ActiveTraceSession() { return g_active_session; }
+TraceSession* ActiveTraceSession() {
+  return static_cast<TraceSession*>(runtime::ContextSlot(TraceSlot()));
+}
 
 TraceSession* SetActiveTraceSession(TraceSession* session) {
-  TraceSession* prev = g_active_session;
-  g_active_session = session;
-  internal_logging::SetLogSink(session != nullptr ? &TraceLogSink : nullptr);
+  TraceSession* prev = static_cast<TraceSession*>(
+      runtime::SetContextSlot(TraceSlot(), session));
+  // The log mirror stays registered once any session was ever installed:
+  // it resolves the *logging thread's* active session per line (nullptr
+  // branch when that thread has none), so concurrent sessions on other
+  // threads keep mirroring when this one deactivates.
+  if (session != nullptr) internal_logging::SetLogSink(&TraceLogSink);
   return prev;
 }
 

@@ -99,7 +99,7 @@ class TraceSession {
   mutable std::array<std::vector<TraceEvent>, runtime::kMaxThreads> buffers_;
 };
 
-/// Installs `session` as the process-wide recording target (nullptr
+/// Installs `session` as the calling thread's recording target (nullptr
 /// disables recording) and returns the previous session. While a session
 /// is active, emitted PTP_LOG lines are mirrored onto the coordinator
 /// track as instant events.

@@ -126,9 +126,27 @@ struct Ctx {
     }
   }
 
-  void Fail(std::string reason) {
+  // Graceful FAIL: the run keeps its booked metrics and returns OK status;
+  // `code` classifies the failure for callers that map it back to a
+  // response (kUnavailable = retries exhausted, kResourceExhausted =
+  // budget).
+  void Fail(std::string reason,
+            StatusCode code = StatusCode::kUnavailable) {
     metrics().failed = true;
     metrics().fail_reason = std::move(reason);
+    metrics().fail_code = code;
+  }
+
+  // When the active meter enforces a hard budget and this section breached
+  // it, converts the latched breach into a graceful kResourceExhausted FAIL
+  // and returns true. Polled at stage boundaries, so the decision point is
+  // deterministic (worker peaks fold in index order, never mid-stage).
+  bool FailOnHardBreach() {
+    if (metrics().failed) return true;
+    ResourceMeter* meter = ActiveResourceMeter();
+    if (meter == nullptr || !meter->hard_breached()) return false;
+    Fail(meter->breach_message(), StatusCode::kResourceExhausted);
+    return true;
   }
 
   void TrackIntermediate(size_t tuples) {
@@ -408,6 +426,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
     if (meter != nullptr) {
       in_bytes = DistBytes(left) + DistBytes(right);
       meter->Charge(MemCategory::kIntermediate, in_bytes);
+      if (ctx.FailOnHardBreach()) return std::move(ctx.result);
     }
 
     // A Tributary round must sort its intermediate input in memory; the
@@ -420,7 +439,8 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
       if (to_sort > sort_budget) {
         ctx.Fail(StrFormat("Tributary sort buffer needs %zu tuples, memory "
                            "budget is %zu (out of memory)",
-                           to_sort, sort_budget));
+                           to_sort, sort_budget),
+                 StatusCode::kResourceExhausted);
         return std::move(ctx.result);
       }
     }
@@ -590,7 +610,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
       const Status& st = worker_status[wi];
       if (!st.ok()) {
         if (st.code() == StatusCode::kResourceExhausted) {
-          ctx.Fail(st.message());
+          ctx.Fail(st.message(), StatusCode::kResourceExhausted);
           failed = true;
         } else if (IsRetryableFailure(st)) {
           // Retries exhausted with no fallback left: graceful FAIL.
@@ -606,14 +626,15 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
       if (round_output > opts.intermediate_budget) {
         ctx.Fail(StrFormat("round %zu intermediate exceeded budget of %zu "
                            "tuples",
-                           step, opts.intermediate_budget));
+                           step, opts.intermediate_budget),
+                 StatusCode::kResourceExhausted);
         failed = true;
       }
     }
     ctx.BookStage(final_label, region_total, elapsed, sort_s, join_s,
                   round_output, failed, static_cast<size_t>(stage_retries),
                   /*degraded=*/false, &worker_mem);
-    if (failed) return std::move(ctx.result);
+    if (failed || ctx.FailOnHardBreach()) return std::move(ctx.result);
     if (step + 1 < order.size()) ctx.TrackIntermediate(round_output);
     if (meter != nullptr) {
       // The round's output overlaps its inputs briefly (charge first for an
@@ -809,7 +830,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
     const Status& st = worker_status[wi];
     if (!st.ok()) {
       if (st.code() == StatusCode::kResourceExhausted) {
-        ctx->Fail(st.message());
+        ctx->Fail(st.message(), StatusCode::kResourceExhausted);
         failed = true;
       } else if (IsRetryableFailure(st)) {
         ctx->Fail(StrFormat("stage '%s' failed after %d retries: %s",
@@ -825,6 +846,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
   ctx->BookStage(final_label, region_total, elapsed, sort_s, join_s,
                  total_output, failed, static_cast<size_t>(stage_retries),
                  /*degraded=*/false, &worker_mem);
+  if (!failed && ctx->FailOnHardBreach()) failed = true;
 
   // Per-join breakdown of the local pipeline (Table 5).
   for (size_t i = 0; i < pipeline_stats.join_outputs.size(); ++i) {
@@ -879,6 +901,7 @@ Result<StrategyResult> RunBroadcast(const NormalizedQuery& q, JoinKind join,
       shuffled[i] = std::move(sr.data);
       if (meter != nullptr) {
         meter->Charge(MemCategory::kIntermediate, DistBytes(shuffled[i]));
+        if (ctx.FailOnHardBreach()) return std::move(ctx.result);
       }
       continue;
     }
@@ -899,6 +922,7 @@ Result<StrategyResult> RunBroadcast(const NormalizedQuery& q, JoinKind join,
     }
     if (meter != nullptr) {
       meter->Charge(MemCategory::kIntermediate, DistBytes(shuffled[i]));
+      if (ctx.FailOnHardBreach()) return std::move(ctx.result);
     }
   }
 
@@ -968,6 +992,7 @@ Result<StrategyResult> RunHypercube(const NormalizedQuery& q, JoinKind join,
     }
     if (meter != nullptr) {
       meter->Charge(MemCategory::kIntermediate, DistBytes(shuffled[i]));
+      if (ctx.FailOnHardBreach()) return std::move(ctx.result);
     }
   }
 

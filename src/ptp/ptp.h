@@ -48,11 +48,14 @@
 #include "plan/semijoin_plan.h"
 #include "plan/strategies.h"
 #include "query/hypergraph.h"
+#include "query/normalize_text.h"
 #include "query/parser.h"
 #include "query/planner.h"
 #include "query/query.h"
 #include "runtime/parallel.h"
 #include "runtime/thread_pool.h"
+#include "server/plan_cache.h"
+#include "server/server.h"
 #include "storage/catalog.h"
 #include "storage/csv.h"
 #include "storage/relation.h"

@@ -1,0 +1,217 @@
+#include "query/normalize_text.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace ptp {
+namespace {
+
+// Mirror of the parser's tokenizer (query/parser.cc), kept catalog-free:
+// normalization must work on raw text before any relation is resolved.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  char Peek() {
+    SkipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool AtEnd() { return Peek() == '\0'; }
+
+  bool Consume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_).starts_with(token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Matches `word` only when not followed by an identifier character, like
+  // the parser's ConsumeWord.
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (!text_.substr(pos_).starts_with(word)) return false;
+    const size_t end = pos_ + word.size();
+    if (end < text_.size() && IsIdentChar(text_[end])) return false;
+    pos_ = end;
+    return true;
+  }
+
+  // Scans one term: identifier, integer literal, or quoted string.
+  // Returns false (leaving pos_ anywhere) when none scans.
+  bool ScanTerm(std::string* out) {
+    const char c = Peek();
+    if (c == '"') {
+      const size_t start = pos_;
+      ++pos_;
+      while (pos_ < text_.size() && text_[pos_] != '"') ++pos_;
+      if (pos_ == text_.size()) return false;
+      ++pos_;  // closing quote
+      out->assign(text_.substr(start, pos_ - start));
+      return true;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      const size_t start = pos_;
+      if (c == '-') ++pos_;
+      const size_t digits = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == digits) return false;
+      out->assign(text_.substr(start, pos_ - start));
+      return true;
+    }
+    return ScanIdent(out);
+  }
+
+  bool ScanIdent(std::string* out) {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    if (pos_ == start) return false;
+    out->assign(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  // Longest-match comparison operator, exactly the parser's order.
+  bool ScanCmpOp(std::string* out) {
+    for (std::string_view op : {"<=", ">=", "!=", "==", "<", ">", "="}) {
+      if (Consume(op)) {
+        *out = op == "==" ? "=" : std::string(op);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t pos() const { return pos_; }
+  void set_pos(size_t pos) { pos_ = pos; }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// Scans `Rel(t1, t2, ...)`, rendering it canonically into *out.
+bool ScanAtom(Scanner* s, std::string* out) {
+  std::string name;
+  if (!s->ScanIdent(&name)) return false;
+  if (!s->Consume("(")) return false;
+  *out = name + "(";
+  bool first = true;
+  while (true) {
+    std::string term;
+    if (!s->ScanTerm(&term)) return false;
+    if (!first) *out += ", ";
+    first = false;
+    *out += term;
+    if (s->Consume(",")) continue;
+    if (s->Consume(")")) break;
+    return false;
+  }
+  *out += ")";
+  return true;
+}
+
+// Whitespace-collapse fallback for text the structural pass can't scan.
+std::string CollapseWhitespace(std::string_view text) {
+  std::string out;
+  bool pending_space = false;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += c;
+  }
+  if (out.ends_with('.')) {
+    out.pop_back();
+    while (out.ends_with(' ')) out.pop_back();
+  }
+  return out;
+}
+
+bool NormalizeStructured(std::string_view text, std::string* out) {
+  Scanner s(text);
+
+  std::string head;
+  if (!ScanAtom(&s, &head)) return false;
+  // The head relation name labels the output; fold it so only the
+  // semantically-significant case (variables, body relations) keys.
+  for (size_t i = 0; i < head.size() && head[i] != '('; ++i) {
+    head[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(head[i])));
+  }
+  if (!s.Consume(":-")) return false;
+
+  std::vector<std::string> atoms;
+  std::vector<std::string> predicates;
+  while (true) {
+    // Same lookahead as the parser: atom when an identifier is followed by
+    // '(' — otherwise a comparison predicate.
+    const size_t save = s.pos();
+    std::string item;
+    if (ScanAtom(&s, &item)) {
+      atoms.push_back(std::move(item));
+    } else {
+      s.set_pos(save);
+      std::string lhs, op, rhs;
+      if (!s.ScanTerm(&lhs)) return false;
+      if (!s.ScanCmpOp(&op)) return false;
+      if (!s.ScanTerm(&rhs)) return false;
+      predicates.push_back(lhs + " " + op + " " + rhs);
+    }
+    if (s.Consume(",")) continue;
+    if (s.ConsumeWord("AND") || s.ConsumeWord("and")) continue;
+    break;
+  }
+  if (atoms.empty() && predicates.empty()) return false;
+  s.Consume(".");
+  if (!s.AtEnd()) return false;
+
+  std::sort(atoms.begin(), atoms.end());
+  std::sort(predicates.begin(), predicates.end());
+
+  *out = head + " :- ";
+  bool first = true;
+  for (const std::string& a : atoms) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += a;
+  }
+  for (const std::string& p : predicates) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += p;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string NormalizeQueryText(std::string_view text) {
+  std::string out;
+  if (NormalizeStructured(text, &out)) return out;
+  return CollapseWhitespace(text);
+}
+
+}  // namespace ptp

@@ -1,6 +1,7 @@
 #ifndef PTP_RUNTIME_THREAD_POOL_H_
 #define PTP_RUNTIME_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -24,6 +25,51 @@ inline constexpr int kMaxThreads = 128;
 /// index 0, so instrumented code sees a consistent "inside a parallel
 /// region" view regardless of the thread count.
 int CurrentThreadIndex();
+
+/// Number of opaque task-context slots (see ContextSlot below). Small and
+/// fixed so a context snapshot is a trivially-copyable array.
+inline constexpr int kNumContextSlots = 8;
+
+/// Hands out a process-unique context-slot index. Each subsystem that wants
+/// a thread-propagated "active sink" pointer (trace session, counter
+/// registry, resource meter, fault injector, ...) allocates one slot at
+/// first use and stores its pointer there. Crashes if more than
+/// kNumContextSlots subsystems register.
+int AllocateContextSlot();
+
+/// The calling thread's value for `slot` (nullptr when unset). Slots are
+/// thread-local: setting a slot on one coordinator thread is invisible to
+/// other coordinator threads, which is what makes concurrently-running
+/// queries unable to cross-charge each other's observability sinks.
+///
+/// Propagation: ParallelFor snapshots the *caller's* slots and installs
+/// them on every pool thread for the duration of the batch (restoring the
+/// previous values afterwards), so worker bodies observe the submitting
+/// query's sinks no matter which OS thread runs them.
+void* ContextSlot(int slot);
+/// Sets the calling thread's value for `slot`; returns the previous value.
+void* SetContextSlot(int slot, void* value);
+
+/// Copy of one thread's context slots, installable on another thread.
+struct ContextSnapshot {
+  void* slots[kNumContextSlots] = {};
+};
+/// Snapshot of the calling thread's slots.
+ContextSnapshot CaptureContext();
+
+/// Installs `snapshot` on the calling thread for the scope's lifetime and
+/// restores the previous slots on destruction.
+class ScopedContext {
+ public:
+  explicit ScopedContext(const ContextSnapshot& snapshot);
+  ~ScopedContext();
+
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  ContextSnapshot saved_;
+};
 
 /// Fixed-size, work-stealing-free thread pool executing deterministic
 /// fork-join batches.
@@ -75,6 +121,9 @@ class ThreadPool {
     std::atomic<int> done{0};
     std::vector<Status>* statuses = nullptr;
     std::vector<std::exception_ptr>* exceptions = nullptr;
+    /// The submitting thread's context slots, installed on every pool
+    /// thread for the duration of the batch.
+    ContextSnapshot context;
   };
 
   void WorkerMain(int index);

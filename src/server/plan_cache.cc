@@ -1,0 +1,118 @@
+#include "server/plan_cache.h"
+
+#include <algorithm>
+
+#include "query/normalize_text.h"
+#include "query/parser.h"
+
+namespace ptp {
+
+uint64_t EstimatePeakBytes(const NormalizedQuery& query,
+                           const StrategyAdvice& advice) {
+  // Same row-width convention as the meter's charge sites: tuples * arity *
+  // sizeof(Value).
+  uint64_t input_bytes = 0;
+  size_t max_arity = 1;
+  for (const NormalizedAtom& atom : query.atoms) {
+    input_bytes += static_cast<uint64_t>(atom.relation.NumTuples()) *
+                   atom.relation.arity() * sizeof(Value);
+    max_arity = std::max(max_arity, atom.variables.size());
+  }
+  const size_t out_arity = std::max(max_arity, query.Variables().size());
+  double family = advice.est_rs_tuples;
+  switch (advice.shuffle) {
+    case ShuffleKind::kRegular:
+      family = advice.est_rs_tuples;
+      break;
+    case ShuffleKind::kBroadcast:
+      family = advice.est_br_tuples;
+      break;
+    case ShuffleKind::kHypercube:
+      family = advice.est_hc_tuples;
+      break;
+  }
+  const double working = std::max(0.0, family) +
+                         std::max(0.0, advice.est_max_intermediate);
+  return input_bytes +
+         static_cast<uint64_t>(working * static_cast<double>(out_arity) *
+                               sizeof(Value));
+}
+
+Result<PlanCache::Entry> PlanCache::Prepare(std::string_view text,
+                                            int workers, Catalog* catalog,
+                                            const FeedbackStore* feedback,
+                                            bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
+  if (catalog == nullptr) {
+    return Status::InvalidArgument("plan cache needs a catalog");
+  }
+  const std::string key = NormalizeQueryText(text);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.key == key && e.workers == workers) {
+      ++stats_.hits;
+      if (was_hit != nullptr) *was_hit = true;
+      return e;
+    }
+  }
+  ++stats_.misses;
+
+  Entry e;
+  e.key = key;
+  e.workers = workers;
+  PTP_ASSIGN_OR_RETURN(e.query,
+                       ParseDatalog(text, &catalog->dictionary()));
+  PTP_RETURN_IF_ERROR(e.query.Validate(*catalog));
+  PTP_ASSIGN_OR_RETURN(NormalizedQuery normalized,
+                       Normalize(e.query, *catalog));
+  e.normalized =
+      std::make_shared<const NormalizedQuery>(std::move(normalized));
+  const QueryFeedback* qf =
+      feedback != nullptr ? feedback->Find(key, workers) : nullptr;
+  e.advice = AdviseStrategy(*e.normalized, workers, qf);
+  e.est_peak_bytes = EstimatePeakBytes(*e.normalized, e.advice);
+  ++stats_.parses;
+  entries_.push_back(e);
+  return e;
+}
+
+void PlanCache::Refresh(std::string_view key, int workers,
+                        const StrategyAdvice& advice,
+                        uint64_t measured_peak_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    if (e.key == key && e.workers == workers) {
+      e.advice = advice;
+      if (measured_peak_bytes > 0) {
+        e.est_peak_bytes = measured_peak_bytes;
+        e.measured = true;
+      }
+      ++e.executions;
+      ++stats_.refreshes;
+      return;
+    }
+  }
+}
+
+bool PlanCache::Lookup(std::string_view key, int workers, Entry* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    if (e.key == key && e.workers == workers) {
+      if (out != nullptr) *out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace ptp

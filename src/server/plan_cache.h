@@ -1,0 +1,99 @@
+#ifndef PTP_SERVER_PLAN_CACHE_H_
+#define PTP_SERVER_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/feedback.h"
+#include "plan/advisor.h"
+#include "query/query.h"
+#include "storage/catalog.h"
+
+namespace ptp {
+
+/// Prepared-plan cache of the serving layer: parse + normalize + advise
+/// once per distinct (normalized query text, cluster size), execute many.
+///
+/// The key is NormalizeQueryText(text) (query/normalize_text.h), so
+/// whitespace/case/atom-order respellings of a query share one entry. A
+/// hit returns the cached parse and advice without touching the parser or
+/// the advisor — stats() makes that observable (tests assert parses stays
+/// at the number of distinct queries while hits grow).
+///
+/// Entries fold execution feedback back in via Refresh(): the advisor
+/// re-runs over the measured QueryFeedback, so the second execution of a
+/// hot query runs the strategy its first execution proved out, and the
+/// admission controller sees the measured peak instead of the estimate.
+class PlanCache {
+ public:
+  struct Entry {
+    /// Cache key: NormalizeQueryText of the submitted text.
+    std::string key;
+    int workers = 0;
+    ConjunctiveQuery query;
+    /// Shared, immutable after preparation: concurrent executions of the
+    /// same entry read one materialized normalization.
+    std::shared_ptr<const NormalizedQuery> normalized;
+    StrategyAdvice advice;
+    /// Admission-control peak estimate: the advisor's byte guess until a
+    /// run measured the real peak (then `measured` flips).
+    uint64_t est_peak_bytes = 0;
+    bool measured = false;
+    size_t executions = 0;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /// Parser + normalizer + advisor invocations (== misses that prepared
+    /// successfully; the hit path never parses).
+    uint64_t parses = 0;
+    /// Feedback-driven advice refreshes.
+    uint64_t refreshes = 0;
+  };
+
+  /// The entry for (text, workers), preparing it on miss: parse against
+  /// `catalog` (its dictionary interns new string literals), validate,
+  /// normalize, advise (consulting `feedback` when non-null). Returns a
+  /// copy of the entry (the normalization is shared, not copied).
+  /// Serialized internally — concurrent submitters race on neither the
+  /// cache nor the catalog dictionary. `*was_hit` (optional) reports
+  /// whether the entry came from the cache.
+  Result<Entry> Prepare(std::string_view text, int workers, Catalog* catalog,
+                        const FeedbackStore* feedback,
+                        bool* was_hit = nullptr);
+
+  /// Folds a measured run into the entry for (key, workers): new advice,
+  /// measured peak bytes, execution count. Missing entries are ignored
+  /// (the cache never resurrects evicted state).
+  void Refresh(std::string_view key, int workers,
+               const StrategyAdvice& advice, uint64_t measured_peak_bytes);
+
+  /// Snapshot of the entry for (key, workers); false when absent.
+  bool Lookup(std::string_view key, int workers, Entry* out) const;
+
+  Stats stats() const;
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  Stats stats_;
+};
+
+/// Deterministic byte estimate of a strategy run's peak residency, derived
+/// from the advisor's tuple estimates: materialized inputs plus the chosen
+/// shuffle family's volume plus the worst intermediate, at the query's row
+/// width. Coarse by design — admission control needs a stable ordering of
+/// queries by appetite, not accuracy; Refresh() replaces it with the
+/// measured peak after the first execution.
+uint64_t EstimatePeakBytes(const NormalizedQuery& query,
+                           const StrategyAdvice& advice);
+
+}  // namespace ptp
+
+#endif  // PTP_SERVER_PLAN_CACHE_H_

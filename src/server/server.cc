@@ -1,0 +1,353 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/str_util.h"
+#include "common/timer.h"
+#include "obs/counters.h"
+#include "obs/resource.h"
+#include "plan/advisor.h"
+
+namespace ptp {
+namespace server_internal {
+
+/// One accepted submission, shared between the submitting thread (via
+/// QueryHandle), the scheduler queues, and the executor that runs it.
+struct PendingQuery {
+  std::string id;
+  QueryRequest request;
+  PlanCache::Entry plan;
+  bool cache_hit = false;
+  uint64_t est_peak_bytes = 0;
+  bool small = true;
+  uint64_t dispatch_seq = 0;
+  Timer queue_timer;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  QueryResponse response;
+
+  void Resolve(QueryResponse r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      response = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace server_internal
+
+using server_internal::PendingQuery;
+
+const QueryResponse& QueryHandle::Get() const {
+  PTP_CHECK(pending_ != nullptr) << "empty QueryHandle";
+  std::unique_lock<std::mutex> lock(pending_->mu);
+  pending_->cv.wait(lock, [&] { return pending_->done; });
+  return pending_->response;
+}
+
+bool QueryHandle::Done() const {
+  if (pending_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(pending_->mu);
+  return pending_->done;
+}
+
+QueryHandle QueryServer::Session::Submit(const QueryRequest& request) {
+  int seq;
+  {
+    std::lock_guard<std::mutex> lock(seq_mu_);
+    seq = next_seq_++;
+  }
+  return server_->SubmitInternal(id_ + ".q" + std::to_string(seq), request);
+}
+
+QueryServer::QueryServer(const ServerOptions& options)
+    : options_(options), running_(!options.start_paused) {
+  const int n = std::max(1, options_.executors);
+  executors_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    executors_.emplace_back([this] { ExecutorMain(); });
+  }
+}
+
+QueryServer::~QueryServer() {
+  Start();  // a paused server still drains what it accepted
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : executors_) t.join();
+}
+
+QueryServer::Session* QueryServer::OpenSession(std::string name) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  if (name.empty()) name = "s" + std::to_string(sessions_.size() + 1);
+  sessions_.push_back(
+      std::unique_ptr<Session>(new Session(this, std::move(name))));
+  return sessions_.back().get();
+}
+
+void QueryServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void QueryServer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] {
+    return small_.empty() && large_.empty() && in_flight_ == 0;
+  });
+}
+
+QueryServer::Stats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+FeedbackStore QueryServer::SnapshotFeedback() const {
+  std::lock_guard<std::mutex> lock(feedback_mu_);
+  return feedback_;
+}
+
+QueryHandle QueryServer::SubmitInternal(const std::string& id,
+                                        const QueryRequest& request) {
+  auto p = std::make_shared<PendingQuery>();
+  p->id = id;
+  p->request = request;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+  }
+
+  // Parse + optimize through the plan cache. The feedback store is read
+  // under its lock so in-flight refreshes never race a prepare (lock
+  // order: feedback_mu_ before the cache's internal mutex, everywhere).
+  Result<PlanCache::Entry> prepared = [&]() -> Result<PlanCache::Entry> {
+    std::lock_guard<std::mutex> fb_lock(feedback_mu_);
+    return cache_.Prepare(
+        request.text, request.workers, request.catalog,
+        options_.collect_feedback ? &feedback_ : nullptr, &p->cache_hit);
+  }();
+  QueryHandle handle(p);
+  if (!prepared.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+    }
+    QueryResponse r;
+    r.id = id;
+    r.status = prepared.status();
+    p->Resolve(std::move(r));
+    return handle;
+  }
+  p->plan = std::move(prepared).value();
+  p->est_peak_bytes = p->plan.est_peak_bytes;
+  p->small = p->est_peak_bytes <= options_.small_query_bytes;
+
+  // Admission: a query that can never fit the pool is refused now, not
+  // queued forever.
+  if (options_.memory_pool_bytes != 0 &&
+      p->est_peak_bytes > options_.memory_pool_bytes) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rejected;
+    }
+    QueryResponse r;
+    r.id = id;
+    r.cache_hit = p->cache_hit;
+    r.est_peak_bytes = p->est_peak_bytes;
+    r.cost_class = p->small ? "small" : "large";
+    r.status = Status::ResourceExhausted(StrFormat(
+        "estimated peak %llu B exceeds the server memory pool (%llu B)",
+        static_cast<unsigned long long>(p->est_peak_bytes),
+        static_cast<unsigned long long>(options_.memory_pool_bytes)));
+    r.retry_after_seconds = 0;  // permanent: resubmitting cannot help
+    p->Resolve(std::move(r));
+    return handle;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    (p->small ? small_ : large_).push_back(p);
+  }
+  work_cv_.notify_all();
+  return handle;
+}
+
+// Under mu_. Two-level fair pick: small before large, FIFO within class,
+// with two anti-starvation rules — after small_per_large consecutive small
+// dispatches the oldest large query goes first (and small queries are held
+// back until it fits the pool), and a blocked small head lets the large
+// head through rather than idling the executor.
+std::shared_ptr<PendingQuery> QueryServer::PickLocked() {
+  auto fits = [&](const PendingQuery& p) {
+    return options_.memory_pool_bytes == 0 || in_flight_ == 0 ||
+           reserved_bytes_ + p.est_peak_bytes <= options_.memory_pool_bytes;
+  };
+  auto take_small = [&]() {
+    auto p = small_.front();
+    small_.pop_front();
+    ++consecutive_small_;
+    ++stats_.small_dispatched;
+    return p;
+  };
+  auto take_large = [&]() {
+    auto p = large_.front();
+    large_.pop_front();
+    consecutive_small_ = 0;
+    ++stats_.large_dispatched;
+    return p;
+  };
+
+  const bool large_due =
+      !large_.empty() && (small_.empty() || consecutive_small_ >=
+                                                options_.small_per_large);
+  if (large_due) {
+    if (fits(*large_.front())) return take_large();
+    ++stats_.admission_stalls;
+    return nullptr;  // let the pool drain so the owed large query runs
+  }
+  if (!small_.empty()) {
+    if (fits(*small_.front())) return take_small();
+    if (!large_.empty() && fits(*large_.front())) return take_large();
+    ++stats_.admission_stalls;
+    return nullptr;
+  }
+  if (!large_.empty()) {
+    if (fits(*large_.front())) return take_large();
+    ++stats_.admission_stalls;
+  }
+  return nullptr;
+}
+
+void QueryServer::ExecutorMain() {
+  while (true) {
+    std::shared_ptr<PendingQuery> p;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (true) {
+        if (stopping_) return;
+        if (running_) {
+          p = PickLocked();
+          if (p != nullptr) break;
+        }
+        work_cv_.wait(lock);
+      }
+      reserved_bytes_ += p->est_peak_bytes;
+      ++in_flight_;
+      p->dispatch_seq = next_dispatch_seq_++;
+    }
+
+    QueryResponse r = Execute(p.get());
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      reserved_bytes_ -= p->est_peak_bytes;
+      --in_flight_;
+      ++stats_.completed;
+      if (!r.status.ok() || r.metrics.failed) ++stats_.failed;
+      if (r.status.code() == StatusCode::kResourceExhausted) {
+        // The run was killed by the per-query budget; suggest a backoff
+        // proportional to the current load (the pool frees as the queue
+        // drains).
+        const double load = static_cast<double>(
+            small_.size() + large_.size() + static_cast<size_t>(in_flight_) +
+            1);
+        r.retry_after_seconds = std::max(0.01, 0.05 * load);
+      }
+    }
+    p->Resolve(std::move(r));
+    work_cv_.notify_all();
+    drain_cv_.notify_all();
+  }
+}
+
+QueryResponse QueryServer::Execute(PendingQuery* p) {
+  QueryResponse r;
+  r.id = p->id;
+  r.cache_hit = p->cache_hit;
+  r.est_peak_bytes = p->est_peak_bytes;
+  r.cost_class = p->small ? "small" : "large";
+  r.dispatch_seq = p->dispatch_seq;
+  r.queue_seconds = p->queue_timer.Seconds();
+
+  ShuffleKind shuffle = p->plan.advice.shuffle;
+  JoinKind join = p->plan.advice.join;
+  if (p->request.force_strategy) {
+    shuffle = p->request.shuffle;
+    join = p->request.join;
+  }
+  r.strategy = StrategyName(shuffle, join);
+
+  StrategyOptions opts = p->request.exec;
+  opts.num_workers = p->request.workers;
+
+  // Per-query observability sinks, installed on this executor thread only
+  // (thread-propagated context slots): a concurrent query on another
+  // executor charges its own registry/meter, never these.
+  CounterRegistry counters;
+  ResourceMeter meter(options_.query_budget_bytes, /*hard=*/true);
+  CounterRegistry* prev_registry = SetActiveCounterRegistry(&counters);
+  ResourceMeter* prev_meter = SetActiveResourceMeter(&meter);
+  Timer exec_timer;
+  Result<StrategyResult> result =
+      RunStrategy(*p->plan.normalized, shuffle, join, opts);
+  r.exec_seconds = exec_timer.Seconds();
+  SetActiveResourceMeter(prev_meter);
+  SetActiveCounterRegistry(prev_registry);
+
+  if (!result.ok()) {
+    r.status = result.status();
+    r.counters = counters.CounterSnapshot();
+    return r;
+  }
+  StrategyResult sr = std::move(result).value();
+  r.metrics = sr.metrics;
+  r.output = std::move(sr.output);
+  if (sr.metrics.failed) {
+    r.status = sr.metrics.fail_code == StatusCode::kResourceExhausted
+                   ? Status::ResourceExhausted(sr.metrics.fail_reason)
+                   : Status::Unavailable(sr.metrics.fail_reason);
+  }
+
+  if (options_.collect_feedback) {
+    // Fold the measured run into the feedback store and re-advise the
+    // cached plan: the next execution of this query starts from what this
+    // one measured (strategy upgrade + measured peak for admission).
+    std::lock_guard<std::mutex> fb_lock(feedback_mu_);
+    QueryFeedback* qf =
+        feedback_.FindOrAdd(p->plan.key, p->request.workers);
+    StrategyFeedback sf =
+        CollectStrategyFeedback(*p->plan.normalized, r.strategy, sr);
+    bool replaced = false;
+    for (StrategyFeedback& s : qf->strategies) {
+      if (s.strategy == sf.strategy) {
+        s = sf;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) qf->strategies.push_back(std::move(sf));
+    const StrategyAdvice advice =
+        AdviseStrategy(*p->plan.normalized, p->request.workers, qf);
+    cache_.Refresh(p->plan.key, p->request.workers, advice,
+                   sr.metrics.failed
+                       ? 0
+                       : static_cast<uint64_t>(sr.metrics.peak_bytes));
+  }
+  r.counters = counters.CounterSnapshot();
+  return r;
+}
+
+}  // namespace ptp

@@ -1,0 +1,236 @@
+#ifndef PTP_SERVER_SERVER_H_
+#define PTP_SERVER_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/feedback.h"
+#include "plan/strategies.h"
+#include "server/plan_cache.h"
+#include "storage/catalog.h"
+
+namespace ptp {
+
+class QueryServer;
+namespace server_internal {
+struct PendingQuery;
+}  // namespace server_internal
+
+/// One query submission: the raw Datalog text, the catalog it resolves
+/// against, and the simulated cluster size to run it on.
+struct QueryRequest {
+  std::string text;
+  /// Must outlive the response. The parser may intern new string literals
+  /// into its dictionary (serialized by the plan cache).
+  Catalog* catalog = nullptr;
+  int workers = 4;
+
+  /// Base execution options; num_workers is overridden by `workers`.
+  StrategyOptions exec;
+
+  /// When true, run exactly (shuffle, join) instead of the advised
+  /// strategy (ablation / pinned plans).
+  bool force_strategy = false;
+  ShuffleKind shuffle = ShuffleKind::kRegular;
+  JoinKind join = JoinKind::kHashJoin;
+};
+
+/// Everything the server reports back for one query.
+struct QueryResponse {
+  /// Deterministic id: "<session>.q<seq>", assigned at submit.
+  std::string id;
+  /// kOk for completed runs (including result-less ones); kInvalidArgument
+  /// for parse/validation errors; kResourceExhausted for budget rejections
+  /// and hard-budget FAILs (see retry_after_seconds); kUnavailable when a
+  /// run exhausted its fault retries or the server shut down first.
+  Status status;
+  /// For kResourceExhausted: suggested client backoff. 0 means permanent
+  /// (the query can never fit the pool); > 0 means the pool or budget was
+  /// transiently oversubscribed.
+  double retry_after_seconds = 0;
+
+  bool cache_hit = false;
+  /// 1-based position in the server's dispatch order (0 when the query
+  /// never dispatched, i.e. was rejected at submit) — what the fairness
+  /// tests assert on.
+  uint64_t dispatch_seq = 0;
+  /// Strategy actually executed ("RS_HJ", ...).
+  std::string strategy;
+  /// Admission cost class ("small"/"large") and the peak-bytes figure the
+  /// admission controller used.
+  std::string cost_class;
+  uint64_t est_peak_bytes = 0;
+
+  Relation output;
+  QueryMetrics metrics;
+  /// The query's private counter registry, snapshotted after the run —
+  /// what a solo run of the same plan would have published (the
+  /// cross-contamination check in bench/serve_closed_loop.cc compares
+  /// these bit-for-bit).
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  double queue_seconds = 0;
+  double exec_seconds = 0;
+};
+
+/// Blocking handle to an in-flight submission. Copyable; Get() blocks
+/// until the response is ready and stays valid for the handle's lifetime.
+class QueryHandle {
+ public:
+  QueryHandle() = default;
+  const QueryResponse& Get() const;
+  bool Done() const;
+
+ private:
+  friend class QueryServer;
+  explicit QueryHandle(std::shared_ptr<server_internal::PendingQuery> p)
+      : pending_(std::move(p)) {}
+  std::shared_ptr<server_internal::PendingQuery> pending_;
+};
+
+struct ServerOptions {
+  /// Executor threads draining the queue. Each executes one query at a
+  /// time end-to-end; the per-stage parallelism inside a query still comes
+  /// from the shared runtime pool (whose batches serialize, so concurrent
+  /// queries interleave at stage granularity).
+  int executors = 2;
+
+  /// Global admission pool: the sum of estimated (or measured) peak bytes
+  /// of running queries never exceeds this. A query that doesn't currently
+  /// fit waits in the queue; one that can never fit (estimate > pool) is
+  /// rejected at submit. 0 = unlimited.
+  uint64_t memory_pool_bytes = 0;
+
+  /// Hard per-query budget: a running query whose metered live bytes
+  /// exceed this FAILs gracefully with kResourceExhausted (and a
+  /// retry-after) instead of running on. 0 = off.
+  uint64_t query_budget_bytes = 0;
+
+  /// Two-level fair scheduling: queries whose peak estimate is at most
+  /// this many bytes form the "small" class, served ahead of "large" ones
+  /// — but after `small_per_large` consecutive small dispatches the oldest
+  /// large query goes first, so neither class starves. FIFO within class.
+  uint64_t small_query_bytes = 8ull << 20;
+  int small_per_large = 4;
+
+  /// When true the server accepts submissions but dispatches nothing until
+  /// Start() — how tests stage deterministic arrival orders.
+  bool start_paused = false;
+
+  /// Fold each execution's measurements into the feedback store and
+  /// re-advise the cached plan (the serving-layer version of PR 6's
+  /// --feedback-in/--feedback-out loop).
+  bool collect_feedback = true;
+};
+
+/// Concurrent multi-query serving layer: sessions submit Datalog text, the
+/// server parses/optimizes through a prepared-plan cache, admits queries
+/// against a global memory pool, schedules them fairly across two cost
+/// classes, and executes on the shared deterministic runtime.
+///
+/// Isolation: each executor installs per-query observability sinks
+/// (counter registry, resource meter) that are thread-propagated (see
+/// runtime::ContextSlot), so concurrently-served queries never cross-
+/// charge — a query's counters and memory account are bit-identical to a
+/// solo run of the same plan.
+class QueryServer {
+ public:
+  /// A client connection: a named stream of submissions with
+  /// deterministically numbered query ids. Sessions are created by
+  /// OpenSession and owned by the server.
+  class Session {
+   public:
+    const std::string& id() const { return id_; }
+    /// Enqueues `request`; returns immediately with a blocking handle.
+    QueryHandle Submit(const QueryRequest& request);
+
+   private:
+    friend class QueryServer;
+    Session(QueryServer* server, std::string id)
+        : server_(server), id_(std::move(id)) {}
+    QueryServer* server_;
+    std::string id_;
+    int next_seq_ = 1;
+    std::mutex seq_mu_;
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t completed = 0;  // ran to completion, including graceful FAILs
+    uint64_t rejected = 0;   // refused at submit (can never fit the pool)
+    uint64_t failed = 0;     // completed with metrics.failed
+    /// Dispatch attempts that found work but had to hold it back for pool
+    /// headroom (admission waits).
+    uint64_t admission_stalls = 0;
+    uint64_t small_dispatched = 0;
+    uint64_t large_dispatched = 0;
+  };
+
+  explicit QueryServer(const ServerOptions& options);
+  /// Drains the queue (starting a paused server if needed), then joins the
+  /// executors.
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Opens a session; the pointer stays valid for the server's lifetime.
+  /// Ids are "s1", "s2", ... in open order unless `name` is given.
+  Session* OpenSession(std::string name = "");
+
+  /// Begins dispatching (no-op unless start_paused).
+  void Start();
+  /// Blocks until every accepted query has completed.
+  void Drain();
+
+  Stats stats() const;
+  const PlanCache& plan_cache() const { return cache_; }
+  /// In-memory measured-run store the feedback loop builds up; callers may
+  /// persist it with FeedbackStore::WriteFile after Drain().
+  FeedbackStore SnapshotFeedback() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  friend class Session;
+
+  QueryHandle SubmitInternal(const std::string& id,
+                             const QueryRequest& request);
+  void ExecutorMain();
+  std::shared_ptr<server_internal::PendingQuery> PickLocked();
+  QueryResponse Execute(server_internal::PendingQuery* p);
+
+  const ServerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::deque<std::shared_ptr<server_internal::PendingQuery>> small_;
+  std::deque<std::shared_ptr<server_internal::PendingQuery>> large_;
+  uint64_t reserved_bytes_ = 0;
+  int in_flight_ = 0;
+  int consecutive_small_ = 0;
+  uint64_t next_dispatch_seq_ = 1;
+  Stats stats_;
+
+  PlanCache cache_;
+  mutable std::mutex feedback_mu_;
+  FeedbackStore feedback_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+
+  std::vector<std::thread> executors_;
+};
+
+}  // namespace ptp
+
+#endif  // PTP_SERVER_SERVER_H_

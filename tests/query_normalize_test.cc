@@ -1,0 +1,85 @@
+#include "query/normalize_text.h"
+
+#include "gtest/gtest.h"
+
+namespace ptp {
+namespace {
+
+TEST(NormalizeQueryTextTest, CanonicalFormIsAFixedPoint) {
+  const std::string canonical = "t(x, y, z) :- R(x, y), S(y, z), U(z, x)";
+  EXPECT_EQ(NormalizeQueryText(canonical), canonical);
+}
+
+TEST(NormalizeQueryTextTest, WhitespaceCollapsed) {
+  EXPECT_EQ(NormalizeQueryText("  T( x ,\ty )   :-   R(x,y)  "),
+            "t(x, y) :- R(x, y)");
+  EXPECT_EQ(NormalizeQueryText("T(x,y):-R(x,y)"), "t(x, y) :- R(x, y)");
+}
+
+TEST(NormalizeQueryTextTest, TrailingDotDropped) {
+  EXPECT_EQ(NormalizeQueryText("T(x) :- R(x, y)."),
+            NormalizeQueryText("T(x) :- R(x, y)"));
+}
+
+TEST(NormalizeQueryTextTest, AndSeparatorRewrittenToComma) {
+  EXPECT_EQ(NormalizeQueryText("T(x,z) :- R(x,y) AND S(y,z)."),
+            NormalizeQueryText("T(x,z) :- R(x,y), S(y,z)."));
+  EXPECT_EQ(NormalizeQueryText("T(x,z) :- R(x,y) and S(y,z)."),
+            NormalizeQueryText("T(x,z) :- R(x,y), S(y,z)."));
+}
+
+TEST(NormalizeQueryTextTest, BodyAtomOrderCanonicalized) {
+  EXPECT_EQ(NormalizeQueryText("T(x,y,z) :- S(y,z), U(z,x), R(x,y)."),
+            NormalizeQueryText("T(x,y,z) :- R(x,y), S(y,z), U(z,x)."));
+}
+
+TEST(NormalizeQueryTextTest, PredicatesSortedAfterAtoms) {
+  EXPECT_EQ(NormalizeQueryText("Q(x) :- y < 5, R(x, y), x > 2."),
+            "q(x) :- R(x, y), x > 2, y < 5");
+}
+
+TEST(NormalizeQueryTextTest, DoubleEqualsRewritten) {
+  EXPECT_EQ(NormalizeQueryText("Q(x) :- R(x, y), x == 3."),
+            NormalizeQueryText("Q(x) :- R(x, y), x = 3."));
+}
+
+TEST(NormalizeQueryTextTest, HeadNameCaseFolded) {
+  EXPECT_EQ(NormalizeQueryText("ANSWER(x) :- R(x, y)"),
+            NormalizeQueryText("answer(x) :- R(x, y)"));
+}
+
+TEST(NormalizeQueryTextTest, SemanticCasePreserved) {
+  // Variable and body-relation case is meaning-bearing: these are four
+  // genuinely different queries and must not collide.
+  EXPECT_NE(NormalizeQueryText("q(x) :- R(x, y)"),
+            NormalizeQueryText("q(x) :- r(x, y)"));
+  EXPECT_NE(NormalizeQueryText("q(x) :- R(x, y)"),
+            NormalizeQueryText("q(x) :- R(x, Y)"));
+}
+
+TEST(NormalizeQueryTextTest, ConstantsAndStringsPreserved) {
+  EXPECT_EQ(NormalizeQueryText("Q(x) :- R(x, 42), S(x, -7)"),
+            "q(x) :- R(x, 42), S(x, -7)");
+  EXPECT_EQ(NormalizeQueryText("Q(x) :- Name(x, \"Joe  Pesci\")"),
+            "q(x) :- Name(x, \"Joe  Pesci\")");
+}
+
+TEST(NormalizeQueryTextTest, DifferentQueriesStayDifferent) {
+  EXPECT_NE(NormalizeQueryText("T(x) :- R(x, y), S(y, x)"),
+            NormalizeQueryText("T(x) :- R(x, y), S(x, y)"));
+  EXPECT_NE(NormalizeQueryText("T(x) :- R(x, y)"),
+            NormalizeQueryText("T(x, y) :- R(x, y)"));
+}
+
+TEST(NormalizeQueryTextTest, UnparsableTextFallsBackToWhitespaceCollapse) {
+  // No ':-': the structural pass bails; whitespace still collapses and the
+  // trailing dot still drops, so the key stays deterministic.
+  EXPECT_EQ(NormalizeQueryText("  not   a\tquery . "), "not a query");
+  EXPECT_EQ(NormalizeQueryText(""), "");
+  // Trailing garbage after a valid body also falls back (parser would
+  // reject it too).
+  EXPECT_EQ(NormalizeQueryText("T(x) :- R(x) extra"), "T(x) :- R(x) extra");
+}
+
+}  // namespace
+}  // namespace ptp

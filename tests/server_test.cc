@@ -1,0 +1,422 @@
+// Serving-layer tests: plan-cache hit path (no re-parse/re-optimize),
+// per-query sink isolation under concurrent executors (no cross-charged
+// counters or memory), admission control (permanent rejection, queue-then-
+// run when the pool frees, graceful hard-budget kResourceExhausted with
+// retry-after), deterministic two-level fair scheduling, and session id
+// assignment.
+
+#include "server/server.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "obs/counters.h"
+#include "obs/resource.h"
+#include "plan/strategies.h"
+#include "query/parser.h"
+#include "runtime/parallel.h"
+#include "server/plan_cache.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+
+namespace ptp {
+namespace {
+
+// A catalog of random binary relations sized by `tuples`/`domain`, with
+// every relation a test query mentions.
+std::shared_ptr<Catalog> MakeCatalog(uint64_t seed, size_t tuples,
+                                     Value domain) {
+  auto catalog = std::make_shared<Catalog>();
+  Rng rng(seed);
+  for (const char* name : {"R", "S", "U"}) {
+    catalog->Put(test::RandomBinaryRelation(name, {"a", "b"}, tuples, domain,
+                                            &rng));
+  }
+  return catalog;
+}
+
+QueryRequest MakeRequest(Catalog* catalog, const std::string& text,
+                         int workers = 4) {
+  QueryRequest req;
+  req.text = text;
+  req.catalog = catalog;
+  req.workers = workers;
+  return req;
+}
+
+constexpr const char* kTriangle = "T(x,y,z) :- R(x,y), S(y,z), U(z,x).";
+constexpr const char* kPath = "P(x,w) :- R(x,y), S(y,z), U(z,w).";
+
+// ---------------------------------------------------------------------------
+// Plan cache.
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, PlanCacheHitSkipsParseAndOptimize) {
+  auto catalog = MakeCatalog(7, 80, 12);
+  ServerOptions so;
+  so.executors = 1;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+
+  // Three spellings of the same query: different whitespace, AND vs comma,
+  // different atom order. One parse, two hits.
+  std::vector<QueryHandle> handles;
+  handles.push_back(session->Submit(MakeRequest(catalog.get(), kTriangle)));
+  handles.push_back(session->Submit(MakeRequest(
+      catalog.get(), "T(x,y,z):-S(y,z) AND U(z,x) AND R(x,y)")));
+  handles.push_back(session->Submit(MakeRequest(
+      catalog.get(), "  T( x , y , z )  :-  R(x,y) ,\tS(y,z), U(z,x) .")));
+  server.Drain();
+
+  const Relation& first = handles[0].Get().output;
+  for (const QueryHandle& h : handles) {
+    const QueryResponse& r = h.Get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(r.output.EqualsUnordered(first));
+  }
+  EXPECT_FALSE(handles[0].Get().cache_hit);
+  EXPECT_TRUE(handles[1].Get().cache_hit);
+  EXPECT_TRUE(handles[2].Get().cache_hit);
+
+  const PlanCache::Stats stats = server.plan_cache().stats();
+  EXPECT_EQ(stats.parses, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(server.plan_cache().size(), 1u);
+}
+
+TEST(ServerTest, ParseErrorRejectedAtSubmit) {
+  auto catalog = MakeCatalog(7, 20, 8);
+  ServerOptions so;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  QueryHandle h =
+      session->Submit(MakeRequest(catalog.get(), "not a query at all"));
+  const QueryResponse& r = h.Get();
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.stats().completed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Isolation: concurrently-served queries must not cross-charge sinks.
+// ---------------------------------------------------------------------------
+
+// Solo baseline of (query text, strategy): fresh registry + meter, direct
+// RunStrategy — exactly what the server's executor does, minus the server.
+struct SoloRun {
+  QueryMetrics metrics;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  Relation output;
+};
+
+SoloRun RunSolo(Catalog* catalog, const std::string& text,
+                const std::string& strategy, int workers) {
+  auto parsed = ParseDatalog(text, &catalog->dictionary());
+  PTP_CHECK(parsed.ok());
+  auto nq = Normalize(*parsed, *catalog);
+  PTP_CHECK(nq.ok());
+  ShuffleKind shuffle = ShuffleKind::kRegular;
+  JoinKind join = JoinKind::kHashJoin;
+  for (const auto& [s, j] : AllStrategies()) {
+    if (strategy == StrategyName(s, j)) {
+      shuffle = s;
+      join = j;
+    }
+  }
+  StrategyOptions opts;
+  opts.num_workers = workers;
+  CounterRegistry counters;
+  ResourceMeter meter(0, /*hard=*/true);
+  CounterRegistry* prev_reg = SetActiveCounterRegistry(&counters);
+  ResourceMeter* prev_meter = SetActiveResourceMeter(&meter);
+  auto result = RunStrategy(*nq, shuffle, join, opts);
+  SetActiveResourceMeter(prev_meter);
+  SetActiveCounterRegistry(prev_reg);
+  PTP_CHECK(result.ok()) << result.status().ToString();
+  SoloRun solo;
+  solo.metrics = result->metrics;
+  solo.counters = counters.CounterSnapshot();
+  solo.output = std::move(result->output);
+  return solo;
+}
+
+TEST(ServerTest, ConcurrentQueriesBitIdenticalToSoloRuns) {
+  auto twitter = MakeCatalog(11, 150, 14);
+  auto freebase = MakeCatalog(23, 90, 10);
+
+  ServerOptions so;
+  so.executors = 3;
+  QueryServer server(so);
+  auto* s1 = server.OpenSession();
+  auto* s2 = server.OpenSession();
+
+  struct Submitted {
+    Catalog* catalog;
+    std::string text;
+    int workers;
+    QueryHandle handle;
+  };
+  std::vector<Submitted> all;
+  // Interleave two sessions over two catalogs and two queries, repeatedly,
+  // so executions of different queries overlap in every combination.
+  for (int round = 0; round < 6; ++round) {
+    all.push_back({twitter.get(), kTriangle, 4,
+                   s1->Submit(MakeRequest(twitter.get(), kTriangle, 4))});
+    all.push_back({freebase.get(), kPath, 3,
+                   s2->Submit(MakeRequest(freebase.get(), kPath, 3))});
+  }
+  server.Drain();
+
+  for (const Submitted& sub : all) {
+    const QueryResponse& r = sub.handle.Get();
+    ASSERT_TRUE(r.status.ok()) << r.id << ": " << r.status.ToString();
+    // Baseline with the strategy the server actually ran (feedback may
+    // upgrade it between rounds); every deterministic figure must match a
+    // solo run bit-for-bit.
+    SoloRun solo = RunSolo(sub.catalog, sub.text, r.strategy, sub.workers);
+    EXPECT_TRUE(r.output.EqualsUnordered(solo.output)) << r.id;
+    EXPECT_EQ(r.metrics.output_tuples, solo.metrics.output_tuples) << r.id;
+    EXPECT_EQ(r.metrics.TuplesShuffled(), solo.metrics.TuplesShuffled())
+        << r.id;
+    EXPECT_EQ(r.metrics.max_intermediate_tuples,
+              solo.metrics.max_intermediate_tuples)
+        << r.id;
+    EXPECT_EQ(r.metrics.peak_bytes, solo.metrics.peak_bytes) << r.id;
+    EXPECT_EQ(r.metrics.charged_bytes, solo.metrics.charged_bytes) << r.id;
+    EXPECT_EQ(r.counters, solo.counters) << r.id << " (" << r.strategy
+                                         << "): counter cross-charge";
+  }
+  EXPECT_EQ(server.stats().completed, all.size());
+  EXPECT_EQ(server.stats().failed, 0u);
+}
+
+// Regression for the underlying mechanism: active sinks are per thread and
+// propagate into pool workers per batch, so two plain threads running
+// parallel regions back-to-back never publish into each other's registry.
+TEST(ServerTest, ActiveSinksArePerThread) {
+  constexpr int kIters = 50;
+  auto body = [](CounterRegistry* reg, ResourceMeter* meter,
+                 uint64_t stamp) {
+    CounterRegistry* prev_reg = SetActiveCounterRegistry(reg);
+    ResourceMeter* prev_meter = SetActiveResourceMeter(meter);
+    meter->BeginQuery("q");
+    for (int i = 0; i < kIters; ++i) {
+      Status st = runtime::ParallelFor(4, [&](int /*worker*/) {
+        if (CounterRegistry* r = ActiveCounterRegistry()) {
+          r->Add("iters", stamp);
+        }
+        MemCharge(MemCategory::kIntermediate, stamp);
+        MemRelease(stamp);
+        return Status::OK();
+      });
+      PTP_CHECK(st.ok());
+    }
+    SetActiveResourceMeter(prev_meter);
+    SetActiveCounterRegistry(prev_reg);
+  };
+  CounterRegistry reg_a, reg_b;
+  ResourceMeter meter_a, meter_b;
+  std::thread ta([&] { body(&reg_a, &meter_a, 1); });
+  std::thread tb([&] { body(&reg_b, &meter_b, 1000); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(reg_a.Value("iters"), static_cast<uint64_t>(kIters) * 4 * 1);
+  EXPECT_EQ(reg_b.Value("iters"), static_cast<uint64_t>(kIters) * 4 * 1000);
+  ASSERT_EQ(meter_a.Snapshot().size(), 1u);
+  ASSERT_EQ(meter_b.Snapshot().size(), 1u);
+  EXPECT_EQ(meter_a.Snapshot()[0].TotalCharged(),
+            static_cast<uint64_t>(kIters) * 4 * 1);
+  EXPECT_EQ(meter_b.Snapshot()[0].TotalCharged(),
+            static_cast<uint64_t>(kIters) * 4 * 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control.
+// ---------------------------------------------------------------------------
+
+// The peak estimate the admission controller will use for (text, workers).
+uint64_t EstimateFor(Catalog* catalog, const std::string& text,
+                     int workers) {
+  PlanCache scratch;
+  auto e = scratch.Prepare(text, workers, catalog, nullptr);
+  PTP_CHECK(e.ok()) << e.status().ToString();
+  return e->est_peak_bytes;
+}
+
+TEST(ServerTest, QueryThatCanNeverFitIsRejectedAtSubmit) {
+  auto catalog = MakeCatalog(3, 200, 16);
+  const uint64_t est = EstimateFor(catalog.get(), kTriangle, 4);
+  ServerOptions so;
+  so.memory_pool_bytes = est / 2;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  QueryHandle h = session->Submit(MakeRequest(catalog.get(), kTriangle, 4));
+  const QueryResponse& r = h.Get();
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r.retry_after_seconds, 0.0);  // permanent, not transient
+  EXPECT_EQ(r.dispatch_seq, 0u);          // never dispatched
+  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server.stats().completed, 0u);
+}
+
+TEST(ServerTest, OversizedQueryQueuesUntilPoolFrees) {
+  auto catalog = MakeCatalog(3, 200, 16);
+  const uint64_t est = EstimateFor(catalog.get(), kTriangle, 4);
+  ServerOptions so;
+  so.executors = 2;
+  // Pool fits one triangle at a time, never two: the second submission
+  // must wait for the first to release its reservation, not run beside it
+  // and not be rejected.
+  so.memory_pool_bytes = est + est / 2;
+  so.start_paused = true;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(session->Submit(MakeRequest(catalog.get(), kTriangle,
+                                                  4)));
+  }
+  server.Start();
+  server.Drain();
+  for (const QueryHandle& h : handles) {
+    EXPECT_TRUE(h.Get().status.ok()) << h.Get().status.ToString();
+  }
+  EXPECT_EQ(server.stats().completed, 4u);
+  EXPECT_EQ(server.stats().rejected, 0u);
+  // Dispatches happened (serialized by the pool), in FIFO order.
+  std::vector<uint64_t> seqs;
+  for (const QueryHandle& h : handles) seqs.push_back(h.Get().dispatch_seq);
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(ServerTest, HardBudgetBreachFailsWithResourceExhausted) {
+  auto catalog = MakeCatalog(5, 300, 12);
+  ServerOptions so;
+  so.executors = 1;
+  so.query_budget_bytes = 1024;  // any shuffle materialization breaches
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  QueryHandle h = session->Submit(MakeRequest(catalog.get(), kTriangle, 4));
+  const QueryResponse& r = h.Get();
+  EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(r.retry_after_seconds, 0.0);  // transient: the pool drains
+  EXPECT_TRUE(r.metrics.failed);
+  EXPECT_EQ(r.metrics.fail_code, StatusCode::kResourceExhausted);
+  EXPECT_NE(r.metrics.fail_reason.find("hard budget"), std::string::npos)
+      << r.metrics.fail_reason;
+  // The run's account is booked consistently: the breach counter fired
+  // once, and the metered peak indeed exceeds the budget.
+  uint64_t breaches = 0;
+  for (const auto& [name, value] : r.counters) {
+    if (name == "mem.hard_budget_breaches") breaches = value;
+  }
+  EXPECT_EQ(breaches, 1u);
+  EXPECT_GT(r.metrics.peak_bytes, so.query_budget_bytes);
+  EXPECT_EQ(server.stats().failed, 1u);
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fair scheduling.
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, TwoLevelSchedulingIsFairAndDeterministic) {
+  auto small_cat = MakeCatalog(13, 40, 8);
+  auto large_cat = MakeCatalog(17, 1500, 40);
+  const uint64_t small_est = EstimateFor(small_cat.get(), kTriangle, 2);
+  const uint64_t large_est = EstimateFor(large_cat.get(), kPath, 2);
+  ASSERT_LT(small_est, large_est);
+
+  ServerOptions so;
+  so.executors = 1;  // single executor: dispatch order == execution order
+  so.start_paused = true;
+  so.small_query_bytes = (small_est + large_est) / 2;
+  so.small_per_large = 2;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+
+  // Seeded arrival order: one large first, then four smalls, then another
+  // large. Expected dispatch: two smalls, the owed large, the remaining
+  // smalls, the last large.
+  std::vector<QueryHandle> handles;
+  handles.push_back(session->Submit(MakeRequest(large_cat.get(), kPath, 2)));
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(
+        session->Submit(MakeRequest(small_cat.get(), kTriangle, 2)));
+  }
+  handles.push_back(session->Submit(MakeRequest(large_cat.get(), kPath, 2)));
+  server.Start();
+  server.Drain();
+
+  ASSERT_EQ(handles[0].Get().cost_class, "large");
+  ASSERT_EQ(handles[1].Get().cost_class, "small");
+  std::vector<uint64_t> seqs;
+  for (const QueryHandle& h : handles) {
+    ASSERT_TRUE(h.Get().status.ok()) << h.Get().status.ToString();
+    seqs.push_back(h.Get().dispatch_seq);
+  }
+  // Arrival:  L1 S1 S2 S3 S4 L2
+  // Dispatch: S1 S2 L1 S3 S4 L2  (small first, large after 2 smalls, FIFO
+  // within class).
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{3, 1, 2, 4, 5, 6}));
+  EXPECT_EQ(server.stats().small_dispatched, 4u);
+  EXPECT_EQ(server.stats().large_dispatched, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Sessions.
+// ---------------------------------------------------------------------------
+
+TEST(ServerTest, SessionsAssignDeterministicIds) {
+  auto catalog = MakeCatalog(29, 30, 8);
+  ServerOptions so;
+  QueryServer server(so);
+  auto* s1 = server.OpenSession();
+  auto* s2 = server.OpenSession();
+  auto* named = server.OpenSession("audit");
+  EXPECT_EQ(s1->id(), "s1");
+  EXPECT_EQ(s2->id(), "s2");
+  EXPECT_EQ(named->id(), "audit");
+  QueryHandle a = s1->Submit(MakeRequest(catalog.get(), kTriangle));
+  QueryHandle b = s1->Submit(MakeRequest(catalog.get(), kTriangle));
+  QueryHandle c = s2->Submit(MakeRequest(catalog.get(), kTriangle));
+  server.Drain();
+  EXPECT_EQ(a.Get().id, "s1.q1");
+  EXPECT_EQ(b.Get().id, "s1.q2");
+  EXPECT_EQ(c.Get().id, "s2.q1");
+}
+
+// Feedback loop: the second execution of a hot query reuses the cached
+// plan and the cache carries the measured peak for admission.
+TEST(ServerTest, FeedbackRefreshesCachedPlan) {
+  auto catalog = MakeCatalog(31, 120, 12);
+  ServerOptions so;
+  so.executors = 1;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  QueryHandle first =
+      session->Submit(MakeRequest(catalog.get(), kTriangle, 4));
+  server.Drain();
+  const uint64_t measured = first.Get().metrics.peak_bytes;
+  ASSERT_GT(measured, 0u);
+
+  QueryHandle second =
+      session->Submit(MakeRequest(catalog.get(), kTriangle, 4));
+  server.Drain();
+  EXPECT_TRUE(second.Get().cache_hit);
+  // Admission now uses the measured figure, not the estimate.
+  EXPECT_EQ(second.Get().est_peak_bytes, measured);
+  // And the advice was re-derived from measurements.
+  FeedbackStore fb = server.SnapshotFeedback();
+  ASSERT_EQ(fb.queries.size(), 1u);
+  EXPECT_FALSE(fb.queries[0].strategies.empty());
+}
+
+}  // namespace
+}  // namespace ptp
