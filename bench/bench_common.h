@@ -47,6 +47,12 @@ struct BenchConfig {
   /// accounting with no budget, > 0 additionally sets a soft per-query
   /// budget in bytes (overruns are logged and annotated, never enforced).
   long long mem_budget = -1;
+  /// Sideways-information-passing bloom filters on regular-shuffle rounds:
+  /// "off" (default), "on", or "auto" — auto asks the advisor and enables
+  /// the filter when its estimated probe-side reduction clears the
+  /// worth-it threshold (refined by measured selectivity when
+  /// --feedback-in= supplies a bloom-enabled run).
+  std::string bloom = "off";
   /// When nonempty, measured cardinality/skew feedback for the run is
   /// recorded into this versioned JSON store (arming the memory meter so
   /// peak bytes are captured too). Re-recording a (query, workers) pair
@@ -84,6 +90,7 @@ struct BenchConfig {
           eat("--json=", [&](const std::string& v) { c.json_path = v; }) ||
           eat("--profile=", [&](const std::string& v) { c.profile_path = v; }) ||
           eat("--faults=", [&](const std::string& v) { c.faults = v; }) ||
+          eat("--bloom=", [&](const std::string& v) { c.bloom = v; }) ||
           eat("--mem-budget=", [&](const std::string& v) { c.mem_budget = std::stoll(v); }) ||
           eat("--feedback-out=", [&](const std::string& v) { c.feedback_out = v; }) ||
           eat("--feedback-in=", [&](const std::string& v) { c.feedback_in = v; });
@@ -93,10 +100,15 @@ struct BenchConfig {
                      "--twitter-edges= --twitter-zipf= --freebase-scale= "
                      "--seed= --budget= --sort-budget= --trace=<file> "
                      "--json=<file> --profile=<file> --faults=<schedule> "
-                     "--mem-budget=<bytes|-1> --feedback-out=<file> "
-                     "--feedback-in=<file>\n";
+                     "--bloom=on|off|auto --mem-budget=<bytes|-1> "
+                     "--feedback-out=<file> --feedback-in=<file>\n";
         std::exit(2);
       }
+    }
+    if (c.bloom != "on" && c.bloom != "off" && c.bloom != "auto") {
+      std::cerr << "invalid --bloom= value '" << c.bloom
+                << "' (want on, off, or auto)\n";
+      std::exit(2);
     }
     runtime::SetThreads(c.threads);
     // Auto-detection resolving to one core serializes every parallel stage
@@ -130,6 +142,7 @@ struct BenchConfig {
     o.num_workers = workers;
     o.intermediate_budget = intermediate_budget;
     o.sort_budget = sort_budget;
+    o.bloom = bloom == "on";  // "auto" is resolved where the advisor runs
     return o;
   }
 };
@@ -226,6 +239,18 @@ inline std::vector<StrategyResult> RunSixConfigs(
 
   StrategyOptions options = config.ToOptions();
   if (patch_options) patch_options(&options);
+  if (config.bloom == "auto") {
+    // The advisor decides (estimated probe-side reduction vs threshold,
+    // replaced by measured selectivity when feedback has a bloom-enabled
+    // run of this query).
+    const StrategyAdvice bloom_advice =
+        AdviseStrategy(wl->normalized, config.workers, feedback);
+    options.bloom = bloom_advice.use_bloom;
+    std::cout << "bloom=auto: advisor estimates "
+              << StrFormat("%.0f%%", bloom_advice.est_bloom_reduction * 100.0)
+              << " probe-side reduction -> "
+              << (options.bloom ? "on" : "off") << "\n\n";
+  }
   Result<std::vector<StrategyResult>> run =
       RunAllStrategies(wl->normalized, options);
   PTP_CHECK(run.ok()) << run.status().ToString();

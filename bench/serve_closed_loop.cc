@@ -70,8 +70,8 @@ struct SoloRun {
   Relation output;
 };
 
-SoloRun RunSolo(const Workload& wl, const std::string& strategy, int workers,
-                uint64_t query_budget_bytes) {
+SoloRun RunSolo(const Workload& wl, const std::string& strategy, bool bloom,
+                int workers, uint64_t query_budget_bytes) {
   ShuffleKind shuffle = ShuffleKind::kRegular;
   JoinKind join = JoinKind::kHashJoin;
   for (const auto& [s, j] : AllStrategies()) {
@@ -82,6 +82,7 @@ SoloRun RunSolo(const Workload& wl, const std::string& strategy, int workers,
   }
   StrategyOptions opts;
   opts.num_workers = workers;
+  opts.bloom = bloom;
   CounterRegistry counters;
   ResourceMeter meter(query_budget_bytes, /*hard=*/true);
   CounterRegistry* prev_reg = SetActiveCounterRegistry(&counters);
@@ -242,23 +243,26 @@ int main(int argc, char** argv) {
     if (d.response.cache_hit) ++cache_hits;
   }
 
-  // Isolation check: one solo reference per distinct (workload, strategy)
-  // actually served — feedback can upgrade a hot query's strategy between
-  // executions, and each upgraded plan gets its own reference — then every
-  // successful response must match its reference bit-for-bit.
+  // Isolation check: one solo reference per distinct (workload, strategy,
+  // bloom) actually served — feedback can upgrade a hot query's strategy or
+  // flip its bloom decision between executions, and each upgraded plan gets
+  // its own reference — then every successful response must match its
+  // reference bit-for-bit.
   std::map<std::pair<int, std::string>, SoloRun> references;
   uint64_t isolation_checked = 0;
   uint64_t isolation_mismatches = 0;
   for (const Completed& d : all) {
     if (!d.response.status.ok()) continue;
-    const auto key = std::make_pair(d.workload, d.response.strategy);
+    const auto key = std::make_pair(
+        d.workload,
+        d.response.strategy + (d.response.bloom ? "+bloom" : ""));
     auto it = references.find(key);
     if (it == references.end()) {
       it = references
                .emplace(key, RunSolo(workloads[static_cast<size_t>(
                                          d.workload)],
-                                     d.response.strategy, c.workers,
-                                     c.query_budget_bytes))
+                                     d.response.strategy, d.response.bloom,
+                                     c.workers, c.query_budget_bytes))
                .first;
     }
     const SoloRun& solo = it->second;

@@ -1,0 +1,98 @@
+#ifndef PTP_EXEC_BLOOM_H_
+#define PTP_EXEC_BLOOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/cluster.h"
+
+namespace ptp {
+
+/// Register-blocked (split-block) bloom filter over 64-bit key hashes, the
+/// cache-efficient layout of Birler et al. / Schmidt et al.: every key sets
+/// k bits inside ONE 64-bit block, so a membership probe touches a single
+/// word — one cache line, no gather. Contents are a pure function of the
+/// inserted hash multiset (bit-OR is commutative and idempotent), so
+/// filters built per-fragment in parallel and OR-merged are bit-identical
+/// to a serial build at any thread count (docs/KERNELS.md).
+///
+/// The input hash is expected to be the shuffle's combined salted key hash;
+/// the filter remixes it internally (Mix64 with two distinct salts) so its
+/// block index and bit pattern stay decorrelated from the consumer routing
+/// `h % W` the shuffle derives from the same hash.
+class BloomFilter {
+ public:
+  /// Bits set per key within the selected block. Four probes of one word
+  /// give ~2^-4 .. 2^-3 false positives at ~12 bits/key budgets.
+  static constexpr int kBitsPerKey = 4;
+
+  BloomFilter() = default;
+  /// Sizes the filter for `expected_keys` insertions at ~12 bits per key,
+  /// rounded up to a power-of-two block count (min 1 block).
+  explicit BloomFilter(size_t expected_keys);
+
+  bool empty() const { return blocks_.empty(); }
+  size_t num_blocks() const { return blocks_.size(); }
+  size_t SizeBytes() const { return blocks_.size() * sizeof(uint64_t); }
+
+  /// Inserts a key by its 64-bit hash.
+  void Add(uint64_t hash) {
+    uint64_t& block = blocks_[BlockIndex(hash)];
+    block |= BlockMask(hash);
+  }
+
+  /// True when the key's hash may have been inserted; false means
+  /// definitely not (no false negatives).
+  bool MayContain(uint64_t hash) const {
+    const uint64_t mask = BlockMask(hash);
+    return (blocks_[BlockIndex(hash)] & mask) == mask;
+  }
+
+  /// ORs `other` into this filter. Both must have the same block count
+  /// (built from the same expected-keys figure).
+  Status MergeOr(const BloomFilter& other);
+
+  /// Fraction of set bits — a saturation diagnostic (≈ ln 2 · k/bits-per-key
+  /// when sized right; near 1.0 the filter passes everything).
+  double FillRatio() const;
+
+ private:
+  size_t BlockIndex(uint64_t hash) const {
+    // Remix decorrelates the block choice from the shuffle's `h % W`
+    // routing; mask works because the block count is a power of two.
+    return Mix(hash, kBlockSalt) & block_mask_;
+  }
+  static uint64_t BlockMask(uint64_t hash);
+  static uint64_t Mix(uint64_t hash, uint64_t salt);
+
+  static constexpr uint64_t kBlockSalt = 0xb10c5a17ULL;
+  static constexpr uint64_t kBitSalt = 0xb175a17eULL;
+
+  std::vector<uint64_t> blocks_;
+  uint64_t block_mask_ = 0;
+};
+
+/// Statistics of one filtered scatter, folded into ShuffleMetrics and the
+/// bloom.* counters by the shuffle that applied the filter.
+struct BloomBuildStats {
+  size_t build_tuples = 0;
+  size_t size_bytes = 0;
+};
+
+/// Builds the sideways-information-passing filter over the join-key columns
+/// of an accumulated (build-side) distributed relation: per-fragment
+/// filters populated in parallel via ParallelFor, then OR-merged in
+/// fragment order. Because bitwise OR commutes, the merged contents are
+/// bit-identical at every --threads setting. Key hashing matches the
+/// shuffle scatter exactly: HashCombine over HashWithSalt(col, salt) in
+/// `key_cols` order, so a probe-side tuple whose key survives the filter
+/// hashes identically at the exchange.
+BloomFilter BuildShuffleBloomFilter(const DistributedRelation& in,
+                                    const std::vector<int>& key_cols,
+                                    uint64_t salt,
+                                    BloomBuildStats* stats = nullptr);
+
+}  // namespace ptp
+
+#endif  // PTP_EXEC_BLOOM_H_

@@ -136,7 +136,9 @@ Relation HashJoinLocal(const Relation& left, const Relation& right,
 }
 
 Relation SymmetricHashJoinLocal(const Relation& left, const Relation& right,
-                                std::string out_name) {
+                                std::string out_name,
+                                const std::vector<uint32_t>* right_arrival,
+                                size_t right_virtual_rows) {
   std::vector<int> left_key, right_key;
   SharedColumns(left.schema(), right.schema(), &left_key, &right_key);
 
@@ -170,7 +172,25 @@ Relation SymmetricHashJoinLocal(const Relation& left, const Relation& right,
   // most-recent-first; the pairing set is unchanged and per-table state is
   // a pure function of the arrival sequence, so results stay bit-identical
   // at every thread count.
-  const size_t rounds = std::max(left.NumTuples(), right.NumTuples());
+  //
+  // With `right_arrival`, right row rp is pulled in its ORIGINAL round
+  // (its index in the unfiltered stream), not its compacted index: rounds
+  // where only dropped tuples would have arrived are no-ops, exactly as if
+  // the dropped tuples had arrived and (necessarily) matched nothing.
+  const size_t right_rounds =
+      right_arrival != nullptr ? right_virtual_rows : right.NumTuples();
+  const size_t rounds = std::max(left.NumTuples(), right_rounds);
+  size_t rp = 0;
+  auto arrive_right = [&](size_t row) {
+    const Value* r = right.Row(row);
+    const uint64_t h = HashKey(r, right_key);
+    right_table.Insert(h, static_cast<uint32_t>(row));
+    for (uint32_t e = left_table.Find(h); e != JoinHashTable::kNil;
+         e = left_table.Next(e, h)) {
+      const Value* l = left.Row(left_table.Row(e));
+      if (KeysEqual(l, left_key, r, right_key)) emit(l, r);
+    }
+  };
   for (size_t i = 0; i < rounds; ++i) {
     if (i < left.NumTuples()) {
       const Value* l = left.Row(i);
@@ -182,14 +202,12 @@ Relation SymmetricHashJoinLocal(const Relation& left, const Relation& right,
         if (KeysEqual(l, left_key, r, right_key)) emit(l, r);
       }
     }
-    if (i < right.NumTuples()) {
-      const Value* r = right.Row(i);
-      const uint64_t h = HashKey(r, right_key);
-      right_table.Insert(h, static_cast<uint32_t>(i));
-      for (uint32_t e = left_table.Find(h); e != JoinHashTable::kNil;
-           e = left_table.Next(e, h)) {
-        const Value* l = left.Row(left_table.Row(e));
-        if (KeysEqual(l, left_key, r, right_key)) emit(l, r);
+    if (right_arrival == nullptr) {
+      if (i < right.NumTuples()) arrive_right(i);
+    } else {
+      while (rp < right.NumTuples() && (*right_arrival)[rp] == i) {
+        arrive_right(rp);
+        ++rp;
       }
     }
   }

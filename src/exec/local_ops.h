@@ -1,6 +1,7 @@
 #ifndef PTP_EXEC_LOCAL_OPS_H_
 #define PTP_EXEC_LOCAL_OPS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,8 +22,21 @@ Relation HashJoinLocal(const Relation& left, const Relation& right,
 /// but it pays to build hash tables on BOTH inputs — this is why broadcast
 /// plans burn ~W times more CPU (every worker hash-builds the full broadcast
 /// relations), the effect behind Q2's 30x BR_HJ CPU blow-up.
-Relation SymmetricHashJoinLocal(const Relation& left, const Relation& right,
-                                std::string out_name = "join");
+///
+/// The emission order is a function of the interleaved arrival sequence (a
+/// pair is emitted by whichever side arrives second), so compacting a
+/// bloom-filtered right input would reorder the output. `right_arrival`,
+/// when non-null, restores the unfiltered interleave: entry r is right row
+/// r's arrival round in the unfiltered stream of `right_virtual_rows` rows
+/// (strictly increasing — ShuffleResult::arrival). Dropped tuples provably
+/// never emit (the filter has no false negatives), so replaying survivors
+/// at their original rounds makes the filtered run's output bit-identical
+/// to the unfiltered run's.
+Relation SymmetricHashJoinLocal(
+    const Relation& left, const Relation& right,
+    std::string out_name = "join",
+    const std::vector<uint32_t>* right_arrival = nullptr,
+    size_t right_virtual_rows = 0);
 
 /// Keeps the tuples of `rel` that satisfy every predicate in `preds` whose
 /// variables are all bound by rel's schema. Predicates referencing unbound

@@ -25,6 +25,9 @@ std::string ShuffleMetrics::ToString() const {
                 label.c_str(), tuples_sent, producer_skew, consumer_skew);
   if (retries > 0) out += StrFormat(" retries=%zu", retries);
   if (dups_deduped > 0) out += StrFormat(" dups_deduped=%zu", dups_deduped);
+  if (bloom_tested > 0) {
+    out += StrFormat(" bloom_filtered=%zu/%zu", bloom_filtered, bloom_tested);
+  }
   return out;
 }
 

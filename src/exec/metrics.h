@@ -21,6 +21,16 @@ struct ShuffleMetrics {
   size_t retries = 0;
   /// Duplicate channel deliveries discarded by sequence-tag dedup.
   size_t dups_deduped = 0;
+  /// Sideways-information-passing accounting (0/0 when no bloom filter was
+  /// pushed into this exchange's producers): tuples tested against the
+  /// build-side filter, tuples it proved unable to join and dropped before
+  /// the channel buffers, and the payload bytes that never shipped. The
+  /// conservation invariant extends to
+  ///   input tuples == tuples_sent + bloom_filtered
+  /// per exchange (checked at the scatter whenever delivery runs checked).
+  size_t bloom_tested = 0;
+  size_t bloom_filtered = 0;
+  size_t bloom_bytes_saved = 0;
 
   std::string ToString() const;
 };

@@ -173,12 +173,24 @@ void FinishMetrics(const DistributedRelation& out,
   // Publish per-shuffle aggregates to the active observability sinks (one
   // nullptr branch each when disabled; never inside the per-tuple loops).
   const size_t arity = out.empty() ? 0 : out[0].arity();
+  // Bytes the bloom filter kept off the wire: the dropped tuples would have
+  // shipped at this exchange's arity. bytes_sent below already reflects the
+  // post-filter volume, so bytes_sent + bloom_bytes_saved is the unfiltered
+  // figure — the reconciliation the conformance tests assert.
+  metrics->bloom_bytes_saved =
+      metrics->bloom_filtered * arity * sizeof(Value);
   if (CounterRegistry* reg = ActiveCounterRegistry()) {
     reg->Add("shuffle.count", 1);
     reg->Add("shuffle.tuples_sent", metrics->tuples_sent);
     reg->Add("shuffle.bytes_sent", metrics->tuples_sent * arity * sizeof(Value));
     if (metrics->dups_deduped > 0) {
       reg->Add("shuffle.dups_deduped", metrics->dups_deduped);
+    }
+    if (metrics->bloom_tested > 0) {
+      reg->Add("bloom.tuples_tested", metrics->bloom_tested);
+      reg->Add("bloom.tuples_filtered", metrics->bloom_filtered);
+      reg->Add("bloom.probe_negatives", metrics->bloom_filtered);
+      reg->Add("bloom.bytes_saved", metrics->bloom_bytes_saved);
     }
     Histogram* channels = reg->Hist("shuffle.channel_tuples");
     for (const Relation& frag : out) channels->Record(frag.NumTuples());
@@ -242,7 +254,8 @@ MisraGries FoldKeyShard(const HotKeyShard& shard) {
 Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
                                   const std::vector<int>& key_cols,
                                   int num_workers, uint64_t salt,
-                                  std::string label, ShuffleAttempt attempt) {
+                                  std::string label, ShuffleAttempt attempt,
+                                  const BloomFilter* bloom) {
   if (in.empty()) {
     return Status::InvalidArgument("HashShuffle: input has no fragments");
   }
@@ -295,6 +308,18 @@ Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
   }
 
   const size_t arity = in[0].arity();
+  std::vector<size_t> filtered(in.size(), 0);
+  // Per-channel unfiltered row counts and survivors' unfiltered channel
+  // indices — the raw material of the virtual arrival map (only tracked
+  // when a filter is pushed; the unfiltered path allocates nothing).
+  std::vector<std::vector<uint32_t>> would;
+  std::vector<std::vector<std::vector<uint32_t>>> kept_pos;
+  if (bloom != nullptr) {
+    would.assign(in.size(),
+                 std::vector<uint32_t>(static_cast<size_t>(num_workers), 0));
+    kept_pos.assign(in.size(), std::vector<std::vector<uint32_t>>(
+                                   static_cast<size_t>(num_workers)));
+  }
   Status status = runtime::ParallelFor(
       static_cast<int>(in.size()), [&](int p) {
         const size_t pi = static_cast<size_t>(p);
@@ -308,17 +333,56 @@ Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
             h = HashCombine(h, HashWithSalt(t[col], salt));
           }
           if (profiled && (row & (stride - 1)) == 0) {
+            // Sampled BEFORE the bloom test: the recorded key sketch
+            // describes the producer-side key stream, so the profile's
+            // hot-key attribution is identical with the filter on or off.
             key_samples[sample_offsets[pi] + (row >> stride_shift)] = {
                 single_col_key ? static_cast<uint64_t>(t[key_cols[0]]) : h,
                 h};
           }
-          std::vector<Value>& d = dest[h % static_cast<size_t>(num_workers)];
+          const size_t w = h % static_cast<size_t>(num_workers);
+          // Sideways information passing: a tuple whose key hash the
+          // build-side filter has definitely not seen can never join —
+          // drop it here, before it is copied into a channel buffer. Its
+          // would-be arrival slot is still counted, so consumers can
+          // replay the unfiltered arrival order (ShuffleResult::arrival).
+          if (bloom != nullptr) {
+            const uint32_t slot = would[pi][w]++;
+            if (!bloom->MayContain(h)) {
+              ++filtered[pi];
+              continue;
+            }
+            kept_pos[pi][w].push_back(slot);
+          }
+          std::vector<Value>& d = dest[w];
           d.insert(d.end(), t, t + arity);
         }
-        produced[pi] = n;
+        produced[pi] = n - filtered[pi];
         return Status::OK();
       });
   PTP_RETURN_IF_ERROR(status);
+  if (bloom != nullptr) {
+    // Extended conservation at the scatter: every input tuple is either
+    // routed (and later checked by DeliverAndMerge's emitted == delivered
+    // invariant) or accounted as bloom-filtered. The drop decision is a
+    // pure function of tuple bytes and filter contents, so a recovery
+    // replay of this scatter filters bit-identically.
+    size_t input_rows = 0;
+    for (const Relation& frag : in) input_rows += frag.NumTuples();
+    size_t routed = 0;
+    size_t dropped = 0;
+    for (size_t r : produced) routed += r;
+    for (size_t f : filtered) dropped += f;
+    result.metrics.bloom_tested = input_rows;
+    result.metrics.bloom_filtered = dropped;
+    if (routed + dropped != input_rows) {
+      return Status::Internal(StrFormat(
+          "bloom conservation violated at '%s' (exchange %d, attempt %d): "
+          "%zu input tuples, %zu routed + %zu filtered",
+          result.metrics.label.c_str(), attempt.exchange, attempt.attempt,
+          input_rows, routed, dropped));
+    }
+  }
   // Channel payload bytes (Σ produced × arity × 8): the same figure the
   // profiler's ChannelMatrix::TotalBytes() and the shuffle.bytes_sent
   // counter report, so the three accounts reconcile exactly. RAII so a
@@ -330,6 +394,24 @@ Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
   PTP_RETURN_IF_ERROR(DeliverAndMerge(
       in.size(), [&bufs](size_t p, size_t w) { return &bufs[p][w]; },
       attempt, &result.data, &result.metrics));
+  if (bloom != nullptr) {
+    // Assemble the virtual arrival map in the merge's producer-major
+    // order: survivor r of channel (p, w) lands at (unfiltered rows of
+    // earlier producers' channels to w) + its unfiltered channel index.
+    result.arrival.resize(static_cast<size_t>(num_workers));
+    result.unfiltered_rows.assign(static_cast<size_t>(num_workers), 0);
+    for (size_t w = 0; w < static_cast<size_t>(num_workers); ++w) {
+      size_t offset = 0;
+      for (size_t p = 0; p < in.size(); ++p) {
+        for (uint32_t slot : kept_pos[p][w]) {
+          result.arrival[w].push_back(static_cast<uint32_t>(offset) + slot);
+        }
+        offset += would[p][w];
+      }
+      result.unfiltered_rows[w] = offset;
+      PTP_CHECK_EQ(result.arrival[w].size(), result.data[w].NumTuples());
+    }
+  }
   FinishMetrics(result.data, produced, &result.metrics);
   if (profiled) {
     const size_t num_samples = sample_offsets.back();
@@ -473,7 +555,8 @@ Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
     const DistributedRelation& left, const std::vector<int>& left_cols,
     const DistributedRelation& right, const std::vector<int>& right_cols,
     int num_workers, uint64_t salt, double threshold, std::string label,
-    ShuffleAttempt left_attempt, ShuffleAttempt right_attempt) {
+    ShuffleAttempt left_attempt, ShuffleAttempt right_attempt,
+    const BloomFilter* right_bloom) {
   if (left.empty() || right.empty()) {
     return Status::InvalidArgument(
         "SkewAwareJoinShuffle: input has no fragments");
@@ -598,10 +681,30 @@ Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
         SketchKeyKind::kHash, std::move(keys));
   }
 
-  // Pass 3: right side — heavy keys broadcast, light keys hashed.
+  // Pass 3: right side — heavy keys broadcast, light keys hashed. The bloom
+  // test runs BEFORE the heavy/light routing decision: heavy keys are by
+  // construction frequent on the left (the filter's build side), so they
+  // always pass the filter — a heavy right tuple is dropped only when its
+  // key never occurs on the left at all, which is exactly the doomed case.
   std::vector<size_t> right_produced(right.size(), 0);
+  std::vector<size_t> right_routed(right.size(), 0);
+  std::vector<size_t> right_filtered(right.size(), 0);
   std::vector<DestBuffers> right_bufs(
       right.size(), DestBuffers(static_cast<size_t>(num_workers)));
+  // Virtual arrival tracking (see HashShuffle): a dropped tuple's would-be
+  // delivery slots are still counted — including its heavy-key broadcast
+  // replicas on every worker — so consumers can replay the unfiltered
+  // arrival order. Heavy/light classification comes from the LEFT side's
+  // frequencies, untouched by the right-side filter, so the off-run
+  // routing is reproduced exactly.
+  std::vector<std::vector<uint32_t>> would;
+  std::vector<std::vector<std::vector<uint32_t>>> kept_pos;
+  if (right_bloom != nullptr) {
+    would.assign(right.size(),
+                 std::vector<uint32_t>(static_cast<size_t>(num_workers), 0));
+    kept_pos.assign(right.size(), std::vector<std::vector<uint32_t>>(
+                                      static_cast<size_t>(num_workers)));
+  }
   status = runtime::ParallelFor(static_cast<int>(right.size()), [&](int p) {
     const size_t pi = static_cast<size_t>(p);
     const Relation& frag = right[pi];
@@ -610,7 +713,27 @@ Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
     for (size_t row = 0; row < frag.NumTuples(); ++row) {
       const Value* t = frag.Row(row);
       const uint64_t h = key_hash(t, right_cols);
-      if (is_heavy(h)) {
+      const bool heavy = is_heavy(h);
+      bool keep = true;
+      if (right_bloom != nullptr) {
+        keep = right_bloom->MayContain(h);
+        if (heavy) {
+          for (int w = 0; w < num_workers; ++w) {
+            const uint32_t slot = would[pi][static_cast<size_t>(w)]++;
+            if (keep) kept_pos[pi][static_cast<size_t>(w)].push_back(slot);
+          }
+        } else {
+          const size_t w = h % static_cast<size_t>(num_workers);
+          const uint32_t slot = would[pi][w]++;
+          if (keep) kept_pos[pi][w].push_back(slot);
+        }
+      }
+      if (!keep) {
+        ++right_filtered[pi];
+        continue;
+      }
+      ++right_routed[pi];
+      if (heavy) {
         for (int w = 0; w < num_workers; ++w) {
           std::vector<Value>& d = dest[static_cast<size_t>(w)];
           d.insert(d.end(), t, t + arity);
@@ -625,6 +748,27 @@ Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
     return Status::OK();
   });
   PTP_RETURN_IF_ERROR(status);
+  if (right_bloom != nullptr) {
+    // tuples_sent counts broadcast replicas, so the conservation identity
+    // here is over routed tuples (pre-replication): input == routed +
+    // filtered. Replicated delivery is still covered by DeliverAndMerge's
+    // emitted == delivered check below.
+    size_t input_rows = 0;
+    for (const Relation& frag : right) input_rows += frag.NumTuples();
+    size_t routed = 0;
+    size_t dropped = 0;
+    for (size_t r : right_routed) routed += r;
+    for (size_t f : right_filtered) dropped += f;
+    result.right_metrics.bloom_tested = input_rows;
+    result.right_metrics.bloom_filtered = dropped;
+    if (routed + dropped != input_rows) {
+      return Status::Internal(StrFormat(
+          "bloom conservation violated at '%s' (exchange %d, attempt %d): "
+          "%zu input tuples, %zu routed + %zu filtered",
+          result.right_metrics.label.c_str(), right_attempt.exchange,
+          right_attempt.attempt, input_rows, routed, dropped));
+    }
+  }
   uint64_t right_bytes = 0;
   for (size_t rows : right_produced) right_bytes += rows;
   right_bytes *= right[0].arity() * sizeof(Value);
@@ -633,6 +777,23 @@ Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
       right.size(),
       [&right_bufs](size_t p, size_t w) { return &right_bufs[p][w]; },
       right_attempt, &result.right, &result.right_metrics));
+  if (right_bloom != nullptr) {
+    result.right_arrival.resize(static_cast<size_t>(num_workers));
+    result.right_unfiltered_rows.assign(static_cast<size_t>(num_workers), 0);
+    for (size_t w = 0; w < static_cast<size_t>(num_workers); ++w) {
+      size_t offset = 0;
+      for (size_t p = 0; p < right.size(); ++p) {
+        for (uint32_t slot : kept_pos[p][w]) {
+          result.right_arrival[w].push_back(static_cast<uint32_t>(offset) +
+                                            slot);
+        }
+        offset += would[p][w];
+      }
+      result.right_unfiltered_rows[w] = offset;
+      PTP_CHECK_EQ(result.right_arrival[w].size(),
+                   result.right[w].NumTuples());
+    }
+  }
   FinishMetrics(result.right, right_produced, &result.right_metrics);
   if (profile != nullptr) {
     // The right side mixes per-key hashing with heavy-key broadcast, so a

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "exec/bloom.h"
 #include "exec/cluster.h"
 #include "exec/metrics.h"
 #include "hypercube/config.h"
@@ -16,6 +17,19 @@ namespace ptp {
 struct ShuffleResult {
   DistributedRelation data;
   ShuffleMetrics metrics;
+  /// Virtual arrival map, populated only when a bloom filter was pushed
+  /// into the scatter (both vectors empty otherwise — the unfiltered path
+  /// pays nothing): arrival[w][r] is row r's index in the fragment worker
+  /// w WOULD have received with the filter off (strictly increasing per
+  /// worker), and unfiltered_rows[w] is that unfiltered fragment's size.
+  /// The symmetric hash join replays these as arrival rounds, so a
+  /// filtered run emits join results in the exact order of the unfiltered
+  /// run — a dropped tuple provably emits nothing (the filter has no
+  /// false negatives), only its arrival slot matters. In a real cluster
+  /// this is a per-channel gap bitmap, metadata dwarfed by the payload
+  /// bytes it saves; the simulation does not bill it as network volume.
+  std::vector<std::vector<uint32_t>> arrival;
+  std::vector<size_t> unfiltered_rows;
 };
 
 /// Delivery coordinates of a shuffle call: which registered exchange site
@@ -38,11 +52,22 @@ struct ShuffleAttempt {
 /// after dedup) returns Status::Internal on any lost channel — the detector
 /// the recovery loop retries on. The invariant is always checked in debug
 /// builds and whenever a fault injector is active.
+///
+/// When `bloom` is non-null (sideways information passing, docs/KERNELS.md),
+/// producers probe each tuple's combined key hash against the build-side
+/// filter and drop definite non-matches before the channel buffers fill —
+/// filtered tuples are never copied, shipped, or delivered. The filter must
+/// have been built with the same `salt` over the matching join-key columns
+/// (BuildShuffleBloomFilter). Conservation becomes
+///   input == tuples_sent + bloom_filtered
+/// per exchange; the drop decision is a pure function of tuple bytes and
+/// filter contents, so replays after injected faults filter identically.
 Result<ShuffleResult> HashShuffle(const DistributedRelation& in,
                                   const std::vector<int>& key_cols,
                                   int num_workers, uint64_t salt,
                                   std::string label,
-                                  ShuffleAttempt attempt = {});
+                                  ShuffleAttempt attempt = {},
+                                  const BloomFilter* bloom = nullptr);
 
 /// Broadcast shuffle: every worker receives a full copy of `in` (shuffle (3)
 /// of Sec. 3 — used for all but the largest relation).
@@ -73,6 +98,12 @@ struct SkewAwareShuffleResult {
   ShuffleMetrics right_metrics;
   /// Number of join-key values classified as heavy hitters.
   size_t heavy_keys = 0;
+  /// Right side's virtual arrival map (see ShuffleResult::arrival), in the
+  /// unfiltered skew-aware delivery order — heavy-key broadcast replicas
+  /// of dropped tuples count as arrival slots on every worker. Empty when
+  /// `right_bloom` was null.
+  std::vector<std::vector<uint32_t>> right_arrival;
+  std::vector<size_t> right_unfiltered_rows;
 };
 
 /// Heavy-hitter-aware repartitioning for a binary join (the technique the
@@ -83,11 +114,19 @@ struct SkewAwareShuffleResult {
 /// broadcast, so every pair still meets exactly once. Light keys hash as
 /// usual. Equivalent join result, bounded consumer skew. The two sides are
 /// two distinct exchanges for fault purposes.
+///
+/// `right_bloom`, when non-null, filters the RIGHT (probe) side only, before
+/// its heavy/light routing decision. Heavy keys are by definition frequent
+/// on the left side, hence present in the left-built filter — a heavy right
+/// tuple can only be dropped when its key never occurs on the left at all,
+/// which is exactly the doomed case. The left side ships unfiltered (it is
+/// the filter's build side).
 Result<SkewAwareShuffleResult> SkewAwareJoinShuffle(
     const DistributedRelation& left, const std::vector<int>& left_cols,
     const DistributedRelation& right, const std::vector<int>& right_cols,
     int num_workers, uint64_t salt, double threshold, std::string label,
-    ShuffleAttempt left_attempt = {}, ShuffleAttempt right_attempt = {});
+    ShuffleAttempt left_attempt = {}, ShuffleAttempt right_attempt = {},
+    const BloomFilter* right_bloom = nullptr);
 
 /// One-cell-per-worker mapping for a config with NumCells() <= num_workers.
 std::vector<int> IdentityCellMap(const HypercubeConfig& config);

@@ -84,6 +84,10 @@ std::string ExplainAnalyzeText(std::string_view strategy,
                     s.consumer_skew);
     if (s.retries > 0) os << " RECOVERED retries=" << s.retries;
     if (s.dups_deduped > 0) os << " dups_deduped=" << s.dups_deduped;
+    if (s.bloom_tested > 0) {
+      os << " bloom_filtered=" << WithCommas(s.bloom_filtered) << "/"
+         << WithCommas(s.bloom_tested);
+    }
     os << "\n";
   }
   for (const StageMetrics& s : m.stages) {
@@ -97,6 +101,24 @@ std::string ExplainAnalyzeText(std::string_view strategy,
          << " cpu=" << FormatSeconds(s.cpu_seconds);
     }
     os << "\n";
+  }
+
+  // Aggregate sideways-information-passing section: present only when at
+  // least one exchange ran with a bloom filter pushed into its producers.
+  size_t bloom_tested = 0;
+  size_t bloom_filtered = 0;
+  size_t bloom_bytes_saved = 0;
+  for (const ShuffleMetrics& s : m.shuffles) {
+    bloom_tested += s.bloom_tested;
+    bloom_filtered += s.bloom_filtered;
+    bloom_bytes_saved += s.bloom_bytes_saved;
+  }
+  if (bloom_tested > 0) {
+    os << "  bloom: filtered=" << WithCommas(bloom_filtered) << "/"
+       << WithCommas(bloom_tested)
+       << StrFormat(" (%.1f%%)", 100.0 * static_cast<double>(bloom_filtered) /
+                                     static_cast<double>(bloom_tested))
+       << " bytes_saved=" << WithCommas(bloom_bytes_saved) << "\n";
   }
 
   if (options.profile != nullptr) {
@@ -200,6 +222,11 @@ void ExplainAnalyzeJson(std::ostream& os, std::string_view strategy,
                     s.producer_skew, s.consumer_skew);
     if (s.retries > 0) os << ",\"retries\":" << s.retries;
     if (s.dups_deduped > 0) os << ",\"dups_deduped\":" << s.dups_deduped;
+    if (s.bloom_tested > 0) {
+      os << ",\"bloom_tested\":" << s.bloom_tested
+         << ",\"bloom_filtered\":" << s.bloom_filtered
+         << ",\"bloom_bytes_saved\":" << s.bloom_bytes_saved;
+    }
     os << "}";
   }
   os << "],\"stages\":[";

@@ -53,6 +53,8 @@ Result<StrategyFeedback> ParseStrategy(const JsonValue& v) {
   s.tuples_shuffled = v.NumberOr("tuples_shuffled", 0);
   s.output_tuples = v.NumberOr("output_tuples", 0);
   s.peak_bytes = v.NumberOr("peak_bytes", 0);
+  s.bloom_tested = v.NumberOr("bloom_tested", 0);
+  s.bloom_filtered = v.NumberOr("bloom_filtered", 0);
   if (const JsonValue* ops = v.Find("ops")) {
     for (const JsonValue& op : ops->array) {
       PTP_ASSIGN_OR_RETURN(FeedbackOp parsed, ParseOp(op));
@@ -149,6 +151,8 @@ std::string FeedbackStore::ToJson() const {
       out += ",\"tuples_shuffled\":" + Num(s.tuples_shuffled);
       out += ",\"output_tuples\":" + Num(s.output_tuples);
       out += ",\"peak_bytes\":" + Num(s.peak_bytes);
+      out += ",\"bloom_tested\":" + Num(s.bloom_tested);
+      out += ",\"bloom_filtered\":" + Num(s.bloom_filtered);
       out += ",\"ops\":[";
       for (size_t oi = 0; oi < s.ops.size(); ++oi) {
         const FeedbackOp& op = s.ops[oi];

@@ -43,6 +43,12 @@ struct StrategyFeedback {
   double tuples_shuffled = 0;
   double output_tuples = 0;
   double peak_bytes = 0;
+  /// Measured sideways-passing bloom selectivity, summed over the run's
+  /// filtered exchanges: tuples tested at producers and tuples dropped.
+  /// Both 0 when the run had the filter off — the advisor treats that as
+  /// "no measurement" (old stores parse as 0/0, no version bump needed).
+  double bloom_tested = 0;
+  double bloom_filtered = 0;
   std::vector<FeedbackOp> ops;
 
   /// The first op with this label, nullptr when absent.

@@ -6,6 +6,7 @@
 #include "common/hash.h"
 #include "common/str_util.h"
 #include "exec/join_hash_table.h"
+#include "exec/local_ops.h"
 #include "hypercube/optimizer.h"
 #include "lp/shares_lp.h"
 #include "query/planner.h"
@@ -71,6 +72,57 @@ size_t MaxValueFrequency(const Relation& rel, size_t col) {
     max_count = std::max(max_count, static_cast<size_t>(c));
   }
   return max_count;
+}
+
+// Fraction of the second atom's tuples whose join-key value never occurs on
+// the first atom after the predicates decidable there are applied — an
+// exact stand-in for what a build-side bloom filter would drop at the first
+// regular-shuffle round's producers (minus false positives). Applying the
+// predicates first matters: a constant bound on the first atom (Q3's
+// ObjectName constants) is precisely what makes the filter selective.
+double EstimateBloomReduction(const NormalizedQuery& q,
+                              const std::vector<int>& order) {
+  if (order.size() < 2) return 0.0;
+  const NormalizedAtom& a = q.atoms[static_cast<size_t>(order[0])];
+  const NormalizedAtom& b = q.atoms[static_cast<size_t>(order[1])];
+  std::vector<size_t> cols_a, cols_b;
+  for (size_t i = 0; i < a.variables.size(); ++i) {
+    for (size_t j = 0; j < b.variables.size(); ++j) {
+      if (a.variables[i] == b.variables[j]) {
+        cols_a.push_back(i);
+        cols_b.push_back(j);
+      }
+    }
+  }
+  if (cols_a.empty()) return 0.0;
+
+  std::vector<Predicate> applicable, rest;
+  SplitApplicablePredicates(q.predicates, a.relation.schema(), &applicable,
+                            &rest);
+  const Relation filtered_a = applicable.empty()
+                                  ? a.relation
+                                  : FilterByPredicates(a.relation, applicable);
+
+  auto key_of = [](const Relation& rel, const std::vector<size_t>& cols,
+                   size_t row) {
+    uint64_t h = 0;
+    for (size_t c : cols) {
+      h = HashCombine(h, HashWithSalt(rel.At(row, c), 0));
+    }
+    return h;
+  };
+  FlatCounter build;
+  build.Reserve(filtered_a.NumTuples());
+  for (size_t row = 0; row < filtered_a.NumTuples(); ++row) {
+    build.Add(key_of(filtered_a, cols_a, row), 1);
+  }
+  const size_t total = b.relation.NumTuples();
+  if (total == 0) return 0.0;
+  size_t matched = 0;
+  for (size_t row = 0; row < total; ++row) {
+    if (build.Count(key_of(b.relation, cols_b, row)) != 0) ++matched;
+  }
+  return 1.0 - static_cast<double>(matched) / static_cast<double>(total);
 }
 
 // Parses the join index k out of a booked stage label — "join_2",
@@ -141,6 +193,11 @@ StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers,
                             router.ReplicationFactor();
   }
 
+  // Probe-side reduction a sideways-passing bloom filter would buy on the
+  // first regular-shuffle round (refined from measured selectivity below
+  // when feedback from a bloom-enabled run exists).
+  advice.est_bloom_reduction = EstimateBloomReduction(query, order);
+
   // Heavy-hitter skew proxy on the first binary join's shared columns.
   if (order.size() >= 2) {
     const NormalizedAtom& first = query.atoms[static_cast<size_t>(order[0])];
@@ -179,6 +236,13 @@ StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers,
       substitute(&advice.est_rs_tuples, rs->tuples_shuffled);
       const double skew = rs->MaxExchangeSkew();
       if (skew > 0) advice.est_rs_skew = skew;
+      if (rs->bloom_tested > 0) {
+        // A measured bloom-enabled run knows the true end-to-end filter
+        // selectivity (every filtered exchange, not just round 1); it
+        // replaces the estimate outright.
+        advice.est_bloom_reduction = rs->bloom_filtered / rs->bloom_tested;
+        advice.used_feedback = true;
+      }
     } else if (any_rs_recorded) {
       // Every recorded regular-shuffle run failed (budget / sort memory):
       // nothing measurable, but the family is known bad — never re-pick it.
@@ -215,6 +279,11 @@ StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers,
     advice.feedback_max_qerror = advice.used_feedback ? 1.0 : blind_q;
   }
 
+  // The filter pays for itself when it kills a solid fraction of the probe
+  // side; below the threshold the build + per-tuple probe is pure overhead.
+  constexpr double kBloomWorthItReduction = 0.25;
+  advice.use_bloom = advice.est_bloom_reduction >= kBloomWorthItReduction;
+
   // Decision logic (Table 6 regimes).
   const bool small_intermediates =
       advice.est_max_intermediate <= 2.0 * total_input;
@@ -233,6 +302,11 @@ StrategyAdvice AdviseStrategy(const NormalizedQuery& query, int num_workers,
         "small intermediates (est max %.0f <= 2x input %.0f), low skew "
         "(%.1f) and cheapest shuffle -> regular shuffle",
         advice.est_max_intermediate, total_input, advice.est_rs_skew);
+    if (advice.use_bloom) {
+      advice.rationale += StrFormat(
+          " + bloom SIP (est probe reduction %.0f%%)",
+          advice.est_bloom_reduction * 100.0);
+    }
     if (advice.used_feedback) {
       advice.rationale += StrFormat(" [measured; blind q-error %.2f -> %.2f]",
                                     advice.blind_max_qerror,
@@ -306,6 +380,11 @@ StrategyFeedback CollectStrategyFeedback(const NormalizedQuery& query,
     op.actual = static_cast<double>(s.tuples_sent);
     op.skew = s.consumer_skew;
     sf.ops.push_back(std::move(op));
+    // Measured sideways-passing selectivity, aggregated over the run's
+    // filtered exchanges; 0/0 when the run had the filter off, which the
+    // advisor treats as "no measurement".
+    sf.bloom_tested += static_cast<double>(s.bloom_tested);
+    sf.bloom_filtered += static_cast<double>(s.bloom_filtered);
   }
   return sf;
 }

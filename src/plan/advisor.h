@@ -29,6 +29,17 @@ struct StrategyAdvice {
   /// HyperCube run following this advice should use.
   ConfigChoice hc_config;
 
+  /// Estimated fraction of the first regular-shuffle round's probe side a
+  /// build-side bloom filter would drop at the producer (0 = useless,
+  /// 1 = everything doomed). Computed from exact key-membership of the
+  /// probe side against the predicate-filtered first atom; replaced by the
+  /// measured filtered/tested ratio when feedback from a bloom-enabled run
+  /// is available.
+  double est_bloom_reduction = 0;
+  /// True when est_bloom_reduction clears the worth-it threshold — the
+  /// --bloom=auto decision (StrategyOptions::bloom).
+  bool use_bloom = false;
+
   /// True when measured feedback replaced at least one estimate above.
   bool used_feedback = false;
   /// Worst q-error of the blind estimates against the measurements the

@@ -174,7 +174,9 @@ void BookDegradation(Ctx* ctx, std::string what) {
 Status ShuffleWithRecovery(
     Ctx* ctx, const std::string& label,
     const std::function<Result<ShuffleResult>(ShuffleAttempt)>& shuffle_fn,
-    DistributedRelation* out) {
+    DistributedRelation* out,
+    std::vector<std::vector<uint32_t>>* arrival = nullptr,
+    std::vector<size_t>* unfiltered_rows = nullptr) {
   ShuffleResult result;
   Timer t;
   int retries = 0;
@@ -190,6 +192,10 @@ Status ShuffleWithRecovery(
   result.metrics.retries = static_cast<size_t>(retries);
   ctx->BookShuffle(result.metrics, t.Seconds());
   *out = std::move(result.data);
+  if (arrival != nullptr) *arrival = std::move(result.arrival);
+  if (unfiltered_rows != nullptr) {
+    *unfiltered_rows = std::move(result.unfiltered_rows);
+  }
   return Status::OK();
 }
 
@@ -321,7 +327,42 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
     const std::vector<std::string> shared =
         SharedVars(acc[0].schema(), atom.relation.schema());
 
+    // Sideways information passing: build the split-block filter over the
+    // accumulated side's next-stage join keys (per-fragment in parallel,
+    // OR-merged — bit-identical at any --threads) and hand it to the
+    // probe-side shuffle below. Built once per round, OUTSIDE the recovery
+    // loop: replays reuse the same filter, so filtered counts replay
+    // bit-identically. The build cost is booked as wall time plus evenly
+    // spread worker time without a new stage entry, keeping the stage list
+    // identical with the filter on or off.
+    BloomFilter bloom_filter;
+    const BloomFilter* right_bloom = nullptr;
+    if (opts.bloom && !shared.empty()) {
+      Timer bloom_timer;
+      BloomBuildStats bloom_stats;
+      bloom_filter = BuildShuffleBloomFilter(
+          acc, ColumnIndices(acc[0].schema(), shared), opts.salt,
+          &bloom_stats);
+      right_bloom = &bloom_filter;
+      const double built = bloom_timer.Seconds();
+      ctx.metrics().wall_seconds += built;
+      for (int w = 0; w < W; ++w) {
+        ctx.metrics().worker_seconds[static_cast<size_t>(w)] += built / W;
+      }
+      if (CounterRegistry* reg = ActiveCounterRegistry()) {
+        reg->Add("bloom.filters_built", 1);
+        reg->Add("bloom.build_tuples", bloom_stats.build_tuples);
+        reg->Add("bloom.filter_bytes", bloom_stats.size_bytes);
+      }
+    }
+
     DistributedRelation left, right;
+    // Right side's virtual arrival map (ShuffleResult::arrival), populated
+    // only when `right_bloom` filtered the exchange; the symmetric join
+    // replays it so the filtered round's output order matches the
+    // unfiltered round's exactly.
+    std::vector<std::vector<uint32_t>> right_arrival;
+    std::vector<size_t> right_virtual_rows;
     Status shuffle_status;
     std::string exchange_label;
     if (shared.empty()) {
@@ -369,7 +410,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
                 base[static_cast<size_t>(order[step])],
                 ColumnIndices(atom.relation.schema(), shared), W, opts.salt,
                 opts.skew_threshold, label, {site, attempt},
-                {right_site, attempt});
+                {right_site, attempt}, right_bloom);
             if (!r.ok()) return r.status();
             sr = std::move(r).value();
             return Status::OK();
@@ -382,6 +423,8 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         ctx.BookShuffle(sr.right_metrics, elapsed / 2);
         left = std::move(sr.left);
         right = std::move(sr.right);
+        right_arrival = std::move(sr.right_arrival);
+        right_virtual_rows = std::move(sr.right_unfiltered_rows);
       }
     } else {
       const std::string label_key = " ->h" + VarsLabel(shared);
@@ -407,9 +450,9 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
             [&](ShuffleAttempt a) {
               return HashShuffle(base[static_cast<size_t>(order[step])],
                                  ColumnIndices(atom.relation.schema(), shared),
-                                 W, opts.salt, label, a);
+                                 W, opts.salt, label, a, right_bloom);
             },
-            &right);
+            &right, &right_arrival, &right_virtual_rows);
       }
     }
     if (!shuffle_status.ok()) {
@@ -522,8 +565,11 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
                                                   : nullptr);
         if (round_join == JoinKind::kHashJoin) {
           Timer jt;
-          Relation r = SymmetricHashJoinLocal(left[wi], right[wi],
-                                              StrFormat("int_%zu", step));
+          const std::vector<uint32_t>* arrival =
+              right_arrival.empty() ? nullptr : &right_arrival[wi];
+          Relation r = SymmetricHashJoinLocal(
+              left[wi], right[wi], StrFormat("int_%zu", step), arrival,
+              arrival != nullptr ? right_virtual_rows[wi] : 0);
           r = FilterByPredicates(r, applicable);
           join_s[wi] += jt.Seconds() * fault.delay_factor;
           joined[wi] = std::move(r);

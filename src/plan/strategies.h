@@ -68,6 +68,16 @@ struct StrategyOptions {
   /// the average per-worker load.
   double skew_threshold = 2.0;
 
+  /// Sideways information passing for regular-shuffle rounds: before the
+  /// probe side (relation k+1) of each binary join is shuffled, build a
+  /// split-block bloom filter over the accumulated side's join keys
+  /// (exec/bloom.h) and drop probe tuples the filter proves unable to join
+  /// at the producer, before they are copied into channel buffers. Pure
+  /// network/CPU optimization — outputs are bit-identical on/off (the
+  /// filter has no false negatives, and false positives merely ship and
+  /// get dropped by the join as before).
+  bool bloom = false;
+
   /// Stage-level retry/degradation policy (only observable when a fault
   /// injector is active or an invariant check trips; see docs/ROBUSTNESS.md).
   RecoveryOptions recovery;

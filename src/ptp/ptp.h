@@ -25,6 +25,7 @@
 #include "data/freebase_gen.h"
 #include "data/graph_gen.h"
 #include "data/workloads.h"
+#include "exec/bloom.h"
 #include "exec/cluster.h"
 #include "exec/local_ops.h"
 #include "exec/metrics.h"

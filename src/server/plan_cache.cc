@@ -38,6 +38,13 @@ uint64_t EstimatePeakBytes(const NormalizedQuery& query,
                                sizeof(Value));
 }
 
+void PlanCache::TouchLocked(size_t index) {
+  if (index + 1 >= entries_.size()) return;  // already most recent
+  std::rotate(entries_.begin() + static_cast<ptrdiff_t>(index),
+              entries_.begin() + static_cast<ptrdiff_t>(index) + 1,
+              entries_.end());
+}
+
 Result<PlanCache::Entry> PlanCache::Prepare(std::string_view text,
                                             int workers, Catalog* catalog,
                                             const FeedbackStore* feedback,
@@ -48,11 +55,12 @@ Result<PlanCache::Entry> PlanCache::Prepare(std::string_view text,
   }
   const std::string key = NormalizeQueryText(text);
   std::lock_guard<std::mutex> lock(mu_);
-  for (Entry& e : entries_) {
-    if (e.key == key && e.workers == workers) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].key == key && entries_[i].workers == workers) {
       ++stats_.hits;
       if (was_hit != nullptr) *was_hit = true;
-      return e;
+      TouchLocked(i);
+      return entries_.back();
     }
   }
   ++stats_.misses;
@@ -73,6 +81,12 @@ Result<PlanCache::Entry> PlanCache::Prepare(std::string_view text,
   e.est_peak_bytes = EstimatePeakBytes(*e.normalized, e.advice);
   ++stats_.parses;
   entries_.push_back(e);
+  while (entries_.size() > max_entries_) {
+    // Front is least recently used. The evicted query costs one re-parse
+    // (and re-advise) when it comes back — never wrong results.
+    entries_.erase(entries_.begin());
+    ++stats_.evictions;
+  }
   return e;
 }
 
@@ -80,7 +94,8 @@ void PlanCache::Refresh(std::string_view key, int workers,
                         const StrategyAdvice& advice,
                         uint64_t measured_peak_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (Entry& e : entries_) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
     if (e.key == key && e.workers == workers) {
       e.advice = advice;
       if (measured_peak_bytes > 0) {
@@ -89,6 +104,7 @@ void PlanCache::Refresh(std::string_view key, int workers,
       }
       ++e.executions;
       ++stats_.refreshes;
+      TouchLocked(i);
       return;
     }
   }

@@ -28,8 +28,19 @@ namespace ptp {
 /// re-runs over the measured QueryFeedback, so the second execution of a
 /// hot query runs the strategy its first execution proved out, and the
 /// admission controller sees the measured peak instead of the estimate.
+/// Entries are bounded by an LRU cap (`max_entries`, default generous):
+/// every hit/refresh moves its entry to most-recently-used, and an insert
+/// past the cap evicts the least recently used entry — ad-hoc query text
+/// can no longer grow the cache without bound. An evicted query is simply
+/// re-parsed (and re-advised) on its next submission; stats().evictions
+/// makes the churn observable.
 class PlanCache {
  public:
+  static constexpr size_t kDefaultMaxEntries = 1024;
+
+  explicit PlanCache(size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
   struct Entry {
     /// Cache key: NormalizeQueryText of the submitted text.
     std::string key;
@@ -54,6 +65,8 @@ class PlanCache {
     uint64_t parses = 0;
     /// Feedback-driven advice refreshes.
     uint64_t refreshes = 0;
+    /// Entries dropped by the LRU cap (each costs a re-parse on return).
+    uint64_t evictions = 0;
   };
 
   /// The entry for (text, workers), preparing it on miss: parse against
@@ -80,7 +93,12 @@ class PlanCache {
   size_t size() const;
 
  private:
+  /// Entries kept in LRU order: front = least recently used, back = most.
+  /// Requires mu_; the caller passes the index of the entry just touched.
+  void TouchLocked(size_t index);
+
   mutable std::mutex mu_;
+  const size_t max_entries_;
   std::vector<Entry> entries_;
   Stats stats_;
 };

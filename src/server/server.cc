@@ -67,7 +67,9 @@ QueryHandle QueryServer::Session::Submit(const QueryRequest& request) {
 }
 
 QueryServer::QueryServer(const ServerOptions& options)
-    : options_(options), running_(!options.start_paused) {
+    : options_(options),
+      running_(!options.start_paused),
+      cache_(options.plan_cache_max_entries) {
   const int n = std::max(1, options_.executors);
   executors_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -292,6 +294,13 @@ QueryResponse QueryServer::Execute(PendingQuery* p) {
 
   StrategyOptions opts = p->request.exec;
   opts.num_workers = p->request.workers;
+  if (!p->request.force_strategy && p->plan.advice.use_bloom) {
+    // Advised runs inherit the cached --bloom=auto decision (refined by
+    // feedback on Refresh); forced/pinned plans take request.exec verbatim
+    // so ablations and solo-comparison runs stay reproducible.
+    opts.bloom = true;
+  }
+  r.bloom = opts.bloom;
 
   // Per-query observability sinks, installed on this executor thread only
   // (thread-propagated context slots): a concurrent query on another
@@ -345,6 +354,21 @@ QueryResponse QueryServer::Execute(PendingQuery* p) {
                    sr.metrics.failed
                        ? 0
                        : static_cast<uint64_t>(sr.metrics.peak_bytes));
+    // Bound the in-memory store like the plan cache: rotate the entry just
+    // touched to most-recently-used (invalidates qf), then trim the least
+    // recently used past the cap.
+    const size_t cap = std::max<size_t>(1, options_.feedback_max_entries);
+    const size_t touched =
+        static_cast<size_t>(qf - feedback_.queries.data());
+    if (touched + 1 < feedback_.queries.size()) {
+      std::rotate(
+          feedback_.queries.begin() + static_cast<ptrdiff_t>(touched),
+          feedback_.queries.begin() + static_cast<ptrdiff_t>(touched) + 1,
+          feedback_.queries.end());
+    }
+    while (feedback_.queries.size() > cap) {
+      feedback_.queries.erase(feedback_.queries.begin());
+    }
   }
   r.counters = counters.CounterSnapshot();
   return r;

@@ -62,6 +62,11 @@ struct QueryResponse {
   uint64_t dispatch_seq = 0;
   /// Strategy actually executed ("RS_HJ", ...).
   std::string strategy;
+  /// Whether the executed plan filtered regular shuffles with a bloom
+  /// filter (the cached --bloom=auto decision; always false for forced
+  /// strategies). Solo-comparison harnesses must replay this to reproduce
+  /// the served run's counters bit-for-bit.
+  bool bloom = false;
   /// Admission cost class ("small"/"large") and the peak-bytes figure the
   /// admission controller used.
   std::string cost_class;
@@ -127,6 +132,13 @@ struct ServerOptions {
   /// re-advise the cached plan (the serving-layer version of PR 6's
   /// --feedback-in/--feedback-out loop).
   bool collect_feedback = true;
+
+  /// LRU entry caps so ad-hoc query text cannot grow the prepared-plan
+  /// cache or the in-memory feedback store without bound. Evicted entries
+  /// cost a re-parse / a re-measure when the query returns — never wrong
+  /// results. 0 means 1 (the caches are never unbounded).
+  size_t plan_cache_max_entries = PlanCache::kDefaultMaxEntries;
+  size_t feedback_max_entries = 1024;
 };
 
 /// Concurrent multi-query serving layer: sessions submit Datalog text, the

@@ -18,6 +18,7 @@
 #include "obs/counters.h"
 #include "obs/resource.h"
 #include "plan/strategies.h"
+#include "query/normalize_text.h"
 #include "query/parser.h"
 #include "runtime/parallel.h"
 #include "server/plan_cache.h"
@@ -390,6 +391,72 @@ TEST(ServerTest, SessionsAssignDeterministicIds) {
   EXPECT_EQ(a.Get().id, "s1.q1");
   EXPECT_EQ(b.Get().id, "s1.q2");
   EXPECT_EQ(c.Get().id, "s2.q1");
+}
+
+// ---------------------------------------------------------------------------
+// LRU bounds: ad-hoc query text cannot grow the plan cache or the
+// in-memory feedback store without limit.
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheTest, LruEvictsLeastRecentlyUsedEntry) {
+  auto catalog = MakeCatalog(37, 40, 8);
+  PlanCache cache(/*max_entries=*/2);
+  ASSERT_TRUE(cache.Prepare(kTriangle, 4, catalog.get(), nullptr).ok());
+  ASSERT_TRUE(cache.Prepare(kPath, 4, catalog.get(), nullptr).ok());
+  // Touch the triangle: the path becomes least recently used.
+  ASSERT_TRUE(cache.Prepare(kTriangle, 4, catalog.get(), nullptr).ok());
+  // A third distinct entry evicts the path, not the (recently used)
+  // triangle.
+  ASSERT_TRUE(cache.Prepare(kTriangle, 8, catalog.get(), nullptr).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  PlanCache::Entry e;
+  EXPECT_TRUE(cache.Lookup(NormalizeQueryText(kTriangle), 4, &e));
+  EXPECT_FALSE(cache.Lookup(NormalizeQueryText(kPath), 4, &e));
+}
+
+TEST(ServerTest, PlanCacheEvictionCostsOneReparseNeverWrongResults) {
+  auto catalog = MakeCatalog(41, 60, 10);
+  ServerOptions so;
+  so.executors = 1;
+  so.plan_cache_max_entries = 2;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+
+  // Three distinct entries through a two-entry cache, then the first
+  // query again: its entry was evicted, so the return costs a re-parse
+  // (parses == 4, not 3) but still answers correctly.
+  QueryHandle first = session->Submit(MakeRequest(catalog.get(), kTriangle));
+  server.Drain();
+  session->Submit(MakeRequest(catalog.get(), kPath));
+  session->Submit(MakeRequest(catalog.get(), kTriangle, 8));
+  server.Drain();
+  EXPECT_GE(server.plan_cache().stats().evictions, 1u);
+  EXPECT_EQ(server.plan_cache().size(), 2u);
+
+  QueryHandle again = session->Submit(MakeRequest(catalog.get(), kTriangle));
+  server.Drain();
+  ASSERT_TRUE(again.Get().status.ok()) << again.Get().status.ToString();
+  EXPECT_FALSE(again.Get().cache_hit) << "evicted entry cannot hit";
+  EXPECT_EQ(server.plan_cache().stats().parses, 4u);
+  EXPECT_TRUE(again.Get().output.EqualsUnordered(first.Get().output));
+}
+
+TEST(ServerTest, FeedbackStoreIsBoundedByLru) {
+  auto catalog = MakeCatalog(43, 50, 10);
+  ServerOptions so;
+  so.executors = 1;
+  so.feedback_max_entries = 1;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  session->Submit(MakeRequest(catalog.get(), kTriangle));
+  session->Submit(MakeRequest(catalog.get(), kPath));
+  session->Submit(MakeRequest(catalog.get(), kTriangle, 8));
+  server.Drain();
+  FeedbackStore fb = server.SnapshotFeedback();
+  EXPECT_EQ(fb.queries.size(), 1u);
+  // The survivor is the most recent execution's entry.
+  EXPECT_EQ(fb.queries[0].workers, 8);
 }
 
 // Feedback loop: the second execution of a hot query reuses the cached
