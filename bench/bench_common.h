@@ -62,6 +62,12 @@ struct BenchConfig {
   /// run is loaded and the advisor re-picks the strategy from the measured
   /// values; the q-error audit is printed alongside.
   std::string feedback_in;
+  /// Whole-run deadline in wall-clock milliseconds. > 0 arms a
+  /// QueryLifecycle around the strategy runs: once elapsed, the next
+  /// coordinator poll point turns the running strategy (and every later
+  /// one) into a graceful kDeadlineExceeded FAIL (partial metrics intact —
+  /// a FAIL data point, never an abort). 0 = off.
+  double deadline_ms = 0;
 
   /// Parses flags on top of `base` (benches bake in per-figure defaults).
   static BenchConfig FromArgs(int argc, char** argv, BenchConfig base) {
@@ -93,7 +99,8 @@ struct BenchConfig {
           eat("--bloom=", [&](const std::string& v) { c.bloom = v; }) ||
           eat("--mem-budget=", [&](const std::string& v) { c.mem_budget = std::stoll(v); }) ||
           eat("--feedback-out=", [&](const std::string& v) { c.feedback_out = v; }) ||
-          eat("--feedback-in=", [&](const std::string& v) { c.feedback_in = v; });
+          eat("--feedback-in=", [&](const std::string& v) { c.feedback_in = v; }) ||
+          eat("--deadline-ms=", [&](const std::string& v) { c.deadline_ms = std::stod(v); });
       if (!ok) {
         std::cerr << "unknown flag: " << arg
                   << "\nflags: --workers= --threads= --twitter-nodes= "
@@ -101,7 +108,8 @@ struct BenchConfig {
                      "--seed= --budget= --sort-budget= --trace=<file> "
                      "--json=<file> --profile=<file> --faults=<schedule> "
                      "--bloom=on|off|auto --mem-budget=<bytes|-1> "
-                     "--feedback-out=<file> --feedback-in=<file>\n";
+                     "--feedback-out=<file> --feedback-in=<file> "
+                     "--deadline-ms=<ms>\n";
         std::exit(2);
       }
     }
@@ -237,6 +245,17 @@ inline std::vector<StrategyResult> RunSixConfigs(
     std::cout << "fault schedule: " << injector->plan().ToString() << "\n\n";
   }
 
+  // --deadline-ms= arms the cooperative-cancellation machinery for the
+  // whole run: an elapsed deadline makes strategies FAIL gracefully with
+  // kDeadlineExceeded at their next coordinator poll point.
+  std::unique_ptr<QueryLifecycle> lifecycle;
+  if (config.deadline_ms > 0) {
+    lifecycle = std::make_unique<QueryLifecycle>();
+    lifecycle->SetDeadline(config.deadline_ms / 1000.0);
+    SetActiveQueryLifecycle(lifecycle.get());
+    std::cout << "deadline: " << config.deadline_ms << " ms\n\n";
+  }
+
   StrategyOptions options = config.ToOptions();
   if (patch_options) patch_options(&options);
   if (config.bloom == "auto") {
@@ -256,6 +275,13 @@ inline std::vector<StrategyResult> RunSixConfigs(
   PTP_CHECK(run.ok()) << run.status().ToString();
   std::vector<StrategyResult> results = std::move(run).value();
 
+  if (lifecycle != nullptr) {
+    SetActiveQueryLifecycle(nullptr);
+    if (lifecycle->stats().deadline_exceeded) {
+      std::cout << "deadline exceeded after "
+                << lifecycle->stats().polls << " lifecycle polls\n";
+    }
+  }
   if (injector != nullptr) {
     SetActiveFaultInjector(nullptr);
     std::cout << "faults injected: " << injector->injected() << "\n";

@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

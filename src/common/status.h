@@ -18,6 +18,8 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kUnavailable,  // transient (injected) fault: retrying may succeed
+  kCancelled,    // client/server cancelled the query mid-run (graceful FAIL)
+  kDeadlineExceeded,  // per-query deadline fired at a lifecycle poll point
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -52,6 +54,12 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,6 +1,7 @@
 #include "exec/recovery.h"
 
 #include "common/str_util.h"
+#include "exec/lifecycle.h"
 #include "fault/fault.h"
 #include "obs/counters.h"
 #include "obs/profile.h"
@@ -31,6 +32,10 @@ Status RunWithRecovery(SiteKind kind, std::string_view label,
 
   Status last = Status::OK();
   for (int attempt = 0; attempt <= opts.max_retries; ++attempt) {
+    if (QueryLifecycle* lifecycle = ActiveQueryLifecycle()) {
+      Status stop = lifecycle->Poll(label);
+      if (!stop.ok()) return stop;
+    }
     if (attempt > 0) {
       // Lineage replay: the attempt's inputs are immutable, so rerunning
       // the body is the recovery action. The backoff delay is virtual —

@@ -22,6 +22,13 @@ struct RecoveryOptions {
   /// (HyperCube -> hash shuffle, Tributary -> symmetric hash join). With
   /// degradation off the query FAILs gracefully instead.
   bool allow_degradation = true;
+  /// Stage watchdog, driven by the fault-injection virtual clock: a worker
+  /// body whose injected delay factor reaches this threshold is treated as
+  /// a hung/straggling attempt — its success is converted into a retryable
+  /// kUnavailable at the barrier, escalating through the usual ladder
+  /// (retry -> degrade -> graceful FAIL). 0 = off (the default: a plain
+  /// `slow` fault stays a performance fault, not an availability one).
+  double watchdog_straggle_factor = 0;
 };
 
 /// True for failures the recovery loop should replay: injected transient
@@ -48,6 +55,12 @@ enum class SiteKind { kStage, kExchange };
 /// The attempt body must be a pure function of its immutable inputs plus
 /// (site, attempt) — lineage replay: re-running it yields bit-identical
 /// results at any thread count.
+///
+/// Every attempt (including the first) starts with a lifecycle poll: a
+/// pending cancellation or deadline on the active QueryLifecycle returns
+/// its kCancelled/kDeadlineExceeded immediately — neither code is
+/// retryable, so a cancel landing mid-ladder stops the retry storm at the
+/// next deterministic point instead of replaying a doomed stage.
 Status RunWithRecovery(SiteKind kind, std::string_view label,
                        const RecoveryOptions& opts, QueryMetrics* metrics,
                        int* retries_out,

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "exec/join_hash_table.h"
+#include "exec/lifecycle.h"
 #include "fault/fault.h"
 #include "obs/counters.h"
 #include "obs/profile.h"
@@ -67,6 +68,13 @@ struct Delivery {
 Status DeliverAndMerge(size_t num_producers, const ChannelFn& channel,
                        const ShuffleAttempt& attempt,
                        DistributedRelation* out, ShuffleMetrics* metrics) {
+  // Mid-exchange lifecycle poll: the scatter filled the channel buffers
+  // but nothing has been delivered yet — the one coordinator decision
+  // point inside an exchange. A cancel/deadline here surfaces through the
+  // exchange recovery loop as a graceful FAIL.
+  if (QueryLifecycle* lifecycle = ActiveQueryLifecycle()) {
+    PTP_RETURN_IF_ERROR(lifecycle->Poll(metrics->label));
+  }
   const size_t num_workers = out->size();
   FaultInjector* injector = ActiveFaultInjector();
   bool checked = injector != nullptr;

@@ -319,6 +319,18 @@ void FaultInjector::Reset() {
   next_exchange_.store(0, std::memory_order_relaxed);
 }
 
+FaultInjector::SiteCursor FaultInjector::cursor() const {
+  SiteCursor c;
+  c.stage = next_stage_.load(std::memory_order_relaxed);
+  c.exchange = next_exchange_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void FaultInjector::set_cursor(SiteCursor cursor) {
+  next_stage_.store(cursor.stage, std::memory_order_relaxed);
+  next_exchange_.store(cursor.exchange, std::memory_order_relaxed);
+}
+
 StageFault FaultInjector::OnStage(int site, std::string_view label,
                                   int worker, int attempt) {
   StageFault fault;

@@ -110,6 +110,19 @@ class FaultInjector {
   /// each strategy).
   void Reset();
 
+  /// Site-numbering cursors (stage/exchange ordinals registered so far).
+  /// Captured into a QueryCheckpoint at a barrier suspension and restored
+  /// by ResumeStrategy, so the resumed run's remaining sites receive the
+  /// ordinals an uninterrupted run would have assigned — a fault schedule
+  /// addressed by site keeps meaning the same thing across a suspend/
+  /// resume. Coordinator only.
+  struct SiteCursor {
+    int stage = 0;
+    int exchange = 0;
+  };
+  SiteCursor cursor() const;
+  void set_cursor(SiteCursor cursor);
+
   /// Faults to apply to `worker`'s body of stage `site` on retry epoch
   /// `attempt`. Books matched faults.
   StageFault OnStage(int site, std::string_view label, int worker,

@@ -141,6 +141,15 @@ std::string ExplainAnalyzeText(std::string_view strategy,
     }
   }
 
+  if (options.lifecycle != nullptr && options.lifecycle->polls > 0) {
+    // LifecycleSectionText renders at column 0; re-indent to the tree.
+    std::istringstream lines(LifecycleSectionText(*options.lifecycle));
+    std::string line;
+    while (std::getline(lines, line)) {
+      os << "  " << line << "\n";
+    }
+  }
+
   if (options.counters != nullptr) {
     auto snapshot = options.counters->CounterSnapshot();
     if (!snapshot.empty()) {

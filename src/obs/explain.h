@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "exec/lifecycle.h"
 #include "obs/counters.h"
 #include "plan/strategies.h"
 
@@ -31,6 +32,11 @@ struct ExplainOptions {
   /// report. Byte figures are deterministic, so golden files may include
   /// them.
   const ResourceMeter* resources = nullptr;
+  /// When set, a "lifecycle:" section with the control-plane account
+  /// (poll-point visits, suspends/resumes, watchdog trips, cancel/deadline
+  /// verdict) is appended to the text report. Deterministic under the
+  /// *AfterPolls test knobs.
+  const LifecycleStats* lifecycle = nullptr;
 };
 
 /// EXPLAIN ANALYZE: renders the plan a strategy actually ran (join / var

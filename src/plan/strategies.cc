@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "exec/lifecycle.h"
 #include "exec/local_ops.h"
 #include "exec/pipeline.h"
 #include "exec/recovery.h"
@@ -149,11 +150,46 @@ struct Ctx {
     return true;
   }
 
+  // Polls the active lifecycle at this coordinator point: a pending
+  // cancellation/deadline becomes a graceful kCancelled/kDeadlineExceeded
+  // FAIL (partial metrics intact). Same determinism contract as
+  // FailOnHardBreach — decisions land only at these fixed points.
+  bool FailOnLifecycle(std::string_view where) {
+    if (metrics().failed) return true;
+    QueryLifecycle* lifecycle = ActiveQueryLifecycle();
+    if (lifecycle == nullptr) return false;
+    Status stop = lifecycle->Poll(where);
+    if (stop.ok()) return false;
+    Fail(stop.message(), stop.code());
+    return true;
+  }
+
+  // Hard-budget breach then lifecycle, in that fixed order, at one
+  // coordinator decision point.
+  bool FailOnControl(std::string_view where) {
+    return FailOnHardBreach() || FailOnLifecycle(where);
+  }
+
   void TrackIntermediate(size_t tuples) {
     metrics().max_intermediate_tuples =
         std::max(metrics().max_intermediate_tuples, tuples);
   }
 };
+
+// A status the lifecycle poll inside the recovery loop surfaced: the query
+// must stop gracefully (never retry, degrade, or abort on it).
+bool IsLifecycleStop(const Status& status) {
+  return status.code() == StatusCode::kCancelled ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+// Converts a lifecycle stop carried by `status` into a graceful FAIL.
+// Returns true when it did (the caller returns its partial result).
+bool FailOnControlStatus(Ctx* ctx, const Status& status) {
+  if (!IsLifecycleStop(status)) return false;
+  ctx->Fail(status.message(), status.code());
+  return true;
+}
 
 // Records a graceful plan degradation (the recovery loop gave up on an
 // operator and the planner fell back to a more robust one).
@@ -165,6 +201,38 @@ void BookDegradation(Ctx* ctx, std::string what) {
     trace->Instant("degraded", what, kCoordinatorTrack);
   }
   ctx->metrics().degradations.push_back(std::move(what));
+}
+
+// Stage watchdog (RecoveryOptions::watchdog_straggle_factor): after the
+// barrier, a worker body whose virtual delay factor (injected via the
+// fault plan's `slow` kind) reached the threshold is declared hung and its
+// success converted into a retryable kUnavailable, in worker index order —
+// the recovery ladder then replays the attempt (a transient straggler
+// recovers bit-identically via lineage replay), degrades, or FAILs the
+// query gracefully (a persistent straggler). Driven entirely by the
+// injected virtual clock, so the decision is deterministic at any thread
+// count and a clean run (delay 1.0) never trips it.
+void ApplyWatchdog(const StrategyOptions& opts, const std::string& label,
+                   const std::vector<double>& worker_delay,
+                   std::vector<Status>* worker_status) {
+  const double factor = opts.recovery.watchdog_straggle_factor;
+  if (factor <= 0) return;
+  for (size_t wi = 0; wi < worker_status->size(); ++wi) {
+    if (!(*worker_status)[wi].ok() || worker_delay[wi] < factor) continue;
+    (*worker_status)[wi] = Status::Unavailable(
+        StrFormat("watchdog: worker %zu straggled %.1fx in stage '%s'", wi,
+                  worker_delay[wi], label.c_str()));
+    if (CounterRegistry* reg = ActiveCounterRegistry()) {
+      reg->Add("lifecycle.watchdog_trips", 1);
+    }
+    if (TraceSession* trace = ActiveTraceSession()) {
+      trace->Instant("watchdog", (*worker_status)[wi].message(),
+                     kCoordinatorTrack);
+    }
+    if (QueryLifecycle* lifecycle = ActiveQueryLifecycle()) {
+      lifecycle->BookWatchdogTrip();
+    }
+  }
 }
 
 // Runs one shuffle under the exchange recovery loop and books it on
@@ -277,8 +345,18 @@ Status InjectedCrash(const char* when, int worker,
 // ---------------------------------------------------------------------------
 // Regular shuffle: one hash-repartitioning round per binary join.
 // ---------------------------------------------------------------------------
+// With `resume` non-null the run continues a barrier checkpoint instead of
+// starting fresh: the accumulated fragments, round index, pending
+// predicates, memory account, and partial metrics are restored, and the
+// base relations are recomputed (round-robin placement is deterministic).
+// `allow_suspend` is false when this run is the degraded tail of another
+// family (an HC fallback): a checkpoint captured there could not be resumed
+// under the original strategy name, so suspend requests stay pending and
+// the fallback runs to completion.
 Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
-                                  const StrategyOptions& opts) {
+                                  const StrategyOptions& opts,
+                                  const QueryCheckpoint* resume = nullptr,
+                                  bool allow_suspend = true) {
   Ctx ctx;
   ctx.q = &q;
   ctx.opts = &opts;
@@ -286,26 +364,40 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
   ctx.metrics().EnsureWorkers(static_cast<size_t>(ctx.W));
   const int W = ctx.W;
 
-  std::vector<int> order = PickJoinOrder(q, opts);
+  std::vector<int> order =
+      resume != nullptr ? resume->order : PickJoinOrder(q, opts);
   ctx.result.join_order_used = order;
   if (order.size() != q.atoms.size()) {
     return Status::InvalidArgument("join order must cover all atoms");
   }
 
-  // Initial round-robin placement.
+  // Initial round-robin placement (bit-identical on every run, so a
+  // resumed query sees the same base fragments the suspended one did).
   std::vector<DistributedRelation> base;
   base.reserve(q.atoms.size());
   for (const NormalizedAtom& atom : q.atoms) {
     base.push_back(PartitionRoundRobin(atom.relation, W));
   }
 
-  std::vector<Predicate> pending = q.predicates;
   // Coordinator-side fragment accounting: `carried_bytes` is the previous
   // round's output, released when the next round's output replaces it.
   ResourceMeter* meter = ActiveResourceMeter();
+  std::vector<Predicate> pending;
   uint64_t carried_bytes = 0;
-  DistributedRelation acc = base[static_cast<size_t>(order[0])];
-  {
+  DistributedRelation acc;
+  size_t start_step = 1;
+  if (resume != nullptr) {
+    ctx.result.metrics = resume->metrics;
+    acc = resume->acc;
+    pending = resume->pending;
+    carried_bytes = resume->carried_bytes;
+    start_step = resume->next_step;
+    if (start_step < 1 || start_step > order.size()) {
+      return Status::InvalidArgument("checkpoint round index out of range");
+    }
+  } else {
+    pending = q.predicates;
+    acc = base[static_cast<size_t>(order[0])];
     // Apply predicates already decidable on the first atom.
     std::vector<Predicate> applicable, rest;
     SplitApplicablePredicates(pending, q.atoms[static_cast<size_t>(order[0])]
@@ -322,7 +414,32 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
     }
   }
 
-  for (size_t step = 1; step < order.size(); ++step) {
+  for (size_t step = start_step; step < order.size(); ++step) {
+    // Round barrier: the coordinator decision point for cancellation,
+    // deadlines, and barrier-checkpoint suspension. The suspension check
+    // runs only here (and is skipped once the query is failing), so the
+    // set of capture points is identical at every thread count.
+    const std::string barrier_label = StrFormat("round %zu barrier", step);
+    if (ctx.FailOnControl(barrier_label)) return std::move(ctx.result);
+    if (QueryLifecycle* lifecycle =
+            allow_suspend ? ActiveQueryLifecycle() : nullptr) {
+      if (lifecycle->ConsumeSuspend()) {
+        auto cp = std::make_shared<QueryCheckpoint>();
+        cp->strategy = StrategyName(ShuffleKind::kRegular, join);
+        cp->next_step = step;
+        cp->order = order;
+        cp->acc = std::move(acc);
+        cp->pending = std::move(pending);
+        cp->carried_bytes = carried_bytes;
+        cp->metrics = ctx.result.metrics;
+        if (FaultInjector* injector = ActiveFaultInjector()) {
+          cp->fault_cursor = injector->cursor();
+        }
+        ctx.result.checkpoint = std::move(cp);
+        return std::move(ctx.result);
+      }
+    }
+
     const NormalizedAtom& atom = q.atoms[static_cast<size_t>(order[step])];
     const std::vector<std::string> shared =
         SharedVars(acc[0].schema(), atom.relation.schema());
@@ -456,6 +573,11 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
       }
     }
     if (!shuffle_status.ok()) {
+      // A cancel/deadline surfaced through the exchange recovery loop
+      // stops the query gracefully before anything else is considered.
+      if (FailOnControlStatus(&ctx, shuffle_status)) {
+        return std::move(ctx.result);
+      }
       // A lost exchange with no cheaper plan to fall back to: FAIL the
       // query gracefully (a data point, not an abort).
       if (!IsRetryableFailure(shuffle_status)) return shuffle_status;
@@ -469,7 +591,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
     if (meter != nullptr) {
       in_bytes = DistBytes(left) + DistBytes(right);
       meter->Charge(MemCategory::kIntermediate, in_bytes);
-      if (ctx.FailOnHardBreach()) return std::move(ctx.result);
+      if (ctx.FailOnControl(exchange_label)) return std::move(ctx.result);
     }
 
     // A Tributary round must sort its intermediate input in memory; the
@@ -539,6 +661,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
     std::vector<double> join_s(static_cast<size_t>(W), 0.0);
     std::vector<Status> worker_status(static_cast<size_t>(W));
     std::vector<MemStats> worker_mem(static_cast<size_t>(W));
+    std::vector<double> worker_delay(static_cast<size_t>(W), 1.0);
     double region_total = 0.0;
     const std::string stage_label = StrFormat("join_%zu", step);
 
@@ -550,6 +673,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         // Per-attempt reset: only the attempt that succeeds is booked, so
         // recovered runs account exactly like clean ones.
         worker_mem[static_cast<size_t>(w)].Reset();
+        worker_delay[static_cast<size_t>(w)] = 1.0;
       }
       Timer stage_timer;
       PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
@@ -590,6 +714,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
           }
         }
         elapsed[wi] += t.Seconds() * fault.delay_factor;
+        worker_delay[wi] = fault.delay_factor;
         if (fault.crash_during) {
           // Work done, output lost: the fragment dies with the worker.
           joined[wi] = Relation();
@@ -602,6 +727,7 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
         return Status::OK();
       }));
       region_total += stage_timer.Seconds();
+      ApplyWatchdog(opts, label, worker_delay, &worker_status);
       // First error wins, in worker index order (the serial decision
       // sequence — identical at every thread count).
       for (int w = 0; w < W; ++w) {
@@ -645,6 +771,13 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
           });
     }
 
+    // A cancel/deadline from the stage recovery loop's poll (original or
+    // degraded attempt): stop now, gracefully, without booking the
+    // abandoned attempt as a stage.
+    if (FailOnControlStatus(&ctx, round_status)) {
+      return std::move(ctx.result);
+    }
+
     size_t round_output = 0;
     bool failed = false;
     if (!round_status.ok() && !IsRetryableFailure(round_status) &&
@@ -680,7 +813,9 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
     ctx.BookStage(final_label, region_total, elapsed, sort_s, join_s,
                   round_output, failed, static_cast<size_t>(stage_retries),
                   /*degraded=*/false, &worker_mem);
-    if (failed || ctx.FailOnHardBreach()) return std::move(ctx.result);
+    if (failed || ctx.FailOnControl(final_label)) {
+      return std::move(ctx.result);
+    }
     if (step + 1 < order.size()) ctx.TrackIntermediate(round_output);
     if (meter != nullptr) {
       // The round's output overlaps its inputs briefly (charge first for an
@@ -694,6 +829,8 @@ Result<StrategyResult> RunRegular(const NormalizedQuery& q, JoinKind join,
     acc = std::move(joined);
   }
 
+  // Final barrier: last deterministic decision point before the gather.
+  if (ctx.FailOnControl("final gather")) return std::move(ctx.result);
   if (!pending.empty()) {
     PTP_RETURN_IF_ERROR(runtime::ParallelFor(
         static_cast<int>(acc.size()), [&](int f) {
@@ -723,6 +860,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
   std::vector<Status> worker_status(static_cast<size_t>(W));
   std::vector<PipelineStats> worker_pipeline(static_cast<size_t>(W));
   std::vector<MemStats> worker_mem(static_cast<size_t>(W));
+  std::vector<double> worker_delay(static_cast<size_t>(W), 1.0);
   double region_total = 0.0;
   // The callers charged each shuffled input as it materialized; remember
   // the total so the phase releases it on completion.
@@ -761,6 +899,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
       worker_pipeline[wi] = PipelineStats();
       // Per-attempt reset so only the successful attempt is booked.
       worker_mem[wi].Reset();
+      worker_delay[wi] = 1.0;
     }
     Timer stage_timer;
     PTP_RETURN_IF_ERROR(runtime::ParallelFor(W, [&](int w) {
@@ -805,6 +944,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
         }
       }
       elapsed[wi] += t.Seconds() * fault.delay_factor;
+      worker_delay[wi] = fault.delay_factor;
       if (fault.crash_during) {
         out[wi] = Relation();
         worker_pipeline[wi] = PipelineStats();
@@ -817,6 +957,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
       return Status::OK();
     }));
     region_total += stage_timer.Seconds();
+    ApplyWatchdog(opts, label, worker_delay, &worker_status);
     for (int w = 0; w < W; ++w) {
       const Status& st = worker_status[static_cast<size_t>(w)];
       if (!st.ok()) return st;
@@ -859,6 +1000,13 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
         });
   }
 
+  // A cancel/deadline from the phase recovery loop's poll: graceful FAIL
+  // (the caller keeps the partial metrics), not a hard error.
+  if (FailOnControlStatus(ctx, phase_status)) {
+    if (meter != nullptr) meter->Release(in_bytes);
+    return Status::OK();
+  }
+
   if (!phase_status.ok() && !IsRetryableFailure(phase_status) &&
       phase_status.code() != StatusCode::kResourceExhausted) {
     return phase_status;
@@ -892,7 +1040,7 @@ Status RunLocalPhase(Ctx* ctx, JoinKind join,
   ctx->BookStage(final_label, region_total, elapsed, sort_s, join_s,
                  total_output, failed, static_cast<size_t>(stage_retries),
                  /*degraded=*/false, &worker_mem);
-  if (!failed && ctx->FailOnHardBreach()) failed = true;
+  if (!failed && ctx->FailOnControl(final_label)) failed = true;
 
   // Per-join breakdown of the local pipeline (Table 5).
   for (size_t i = 0; i < pipeline_stats.join_outputs.size(); ++i) {
@@ -947,7 +1095,9 @@ Result<StrategyResult> RunBroadcast(const NormalizedQuery& q, JoinKind join,
       shuffled[i] = std::move(sr.data);
       if (meter != nullptr) {
         meter->Charge(MemCategory::kIntermediate, DistBytes(shuffled[i]));
-        if (ctx.FailOnHardBreach()) return std::move(ctx.result);
+        if (ctx.FailOnControl(AtomLabel(q.atoms[i]))) {
+          return std::move(ctx.result);
+        }
       }
       continue;
     }
@@ -959,6 +1109,7 @@ Result<StrategyResult> RunBroadcast(const NormalizedQuery& q, JoinKind join,
         },
         &shuffled[i]);
     if (!st.ok()) {
+      if (FailOnControlStatus(&ctx, st)) return std::move(ctx.result);
       // A broadcast plan has no cheaper shuffle to fall back to.
       if (!IsRetryableFailure(st)) return st;
       ctx.Fail(StrFormat("exchange '%s' failed after %d retries: %s",
@@ -968,7 +1119,7 @@ Result<StrategyResult> RunBroadcast(const NormalizedQuery& q, JoinKind join,
     }
     if (meter != nullptr) {
       meter->Charge(MemCategory::kIntermediate, DistBytes(shuffled[i]));
-      if (ctx.FailOnHardBreach()) return std::move(ctx.result);
+      if (ctx.FailOnControl(label)) return std::move(ctx.result);
     }
   }
 
@@ -1012,6 +1163,7 @@ Result<StrategyResult> RunHypercube(const NormalizedQuery& q, JoinKind join,
         },
         &shuffled[i]);
     if (!st.ok()) {
+      if (FailOnControlStatus(&ctx, st)) return std::move(ctx.result);
       if (IsRetryableFailure(st) && opts.recovery.allow_degradation) {
         // The HyperCube exchange keeps failing: degrade the whole plan to
         // regular hash shuffles. The partial HC accounting (booked
@@ -1021,7 +1173,8 @@ Result<StrategyResult> RunHypercube(const NormalizedQuery& q, JoinKind join,
                                   "'%s': hypercube shuffle -> regular hash "
                                   "shuffle",
                                   label.c_str()));
-        Result<StrategyResult> fallback = RunRegular(q, join, opts);
+        Result<StrategyResult> fallback = RunRegular(
+            q, join, opts, /*resume=*/nullptr, /*allow_suspend=*/false);
         if (!fallback.ok()) return fallback.status();
         StrategyResult degraded = std::move(fallback).value();
         QueryMetrics combined = std::move(ctx.metrics());
@@ -1038,7 +1191,7 @@ Result<StrategyResult> RunHypercube(const NormalizedQuery& q, JoinKind join,
     }
     if (meter != nullptr) {
       meter->Charge(MemCategory::kIntermediate, DistBytes(shuffled[i]));
-      if (ctx.FailOnHardBreach()) return std::move(ctx.result);
+      if (ctx.FailOnControl(label)) return std::move(ctx.result);
     }
   }
 
@@ -1090,6 +1243,9 @@ Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
       ctx.opts = &options;
       ctx.W = options.num_workers;
       ctx.metrics().EnsureWorkers(static_cast<size_t>(ctx.W));
+      if (ctx.FailOnControl("single-atom scan")) {
+        return std::move(ctx.result);
+      }
       DistributedRelation frags =
           PartitionRoundRobin(query.atoms[0].relation, ctx.W);
       PTP_RETURN_IF_ERROR(runtime::ParallelFor(
@@ -1112,9 +1268,48 @@ Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
     return Status::InvalidArgument("unknown shuffle kind");
   };
   Result<StrategyResult> result = run();
-  if (meter != nullptr && result.ok()) {
+  if (meter != nullptr && result.ok() && result->checkpoint == nullptr) {
     // Close the section after any degradation Absorb so the metrics carry
     // the whole run's account (HC fallbacks book into the same section).
+    // A suspended run leaves its section open: the same meter object stays
+    // installed across the suspension and ResumeStrategy closes it, so the
+    // final peak/charged figures match an uninterrupted run exactly.
+    uint64_t peak = 0;
+    uint64_t charged = 0;
+    meter->FinishQuery(&peak, &charged);
+    result->metrics.peak_bytes = static_cast<size_t>(peak);
+    result->metrics.charged_bytes = static_cast<size_t>(charged);
+  }
+  return result;
+}
+
+Result<StrategyResult> ResumeStrategy(const NormalizedQuery& query,
+                                      ShuffleKind shuffle, JoinKind join,
+                                      const StrategyOptions& options,
+                                      const QueryCheckpoint& checkpoint) {
+  if (shuffle != ShuffleKind::kRegular) {
+    return Status::InvalidArgument(
+        "only regular-shuffle runs have barrier suspension points");
+  }
+  if (checkpoint.strategy != StrategyName(shuffle, join)) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint was captured by %s, resume asked for %s",
+                  checkpoint.strategy.c_str(), StrategyName(shuffle, join)));
+  }
+  // Restore the fault-site cursor (Reset() would renumber remaining sites
+  // differently from an uninterrupted run). No BeginQuery: the suspended
+  // run's meter/profile sections are still open.
+  if (FaultInjector* injector = ActiveFaultInjector()) {
+    injector->set_cursor(checkpoint.fault_cursor);
+  }
+  if (QueryLifecycle* lifecycle = ActiveQueryLifecycle()) {
+    lifecycle->BookResume();
+  }
+  Span strategy_span(StrategyName(shuffle, join), kCoordinatorTrack);
+  Result<StrategyResult> result =
+      RunRegular(query, join, options, &checkpoint);
+  ResourceMeter* meter = ActiveResourceMeter();
+  if (meter != nullptr && result.ok() && result->checkpoint == nullptr) {
     uint64_t peak = 0;
     uint64_t charged = 0;
     meter->FinishQuery(&peak, &charged);

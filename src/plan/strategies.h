@@ -1,6 +1,7 @@
 #ifndef PTP_PLAN_STRATEGIES_H_
 #define PTP_PLAN_STRATEGIES_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "exec/cluster.h"
 #include "exec/metrics.h"
 #include "exec/recovery.h"
+#include "fault/fault.h"
 #include "hypercube/optimizer.h"
 #include "query/query.h"
 
@@ -83,6 +85,40 @@ struct StrategyOptions {
   RecoveryOptions recovery;
 };
 
+/// Barrier checkpoint of a suspended regular-shuffle run: everything needed
+/// to resume the query later with output bit-identical to an uninterrupted
+/// run. Captured by RunStrategy when the active QueryLifecycle consumes a
+/// suspend request at a round barrier (regular shuffle only — the single-
+/// round families run to completion instead); consumed by ResumeStrategy.
+///
+/// The base relations are NOT captured: the resumed run recomputes their
+/// round-robin placement deterministically from the query, so a checkpoint
+/// holds only the accumulated fragments plus coordinator state (round
+/// index, pending predicates, memory account, partial metrics with the
+/// virtual clock, and the fault-injector site cursor).
+struct QueryCheckpoint {
+  /// StrategyName of the suspended run ("RS_HJ"/"RS_TJ") for validation.
+  std::string strategy;
+  /// Join-order index of the next round to execute.
+  size_t next_step = 1;
+  /// Join order in use (resume must not re-run the order optimizer — the
+  /// advisor could have learned something in between).
+  std::vector<int> order;
+  /// Accumulated fragments at the barrier (the previous round's output).
+  DistributedRelation acc;
+  /// Predicates not yet applied.
+  std::vector<Predicate> pending;
+  /// Meter bytes charged for `acc` (the query's own meter section stays
+  /// open across a suspension; only the server-level pool reservation is
+  /// released).
+  uint64_t carried_bytes = 0;
+  /// Partial account so far, including the virtual clock and booked stages.
+  QueryMetrics metrics;
+  /// Fault-site numbering at capture, restored on resume so remaining
+  /// sites get the ordinals an uninterrupted run would assign.
+  FaultInjector::SiteCursor fault_cursor;
+};
+
 /// Outcome of executing one (shuffle, join) configuration.
 struct StrategyResult {
   /// Final result, gathered and projected to the head variables (set
@@ -96,6 +132,11 @@ struct StrategyResult {
   std::vector<std::string> var_order_used;
   /// Left-deep join order actually used (HJ runs and RS rounds).
   std::vector<int> join_order_used;
+
+  /// Non-null when the run suspended at a round barrier instead of
+  /// completing: output/metrics are partial and the query must be finished
+  /// with ResumeStrategy. Null for every completed run (including FAILs).
+  std::shared_ptr<QueryCheckpoint> checkpoint;
 };
 
 /// Executes `query` on the simulated cluster with the given shuffle/join
@@ -111,9 +152,27 @@ struct StrategyResult {
 /// no cheaper plan exists, FAILs gracefully with metrics.failed = true.
 /// Recovery is deterministic: same fault schedule => same retry sequence
 /// => bit-identical output at any thread count.
+/// With an active QueryLifecycle (exec/lifecycle.h) the run additionally
+/// polls for cancellation/deadlines at every stage barrier, exchange
+/// boundary, and coordinator charge site — a trip produces a graceful FAIL
+/// with metrics.fail_code kCancelled/kDeadlineExceeded — and honors suspend
+/// requests at regular-shuffle round barriers by returning a partial result
+/// carrying a QueryCheckpoint (see ResumeStrategy).
 Result<StrategyResult> RunStrategy(const NormalizedQuery& query,
                                    ShuffleKind shuffle, JoinKind join,
                                    const StrategyOptions& options);
+
+/// Resumes a run suspended at a round barrier. `query`, `shuffle`, `join`,
+/// and `options` must be the ones the suspended run was started with
+/// (shuffle must be kRegular — the only family with barrier suspension
+/// points). The resumed run continues the checkpoint's metrics and memory
+/// account and may itself suspend again; once it completes, its output,
+/// counters, and memory peaks are bit-identical to an uninterrupted run at
+/// any thread count.
+Result<StrategyResult> ResumeStrategy(const NormalizedQuery& query,
+                                      ShuffleKind shuffle, JoinKind join,
+                                      const StrategyOptions& options,
+                                      const QueryCheckpoint& checkpoint);
 
 /// Runs all six configurations (RS/BR/HC x HJ/TJ) and returns the results
 /// in the paper's column order: RS_HJ, RS_TJ, BR_HJ, BR_TJ, HC_HJ, HC_TJ.

@@ -27,6 +27,7 @@
 #include "data/workloads.h"
 #include "exec/bloom.h"
 #include "exec/cluster.h"
+#include "exec/lifecycle.h"
 #include "exec/local_ops.h"
 #include "exec/metrics.h"
 #include "exec/pipeline.h"

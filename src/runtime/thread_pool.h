@@ -32,9 +32,9 @@ inline constexpr int kNumContextSlots = 8;
 
 /// Hands out a process-unique context-slot index. Each subsystem that wants
 /// a thread-propagated "active sink" pointer (trace session, counter
-/// registry, resource meter, fault injector, ...) allocates one slot at
-/// first use and stores its pointer there. Crashes if more than
-/// kNumContextSlots subsystems register.
+/// registry, resource meter, fault injector, query lifecycle, ...)
+/// allocates one slot at first use and stores its pointer there. Crashes if
+/// more than kNumContextSlots subsystems register.
 int AllocateContextSlot();
 
 /// The calling thread's value for `slot` (nullptr when unset). Slots are

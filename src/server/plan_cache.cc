@@ -56,7 +56,8 @@ Result<PlanCache::Entry> PlanCache::Prepare(std::string_view text,
   const std::string key = NormalizeQueryText(text);
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < entries_.size(); ++i) {
-    if (entries_[i].key == key && entries_[i].workers == workers) {
+    if (entries_[i].key == key && entries_[i].workers == workers &&
+        entries_[i].catalog == catalog) {
       ++stats_.hits;
       if (was_hit != nullptr) *was_hit = true;
       TouchLocked(i);
@@ -68,6 +69,7 @@ Result<PlanCache::Entry> PlanCache::Prepare(std::string_view text,
   Entry e;
   e.key = key;
   e.workers = workers;
+  e.catalog = catalog;
   PTP_ASSIGN_OR_RETURN(e.query,
                        ParseDatalog(text, &catalog->dictionary()));
   PTP_RETURN_IF_ERROR(e.query.Validate(*catalog));
@@ -91,16 +93,21 @@ Result<PlanCache::Entry> PlanCache::Prepare(std::string_view text,
 }
 
 void PlanCache::Refresh(std::string_view key, int workers,
+                        const Catalog* catalog,
                         const StrategyAdvice& advice,
-                        uint64_t measured_peak_bytes) {
+                        uint64_t measured_peak_bytes,
+                        double measured_exec_seconds) {
   std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < entries_.size(); ++i) {
     Entry& e = entries_[i];
-    if (e.key == key && e.workers == workers) {
+    if (e.key == key && e.workers == workers && e.catalog == catalog) {
       e.advice = advice;
       if (measured_peak_bytes > 0) {
         e.est_peak_bytes = measured_peak_bytes;
         e.measured = true;
+      }
+      if (measured_exec_seconds > 0) {
+        e.est_exec_seconds = measured_exec_seconds;
       }
       ++e.executions;
       ++stats_.refreshes;
@@ -110,10 +117,11 @@ void PlanCache::Refresh(std::string_view key, int workers,
   }
 }
 
-bool PlanCache::Lookup(std::string_view key, int workers, Entry* out) const {
+bool PlanCache::Lookup(std::string_view key, int workers,
+                       const Catalog* catalog, Entry* out) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const Entry& e : entries_) {
-    if (e.key == key && e.workers == workers) {
+    if (e.key == key && e.workers == workers && e.catalog == catalog) {
       if (out != nullptr) *out = e;
       return true;
     }

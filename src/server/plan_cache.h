@@ -18,11 +18,14 @@ namespace ptp {
 /// Prepared-plan cache of the serving layer: parse + normalize + advise
 /// once per distinct (normalized query text, cluster size), execute many.
 ///
-/// The key is NormalizeQueryText(text) (query/normalize_text.h), so
-/// whitespace/case/atom-order respellings of a query share one entry. A
-/// hit returns the cached parse and advice without touching the parser or
-/// the advisor — stats() makes that observable (tests assert parses stays
-/// at the number of distinct queries while hits grow).
+/// The key is (NormalizeQueryText(text), workers, catalog), so
+/// whitespace/case/atom-order respellings of a query share one entry. The
+/// catalog is part of the key because preparation binds relation data into
+/// the normalized plan: reusing an entry across catalogs would execute the
+/// wrong data and misclassify the query's appetite. A hit returns the
+/// cached parse and advice without touching the parser or the advisor —
+/// stats() makes that observable (tests assert parses stays at the number
+/// of distinct queries while hits grow).
 ///
 /// Entries fold execution feedback back in via Refresh(): the advisor
 /// re-runs over the measured QueryFeedback, so the second execution of a
@@ -42,9 +45,11 @@ class PlanCache {
       : max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
   struct Entry {
-    /// Cache key: NormalizeQueryText of the submitted text.
+    /// Cache key: NormalizeQueryText of the submitted text, plus the
+    /// cluster size and the catalog the plan was prepared against.
     std::string key;
     int workers = 0;
+    const Catalog* catalog = nullptr;
     ConjunctiveQuery query;
     /// Shared, immutable after preparation: concurrent executions of the
     /// same entry read one materialized normalization.
@@ -54,6 +59,9 @@ class PlanCache {
     /// run measured the real peak (then `measured` flips).
     uint64_t est_peak_bytes = 0;
     bool measured = false;
+    /// Measured wall-clock of the entry's last successful execution, for
+    /// the admission controller's retry_after hint (0 until measured).
+    double est_exec_seconds = 0;
     size_t executions = 0;
   };
 
@@ -80,14 +88,18 @@ class PlanCache {
                         const FeedbackStore* feedback,
                         bool* was_hit = nullptr);
 
-  /// Folds a measured run into the entry for (key, workers): new advice,
-  /// measured peak bytes, execution count. Missing entries are ignored
-  /// (the cache never resurrects evicted state).
-  void Refresh(std::string_view key, int workers,
-               const StrategyAdvice& advice, uint64_t measured_peak_bytes);
+  /// Folds a measured run into the entry for (key, workers, catalog): new
+  /// advice, measured peak bytes, measured runtime, execution count.
+  /// Zero-valued measurements leave the previous value alone (a FAILed run
+  /// teaches the advisor but not the admission controller). Missing entries
+  /// are ignored (the cache never resurrects evicted state).
+  void Refresh(std::string_view key, int workers, const Catalog* catalog,
+               const StrategyAdvice& advice, uint64_t measured_peak_bytes,
+               double measured_exec_seconds = 0);
 
-  /// Snapshot of the entry for (key, workers); false when absent.
-  bool Lookup(std::string_view key, int workers, Entry* out) const;
+  /// Snapshot of the entry for (key, workers, catalog); false when absent.
+  bool Lookup(std::string_view key, int workers, const Catalog* catalog,
+              Entry* out) const;
 
   Stats stats() const;
   size_t size() const;

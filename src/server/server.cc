@@ -1,11 +1,14 @@
 #include "server/server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/str_util.h"
 #include "common/timer.h"
+#include "fault/fault.h"
 #include "obs/counters.h"
 #include "obs/resource.h"
 #include "plan/advisor.h"
@@ -24,6 +27,30 @@ struct PendingQuery {
   bool small = true;
   uint64_t dispatch_seq = 0;
   Timer queue_timer;
+
+  /// Cancel token + deadline, created at submit so a queued query can be
+  /// cancelled (or expire) before it ever dispatches.
+  std::unique_ptr<QueryLifecycle> lifecycle;
+  /// Per-request private fault injector (QueryRequest::faults).
+  std::unique_ptr<FaultInjector> injector;
+
+  /// Execution state that must survive a barrier-checkpoint suspension:
+  /// the registry and meter are created at FIRST dispatch and kept across
+  /// suspend/resume cycles (the meter's query section stays open while
+  /// suspended), so the finished query's counters and memory peaks are
+  /// bit-identical to an uninterrupted run.
+  bool started = false;
+  std::unique_ptr<CounterRegistry> counters;
+  std::unique_ptr<ResourceMeter> meter;
+  std::shared_ptr<QueryCheckpoint> checkpoint;
+  int suspend_count = 0;
+  ShuffleKind shuffle = ShuffleKind::kRegular;
+  JoinKind join = JoinKind::kHashJoin;
+  StrategyOptions opts;
+  /// Measured-runtime hint from the plan cache (retry_after computation).
+  double est_exec_seconds = 0;
+  double queue_seconds = 0;  // frozen at first dispatch
+  double exec_seconds = 0;   // accumulated across dispatches
 
   std::mutex mu;
   std::condition_variable cv;
@@ -57,6 +84,17 @@ bool QueryHandle::Done() const {
   return pending_->done;
 }
 
+Status QueryHandle::WaitFor(double timeout_seconds) const {
+  PTP_CHECK(pending_ != nullptr) << "empty QueryHandle";
+  std::unique_lock<std::mutex> lock(pending_->mu);
+  const auto wait = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(std::max(0.0, timeout_seconds)));
+  if (pending_->cv.wait_for(lock, wait, [&] { return pending_->done; })) {
+    return Status::OK();
+  }
+  return Status::DeadlineExceeded("query still running after bounded wait");
+}
+
 QueryHandle QueryServer::Session::Submit(const QueryRequest& request) {
   int seq;
   {
@@ -64,6 +102,10 @@ QueryHandle QueryServer::Session::Submit(const QueryRequest& request) {
     seq = next_seq_++;
   }
   return server_->SubmitInternal(id_ + ".q" + std::to_string(seq), request);
+}
+
+bool QueryServer::Session::Cancel(const std::string& id) {
+  return server_->Cancel(id);
 }
 
 QueryServer::QueryServer(const ServerOptions& options)
@@ -155,7 +197,42 @@ QueryHandle QueryServer::SubmitInternal(const std::string& id,
   }
   p->plan = std::move(prepared).value();
   p->est_peak_bytes = p->plan.est_peak_bytes;
+  p->est_exec_seconds = p->plan.est_exec_seconds;
   p->small = p->est_peak_bytes <= options_.small_query_bytes;
+
+  // Per-request fault schedule: parsed now so a malformed schedule rejects
+  // at submit, run later under the query's private injector.
+  if (!request.faults.empty()) {
+    Result<FaultPlan> fault_plan = FaultPlan::Parse(request.faults);
+    if (!fault_plan.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.rejected;
+      }
+      QueryResponse r;
+      r.id = id;
+      r.status = fault_plan.status();
+      p->Resolve(std::move(r));
+      return handle;
+    }
+    p->injector =
+        std::make_unique<FaultInjector>(std::move(fault_plan).value());
+  }
+
+  // Cancel token + deadline armed from submit: time spent queued counts
+  // against the deadline, and an expired query resolves at dispatch
+  // without running.
+  p->lifecycle = std::make_unique<QueryLifecycle>();
+  const double deadline = request.deadline_seconds > 0
+                              ? request.deadline_seconds
+                              : options_.default_deadline_seconds;
+  if (deadline > 0) p->lifecycle->SetDeadline(deadline);
+  if (request.cancel_after_polls > 0) {
+    p->lifecycle->CancelAfterPolls(request.cancel_after_polls);
+  }
+  if (request.deadline_after_polls > 0) {
+    p->lifecycle->DeadlineAfterPolls(request.deadline_after_polls);
+  }
 
   // Admission: a query that can never fit the pool is refused now, not
   // queued forever.
@@ -179,12 +256,134 @@ QueryHandle QueryServer::SubmitInternal(const std::string& id,
     return handle;
   }
 
+  // Overload shedding: a full admission queue refuses immediately with a
+  // computed backoff instead of queueing without bound.
+  double shed_retry_after = -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    (p->small ? small_ : large_).push_back(p);
+    if (options_.max_queue_depth != 0 &&
+        small_.size() + large_.size() >= options_.max_queue_depth) {
+      ++stats_.rejected;
+      ++stats_.shed;
+      shed_retry_after = RetryAfterLocked();
+    } else {
+      (p->small ? small_ : large_).push_back(p);
+      by_id_[p->id] = p;
+      MaybePreemptLocked();
+    }
+  }
+  if (shed_retry_after >= 0) {
+    QueryResponse r;
+    r.id = id;
+    r.cache_hit = p->cache_hit;
+    r.est_peak_bytes = p->est_peak_bytes;
+    r.cost_class = p->small ? "small" : "large";
+    r.status = Status::ResourceExhausted(StrFormat(
+        "admission queue full (%zu queued, cap %zu)",
+        options_.max_queue_depth, options_.max_queue_depth));
+    r.retry_after_seconds = shed_retry_after;
+    p->Resolve(std::move(r));
+    return handle;
   }
   work_cv_.notify_all();
   return handle;
+}
+
+double QueryServer::RetryAfterLocked() const {
+  // Estimated time for the backlog ahead of a returning client to drain:
+  // the sum of measured runtimes of everything queued or running (a query
+  // the cache hasn't measured yet counts a nominal 50 ms), spread across
+  // the executor lanes.
+  constexpr double kUnmeasuredSeconds = 0.05;
+  double backlog = 0;
+  auto est = [&](const std::shared_ptr<PendingQuery>& p) {
+    return p->est_exec_seconds > 0 ? p->est_exec_seconds
+                                   : kUnmeasuredSeconds;
+  };
+  for (const auto& p : small_) backlog += est(p);
+  for (const auto& p : large_) backlog += est(p);
+  for (const auto& p : running_queries_) backlog += est(p);
+  const double lanes =
+      static_cast<double>(std::max(1, options_.executors));
+  return std::max(0.01, backlog / lanes);
+}
+
+void QueryServer::MaybePreemptLocked() {
+  if (options_.preempt_small_backlog <= 0) return;
+  if (small_.size() <
+      static_cast<size_t>(options_.preempt_small_backlog)) {
+    return;
+  }
+  for (const auto& p : running_queries_) {
+    if (p->small) continue;
+    if (p->suspend_count >= options_.max_suspends_per_query) continue;
+    // One victim per backlog crossing; the request is honored at the
+    // query's next regular-shuffle round barrier (single-round plans run
+    // to completion — nothing to preempt).
+    if (p->lifecycle->RequestSuspend()) return;
+  }
+}
+
+bool QueryServer::Cancel(const std::string& id) {
+  std::shared_ptr<PendingQuery> queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_id_.find(id);
+    if (it == by_id_.end()) return false;
+    std::shared_ptr<PendingQuery> p = it->second.lock();
+    if (p == nullptr) {
+      by_id_.erase(it);
+      return false;
+    }
+    p->lifecycle->Cancel("cancelled by client");
+    // Still queued (first submission or suspended): strip it so it
+    // resolves now instead of at its next dispatch. A running query stops
+    // at its next coordinator poll and resolves from the executor.
+    auto strip = [&](std::deque<std::shared_ptr<PendingQuery>>& q) {
+      for (auto qi = q.begin(); qi != q.end(); ++qi) {
+        if ((*qi)->id == id) {
+          queued = *qi;
+          q.erase(qi);
+          return true;
+        }
+      }
+      return false;
+    };
+    if (strip(small_) || strip(large_)) {
+      ++stats_.cancelled;
+      by_id_.erase(id);
+    }
+  }
+  if (queued == nullptr) return true;  // running: the executor resolves it
+
+  QueryResponse r;
+  r.id = queued->id;
+  r.cache_hit = queued->cache_hit;
+  r.est_peak_bytes = queued->est_peak_bytes;
+  r.cost_class = queued->small ? "small" : "large";
+  r.dispatch_seq = queued->dispatch_seq;
+  r.queue_seconds = queued->started ? queued->queue_seconds
+                                    : queued->queue_timer.Seconds();
+  r.exec_seconds = queued->exec_seconds;
+  // A previously-suspended query carries its checkpointed partial account.
+  if (queued->checkpoint != nullptr) {
+    r.metrics = queued->checkpoint->metrics;
+    r.strategy = StrategyName(queued->shuffle, queued->join);
+    r.bloom = queued->opts.bloom;
+  }
+  const Status verdict = queued->lifecycle->Poll("queue");
+  r.status = verdict.ok() ? Status::Cancelled("cancelled by client")
+                          : verdict;
+  r.metrics.failed = true;
+  r.metrics.fail_code = r.status.code();
+  r.metrics.fail_reason = r.status.message();
+  if (queued->counters != nullptr) {
+    r.counters = queued->counters->CounterSnapshot();
+  }
+  r.lifecycle = queued->lifecycle->stats();
+  queued->Resolve(std::move(r));
+  drain_cv_.notify_all();
+  return true;
 }
 
 // Under mu_. Two-level fair pick: small before large, FIFO within class,
@@ -248,89 +447,198 @@ void QueryServer::ExecutorMain() {
       }
       reserved_bytes_ += p->est_peak_bytes;
       ++in_flight_;
-      p->dispatch_seq = next_dispatch_seq_++;
+      if (p->dispatch_seq == 0) {
+        p->dispatch_seq = next_dispatch_seq_++;
+      } else {
+        // Re-dispatch of a suspended query: it keeps its original dispatch
+        // position (it already ran once).
+        ++stats_.resumed;
+      }
+      running_queries_.push_back(p);
+      // Preemption is level-triggered, not just submit-triggered: a large
+      // query dispatched (or resumed by the anti-starvation rule) over a
+      // still-standing small backlog is asked to yield again at its next
+      // barrier. Without this the first resume marches past the backlog's
+      // tail — smalls behind the small_per_large window would wait out the
+      // whole remaining large run. max_suspends_per_query still bounds the
+      // total yields, after which the query runs to completion.
+      if (!p->small && options_.preempt_small_backlog > 0 &&
+          small_.size() >=
+              static_cast<size_t>(options_.preempt_small_backlog) &&
+          p->suspend_count < options_.max_suspends_per_query) {
+        p->lifecycle->RequestSuspend();
+      }
     }
 
-    QueryResponse r = Execute(p.get());
+    bool suspended = false;
+    QueryResponse r = Execute(p.get(), &suspended);
 
     {
       std::lock_guard<std::mutex> lock(mu_);
       reserved_bytes_ -= p->est_peak_bytes;
       --in_flight_;
-      ++stats_.completed;
-      if (!r.status.ok() || r.metrics.failed) ++stats_.failed;
-      if (r.status.code() == StatusCode::kResourceExhausted) {
-        // The run was killed by the per-query budget; suggest a backoff
-        // proportional to the current load (the pool frees as the queue
-        // drains).
-        const double load = static_cast<double>(
-            small_.size() + large_.size() + static_cast<size_t>(in_flight_) +
-            1);
-        r.retry_after_seconds = std::max(0.01, 0.05 * load);
+      running_queries_.erase(std::remove(running_queries_.begin(),
+                                         running_queries_.end(), p),
+                             running_queries_.end());
+      if (suspended) {
+        // Barrier checkpoint captured: the pool reservation and executor
+        // are free for the backlog; the query re-queues at the FRONT of
+        // its class so it resumes ahead of later arrivals.
+        ++p->suspend_count;
+        ++stats_.suspended;
+        (p->small ? small_ : large_).push_front(p);
+      } else {
+        ++stats_.completed;
+        if (!r.status.ok() || r.metrics.failed) ++stats_.failed;
+        if (r.status.code() == StatusCode::kResourceExhausted) {
+          // The run was killed by the per-query budget; suggest waiting
+          // out the estimated backlog.
+          r.retry_after_seconds = RetryAfterLocked();
+        }
+        if (r.status.code() == StatusCode::kCancelled) ++stats_.cancelled;
+        if (r.status.code() == StatusCode::kDeadlineExceeded) {
+          ++stats_.deadline_exceeded;
+        }
+        by_id_.erase(p->id);
       }
     }
-    p->Resolve(std::move(r));
+    if (!suspended) p->Resolve(std::move(r));
     work_cv_.notify_all();
     drain_cv_.notify_all();
   }
 }
 
-QueryResponse QueryServer::Execute(PendingQuery* p) {
+QueryResponse QueryServer::Execute(PendingQuery* p, bool* suspended) {
+  *suspended = false;
   QueryResponse r;
   r.id = p->id;
   r.cache_hit = p->cache_hit;
   r.est_peak_bytes = p->est_peak_bytes;
   r.cost_class = p->small ? "small" : "large";
   r.dispatch_seq = p->dispatch_seq;
-  r.queue_seconds = p->queue_timer.Seconds();
 
-  ShuffleKind shuffle = p->plan.advice.shuffle;
-  JoinKind join = p->plan.advice.join;
-  if (p->request.force_strategy) {
-    shuffle = p->request.shuffle;
-    join = p->request.join;
+  const bool resuming = p->checkpoint != nullptr;
+  if (!p->started) {
+    // First dispatch: freeze the plan choice and create the per-query
+    // sinks. Both survive a suspension — a resumed query keeps charging
+    // the same registry and the same open meter section, which is what
+    // makes its finished counters and peaks bit-identical to an
+    // uninterrupted run.
+    p->started = true;
+    p->queue_seconds = p->queue_timer.Seconds();
+    p->shuffle = p->plan.advice.shuffle;
+    p->join = p->plan.advice.join;
+    if (p->request.force_strategy) {
+      p->shuffle = p->request.shuffle;
+      p->join = p->request.join;
+    }
+    p->opts = p->request.exec;
+    p->opts.num_workers = p->request.workers;
+    if (!p->request.force_strategy && p->plan.advice.use_bloom) {
+      // Advised runs inherit the cached --bloom=auto decision (refined by
+      // feedback on Refresh); forced/pinned plans take request.exec
+      // verbatim so ablations and solo-comparison runs stay reproducible.
+      p->opts.bloom = true;
+    }
+    if (p->opts.recovery.watchdog_straggle_factor == 0) {
+      p->opts.recovery.watchdog_straggle_factor =
+          options_.watchdog_straggle_factor;
+    }
+    p->counters = std::make_unique<CounterRegistry>();
+    p->meter = std::make_unique<ResourceMeter>(options_.query_budget_bytes,
+                                               /*hard=*/true);
   }
-  r.strategy = StrategyName(shuffle, join);
+  r.queue_seconds = p->queue_seconds;
+  r.strategy = StrategyName(p->shuffle, p->join);
+  r.bloom = p->opts.bloom;
 
-  StrategyOptions opts = p->request.exec;
-  opts.num_workers = p->request.workers;
-  if (!p->request.force_strategy && p->plan.advice.use_bloom) {
-    // Advised runs inherit the cached --bloom=auto decision (refined by
-    // feedback on Refresh); forced/pinned plans take request.exec verbatim
-    // so ablations and solo-comparison runs stay reproducible.
-    opts.bloom = true;
+  // Per-query observability + control sinks, installed on this executor
+  // thread only (thread-propagated context slots): a concurrent query on
+  // another executor charges its own registry/meter and answers to its own
+  // cancel token, never these.
+  CounterRegistry* prev_registry =
+      SetActiveCounterRegistry(p->counters.get());
+  ResourceMeter* prev_meter = SetActiveResourceMeter(p->meter.get());
+  QueryLifecycle* prev_lifecycle =
+      SetActiveQueryLifecycle(p->lifecycle.get());
+  FaultInjector* prev_injector = ActiveFaultInjector();
+  if (p->injector != nullptr) SetActiveFaultInjector(p->injector.get());
+  auto uninstall = [&] {
+    if (p->injector != nullptr) SetActiveFaultInjector(prev_injector);
+    SetActiveQueryLifecycle(prev_lifecycle);
+    SetActiveResourceMeter(prev_meter);
+    SetActiveCounterRegistry(prev_registry);
+  };
+
+  // A deadline that expired in the queue (or a cancel that landed between
+  // pick and dispatch) resolves here without (re)entering the engine —
+  // with any checkpointed partial account intact.
+  Status pre = p->lifecycle->Poll("dispatch");
+  if (!pre.ok()) {
+    uninstall();
+    if (p->checkpoint != nullptr) r.metrics = p->checkpoint->metrics;
+    r.metrics.failed = true;
+    r.metrics.fail_code = pre.code();
+    r.metrics.fail_reason = pre.message();
+    r.status = pre;
+    r.exec_seconds = p->exec_seconds;
+    r.counters = p->counters->CounterSnapshot();
+    r.lifecycle = p->lifecycle->stats();
+    return r;
   }
-  r.bloom = opts.bloom;
 
-  // Per-query observability sinks, installed on this executor thread only
-  // (thread-propagated context slots): a concurrent query on another
-  // executor charges its own registry/meter, never these.
-  CounterRegistry counters;
-  ResourceMeter meter(options_.query_budget_bytes, /*hard=*/true);
-  CounterRegistry* prev_registry = SetActiveCounterRegistry(&counters);
-  ResourceMeter* prev_meter = SetActiveResourceMeter(&meter);
   Timer exec_timer;
   Result<StrategyResult> result =
-      RunStrategy(*p->plan.normalized, shuffle, join, opts);
-  r.exec_seconds = exec_timer.Seconds();
-  SetActiveResourceMeter(prev_meter);
-  SetActiveCounterRegistry(prev_registry);
+      resuming ? ResumeStrategy(*p->plan.normalized, p->shuffle, p->join,
+                                p->opts, *p->checkpoint)
+               : RunStrategy(*p->plan.normalized, p->shuffle, p->join,
+                             p->opts);
+  p->exec_seconds += exec_timer.Seconds();
+  r.exec_seconds = p->exec_seconds;
+  uninstall();
 
   if (!result.ok()) {
     r.status = result.status();
-    r.counters = counters.CounterSnapshot();
+    r.counters = p->counters->CounterSnapshot();
+    r.lifecycle = p->lifecycle->stats();
     return r;
   }
   StrategyResult sr = std::move(result).value();
+  if (sr.checkpoint != nullptr) {
+    // Suspended at a round barrier: stash the checkpoint for the resume
+    // dispatch. The response is discarded — the handle resolves only when
+    // the query finishes (or is cancelled).
+    p->checkpoint = std::move(sr.checkpoint);
+    *suspended = true;
+    return r;
+  }
+  p->checkpoint.reset();
   r.metrics = sr.metrics;
   r.output = std::move(sr.output);
   if (sr.metrics.failed) {
-    r.status = sr.metrics.fail_code == StatusCode::kResourceExhausted
-                   ? Status::ResourceExhausted(sr.metrics.fail_reason)
-                   : Status::Unavailable(sr.metrics.fail_reason);
+    switch (sr.metrics.fail_code) {
+      case StatusCode::kResourceExhausted:
+        r.status = Status::ResourceExhausted(sr.metrics.fail_reason);
+        break;
+      case StatusCode::kCancelled:
+        r.status = Status::Cancelled(sr.metrics.fail_reason);
+        break;
+      case StatusCode::kDeadlineExceeded:
+        r.status = Status::DeadlineExceeded(sr.metrics.fail_reason);
+        break;
+      default:
+        r.status = Status::Unavailable(sr.metrics.fail_reason);
+        break;
+    }
   }
 
-  if (options_.collect_feedback) {
+  // Lifecycle-stopped runs teach the advisor nothing (their measurements
+  // describe an interrupted run, not the plan).
+  const bool lifecycle_stop =
+      sr.metrics.failed &&
+      (sr.metrics.fail_code == StatusCode::kCancelled ||
+       sr.metrics.fail_code == StatusCode::kDeadlineExceeded);
+  if (options_.collect_feedback && !lifecycle_stop) {
     // Fold the measured run into the feedback store and re-advise the
     // cached plan: the next execution of this query starts from what this
     // one measured (strategy upgrade + measured peak for admission).
@@ -350,10 +658,12 @@ QueryResponse QueryServer::Execute(PendingQuery* p) {
     if (!replaced) qf->strategies.push_back(std::move(sf));
     const StrategyAdvice advice =
         AdviseStrategy(*p->plan.normalized, p->request.workers, qf);
-    cache_.Refresh(p->plan.key, p->request.workers, advice,
+    cache_.Refresh(p->plan.key, p->request.workers, p->request.catalog,
+                   advice,
                    sr.metrics.failed
                        ? 0
-                       : static_cast<uint64_t>(sr.metrics.peak_bytes));
+                       : static_cast<uint64_t>(sr.metrics.peak_bytes),
+                   sr.metrics.failed ? 0 : p->exec_seconds);
     // Bound the in-memory store like the plan cache: rotate the entry just
     // touched to most-recently-used (invalidates qf), then trim the least
     // recently used past the cap.
@@ -370,7 +680,8 @@ QueryResponse QueryServer::Execute(PendingQuery* p) {
       feedback_.queries.erase(feedback_.queries.begin());
     }
   }
-  r.counters = counters.CounterSnapshot();
+  r.counters = p->counters->CounterSnapshot();
+  r.lifecycle = p->lifecycle->stats();
   return r;
 }
 

@@ -8,8 +8,10 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "exec/lifecycle.h"
 #include "obs/feedback.h"
 #include "plan/strategies.h"
 #include "server/plan_cache.h"
@@ -39,6 +41,26 @@ struct QueryRequest {
   bool force_strategy = false;
   ShuffleKind shuffle = ShuffleKind::kRegular;
   JoinKind join = JoinKind::kHashJoin;
+
+  /// Per-query deadline, measured from submit; fires at the next
+  /// coordinator lifecycle poll once elapsed and resolves the query
+  /// kDeadlineExceeded (a graceful FAIL with partial metrics — still in
+  /// the queue, it resolves without running). 0 = inherit
+  /// ServerOptions::default_deadline_seconds.
+  double deadline_seconds = 0;
+
+  /// Deterministic test knobs: trip cancellation / the deadline at exactly
+  /// the n-th lifecycle poll (1-based; 0 = off). Thread-count independent
+  /// by construction — see QueryLifecycle.
+  uint64_t cancel_after_polls = 0;
+  uint64_t deadline_after_polls = 0;
+
+  /// Per-query fault schedule (fault/fault.h grammar, e.g.
+  /// "drop@stage=join_2,attempt=0"). The server runs this query under its
+  /// own private FaultInjector — concurrent neighbours are unaffected, and
+  /// a solo run with the same schedule reproduces the served run
+  /// bit-for-bit. Malformed schedules reject at submit (kInvalidArgument).
+  std::string faults;
 };
 
 /// Everything the server reports back for one query.
@@ -46,13 +68,16 @@ struct QueryResponse {
   /// Deterministic id: "<session>.q<seq>", assigned at submit.
   std::string id;
   /// kOk for completed runs (including result-less ones); kInvalidArgument
-  /// for parse/validation errors; kResourceExhausted for budget rejections
-  /// and hard-budget FAILs (see retry_after_seconds); kUnavailable when a
-  /// run exhausted its fault retries or the server shut down first.
+  /// for parse/validation errors; kResourceExhausted for budget rejections,
+  /// load shedding, and hard-budget FAILs (see retry_after_seconds);
+  /// kCancelled / kDeadlineExceeded for lifecycle-stopped runs (graceful
+  /// FAILs with partial metrics); kUnavailable when a run exhausted its
+  /// fault retries or the server shut down first.
   Status status;
   /// For kResourceExhausted: suggested client backoff. 0 means permanent
-  /// (the query can never fit the pool); > 0 means the pool or budget was
-  /// transiently oversubscribed.
+  /// (the query can never fit the pool); > 0 means the pool, queue, or
+  /// budget was transiently oversubscribed — computed from the estimated
+  /// runtime of the work ahead of the client, not a constant.
   double retry_after_seconds = 0;
 
   bool cache_hit = false;
@@ -82,6 +107,10 @@ struct QueryResponse {
 
   double queue_seconds = 0;
   double exec_seconds = 0;
+
+  /// Control-plane account: polls, suspends/resumes, watchdog trips, and
+  /// whether a cancel/deadline fired (exec/lifecycle.h).
+  LifecycleStats lifecycle;
 };
 
 /// Blocking handle to an in-flight submission. Copyable; Get() blocks
@@ -91,6 +120,10 @@ class QueryHandle {
   QueryHandle() = default;
   const QueryResponse& Get() const;
   bool Done() const;
+  /// Bounded wait: OK once the response is ready within `timeout_seconds`,
+  /// kDeadlineExceeded otherwise. Never consumes the result — a timed-out
+  /// caller can keep polling or fall back to Get().
+  Status WaitFor(double timeout_seconds) const;
 
  private:
   friend class QueryServer;
@@ -139,6 +172,35 @@ struct ServerOptions {
   /// results. 0 means 1 (the caches are never unbounded).
   size_t plan_cache_max_entries = PlanCache::kDefaultMaxEntries;
   size_t feedback_max_entries = 1024;
+
+  /// Default per-query deadline applied when a request doesn't set its
+  /// own. 0 = none.
+  double default_deadline_seconds = 0;
+
+  /// Overload shedding: when the admission queues already hold this many
+  /// queries, further submissions are refused immediately with
+  /// kResourceExhausted and a computed retry_after (the estimated time for
+  /// the backlog to drain) instead of queueing without bound. 0 = never
+  /// shed.
+  size_t max_queue_depth = 0;
+
+  /// Barrier-checkpoint preemption: when the small-class queue holds at
+  /// least this many waiting queries, a running large query is asked to
+  /// suspend at its next round barrier, releasing its pool reservation and
+  /// executor to the small queries; it re-queues at the front of its class
+  /// and resumes bit-identically. 0 = never preempt.
+  int preempt_small_backlog = 0;
+  /// Ceiling on suspensions per query so a large query under sustained
+  /// small-query pressure still finishes.
+  int max_suspends_per_query = 4;
+
+  /// Stage watchdog: a worker whose injected virtual delay inflates its
+  /// stage attempt by at least this factor is treated as hung and the
+  /// attempt retried through the recovery ladder (kUnavailable). Forwarded
+  /// into each query's RecoveryOptions unless the request set its own.
+  /// 0 = off. Driven purely by the fault injector's virtual clock, so
+  /// trips are deterministic at any thread count.
+  double watchdog_straggle_factor = 0;
 };
 
 /// Concurrent multi-query serving layer: sessions submit Datalog text, the
@@ -161,6 +223,10 @@ class QueryServer {
     const std::string& id() const { return id_; }
     /// Enqueues `request`; returns immediately with a blocking handle.
     QueryHandle Submit(const QueryRequest& request);
+    /// Cancels the query with this id (still queued: resolves immediately;
+    /// running: stops at its next lifecycle poll). False when the id is
+    /// unknown or already done.
+    bool Cancel(const std::string& id);
 
    private:
     friend class QueryServer;
@@ -182,6 +248,14 @@ class QueryServer {
     uint64_t admission_stalls = 0;
     uint64_t small_dispatched = 0;
     uint64_t large_dispatched = 0;
+    /// Submissions refused by the queue-depth shed (a subset of rejected).
+    uint64_t shed = 0;
+    uint64_t cancelled = 0;          // resolved kCancelled
+    uint64_t deadline_exceeded = 0;  // resolved kDeadlineExceeded
+    /// Barrier-checkpoint preemptions: suspensions honored / resumes
+    /// dispatched (resumed == suspended once the server drains).
+    uint64_t suspended = 0;
+    uint64_t resumed = 0;
   };
 
   explicit QueryServer(const ServerOptions& options);
@@ -201,6 +275,12 @@ class QueryServer {
   /// Blocks until every accepted query has completed.
   void Drain();
 
+  /// Cancels a query by id (see Session::Cancel). Queued queries resolve
+  /// kCancelled immediately (with any checkpointed partial metrics);
+  /// running queries stop at their next coordinator lifecycle poll. False
+  /// when the id is unknown or the query already resolved.
+  bool Cancel(const std::string& id);
+
   Stats stats() const;
   const PlanCache& plan_cache() const { return cache_; }
   /// In-memory measured-run store the feedback loop builds up; callers may
@@ -216,7 +296,18 @@ class QueryServer {
                              const QueryRequest& request);
   void ExecutorMain();
   std::shared_ptr<server_internal::PendingQuery> PickLocked();
-  QueryResponse Execute(server_internal::PendingQuery* p);
+  QueryResponse Execute(server_internal::PendingQuery* p, bool* suspended);
+  /// Under mu_: estimated seconds until the current backlog (queued +
+  /// running) drains across the executors — the retry_after hint for shed
+  /// and budget-killed queries.
+  double RetryAfterLocked() const;
+  /// Under mu_: when the small-class backlog crosses
+  /// preempt_small_backlog, ask one running large query (with suspension
+  /// budget left) to checkpoint at its next round barrier. The executor
+  /// re-requests at every large dispatch over a standing backlog
+  /// (level-triggered), so an anti-starvation resume yields again
+  /// instead of marching past the backlog's tail.
+  void MaybePreemptLocked();
 
   const ServerOptions options_;
 
@@ -227,6 +318,13 @@ class QueryServer {
   bool stopping_ = false;
   std::deque<std::shared_ptr<server_internal::PendingQuery>> small_;
   std::deque<std::shared_ptr<server_internal::PendingQuery>> large_;
+  /// Queries currently on an executor (for Cancel and preemption).
+  std::vector<std::shared_ptr<server_internal::PendingQuery>>
+      running_queries_;
+  /// Every unresolved query by id (queued, running, or suspended).
+  std::unordered_map<std::string,
+                     std::weak_ptr<server_internal::PendingQuery>>
+      by_id_;
   uint64_t reserved_bytes_ = 0;
   int in_flight_ = 0;
   int consecutive_small_ = 0;

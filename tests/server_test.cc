@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "gtest/gtest.h"
 #include "obs/counters.h"
 #include "obs/resource.h"
@@ -117,7 +118,9 @@ struct SoloRun {
 };
 
 SoloRun RunSolo(Catalog* catalog, const std::string& text,
-                const std::string& strategy, int workers) {
+                const std::string& strategy, int workers,
+                const std::string& faults = "", bool bloom = false,
+                double watchdog_straggle_factor = 0) {
   auto parsed = ParseDatalog(text, &catalog->dictionary());
   PTP_CHECK(parsed.ok());
   auto nq = Normalize(*parsed, *catalog);
@@ -132,6 +135,19 @@ SoloRun RunSolo(Catalog* catalog, const std::string& text,
   }
   StrategyOptions opts;
   opts.num_workers = workers;
+  opts.bloom = bloom;
+  opts.recovery.watchdog_straggle_factor = watchdog_straggle_factor;
+  // Replaying a served run bit-for-bit means replaying its fault schedule
+  // under a private injector, exactly as the server does.
+  std::unique_ptr<FaultInjector> injector;
+  FaultInjector* prev_injector = nullptr;
+  if (!faults.empty()) {
+    auto fault_plan = FaultPlan::Parse(faults);
+    PTP_CHECK(fault_plan.ok()) << fault_plan.status().ToString();
+    injector = std::make_unique<FaultInjector>(std::move(fault_plan).value());
+    prev_injector = ActiveFaultInjector();
+    SetActiveFaultInjector(injector.get());
+  }
   CounterRegistry counters;
   ResourceMeter meter(0, /*hard=*/true);
   CounterRegistry* prev_reg = SetActiveCounterRegistry(&counters);
@@ -139,6 +155,7 @@ SoloRun RunSolo(Catalog* catalog, const std::string& text,
   auto result = RunStrategy(*nq, shuffle, join, opts);
   SetActiveResourceMeter(prev_meter);
   SetActiveCounterRegistry(prev_reg);
+  if (injector != nullptr) SetActiveFaultInjector(prev_injector);
   PTP_CHECK(result.ok()) << result.status().ToString();
   SoloRun solo;
   solo.metrics = result->metrics;
@@ -411,8 +428,28 @@ TEST(PlanCacheTest, LruEvictsLeastRecentlyUsedEntry) {
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_EQ(cache.stats().evictions, 1u);
   PlanCache::Entry e;
-  EXPECT_TRUE(cache.Lookup(NormalizeQueryText(kTriangle), 4, &e));
-  EXPECT_FALSE(cache.Lookup(NormalizeQueryText(kPath), 4, &e));
+  EXPECT_TRUE(cache.Lookup(NormalizeQueryText(kTriangle), 4, catalog.get(), &e));
+  EXPECT_FALSE(cache.Lookup(NormalizeQueryText(kPath), 4, catalog.get(), &e));
+}
+
+TEST(PlanCacheTest, SameTextDifferentCatalogIsNotAHit) {
+  // Preparation binds relation data into the normalized plan, so an entry
+  // must never be shared across catalogs: the second catalog would execute
+  // the first catalog's data and inherit its admission estimate.
+  auto small = MakeCatalog(37, 40, 8);
+  auto large = MakeCatalog(38, 4000, 40);
+  PlanCache cache;
+  bool hit = true;
+  ASSERT_TRUE(cache.Prepare(kTriangle, 4, small.get(), nullptr, &hit).ok());
+  EXPECT_FALSE(hit);
+  auto e = cache.Prepare(kTriangle, 4, large.get(), nullptr, &hit);
+  ASSERT_TRUE(e.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 2u);
+  PlanCache::Entry small_e;
+  ASSERT_TRUE(
+      cache.Lookup(NormalizeQueryText(kTriangle), 4, small.get(), &small_e));
+  EXPECT_GT(e->est_peak_bytes, small_e.est_peak_bytes);
 }
 
 TEST(ServerTest, PlanCacheEvictionCostsOneReparseNeverWrongResults) {
@@ -483,6 +520,336 @@ TEST(ServerTest, FeedbackRefreshesCachedPlan) {
   FeedbackStore fb = server.SnapshotFeedback();
   ASSERT_EQ(fb.queries.size(), 1u);
   EXPECT_FALSE(fb.queries[0].strategies.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Query lifecycle: bounded waits, cancellation, deadlines, shedding,
+// barrier-checkpoint preemption, fault recovery under concurrent serving.
+// ---------------------------------------------------------------------------
+
+size_t TotalRetries(const QueryMetrics& m) {
+  size_t total = 0;
+  for (const StageMetrics& s : m.stages) total += s.retries;
+  for (const ShuffleMetrics& s : m.shuffles) total += s.retries;
+  return total;
+}
+
+TEST(ServerLifecycleTest, WaitForTimesOutWithoutConsumingTheResult) {
+  auto catalog = MakeCatalog(51, 40, 8);
+  ServerOptions so;
+  so.executors = 1;
+  so.start_paused = true;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  QueryHandle h = session->Submit(MakeRequest(catalog.get(), kTriangle));
+  // Paused server: the query cannot finish, so the bounded wait reports a
+  // distinct timeout status...
+  Status timed_out = h.WaitFor(0.01);
+  EXPECT_EQ(timed_out.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(h.Done());
+  // ...without consuming anything: once the server runs, the same handle
+  // still yields the full response.
+  server.Start();
+  server.Drain();
+  EXPECT_TRUE(h.WaitFor(30.0).ok());
+  EXPECT_TRUE(h.Done());
+  EXPECT_TRUE(h.Get().status.ok()) << h.Get().status.ToString();
+}
+
+TEST(ServerLifecycleTest, CancelQueuedQueryResolvesImmediately) {
+  auto catalog = MakeCatalog(53, 40, 8);
+  ServerOptions so;
+  so.executors = 1;
+  so.start_paused = true;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  QueryHandle keep = session->Submit(MakeRequest(catalog.get(), kTriangle));
+  QueryHandle gone = session->Submit(MakeRequest(catalog.get(), kPath));
+  // The server is paused, so s1.q2 is still queued: Cancel resolves it
+  // right now, without an executor ever touching it.
+  EXPECT_TRUE(session->Cancel("s1.q2"));
+  const QueryResponse& r = gone.Get();
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(r.dispatch_seq, 0u);  // never dispatched
+  EXPECT_TRUE(r.metrics.failed);
+  EXPECT_EQ(r.metrics.fail_code, StatusCode::kCancelled);
+  EXPECT_TRUE(r.output.empty());
+  EXPECT_TRUE(r.lifecycle.cancelled);
+  // A resolved id is gone: cancelling again reports unknown.
+  EXPECT_FALSE(session->Cancel("s1.q2"));
+  server.Start();
+  server.Drain();
+  EXPECT_TRUE(keep.Get().status.ok()) << keep.Get().status.ToString();
+  EXPECT_EQ(server.stats().cancelled, 1u);
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST(ServerLifecycleTest, CancelKnobStopsARunningQueryAtAnExactPoll) {
+  auto catalog = MakeCatalog(55, 120, 12);
+  ServerOptions so;
+  so.executors = 1;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  QueryRequest req = MakeRequest(catalog.get(), kTriangle);
+  req.cancel_after_polls = 3;  // the dispatch poll plus two engine polls
+  QueryHandle h = session->Submit(req);
+  server.Drain();
+  const QueryResponse& r = h.Get();
+  EXPECT_EQ(r.status.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(r.metrics.failed);
+  EXPECT_EQ(r.metrics.fail_code, StatusCode::kCancelled);
+  EXPECT_TRUE(r.lifecycle.cancelled);
+  EXPECT_EQ(r.lifecycle.polls, 3u);
+  EXPECT_GE(r.dispatch_seq, 1u);
+  EXPECT_TRUE(r.output.empty());
+  EXPECT_EQ(server.stats().cancelled, 1u);
+  // A graceful FAIL still counts as a completed run, and as a failed one.
+  EXPECT_EQ(server.stats().completed, 1u);
+  EXPECT_EQ(server.stats().failed, 1u);
+}
+
+TEST(ServerLifecycleTest, DeadlineExpiredInQueueResolvesAtDispatch) {
+  auto catalog = MakeCatalog(57, 40, 8);
+  ServerOptions so;
+  so.executors = 1;
+  so.start_paused = true;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  QueryRequest req = MakeRequest(catalog.get(), kTriangle);
+  req.deadline_seconds = 1e-9;  // expires while the server is still paused
+  QueryHandle h = session->Submit(req);
+  server.Start();
+  server.Drain();
+  const QueryResponse& r = h.Get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(r.metrics.failed);
+  EXPECT_EQ(r.metrics.fail_code, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(r.lifecycle.deadline_exceeded);
+  EXPECT_EQ(r.lifecycle.polls, 1u);  // caught at the dispatch poll
+  EXPECT_GE(r.dispatch_seq, 1u);     // dispatched, never entered the engine
+  EXPECT_TRUE(r.output.empty());
+  EXPECT_EQ(server.stats().deadline_exceeded, 1u);
+}
+
+TEST(ServerLifecycleTest, DefaultDeadlineAppliesWhenTheRequestSetsNone) {
+  auto catalog = MakeCatalog(57, 40, 8);
+  ServerOptions so;
+  so.executors = 1;
+  so.start_paused = true;
+  so.default_deadline_seconds = 1e-9;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  QueryHandle h = session->Submit(MakeRequest(catalog.get(), kTriangle));
+  server.Start();
+  server.Drain();
+  EXPECT_EQ(h.Get().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.stats().deadline_exceeded, 1u);
+}
+
+TEST(ServerLifecycleTest, MidRunDeadlineKeepsPartialMetrics) {
+  auto catalog = MakeCatalog(59, 120, 12);
+  ServerOptions so;
+  so.executors = 1;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  // Pin the strategy so both runs walk the identical poll sequence (the
+  // feedback loop may otherwise upgrade the advised plan between them).
+  QueryRequest ref_req = MakeRequest(catalog.get(), kTriangle);
+  ref_req.force_strategy = true;
+  ref_req.shuffle = ShuffleKind::kRegular;
+  ref_req.join = JoinKind::kHashJoin;
+  QueryHandle ref = session->Submit(ref_req);
+  server.Drain();
+  ASSERT_TRUE(ref.Get().status.ok()) << ref.Get().status.ToString();
+  const uint64_t total_polls = ref.Get().lifecycle.polls;
+  ASSERT_GT(total_polls, 2u);
+
+  // The deadline trips at the second-to-last poll point, deep in the run:
+  // the account keeps the work done up to the trip, the output is dropped.
+  QueryRequest req = ref_req;
+  req.deadline_after_polls = total_polls - 1;
+  QueryHandle h = session->Submit(req);
+  server.Drain();
+  const QueryResponse& r = h.Get();
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(r.metrics.failed);
+  EXPECT_TRUE(r.lifecycle.deadline_exceeded);
+  EXPECT_EQ(r.lifecycle.polls, total_polls - 1);
+  EXPECT_GT(r.metrics.TuplesShuffled(), 0u);
+  EXPECT_TRUE(r.output.empty());
+  EXPECT_EQ(server.stats().deadline_exceeded, 1u);
+}
+
+TEST(ServerLifecycleTest, OverloadShedsWithComputedRetryAfter) {
+  auto catalog = MakeCatalog(61, 40, 8);
+  ServerOptions so;
+  so.executors = 1;
+  so.start_paused = true;
+  so.max_queue_depth = 2;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  QueryHandle a = session->Submit(MakeRequest(catalog.get(), kTriangle));
+  QueryHandle b = session->Submit(MakeRequest(catalog.get(), kPath));
+  // The third submission finds the queue at its cap and is shed
+  // synchronously.
+  QueryHandle c = session->Submit(MakeRequest(catalog.get(), kTriangle, 8));
+  ASSERT_TRUE(c.Done());
+  const QueryResponse& shed = c.Get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status.message().find("admission queue full"),
+            std::string::npos)
+      << shed.status.ToString();
+  // Not a placeholder: two queued not-yet-measured queries at the nominal
+  // 50 ms each across one executor lane = 100 ms, exactly.
+  EXPECT_DOUBLE_EQ(shed.retry_after_seconds, 0.1);
+  EXPECT_EQ(server.stats().shed, 1u);
+  EXPECT_EQ(server.stats().rejected, 1u);
+
+  server.Start();
+  server.Drain();
+  EXPECT_TRUE(a.Get().status.ok()) << a.Get().status.ToString();
+  EXPECT_TRUE(b.Get().status.ok()) << b.Get().status.ToString();
+  EXPECT_EQ(server.stats().completed, 2u);
+  // Once the backlog drained, the same submission is admitted again.
+  QueryHandle d = session->Submit(MakeRequest(catalog.get(), kTriangle, 8));
+  server.Drain();
+  EXPECT_TRUE(d.Get().status.ok()) << d.Get().status.ToString();
+  EXPECT_EQ(server.stats().shed, 1u);
+}
+
+TEST(ServerLifecycleTest, SmallBacklogPreemptsRunningLargeBitIdentically) {
+  auto small_cat = MakeCatalog(13, 40, 8);
+  auto large_cat = MakeCatalog(17, 4000, 40);
+  const uint64_t small_est = EstimateFor(small_cat.get(), kTriangle, 2);
+  const uint64_t large_est = EstimateFor(large_cat.get(), kTriangle, 4);
+  ASSERT_LT(small_est, large_est);
+
+  // The preemption request must land while the large query is still
+  // between round barriers — a real-time window (its first join round, on
+  // this catalog tens of milliseconds wide against a cache-hit submit).
+  // The scenario retries a few times before declaring the policy broken;
+  // the bit-identity requirement below holds on whichever attempt won.
+  QueryResponse large_response;
+  uint64_t suspended = 0;
+  for (int attempt = 0; attempt < 5 && suspended == 0; ++attempt) {
+    ServerOptions so;
+    so.executors = 1;
+    so.small_query_bytes = (small_est + large_est) / 2;
+    so.preempt_small_backlog = 1;
+    QueryServer server(so);
+    auto* session = server.OpenSession();
+    // Warm the plan cache so the triggering submission below is a cache
+    // hit that reaches the scheduler with minimal latency.
+    session->Submit(MakeRequest(small_cat.get(), kTriangle, 2));
+    server.Drain();
+
+    // The large query runs alone first — pinned to the multi-round
+    // regular shuffle so suspension has barriers to honor...
+    QueryRequest large = MakeRequest(large_cat.get(), kTriangle, 4);
+    large.force_strategy = true;
+    large.shuffle = ShuffleKind::kRegular;
+    large.join = JoinKind::kHashJoin;
+    QueryHandle lh = session->Submit(large);
+    while (server.stats().large_dispatched == 0) std::this_thread::yield();
+
+    // ...then a small query crosses the preemption threshold: the running
+    // large query is asked to checkpoint at its next round barrier and the
+    // freed executor serves the small query first.
+    QueryHandle sh =
+        session->Submit(MakeRequest(small_cat.get(), kTriangle, 2));
+    server.Drain();
+
+    ASSERT_TRUE(lh.Get().status.ok()) << lh.Get().status.ToString();
+    ASSERT_TRUE(sh.Get().status.ok()) << sh.Get().status.ToString();
+    large_response = lh.Get();
+    suspended = server.stats().suspended;
+    if (suspended > 0) {
+      EXPECT_EQ(server.stats().resumed, suspended);
+      EXPECT_GE(large_response.lifecycle.suspends, 1u);
+      EXPECT_EQ(large_response.lifecycle.suspends,
+                large_response.lifecycle.resumes);
+    }
+  }
+  EXPECT_GE(suspended, 1u) << "preemption never captured a checkpoint";
+
+  // Preemption must be invisible in the result: output, every
+  // deterministic metric, and the memory account all match an
+  // uninterrupted solo run of the same pinned plan.
+  const QueryResponse& lr = large_response;
+  SoloRun solo = RunSolo(large_cat.get(), kTriangle, "RS_HJ", 4);
+  EXPECT_TRUE(lr.output.EqualsUnordered(solo.output));
+  EXPECT_EQ(lr.metrics.output_tuples, solo.metrics.output_tuples);
+  EXPECT_EQ(lr.metrics.TuplesShuffled(), solo.metrics.TuplesShuffled());
+  EXPECT_EQ(lr.metrics.max_intermediate_tuples,
+            solo.metrics.max_intermediate_tuples);
+  EXPECT_EQ(lr.metrics.peak_bytes, solo.metrics.peak_bytes);
+  EXPECT_EQ(lr.metrics.charged_bytes, solo.metrics.charged_bytes);
+  EXPECT_EQ(lr.counters, solo.counters) << "suspension leaked into counters";
+}
+
+// Satellite proof: one query recovers from an injected mid-shuffle fault
+// while neighbours execute concurrently (watchdog armed), and every
+// response — recovered and clean alike — is bit-identical to a solo run
+// replaying the same plan and fault schedule.
+TEST(ServerLifecycleTest, ConcurrentFaultRecoveryMatchesSoloReplay) {
+  auto twitter = MakeCatalog(11, 150, 14);
+  auto freebase = MakeCatalog(23, 90, 10);
+  // Drops one channel of the first exchange on its first attempt: the
+  // recovery ladder retries the exchange and converges.
+  constexpr const char* kMidShuffleFault = "drop@x=0,p=1,c=2";
+
+  ServerOptions so;
+  so.executors = 3;
+  so.watchdog_straggle_factor = 4;  // armed; nothing straggles
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+
+  struct Submitted {
+    Catalog* catalog;
+    std::string text;
+    int workers;
+    std::string faults;
+    QueryHandle handle;
+  };
+  std::vector<Submitted> all;
+  for (int round = 0; round < 3; ++round) {
+    QueryRequest faulted = MakeRequest(twitter.get(), kTriangle, 4);
+    faulted.faults = kMidShuffleFault;
+    faulted.force_strategy = true;  // keep the fault site addressable
+    faulted.shuffle = ShuffleKind::kRegular;
+    faulted.join = JoinKind::kHashJoin;
+    all.push_back({twitter.get(), kTriangle, 4, kMidShuffleFault,
+                   session->Submit(faulted)});
+    all.push_back({freebase.get(), kPath, 3, "",
+                   session->Submit(MakeRequest(freebase.get(), kPath, 3))});
+    all.push_back({twitter.get(), kPath, 4, "",
+                   session->Submit(MakeRequest(twitter.get(), kPath, 4))});
+  }
+  server.Drain();
+
+  for (const Submitted& sub : all) {
+    const QueryResponse& r = sub.handle.Get();
+    ASSERT_TRUE(r.status.ok()) << r.id << ": " << r.status.ToString();
+    EXPECT_FALSE(r.metrics.failed) << r.id;
+    if (!sub.faults.empty()) {
+      EXPECT_GE(TotalRetries(r.metrics), 1u)
+          << r.id << ": the injected fault never fired";
+    }
+    SoloRun solo =
+        RunSolo(sub.catalog, sub.text, r.strategy, sub.workers, sub.faults,
+                r.bloom, so.watchdog_straggle_factor);
+    EXPECT_TRUE(r.output.EqualsUnordered(solo.output)) << r.id;
+    EXPECT_EQ(r.metrics.output_tuples, solo.metrics.output_tuples) << r.id;
+    EXPECT_EQ(r.metrics.TuplesShuffled(), solo.metrics.TuplesShuffled())
+        << r.id;
+    EXPECT_EQ(r.metrics.peak_bytes, solo.metrics.peak_bytes) << r.id;
+    EXPECT_EQ(r.metrics.charged_bytes, solo.metrics.charged_bytes) << r.id;
+    EXPECT_EQ(TotalRetries(r.metrics), TotalRetries(solo.metrics)) << r.id;
+    EXPECT_EQ(r.counters, solo.counters)
+        << r.id << " (" << r.strategy << "): counter divergence";
+  }
+  EXPECT_EQ(server.stats().completed, all.size());
+  EXPECT_EQ(server.stats().failed, 0u);
 }
 
 }  // namespace
