@@ -58,6 +58,7 @@ struct Config {
   size_t small_nodes = 300;
   size_t small_edges = 1500;
   std::string json_path = "BENCH_lifecycle.json";
+  std::string metrics_path;  // Prometheus exposition ("" = off)
 };
 
 double ThreadCpuSeconds() {
@@ -185,13 +186,14 @@ int main(int argc, char** argv) {
         eat("--large-edges=", [&](const std::string& v) { c.large_edges = std::stoul(v); }) ||
         eat("--small-nodes=", [&](const std::string& v) { c.small_nodes = std::stoul(v); }) ||
         eat("--small-edges=", [&](const std::string& v) { c.small_edges = std::stoul(v); }) ||
-        eat("--json=", [&](const std::string& v) { c.json_path = v; });
+        eat("--json=", [&](const std::string& v) { c.json_path = v; }) ||
+        eat("--metrics=", [&](const std::string& v) { c.metrics_path = v; });
     if (!ok) {
       std::cerr << "unknown flag: " << arg
                 << "\nflags: --workers= --smalls= --reps= "
                    "--stress-queries= --seed= --gate= --overhead-reps= "
                    "--large-nodes= --large-edges= --small-nodes= "
-                   "--small-edges= --json=<file>\n";
+                   "--small-edges= --json=<file> --metrics=<file>\n";
       return 2;
     }
   }
@@ -329,6 +331,7 @@ int main(int argc, char** argv) {
   uint64_t stress_ok_count = 0, stress_cancelled = 0, stress_deadline = 0;
   uint64_t stress_recovered = 0, stress_unexpected = 0;
   bool stress_ok = true;
+  std::string stress_prom;
   {
     ServerOptions so;
     so.executors = 3;
@@ -387,6 +390,9 @@ int main(int argc, char** argv) {
                 stress_deadline >= 1 && stress_recovered >= 1 &&
                 stats.cancelled == stress_cancelled &&
                 stats.deadline_exceeded == stress_deadline;
+    // The stress server sees every terminal outcome this bench can
+    // produce, so its fleet metrics make the richest exposition sample.
+    if (!c.metrics_path.empty()) stress_prom = server.RenderMetricsProm();
   }
   std::cout << "stress: " << c.stress_queries << " requests -> "
             << stress_ok_count << " ok, " << stress_cancelled
@@ -480,7 +486,24 @@ int main(int argc, char** argv) {
               << "% + floor\n";
   }
 
-  const bool gates_ok = preempt_ok && shed_ok && stress_ok && overhead_ok;
+  // The exposition must pass the strict checker before it is written —
+  // a malformed render fails the bench, not just the scrape.
+  bool metrics_ok = true;
+  if (!c.metrics_path.empty()) {
+    const Status valid = ValidatePrometheusText(stress_prom);
+    if (!valid.ok()) {
+      metrics_ok = false;
+      std::cerr << "FAIL: metrics exposition invalid: " << valid.ToString()
+                << "\n";
+    }
+    std::ofstream mout(c.metrics_path);
+    PTP_CHECK(mout.good()) << "cannot open " << c.metrics_path;
+    mout << stress_prom;
+    std::cout << "metrics exposition written to " << c.metrics_path << "\n";
+  }
+
+  const bool gates_ok =
+      preempt_ok && shed_ok && stress_ok && overhead_ok && metrics_ok;
 
   std::ofstream out(c.json_path);
   PTP_CHECK(out.good()) << "cannot open " << c.json_path;

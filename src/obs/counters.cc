@@ -1,6 +1,8 @@
 #include "obs/counters.h"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
@@ -42,6 +44,30 @@ void Histogram::Merge(const Histogram& other) {
 double Histogram::Mean() const {
   if (count_ == 0) return 0.0;
   return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double pos = q * static_cast<double>(count_ - 1);
+  double estimate = 0.0;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t n = buckets_[i];
+    if (n == 0) continue;
+    if (pos < static_cast<double>(cum + n)) {
+      if (i > 0) {
+        const double lo = std::ldexp(1.0, static_cast<int>(i) - 1);
+        const double hi = std::ldexp(1.0, static_cast<int>(i));
+        const double offset = pos - static_cast<double>(cum);
+        estimate = lo + (hi - lo) * (offset / static_cast<double>(n));
+      }
+      break;
+    }
+    cum += n;
+  }
+  return std::min(static_cast<double>(max_),
+                  std::max(static_cast<double>(min()), estimate));
 }
 
 std::string Histogram::ToString() const {

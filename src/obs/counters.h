@@ -34,6 +34,16 @@ class Histogram {
   double Mean() const;
   const std::array<uint64_t, 65>& buckets() const { return buckets_; }
 
+  /// Quantile estimate from the pow2 buckets (0 <= q <= 1, clamped).
+  /// Deterministic and pinned (tests/obs_test.cc): the continuous rank
+  /// q * (count - 1) is located by cumulative bucket counts; within bucket
+  /// i the n samples are assumed evenly spaced over [2^(i-1), 2^i), so the
+  /// estimate is lo + (hi - lo) * offset / n; bucket 0 estimates 0. The
+  /// result is clamped to the exact [min, max] the histogram tracked, so a
+  /// single-sample histogram returns that sample for every q. Returns 0
+  /// when empty. Worst-case relative error is one bucket width (2x).
+  double Quantile(double q) const;
+
   /// "count=8 sum=120 min=3 max=40 mean=15.0"
   std::string ToString() const;
 

@@ -1,0 +1,422 @@
+#include "obs/metrics_export.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace ptp {
+namespace {
+
+// Label values escape backslash, double quote and newline (exposition
+// format); HELP text escapes backslash and newline only.
+void AppendEscaped(std::string* out, std::string_view s, bool quote) {
+  for (char c : s) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else if (quote && c == '"') {
+      *out += "\\\"";
+    } else {
+      *out += c;
+    }
+  }
+}
+
+std::string FormatPromValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    return StrFormat("%.0f", value);
+  }
+  return StrFormat("%.9g", value);
+}
+
+void AppendLabels(std::string* out, const PromLabels& labels) {
+  if (labels.empty()) return;
+  *out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) *out += ',';
+    first = false;
+    *out += key;
+    *out += "=\"";
+    AppendEscaped(out, value, /*quote=*/true);
+    *out += '"';
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+void WritePromFamilyHeader(std::ostream& os, std::string_view name,
+                           std::string_view help, std::string_view type) {
+  std::string line = "# HELP ";
+  line.append(name.data(), name.size());
+  line += ' ';
+  AppendEscaped(&line, help, /*quote=*/false);
+  line += "\n# TYPE ";
+  line.append(name.data(), name.size());
+  line += ' ';
+  line.append(type.data(), type.size());
+  line += '\n';
+  os << line;
+}
+
+void WritePromSample(std::ostream& os, std::string_view name,
+                     const PromLabels& labels, double value) {
+  std::string line(name);
+  AppendLabels(&line, labels);
+  line += ' ';
+  line += FormatPromValue(value);
+  line += '\n';
+  os << line;
+}
+
+void WritePromScalarFamily(
+    std::ostream& os, std::string_view name, std::string_view help,
+    std::string_view type,
+    const std::vector<std::pair<PromLabels, double>>& samples) {
+  WritePromFamilyHeader(os, name, help, type);
+  for (const auto& [labels, value] : samples) {
+    WritePromSample(os, name, labels, value);
+  }
+}
+
+void WritePromHistogramFamily(
+    std::ostream& os, std::string_view name, std::string_view help,
+    const std::vector<std::pair<PromLabels, const Histogram*>>& series,
+    double scale) {
+  WritePromFamilyHeader(os, name, help, "histogram");
+  const std::string bucket_name = std::string(name) + "_bucket";
+  for (const auto& [labels, hist] : series) {
+    const auto& buckets = hist->buckets();
+    size_t highest = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] != 0) highest = i;
+    }
+    uint64_t cumulative = 0;
+    for (size_t i = 0; hist->count() != 0 && i <= highest; ++i) {
+      cumulative += buckets[i];
+      PromLabels with_le = labels;
+      // Bucket i holds samples of bit width i, all < 2^i, so le = 2^i
+      // (scaled into the exposition unit) is a valid inclusive bound.
+      with_le.emplace_back(
+          "le", FormatPromValue(std::ldexp(scale, static_cast<int>(i))));
+      WritePromSample(os, bucket_name, with_le,
+                      static_cast<double>(cumulative));
+    }
+    PromLabels with_inf = labels;
+    with_inf.emplace_back("le", "+Inf");
+    WritePromSample(os, bucket_name, with_inf,
+                    static_cast<double>(hist->count()));
+    WritePromSample(os, std::string(name) + "_sum", labels,
+                    static_cast<double>(hist->sum()) * scale);
+    WritePromSample(os, std::string(name) + "_count", labels,
+                    static_cast<double>(hist->count()));
+  }
+}
+
+namespace {
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    if (!alpha && (i == 0 || c < '0' || c > '9')) return false;
+  }
+  return true;
+}
+
+bool ValidLabelName(std::string_view name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    if (!alpha && (i == 0 || c < '0' || c > '9')) return false;
+  }
+  return true;
+}
+
+bool ParsePromNumber(std::string_view token, double* out) {
+  if (token == "+Inf" || token == "Inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "-Inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (token == "NaN") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (token.empty()) return false;
+  std::string copy(token);
+  char* end = nullptr;
+  *out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size();
+}
+
+// Per-(histogram family × non-le labels) running state for the
+// consistency checks.
+struct HistogramSeriesState {
+  double last_le = -std::numeric_limits<double>::infinity();
+  double last_cumulative = -1.0;
+  bool seen_inf = false;
+  double inf_value = 0.0;
+  bool seen_count = false;
+  double count_value = 0.0;
+};
+
+Status LineError(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument(
+      StrFormat("exposition line %zu: %s", line_no, what.c_str()));
+}
+
+}  // namespace
+
+Status ValidatePrometheusText(std::string_view text) {
+  if (text.empty()) {
+    return Status::InvalidArgument("exposition: empty document");
+  }
+  if (text.back() != '\n') {
+    return Status::InvalidArgument(
+        "exposition: document must end with a newline");
+  }
+  std::map<std::string, std::string> types;  // family name -> declared type
+  std::set<std::string> helps;
+  std::map<std::string, HistogramSeriesState> hist_series;
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    if (line.empty()) return LineError(line_no, "blank line");
+    if (line.find('\r') != std::string_view::npos) {
+      return LineError(line_no, "carriage return");
+    }
+    if (line[0] == '#') {
+      // Strictly `# HELP name text` or `# TYPE name type`; free-form
+      // comments are rejected so typos in headers cannot pass silently.
+      if (line.size() < 3 || line[1] != ' ') {
+        return LineError(line_no, "malformed comment");
+      }
+      std::string_view rest = line.substr(2);
+      const size_t sp1 = rest.find(' ');
+      if (sp1 == std::string_view::npos) {
+        return LineError(line_no, "comment is neither HELP nor TYPE");
+      }
+      const std::string_view keyword = rest.substr(0, sp1);
+      rest = rest.substr(sp1 + 1);
+      const size_t sp2 = rest.find(' ');
+      const std::string_view name =
+          sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
+      if (!ValidMetricName(name)) {
+        return LineError(line_no, "invalid metric name in comment");
+      }
+      if (keyword == "HELP") {
+        if (!helps.insert(std::string(name)).second) {
+          return LineError(line_no, "duplicate HELP for " + std::string(name));
+        }
+      } else if (keyword == "TYPE") {
+        if (sp2 == std::string_view::npos) {
+          return LineError(line_no, "TYPE missing a type");
+        }
+        const std::string_view type = rest.substr(sp2 + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return LineError(line_no, "unknown type " + std::string(type));
+        }
+        if (!types.emplace(std::string(name), std::string(type)).second) {
+          return LineError(line_no, "duplicate TYPE for " + std::string(name));
+        }
+      } else {
+        return LineError(line_no, "comment is neither HELP nor TYPE");
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name(line.substr(0, i));
+    if (!ValidMetricName(name)) {
+      return LineError(line_no, "invalid metric name");
+    }
+    // Resolve the family: exact TYPE match first, then histogram suffixes.
+    std::string family = name;
+    std::string suffix;
+    auto type_it = types.find(name);
+    if (type_it == types.end()) {
+      for (std::string_view candidate : {"_bucket", "_sum", "_count"}) {
+        if (name.size() > candidate.size() &&
+            name.compare(name.size() - candidate.size(), candidate.size(),
+                         candidate) == 0) {
+          const std::string base =
+              name.substr(0, name.size() - candidate.size());
+          auto base_it = types.find(base);
+          if (base_it != types.end() && base_it->second == "histogram") {
+            family = base;
+            suffix = candidate;
+            type_it = base_it;
+            break;
+          }
+        }
+      }
+    }
+    if (type_it == types.end()) {
+      return LineError(line_no, "sample " + name + " has no preceding TYPE");
+    }
+    if (type_it->second == "histogram" && suffix.empty()) {
+      return LineError(
+          line_no, "histogram sample must use _bucket/_sum/_count suffix");
+    }
+    // Labels.
+    std::vector<std::pair<std::string, std::string>> labels;
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        size_t name_start = i;
+        while (i < line.size() && line[i] != '=') ++i;
+        if (i >= line.size()) return LineError(line_no, "unterminated label");
+        const std::string label_name(line.substr(name_start, i - name_start));
+        if (!ValidLabelName(label_name)) {
+          return LineError(line_no, "invalid label name");
+        }
+        ++i;  // '='
+        if (i >= line.size() || line[i] != '"') {
+          return LineError(line_no, "label value must be quoted");
+        }
+        ++i;  // opening quote
+        std::string value;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            ++i;
+            if (i >= line.size()) {
+              return LineError(line_no, "dangling escape in label value");
+            }
+            if (line[i] == '\\') {
+              value += '\\';
+            } else if (line[i] == '"') {
+              value += '"';
+            } else if (line[i] == 'n') {
+              value += '\n';
+            } else {
+              return LineError(line_no, "invalid escape in label value");
+            }
+          } else {
+            value += line[i];
+          }
+          ++i;
+        }
+        if (i >= line.size()) {
+          return LineError(line_no, "unterminated label value");
+        }
+        ++i;  // closing quote
+        for (const auto& [existing, unused] : labels) {
+          if (existing == label_name) {
+            return LineError(line_no, "duplicate label " + label_name);
+          }
+        }
+        labels.emplace_back(label_name, value);
+        if (i < line.size() && line[i] == ',') {
+          ++i;
+          if (i < line.size() && line[i] == '}') {
+            return LineError(line_no, "trailing comma in labels");
+          }
+        } else if (i < line.size() && line[i] != '}') {
+          return LineError(line_no, "expected ',' or '}' after label");
+        }
+      }
+      if (i >= line.size()) return LineError(line_no, "unterminated labels");
+      ++i;  // '}'
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return LineError(line_no, "expected a space before the value");
+    }
+    const std::string_view value_token = line.substr(i + 1);
+    double value = 0.0;
+    if (!ParsePromNumber(value_token, &value)) {
+      return LineError(line_no, "unparsable sample value");
+    }
+    // Histogram consistency: per (family × non-le labels) series, buckets
+    // must have strictly increasing le with non-decreasing cumulative
+    // counts, end at +Inf, and agree with the _count sample.
+    if (!suffix.empty()) {
+      std::string key = family;
+      double le = 0.0;
+      bool has_le = false;
+      for (const auto& [label_name, label_value] : labels) {
+        if (suffix == "_bucket" && label_name == "le") {
+          if (!ParsePromNumber(label_value, &le)) {
+            return LineError(line_no, "unparsable le value");
+          }
+          has_le = true;
+          continue;
+        }
+        key += '\x1f';
+        key += label_name;
+        key += '=';
+        key += label_value;
+      }
+      HistogramSeriesState& state = hist_series[key];
+      if (suffix == "_bucket") {
+        if (!has_le) return LineError(line_no, "_bucket without le label");
+        if (le <= state.last_le) {
+          return LineError(line_no, "le not strictly increasing");
+        }
+        if (value < state.last_cumulative) {
+          return LineError(line_no, "bucket counts not cumulative");
+        }
+        state.last_le = le;
+        state.last_cumulative = value;
+        if (std::isinf(le)) {
+          state.seen_inf = true;
+          state.inf_value = value;
+        }
+      } else if (suffix == "_count") {
+        state.seen_count = true;
+        state.count_value = value;
+      }
+    }
+  }
+  for (const auto& [key, state] : hist_series) {
+    const std::string family = key.substr(0, key.find('\x1f'));
+    if (!state.seen_inf) {
+      return Status::InvalidArgument("exposition: histogram " + family +
+                                     " series missing a +Inf bucket");
+    }
+    if (!state.seen_count || state.count_value != state.inf_value) {
+      return Status::InvalidArgument(
+          "exposition: histogram " + family +
+          " _count does not match its +Inf bucket");
+    }
+  }
+  return Status::OK();
+}
+
+void WriteHistogramJson(std::ostream& os, const Histogram& hist,
+                        double scale) {
+  os << "{\"count\":" << hist.count()
+     << StrFormat(",\"sum\":%.6g", static_cast<double>(hist.sum()) * scale)
+     << StrFormat(",\"min\":%.6g", static_cast<double>(hist.min()) * scale)
+     << StrFormat(",\"max\":%.6g", static_cast<double>(hist.max()) * scale)
+     << StrFormat(",\"mean\":%.6g", hist.Mean() * scale)
+     << StrFormat(",\"p50\":%.6g", hist.Quantile(0.5) * scale)
+     << StrFormat(",\"p95\":%.6g", hist.Quantile(0.95) * scale)
+     << StrFormat(",\"p99\":%.6g", hist.Quantile(0.99) * scale)
+     << StrFormat(",\"p999\":%.6g", hist.Quantile(0.999) * scale) << "}";
+}
+
+}  // namespace ptp

@@ -1,0 +1,71 @@
+#ifndef PTP_OBS_METRICS_EXPORT_H_
+#define PTP_OBS_METRICS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/counters.h"
+
+namespace ptp {
+
+/// Writers for the Prometheus text exposition format (version 0.0.4) and a
+/// strict line-format checker, used by the serving layer's fleet telemetry
+/// (`QueryServer::RenderMetricsProm`, docs/OBSERVABILITY.md) and its CI
+/// validation. The writers are deliberately low-level — a family header
+/// plus samples — so any subsystem with counters/histograms can expose
+/// itself without a metrics framework dependency.
+
+/// Label set of one sample, rendered `{k="v",...}` in the given order.
+/// Empty = no braces. Values are escaped per the exposition format
+/// (backslash, double quote, newline).
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// `# HELP name help` + `# TYPE name type` lines. `type` must be one of
+/// counter/gauge/histogram/summary/untyped. Newlines in `help` are escaped.
+void WritePromFamilyHeader(std::ostream& os, std::string_view name,
+                           std::string_view help, std::string_view type);
+
+/// One `name{labels} value` sample line. Values render with enough digits
+/// to round-trip; infinities render as +Inf/-Inf.
+void WritePromSample(std::ostream& os, std::string_view name,
+                     const PromLabels& labels, double value);
+
+/// Whole counter/gauge family: header plus one sample per entry.
+void WritePromScalarFamily(
+    std::ostream& os, std::string_view name, std::string_view help,
+    std::string_view type,
+    const std::vector<std::pair<PromLabels, double>>& samples);
+
+/// Histogram family from pow2 `Histogram`s: per series, cumulative
+/// `<name>_bucket{le=...}` lines for every bucket up to the highest
+/// non-empty one (le = 2^i * scale — samples recorded as integers, e.g.
+/// microseconds, are scaled into the exposition unit, e.g. seconds), a
+/// final `le="+Inf"` bucket, then `<name>_sum` and `<name>_count`.
+void WritePromHistogramFamily(
+    std::ostream& os, std::string_view name, std::string_view help,
+    const std::vector<std::pair<PromLabels, const Histogram*>>& series,
+    double scale);
+
+/// Strict exposition checker: every line must be a `# HELP`/`# TYPE`
+/// comment or a well-formed sample, the text must end with a newline and
+/// contain no blank lines, every sample must belong to a family whose TYPE
+/// was declared first, and histogram families must be internally
+/// consistent (le strictly increasing per series, cumulative counts
+/// non-decreasing, a final +Inf bucket that equals `_count`). Stricter
+/// than Prometheus itself (free-form comments and untyped samples are
+/// rejected) so generator drift fails loudly in tests and CI.
+Status ValidatePrometheusText(std::string_view text);
+
+/// `{"count":N,"sum":...,"min":...,"max":...,"mean":...,"p50":...,
+/// "p95":...,"p99":...,"p999":...}` with all value fields (not count)
+/// scaled by `scale`; quantiles from Histogram::Quantile.
+void WriteHistogramJson(std::ostream& os, const Histogram& hist,
+                        double scale);
+
+}  // namespace ptp
+
+#endif  // PTP_OBS_METRICS_EXPORT_H_

@@ -51,7 +51,7 @@ double TraceSession::ElapsedMicros() const { return timer_.Seconds() * 1e6; }
 
 void TraceSession::Push(TraceEvent::Phase phase, std::string_view name,
                         int track, double value, std::string_view detail,
-                        double ts_rewind_us) {
+                        double ts_rewind_us, uint64_t flow_id) {
   TraceEvent event;
   event.phase = phase;
   event.name.assign(name.data(), name.size());
@@ -59,6 +59,7 @@ void TraceSession::Push(TraceEvent::Phase phase, std::string_view name,
   event.track = track;
   event.value = value;
   event.detail.assign(detail.data(), detail.size());
+  event.flow_id = flow_id;
   const int slot = runtime::CurrentThreadIndex();
   if (slot >= 0 && slot < runtime::kMaxThreads) {
     // Pool worker: exclusive buffer, no lock.
@@ -96,6 +97,21 @@ void TraceSession::Instant(std::string_view name, std::string_view detail,
 
 void TraceSession::NameTrack(int track, std::string_view name) {
   Push(TraceEvent::Phase::kMetadata, "thread_name", track, 0, name);
+}
+
+void TraceSession::FlowStart(std::string_view name, uint64_t id, int track,
+                             double ts_rewind_us) {
+  Push(TraceEvent::Phase::kFlowStart, name, track, 0, {}, ts_rewind_us, id);
+}
+
+void TraceSession::FlowStep(std::string_view name, uint64_t id, int track,
+                            double ts_rewind_us) {
+  Push(TraceEvent::Phase::kFlowStep, name, track, 0, {}, ts_rewind_us, id);
+}
+
+void TraceSession::FlowEnd(std::string_view name, uint64_t id, int track,
+                           double ts_rewind_us) {
+  Push(TraceEvent::Phase::kFlowEnd, name, track, 0, {}, ts_rewind_us, id);
 }
 
 void TraceSession::FlushLocked() const {
@@ -189,6 +205,16 @@ void TraceSession::WriteJson(std::ostream& os) const {
         break;
       case TraceEvent::Phase::kMetadata:
         os << ",\"args\":{\"name\":" << JsonQuote(e.detail) << "}";
+        break;
+      case TraceEvent::Phase::kFlowStart:
+      case TraceEvent::Phase::kFlowStep:
+      case TraceEvent::Phase::kFlowEnd:
+        // Flow events need a category and an id; the end event binds to
+        // the enclosing slice ("bp":"e") so the arrow lands inside it.
+        os << ",\"cat\":\"flow\",\"id\":"
+           << StrFormat("\"0x%llx\"",
+                        static_cast<unsigned long long>(e.flow_id));
+        if (e.phase == TraceEvent::Phase::kFlowEnd) os << ",\"bp\":\"e\"";
         break;
       default:
         break;

@@ -26,7 +26,7 @@ constexpr int WorkerTrack(int worker) { return worker + 1; }
 
 /// One Chrome/Perfetto trace event. Phases follow the trace-event format:
 /// B/E duration spans, X complete spans (with duration), C counters,
-/// i instants, M metadata (track names).
+/// i instants, M metadata (track names), s/t/f flow arrows.
 struct TraceEvent {
   enum class Phase : char {
     kBegin = 'B',
@@ -35,6 +35,9 @@ struct TraceEvent {
     kCounter = 'C',
     kInstant = 'i',
     kMetadata = 'M',
+    kFlowStart = 's',
+    kFlowStep = 't',
+    kFlowEnd = 'f',
   };
   Phase phase;
   std::string name;
@@ -42,6 +45,7 @@ struct TraceEvent {
   int track = kCoordinatorTrack;
   double value = 0;    // kCounter: counter value; kComplete: duration (us)
   std::string detail;  // kInstant/kMetadata: free-form payload
+  uint64_t flow_id = 0;  // kFlow*: events with one id form one flow
 };
 
 /// Records trace events and serializes them as Chrome trace-event JSON
@@ -74,6 +78,23 @@ class TraceSession {
   /// Names a track in the viewer ("worker 3", "coordinator").
   void NameTrack(int track, std::string_view name);
 
+  /// Flow-event arrows (Chrome phases s/t/f): events sharing one `id` form
+  /// a directed flow the viewers draw as arrows between the slices that
+  /// enclose them — the serving layer emits one flow per request to stitch
+  /// its submit span to every execution span it later gets (docs/
+  /// OBSERVABILITY.md, "Fleet telemetry"). Each flow event binds to the
+  /// slice enclosing it on `track` at the emission timestamp, so emit them
+  /// while the owning span is open. The end event carries the enclosing-
+  /// slice binding point ("bp":"e") the viewers expect.
+  /// `ts_rewind_us` backdates the event so it lands inside an enclosing
+  /// after-the-fact CompleteSpan.
+  void FlowStart(std::string_view name, uint64_t id, int track,
+                 double ts_rewind_us = 0);
+  void FlowStep(std::string_view name, uint64_t id, int track,
+                double ts_rewind_us = 0);
+  void FlowEnd(std::string_view name, uint64_t id, int track,
+               double ts_rewind_us = 0);
+
   /// All recorded events, flushed from the per-thread buffers and ordered
   /// by timestamp.
   const std::vector<TraceEvent>& events() const;
@@ -88,9 +109,11 @@ class TraceSession {
 
  private:
   /// Appends to the calling thread's buffer. `ts_rewind_us` backdates the
-  /// event (CompleteSpan's after-the-fact spans).
+  /// event (CompleteSpan's after-the-fact spans); `flow_id` tags flow
+  /// events.
   void Push(TraceEvent::Phase phase, std::string_view name, int track,
-            double value, std::string_view detail, double ts_rewind_us = 0);
+            double value, std::string_view detail, double ts_rewind_us = 0,
+            uint64_t flow_id = 0);
   void FlushLocked() const;
 
   Timer timer_;

@@ -42,6 +42,7 @@
 #include "obs/counters.h"
 #include "obs/explain.h"
 #include "obs/feedback.h"
+#include "obs/metrics_export.h"
 #include "obs/profile.h"
 #include "obs/profile_report.h"
 #include "obs/resource.h"
@@ -58,6 +59,7 @@
 #include "runtime/thread_pool.h"
 #include "server/plan_cache.h"
 #include "server/server.h"
+#include "server/telemetry.h"
 #include "storage/catalog.h"
 #include "storage/csv.h"
 #include "storage/relation.h"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <sstream>
 #include <utility>
 
 #include "common/logging.h"
@@ -10,8 +11,11 @@
 #include "common/timer.h"
 #include "fault/fault.h"
 #include "obs/counters.h"
+#include "obs/metrics_export.h"
 #include "obs/resource.h"
+#include "obs/trace.h"
 #include "plan/advisor.h"
+#include "query/normalize_text.h"
 
 namespace ptp {
 namespace server_internal {
@@ -27,6 +31,11 @@ struct PendingQuery {
   bool small = true;
   uint64_t dispatch_seq = 0;
   Timer queue_timer;
+  /// Submit-side time (parse/prepare + admission decision), booked when
+  /// SubmitInternal reaches a terminal decision for the request.
+  double admission_seconds = 0;
+  /// Trace-stitching flow id, assigned at submit (telemetry plane).
+  uint64_t flow_id = 0;
 
   /// Cancel token + deadline, created at submit so a queued query can be
   /// cancelled (or expire) before it ever dispatches.
@@ -112,10 +121,21 @@ QueryServer::QueryServer(const ServerOptions& options)
     : options_(options),
       running_(!options.start_paused),
       cache_(options.plan_cache_max_entries) {
+  if (!options_.query_log_path.empty()) {
+    query_log_ = std::make_unique<QueryLog>(options_.query_log_path);
+  }
+  if (options_.trace != nullptr) {
+    options_.trace->NameTrack(kServerSubmitTrack, "server submit");
+    options_.trace->NameTrack(kServerQueueTrack, "server queue");
+  }
   const int n = std::max(1, options_.executors);
   executors_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    executors_.emplace_back([this] { ExecutorMain(); });
+    if (options_.trace != nullptr) {
+      options_.trace->NameTrack(ServerLaneTrack(i),
+                                StrFormat("executor %d", i));
+    }
+    executors_.emplace_back([this, i] { ExecutorMain(i); });
   }
 }
 
@@ -169,6 +189,7 @@ QueryHandle QueryServer::SubmitInternal(const std::string& id,
   auto p = std::make_shared<PendingQuery>();
   p->id = id;
   p->request = request;
+  p->flow_id = next_flow_id_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
@@ -192,7 +213,8 @@ QueryHandle QueryServer::SubmitInternal(const std::string& id,
     QueryResponse r;
     r.id = id;
     r.status = prepared.status();
-    p->Resolve(std::move(r));
+    BookSubmit(p.get());
+    FinishRequest(p, std::move(r), /*shed=*/false, /*never_fits=*/false);
     return handle;
   }
   p->plan = std::move(prepared).value();
@@ -212,7 +234,8 @@ QueryHandle QueryServer::SubmitInternal(const std::string& id,
       QueryResponse r;
       r.id = id;
       r.status = fault_plan.status();
-      p->Resolve(std::move(r));
+      BookSubmit(p.get());
+      FinishRequest(p, std::move(r), /*shed=*/false, /*never_fits=*/false);
       return handle;
     }
     p->injector =
@@ -252,9 +275,15 @@ QueryHandle QueryServer::SubmitInternal(const std::string& id,
         static_cast<unsigned long long>(p->est_peak_bytes),
         static_cast<unsigned long long>(options_.memory_pool_bytes)));
     r.retry_after_seconds = 0;  // permanent: resubmitting cannot help
-    p->Resolve(std::move(r));
+    BookSubmit(p.get());
+    FinishRequest(p, std::move(r), /*shed=*/false, /*never_fits=*/true);
     return handle;
   }
+
+  // Admission work is booked (and the submit span emitted) before the
+  // query becomes visible to executors — once enqueued, an executor may
+  // resolve it concurrently and read the admission account.
+  BookSubmit(p.get());
 
   // Overload shedding: a full admission queue refuses immediately with a
   // computed backoff instead of queueing without bound.
@@ -282,11 +311,23 @@ QueryHandle QueryServer::SubmitInternal(const std::string& id,
         "admission queue full (%zu queued, cap %zu)",
         options_.max_queue_depth, options_.max_queue_depth));
     r.retry_after_seconds = shed_retry_after;
-    p->Resolve(std::move(r));
+    FinishRequest(p, std::move(r), /*shed=*/true, /*never_fits=*/false);
     return handle;
   }
   work_cv_.notify_all();
   return handle;
+}
+
+void QueryServer::BookSubmit(PendingQuery* p) {
+  p->admission_seconds = p->queue_timer.Seconds();
+  TraceSession* trace = options_.trace;
+  if (trace == nullptr) return;
+  const double duration_us = p->admission_seconds * 1e6;
+  trace->CompleteSpan("submit " + p->id, kServerSubmitTrack, duration_us);
+  // The flow start is rewound into the submit span so the viewers bind
+  // the arrow's tail to it.
+  trace->FlowStart("request", p->flow_id, kServerSubmitTrack,
+                   duration_us / 2);
 }
 
 double QueryServer::RetryAfterLocked() const {
@@ -381,7 +422,7 @@ bool QueryServer::Cancel(const std::string& id) {
     r.counters = queued->counters->CounterSnapshot();
   }
   r.lifecycle = queued->lifecycle->stats();
-  queued->Resolve(std::move(r));
+  FinishRequest(queued, std::move(r), /*shed=*/false, /*never_fits=*/false);
   drain_cv_.notify_all();
   return true;
 }
@@ -432,9 +473,10 @@ std::shared_ptr<PendingQuery> QueryServer::PickLocked() {
   return nullptr;
 }
 
-void QueryServer::ExecutorMain() {
+void QueryServer::ExecutorMain(int lane) {
   while (true) {
     std::shared_ptr<PendingQuery> p;
+    bool first_dispatch = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
       while (true) {
@@ -448,6 +490,7 @@ void QueryServer::ExecutorMain() {
       reserved_bytes_ += p->est_peak_bytes;
       ++in_flight_;
       if (p->dispatch_seq == 0) {
+        first_dispatch = true;
         p->dispatch_seq = next_dispatch_seq_++;
       } else {
         // Re-dispatch of a suspended query: it keeps its original dispatch
@@ -470,8 +513,38 @@ void QueryServer::ExecutorMain() {
       }
     }
 
+    // Telemetry-plane trace: the queue-wait span (once, at first
+    // dispatch), then a per-dispatch execution span on this lane's track.
+    // The request's flow arrow steps through both and ends inside the
+    // final execution span.
+    TraceSession* trace = options_.trace;
+    const int lane_track = ServerLaneTrack(lane);
+    std::string exec_name;
+    if (trace != nullptr) {
+      if (first_dispatch) {
+        const double waited_us =
+            std::max(0.0, p->queue_timer.Seconds() - p->admission_seconds) *
+            1e6;
+        trace->CompleteSpan("queued " + p->id, kServerQueueTrack, waited_us);
+        trace->FlowStep("request", p->flow_id, kServerQueueTrack,
+                        waited_us / 2);
+      }
+      exec_name = "exec " + p->id;
+      trace->BeginSpan(exec_name, lane_track);
+      trace->FlowStep("request", p->flow_id, lane_track);
+    }
+
     bool suspended = false;
     QueryResponse r = Execute(p.get(), &suspended);
+
+    if (trace != nullptr) {
+      if (suspended) {
+        trace->Instant("suspend", p->id, lane_track);
+      } else {
+        trace->FlowEnd("request", p->flow_id, lane_track);
+      }
+      trace->EndSpan(exec_name, lane_track);
+    }
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -502,7 +575,9 @@ void QueryServer::ExecutorMain() {
         by_id_.erase(p->id);
       }
     }
-    if (!suspended) p->Resolve(std::move(r));
+    if (!suspended) {
+      FinishRequest(p, std::move(r), /*shed=*/false, /*never_fits=*/false);
+    }
     work_cv_.notify_all();
     drain_cv_.notify_all();
   }
@@ -683,6 +758,225 @@ QueryResponse QueryServer::Execute(PendingQuery* p, bool* suspended) {
   r.counters = p->counters->CounterSnapshot();
   r.lifecycle = p->lifecycle->stats();
   return r;
+}
+
+void QueryServer::FinishRequest(const std::shared_ptr<PendingQuery>& p,
+                                QueryResponse r, bool shed,
+                                bool never_fits) {
+  const bool dispatched = r.dispatch_seq != 0;
+  const double total_seconds = p->queue_timer.Seconds();
+
+  RequestSample sample;
+  sample.outcome = OutcomeName(r.status.code(), shed, never_fits);
+  sample.small = p->small;
+  sample.cache_hit = r.cache_hit;
+  sample.bloom = r.bloom;
+  sample.dispatched = dispatched;
+  sample.slow = options_.slow_query_seconds > 0 &&
+                total_seconds >= options_.slow_query_seconds;
+  sample.admission_seconds = p->admission_seconds;
+  // Queue-wait is submit→first-dispatch net of the submit-side work; a
+  // never-dispatched request spends its whole life in admission + queue
+  // but only the end-to-end phase records it (dispatched == false).
+  sample.queue_seconds =
+      std::max(0.0, (dispatched ? p->queue_seconds : total_seconds) -
+                        p->admission_seconds);
+  sample.exec_seconds = p->exec_seconds;
+  sample.total_seconds = total_seconds;
+  sample.lifecycle = r.lifecycle;
+  telemetry_.Record(sample);
+
+  if (query_log_ != nullptr) {
+    QueryLogRecord rec;
+    rec.id = p->id;
+    const size_t dot = p->id.rfind(".q");
+    rec.session = dot == std::string::npos ? "" : p->id.substr(0, dot);
+    // The cache key IS the normalized text; a request that never prepared
+    // (parse reject) normalizes its raw text here instead.
+    rec.query_hash = HashQueryText(!p->plan.key.empty()
+                                       ? p->plan.key
+                                       : NormalizeQueryText(p->request.text));
+    rec.catalog = CatalogFingerprint(p->request.catalog);
+    rec.cost_class = r.cost_class;
+    rec.strategy = r.strategy;
+    rec.bloom = r.bloom;
+    rec.cache_hit = r.cache_hit;
+    rec.outcome = sample.outcome;
+    rec.status = StatusCodeToString(r.status.code());
+    rec.fail_reason =
+        r.status.ok() ? std::string() : std::string(r.status.message());
+    rec.admission_ms = sample.admission_seconds * 1e3;
+    rec.queue_ms = sample.queue_seconds * 1e3;
+    rec.exec_ms = sample.exec_seconds * 1e3;
+    rec.total_ms = total_seconds * 1e3;
+    rec.est_peak_bytes = r.est_peak_bytes;
+    rec.peak_bytes = r.metrics.peak_bytes;
+    if (rec.est_peak_bytes > 0 && rec.peak_bytes > 0) {
+      const double est = static_cast<double>(rec.est_peak_bytes);
+      const double actual = static_cast<double>(rec.peak_bytes);
+      rec.peak_qerror = std::max(est / actual, actual / est);
+    }
+    rec.output_tuples = r.metrics.output_tuples;
+    rec.tuples_shuffled = r.metrics.TuplesShuffled();
+    rec.suspends = r.lifecycle.suspends;
+    rec.watchdog_trips = r.lifecycle.watchdog_trips;
+    rec.slow = sample.slow;
+    rec.dispatch_seq = r.dispatch_seq;
+    query_log_->Append(rec);
+  }
+
+  if (options_.trace != nullptr && !dispatched) {
+    // Dispatched requests close their flow inside the final execution
+    // span (ExecutorMain); never-dispatched ones close it back at the
+    // submit span, where they resolved.
+    options_.trace->FlowEnd("request", p->flow_id, kServerSubmitTrack);
+  }
+  p->Resolve(std::move(r));
+}
+
+std::string QueryServer::RenderMetricsProm() const {
+  std::ostringstream os;
+  telemetry_.WriteProm(os);
+
+  double small_queued, large_queued, reserved, in_flight;
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    small_queued = static_cast<double>(small_.size());
+    large_queued = static_cast<double>(large_.size());
+    reserved = static_cast<double>(reserved_bytes_);
+    in_flight = static_cast<double>(in_flight_);
+    s = stats_;
+  }
+  WritePromScalarFamily(
+      os, "ptp_server_queue_depth", "Admission queue depth by cost class.",
+      "gauge",
+      {{PromLabels{{"class", "small"}}, small_queued},
+       {PromLabels{{"class", "large"}}, large_queued}});
+  WritePromScalarFamily(os, "ptp_server_in_flight",
+                        "Queries currently on an executor.", "gauge",
+                        {{PromLabels{}, in_flight}});
+  WritePromScalarFamily(os, "ptp_server_reserved_bytes",
+                        "Admission pool bytes reserved by running queries.",
+                        "gauge", {{PromLabels{}, reserved}});
+  WritePromScalarFamily(
+      os, "ptp_server_memory_pool_bytes",
+      "Configured admission pool size (0 = unlimited).", "gauge",
+      {{PromLabels{},
+        static_cast<double>(options_.memory_pool_bytes)}});
+  WritePromScalarFamily(
+      os, "ptp_server_executors", "Executor lanes.", "gauge",
+      {{PromLabels{}, static_cast<double>(executors_.size())}});
+  WritePromScalarFamily(os, "ptp_server_submitted_total",
+                        "Requests submitted.", "counter",
+                        {{PromLabels{}, static_cast<double>(s.submitted)}});
+  WritePromScalarFamily(os, "ptp_server_completed_total",
+                        "Requests that ran to completion.", "counter",
+                        {{PromLabels{}, static_cast<double>(s.completed)}});
+  WritePromScalarFamily(
+      os, "ptp_server_admission_stalls_total",
+      "Dispatch attempts held back for pool headroom.", "counter",
+      {{PromLabels{}, static_cast<double>(s.admission_stalls)}});
+
+  const PlanCache::Stats cs = cache_.stats();
+  WritePromScalarFamily(
+      os, "ptp_plan_cache_lookups_total",
+      "Prepared-plan cache lookups by result.", "counter",
+      {{PromLabels{{"result", "hit"}}, static_cast<double>(cs.hits)},
+       {PromLabels{{"result", "miss"}}, static_cast<double>(cs.misses)}});
+  WritePromScalarFamily(os, "ptp_plan_cache_parses_total",
+                        "Parser/normalizer/advisor invocations.", "counter",
+                        {{PromLabels{}, static_cast<double>(cs.parses)}});
+  WritePromScalarFamily(os, "ptp_plan_cache_evictions_total",
+                        "Entries dropped by the LRU cap.", "counter",
+                        {{PromLabels{}, static_cast<double>(cs.evictions)}});
+  return os.str();
+}
+
+std::string QueryServer::RenderMetricsJson() const {
+  std::ostringstream os;
+  os << "{\"fleet\":";
+  telemetry_.WriteJson(os);
+  Stats s = stats();
+  const PlanCache::Stats cs = cache_.stats();
+  os << StrFormat(
+      ",\"server\":{\"submitted\":%llu,\"completed\":%llu,"
+      "\"rejected\":%llu,\"shed\":%llu,\"cancelled\":%llu,"
+      "\"deadline_exceeded\":%llu,\"suspended\":%llu,\"resumed\":%llu,"
+      "\"admission_stalls\":%llu}",
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.deadline_exceeded),
+      static_cast<unsigned long long>(s.suspended),
+      static_cast<unsigned long long>(s.resumed),
+      static_cast<unsigned long long>(s.admission_stalls));
+  os << StrFormat(
+      ",\"plan_cache\":{\"hits\":%llu,\"misses\":%llu,\"parses\":%llu,"
+      "\"evictions\":%llu}}",
+      static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses),
+      static_cast<unsigned long long>(cs.parses),
+      static_cast<unsigned long long>(cs.evictions));
+  return os.str();
+}
+
+ServerSnapshot QueryServer::Snapshot() const {
+  ServerSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.pool.executors = static_cast<int>(executors_.size());
+    snap.pool.in_flight = in_flight_;
+    snap.pool.reserved_bytes = reserved_bytes_;
+    snap.pool.memory_pool_bytes = options_.memory_pool_bytes;
+    snap.pool.small_queued = small_.size();
+    snap.pool.large_queued = large_.size();
+    snap.pool.submitted = stats_.submitted;
+    snap.pool.completed = stats_.completed;
+    // Queued (and suspended) queries are quiescent under mu_ — every
+    // field below was last written by a thread that has since released
+    // mu_. Running queries are owned by an executor that mutates them
+    // without the lock, so their rows stick to fields that freeze at
+    // submit/dispatch.
+    auto queued_row = [&](const std::shared_ptr<PendingQuery>& p) {
+      ServerSnapshot::QueryRow row;
+      row.id = p->id;
+      row.state = p->checkpoint != nullptr ? "suspended" : "queued";
+      row.cost_class = p->small ? "small" : "large";
+      if (p->started) row.strategy = StrategyName(p->shuffle, p->join);
+      row.est_peak_bytes = p->est_peak_bytes;
+      row.dispatch_seq = p->dispatch_seq;
+      row.suspend_count = p->suspend_count;
+      row.waited_seconds = p->queue_timer.Seconds();
+      snap.queries.push_back(std::move(row));
+    };
+    for (const auto& p : small_) queued_row(p);
+    for (const auto& p : large_) queued_row(p);
+    for (const auto& p : running_queries_) {
+      ServerSnapshot::QueryRow row;
+      row.id = p->id;
+      row.state = "running";
+      row.cost_class = p->small ? "small" : "large";
+      row.est_peak_bytes = p->est_peak_bytes;
+      row.dispatch_seq = p->dispatch_seq;
+      row.suspend_count = p->suspend_count;
+      row.waited_seconds = p->queue_timer.Seconds();
+      snap.queries.push_back(std::move(row));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& session : sessions_) {
+      ServerSnapshot::SessionRow row;
+      row.id = session->id();
+      std::lock_guard<std::mutex> seq_lock(session->seq_mu_);
+      row.submitted = static_cast<uint64_t>(session->next_seq_ - 1);
+      snap.sessions.push_back(std::move(row));
+    }
+  }
+  return snap;
 }
 
 }  // namespace ptp

@@ -1,6 +1,7 @@
 #ifndef PTP_SERVER_SERVER_H_
 #define PTP_SERVER_SERVER_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -15,11 +16,13 @@
 #include "obs/feedback.h"
 #include "plan/strategies.h"
 #include "server/plan_cache.h"
+#include "server/telemetry.h"
 #include "storage/catalog.h"
 
 namespace ptp {
 
 class QueryServer;
+class TraceSession;
 namespace server_internal {
 struct PendingQuery;
 }  // namespace server_internal
@@ -201,6 +204,22 @@ struct ServerOptions {
   /// 0 = off. Driven purely by the fault injector's virtual clock, so
   /// trips are deterministic at any thread count.
   double watchdog_straggle_factor = 0;
+
+  /// Structured JSONL query log (server/telemetry.h): one record per
+  /// resolved request — completed, failed, shed, cancelled — written to
+  /// this path (truncated at server construction). Empty = off.
+  std::string query_log_path;
+  /// End-to-end latency threshold flagging a query-log record `slow` (and
+  /// counting ptp_server_slow_queries_total). <= 0 = never.
+  double slow_query_seconds = 1.0;
+  /// Externally-owned trace session the server stitches request timelines
+  /// into: a submit span, a queued span, per-lane execution spans, and one
+  /// flow (arrow chain) per request connecting them. Must outlive the
+  /// server. nullptr = off. Engine-internal spans are not routed here —
+  /// concurrent lanes would interleave B/E pairs on the engine's
+  /// worker-numbered tracks; the server plane sticks to its own tracks
+  /// (kServerSubmitTrack and friends).
+  TraceSession* trace = nullptr;
 };
 
 /// Concurrent multi-query serving layer: sessions submit Datalog text, the
@@ -282,6 +301,26 @@ class QueryServer {
   bool Cancel(const std::string& id);
 
   Stats stats() const;
+
+  /// Fleet telemetry aggregate (always collected; one histogram record +
+  /// a few counter bumps per resolved request).
+  const ServerTelemetry& telemetry() const { return telemetry_; }
+  /// The structured query log, or nullptr when query_log_path is empty.
+  /// Harnesses may append their own non-request rows (AppendLine).
+  QueryLog* query_log() { return query_log_.get(); }
+
+  /// Prometheus text exposition: the fleet latency/outcome families plus
+  /// live pool gauges and plan-cache counters. Self-consistent snapshot,
+  /// callable at any time (docs/OBSERVABILITY.md, "Fleet telemetry").
+  std::string RenderMetricsProm() const;
+  /// The same content as one JSON object.
+  std::string RenderMetricsJson() const;
+
+  /// Live introspection: the ptp.pool / ptp.sessions / ptp.queries views.
+  /// Queued and suspended queries report full detail; running queries only
+  /// what is immutable while an executor owns them.
+  ServerSnapshot Snapshot() const;
+
   const PlanCache& plan_cache() const { return cache_; }
   /// In-memory measured-run store the feedback loop builds up; callers may
   /// persist it with FeedbackStore::WriteFile after Drain().
@@ -294,9 +333,17 @@ class QueryServer {
 
   QueryHandle SubmitInternal(const std::string& id,
                              const QueryRequest& request);
-  void ExecutorMain();
+  void ExecutorMain(int lane);
   std::shared_ptr<server_internal::PendingQuery> PickLocked();
   QueryResponse Execute(server_internal::PendingQuery* p, bool* suspended);
+  /// Terminal resolve hook, called (outside mu_) at every point a request
+  /// resolves: records the telemetry sample, appends the query-log record,
+  /// closes the request's trace flow, then resolves the handle. `shed` /
+  /// `never_fits` disambiguate the kResourceExhausted outcomes.
+  void FinishRequest(const std::shared_ptr<server_internal::PendingQuery>& p,
+                     QueryResponse r, bool shed, bool never_fits);
+  /// Books admission time and emits the submit-track span + flow start.
+  void BookSubmit(server_internal::PendingQuery* p);
   /// Under mu_: estimated seconds until the current backlog (queued +
   /// running) drains across the executors — the retry_after hint for shed
   /// and budget-killed queries.
@@ -335,7 +382,12 @@ class QueryServer {
   mutable std::mutex feedback_mu_;
   FeedbackStore feedback_;
 
-  std::mutex sessions_mu_;
+  ServerTelemetry telemetry_;
+  std::unique_ptr<QueryLog> query_log_;
+  /// Flow ids for request trace stitching, assigned at submit.
+  std::atomic<uint64_t> next_flow_id_{1};
+
+  mutable std::mutex sessions_mu_;
   std::vector<std::unique_ptr<Session>> sessions_;
 
   std::vector<std::thread> executors_;

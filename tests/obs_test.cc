@@ -320,6 +320,61 @@ TEST(CounterRegistryTest, HistogramBucketsAndJson) {
   EXPECT_TRUE(JsonValidator::Valid(os.str())) << os.str();
 }
 
+// Pins the pow2-bucket quantile estimator's interpolation exactly (the
+// fleet latency percentiles and BENCH_serving.json's p50/p95/p99/p999 all
+// come from it): continuous rank q*(count-1) located by cumulative bucket
+// counts, samples assumed evenly spaced within a bucket, result clamped to
+// the tracked [min, max].
+TEST(HistogramTest, QuantileEmptyAndSingleSample) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+
+  h.Record(100);
+  // One sample: every quantile is that sample — the bucket midpoint
+  // estimate is clamped to [min, max] = [100, 100].
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.Quantile(q), 100.0) << q;
+  }
+}
+
+TEST(HistogramTest, QuantileTwoSamplesInterpolatesWithinBucket) {
+  Histogram h;
+  h.Record(1);     // bucket 1: [1, 2)
+  h.Record(1024);  // bucket 11: [1024, 2048)
+  // rank 0 -> offset 0 in bucket 1 -> its lower bound.
+  EXPECT_EQ(h.Quantile(0.0), 1.0);
+  // rank 1 -> offset 0 in bucket 11 -> 1024.
+  EXPECT_EQ(h.Quantile(1.0), 1024.0);
+  // rank 0.5 -> halfway through bucket 1's [1, 2): 1 + (2-1) * 0.5.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.5);
+  // Out-of-range q clamps.
+  EXPECT_EQ(h.Quantile(-1.0), 1.0);
+  EXPECT_EQ(h.Quantile(2.0), 1024.0);
+}
+
+TEST(HistogramTest, QuantileEvenSpacingWithinBucket) {
+  Histogram h;
+  for (uint64_t v : {4, 5, 6, 7}) h.Record(v);  // all bucket 3: [4, 8)
+  // rank q*(4-1); n=4 samples spread over [4, 8): 4 + 4 * (rank / 4).
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4.0 + 4.0 * (1.5 / 4.0));
+  // rank 3 -> 4 + 4 * (3/4) = 7 == max (clamp is a no-op here).
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 7.0);
+}
+
+TEST(HistogramTest, QuantileZeroBucketEstimatesZero) {
+  Histogram h;
+  h.Record(0);
+  h.Record(0);
+  h.Record(0);
+  h.Record(8);  // bucket 4: [8, 16)
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // rank 1.5 still in the zero bucket
+  EXPECT_EQ(h.Quantile(1.0), 8.0);  // rank 3, offset 0 in bucket 4
+}
+
 TEST(ObservedRunTest, WorkerSpansPerStageAndShuffleCounters) {
   const int W = 4;
   NormalizedQuery q = RandomQuery("T(x,y,z) :- R(x,y), S(y,z), U(z,x).", 11,

@@ -1,0 +1,430 @@
+// Fleet telemetry plane tests (server/telemetry.h, obs/metrics_export.h):
+// the metrics registry must agree with the per-response ground truth, the
+// Prometheus exposition must round-trip the strict line-format checker
+// (and the checker must reject corrupted expositions), the structured
+// query log must hold exactly one parseable JSONL record per resolved
+// request — including shed and cancelled ones — the snapshot renderer is
+// pinned by a golden, and the stitched request trace must carry a
+// submit->queue->execute flow per request.
+
+#include "server/telemetry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "obs/metrics_export.h"
+#include "obs/profile_report.h"
+#include "obs/trace.h"
+#include "server/server.h"
+#include "storage/catalog.h"
+#include "test_util.h"
+
+namespace ptp {
+namespace {
+
+std::shared_ptr<Catalog> MakeCatalog(uint64_t seed, size_t tuples,
+                                     Value domain) {
+  auto catalog = std::make_shared<Catalog>();
+  Rng rng(seed);
+  for (const char* name : {"R", "S", "U"}) {
+    catalog->Put(test::RandomBinaryRelation(name, {"a", "b"}, tuples, domain,
+                                            &rng));
+  }
+  return catalog;
+}
+
+QueryRequest MakeRequest(Catalog* catalog, const std::string& text,
+                         int workers = 4) {
+  QueryRequest req;
+  req.text = text;
+  req.catalog = catalog;
+  req.workers = workers;
+  return req;
+}
+
+constexpr const char* kTriangle = "T(x,y,z) :- R(x,y), S(y,z), U(z,x).";
+constexpr const char* kPath = "P(x,w) :- R(x,y), S(y,z), U(z,w).";
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Outcome vocabulary.
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, OutcomeNames) {
+  EXPECT_EQ(OutcomeName(StatusCode::kOk, false, false), "ok");
+  EXPECT_EQ(OutcomeName(StatusCode::kInvalidArgument, false, false),
+            "invalid");
+  EXPECT_EQ(OutcomeName(StatusCode::kResourceExhausted, true, false), "shed");
+  EXPECT_EQ(OutcomeName(StatusCode::kResourceExhausted, false, true),
+            "rejected");
+  EXPECT_EQ(OutcomeName(StatusCode::kResourceExhausted, false, false),
+            "resource_exhausted");
+  EXPECT_EQ(OutcomeName(StatusCode::kCancelled, false, false), "cancelled");
+  EXPECT_EQ(OutcomeName(StatusCode::kDeadlineExceeded, false, false),
+            "deadline_exceeded");
+  EXPECT_EQ(OutcomeName(StatusCode::kUnavailable, false, false),
+            "unavailable");
+  EXPECT_EQ(OutcomeName(StatusCode::kInternal, false, false), "failed");
+}
+
+// ---------------------------------------------------------------------------
+// Fleet metrics vs per-response ground truth.
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, MetricsMatchResponses) {
+  auto catalog = MakeCatalog(7, 400, 40);
+  ServerOptions so;
+  so.executors = 3;
+  QueryServer server(so);
+  auto* session = server.OpenSession("t");
+
+  std::vector<QueryHandle> handles;
+  for (int i = 0; i < 12; ++i) {
+    handles.push_back(session->Submit(MakeRequest(
+        catalog.get(), i % 2 == 0 ? kTriangle : kPath)));
+  }
+  server.Drain();
+
+  uint64_t ok = 0, cache_hits = 0, small = 0, large = 0;
+  for (const QueryHandle& h : handles) {
+    const QueryResponse& r = h.Get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    ++ok;
+    if (r.cache_hit) ++cache_hits;
+    if (r.cost_class == "small") {
+      ++small;
+    } else {
+      ++large;
+    }
+  }
+
+  const ServerTelemetry& t = server.telemetry();
+  EXPECT_EQ(t.CounterValue("outcome.ok"), ok);
+  EXPECT_EQ(t.CounterValue("cache_hits"), cache_hits);
+  EXPECT_EQ(t.CounterValue("class.small"), small);
+  EXPECT_EQ(t.CounterValue("class.large"), large);
+  EXPECT_EQ(t.CounterValue("dispatched"), 12u);
+
+  // Every resolved request lands in the end-to-end histogram of its class;
+  // every dispatched one also in queue-wait and execution.
+  for (const RequestPhase phase :
+       {RequestPhase::kAdmission, RequestPhase::kQueueWait,
+        RequestPhase::kExecution, RequestPhase::kEndToEnd}) {
+    const uint64_t total = t.LatencySnapshot(phase, true).count() +
+                           t.LatencySnapshot(phase, false).count();
+    EXPECT_EQ(total, 12u) << RequestPhaseName(phase);
+  }
+  EXPECT_EQ(t.LatencySnapshot(RequestPhase::kEndToEnd, true).count(), small);
+  EXPECT_EQ(t.LatencySnapshot(RequestPhase::kEndToEnd, false).count(), large);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition round-trip.
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, PrometheusRoundTrip) {
+  auto catalog = MakeCatalog(11, 300, 30);
+  ServerOptions so;
+  so.executors = 2;
+  QueryServer server(so);
+  auto* session = server.OpenSession();
+  for (int i = 0; i < 6; ++i) {
+    session->Submit(MakeRequest(catalog.get(), kTriangle));
+  }
+  server.Drain();
+
+  const std::string prom = server.RenderMetricsProm();
+  EXPECT_TRUE(ValidatePrometheusText(prom).ok())
+      << ValidatePrometheusText(prom).ToString();
+  EXPECT_NE(prom.find("ptp_request_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ptp_server_requests_total{outcome=\"ok\"} 6"),
+            std::string::npos);
+  EXPECT_NE(prom.find("ptp_plan_cache_lookups_total{result=\"hit\"} 5"),
+            std::string::npos);
+
+  // The JSON render parses with the in-repo parser and carries the same
+  // counters.
+  Result<JsonValue> json = ParseJson(server.RenderMetricsJson());
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  const JsonValue* fleet = json->Find("fleet");
+  ASSERT_NE(fleet, nullptr);
+  const JsonValue* counters = fleet->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->NumberOr("outcome.ok", -1), 6);
+
+  // The checker is strict: corruptions a scraper would choke on fail.
+  EXPECT_FALSE(ValidatePrometheusText("").ok());
+  EXPECT_FALSE(ValidatePrometheusText(prom.substr(0, prom.size() - 1)).ok())
+      << "missing trailing newline must fail";
+  EXPECT_FALSE(ValidatePrometheusText(prom + "undeclared_metric 1\n").ok())
+      << "sample without a TYPE declaration must fail";
+  EXPECT_FALSE(ValidatePrometheusText(prom + "# free-form comment\n").ok())
+      << "comments other than HELP/TYPE must fail";
+  EXPECT_FALSE(
+      ValidatePrometheusText("# TYPE h histogram\n"
+                             "h_bucket{le=\"2\"} 3\n"
+                             "h_bucket{le=\"1\"} 1\n"
+                             "h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n")
+          .ok())
+      << "non-monotonic le must fail";
+  EXPECT_FALSE(
+      ValidatePrometheusText("# TYPE h histogram\n"
+                             "h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n")
+          .ok())
+      << "_count disagreeing with the +Inf bucket must fail";
+  EXPECT_TRUE(
+      ValidatePrometheusText("# TYPE h histogram\n"
+                             "h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n")
+          .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Structured query log.
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, QueryLogOneRecordPerRequest) {
+  auto catalog = MakeCatalog(13, 300, 30);
+  const std::string path = TempPath("telemetry_qlog_test.jsonl");
+  uint64_t submitted = 0;
+  {
+    ServerOptions so;
+    so.executors = 1;
+    so.start_paused = true;  // stage shed + cancel deterministically
+    so.max_queue_depth = 3;
+    so.query_log_path = path;
+    so.slow_query_seconds = 1e-9;  // everything that runs is "slow"
+    QueryServer server(so);
+    auto* session = server.OpenSession("c");
+    std::vector<QueryHandle> handles;
+    for (int i = 0; i < 5; ++i) {  // 3 queue, 2 shed at the cap
+      handles.push_back(session->Submit(MakeRequest(catalog.get(),
+                                                    kTriangle)));
+      ++submitted;
+    }
+    ASSERT_TRUE(session->Cancel("c.q3"));  // cancelled while queued
+    server.Start();
+    server.Drain();
+    uint64_t ok = 0, shed = 0, cancelled = 0;
+    for (const QueryHandle& h : handles) {
+      const QueryResponse& r = h.Get();
+      if (r.status.ok()) ++ok;
+      if (r.status.code() == StatusCode::kResourceExhausted) ++shed;
+      if (r.status.code() == StatusCode::kCancelled) ++cancelled;
+    }
+    EXPECT_EQ(ok, 2u);
+    EXPECT_EQ(shed, 2u);
+    EXPECT_EQ(cancelled, 1u);
+    ASSERT_NE(server.query_log(), nullptr);
+    EXPECT_EQ(server.query_log()->lines_written(), submitted);
+  }
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), submitted);
+  std::map<std::string, int> outcomes;
+  std::set<std::string> ids;
+  for (const std::string& line : lines) {
+    Result<JsonValue> parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << ": " << line;
+    EXPECT_EQ(parsed->NumberOr("v", -1), 1);
+    const JsonValue* kind = parsed->Find("kind");
+    ASSERT_NE(kind, nullptr);
+    EXPECT_EQ(kind->string, "request");
+    const JsonValue* id = parsed->Find("id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_TRUE(ids.insert(id->string).second) << "duplicate " << id->string;
+    const JsonValue* outcome = parsed->Find("outcome");
+    ASSERT_NE(outcome, nullptr);
+    ++outcomes[outcome->string];
+    const JsonValue* hash = parsed->Find("query_hash");
+    ASSERT_NE(hash, nullptr);
+    EXPECT_EQ(hash->string.size(), 16u);
+    if (outcome->string == "ok") {
+      const JsonValue* slow = parsed->Find("slow");
+      ASSERT_NE(slow, nullptr);
+      EXPECT_TRUE(slow->boolean);
+      EXPECT_GT(parsed->NumberOr("exec_ms", -1), 0);
+      EXPECT_GT(parsed->NumberOr("output_tuples", -1), 0);
+    }
+  }
+  EXPECT_EQ(outcomes["ok"], 2);
+  EXPECT_EQ(outcomes["shed"], 2);
+  EXPECT_EQ(outcomes["cancelled"], 1);
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, QueryHashIsStable) {
+  // Deterministic 16-hex digest: equal texts agree, different texts don't.
+  EXPECT_EQ(HashQueryText("T(x,y) :- R(x,y)."),
+            HashQueryText("T(x,y) :- R(x,y)."));
+  EXPECT_NE(HashQueryText("T(x,y) :- R(x,y)."),
+            HashQueryText("T(x,y) :- S(x,y)."));
+  EXPECT_EQ(HashQueryText("").size(), 16u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot views.
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, RenderSnapshotGolden) {
+  ServerSnapshot snap;
+  snap.pool.executors = 2;
+  snap.pool.in_flight = 1;
+  snap.pool.reserved_bytes = 1024;
+  snap.pool.memory_pool_bytes = 4096;
+  snap.pool.small_queued = 1;
+  snap.pool.large_queued = 1;
+  snap.pool.submitted = 4;
+  snap.pool.completed = 1;
+  snap.sessions.push_back({"alpha", 3});
+  snap.sessions.push_back({"beta", 1});
+  snap.queries.push_back(
+      {"alpha.q2", "running", "large", "", 2048, 1, 0, 0.0});
+  snap.queries.push_back(
+      {"alpha.q3", "queued", "small", "RS_HJ", 512, 0, 0, 0.25});
+  snap.queries.push_back(
+      {"beta.q1", "suspended", "large", "RS_HJ", 1536, 2, 1, 0.5});
+  const std::string golden =
+      "ptp.pool\n"
+      "  executors  2\n"
+      "  in_flight  1\n"
+      "  reserved   1024 B of 4096 B\n"
+      "  queued     small=1 large=1\n"
+      "  submitted  4\n"
+      "  completed  1\n"
+      "ptp.sessions\n"
+      "  alpha        submitted=3\n"
+      "  beta         submitted=1\n"
+      "ptp.queries\n"
+      "  alpha.q2     running   large est=2048 B seq=1 suspends=0\n"
+      "  alpha.q3     queued    small est=512 B seq=0 suspends=0"
+      " strategy=RS_HJ\n"
+      "  beta.q1      suspended large est=1536 B seq=2 suspends=1"
+      " strategy=RS_HJ\n";
+  EXPECT_EQ(RenderSnapshotText(snap, /*include_timings=*/false), golden);
+  // include_timings appends the volatile waited= column.
+  EXPECT_NE(RenderSnapshotText(snap, /*include_timings=*/true)
+                .find("waited=0.250s"),
+            std::string::npos);
+}
+
+TEST(Telemetry, LiveSnapshotSeesQueuedQueries) {
+  auto catalog = MakeCatalog(17, 200, 20);
+  ServerOptions so;
+  so.executors = 1;
+  so.start_paused = true;
+  QueryServer server(so);
+  auto* session = server.OpenSession("live");
+  session->Submit(MakeRequest(catalog.get(), kTriangle));
+  session->Submit(MakeRequest(catalog.get(), kPath));
+
+  const ServerSnapshot snap = server.Snapshot();
+  EXPECT_EQ(snap.pool.submitted, 2u);
+  EXPECT_EQ(snap.pool.completed, 0u);
+  EXPECT_EQ(snap.pool.in_flight, 0);
+  EXPECT_EQ(snap.pool.small_queued + snap.pool.large_queued, 2u);
+  ASSERT_EQ(snap.sessions.size(), 1u);
+  EXPECT_EQ(snap.sessions[0].id, "live");
+  EXPECT_EQ(snap.sessions[0].submitted, 2u);
+  ASSERT_EQ(snap.queries.size(), 2u);
+  for (const ServerSnapshot::QueryRow& q : snap.queries) {
+    EXPECT_EQ(q.state, "queued");
+    EXPECT_TRUE(q.cost_class == "small" || q.cost_class == "large");
+    EXPECT_EQ(q.dispatch_seq, 0u);
+  }
+  server.Start();
+  server.Drain();
+  const ServerSnapshot done = server.Snapshot();
+  EXPECT_EQ(done.pool.completed, 2u);
+  EXPECT_TRUE(done.queries.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Request trace stitching.
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, TraceStitchesRequestFlow) {
+  auto catalog = MakeCatalog(19, 300, 30);
+  TraceSession trace;
+  std::vector<std::string> ids;
+  {
+    ServerOptions so;
+    so.executors = 2;
+    so.trace = &trace;
+    QueryServer server(so);
+    auto* session = server.OpenSession("tr");
+    std::vector<QueryHandle> handles;
+    for (int i = 0; i < 3; ++i) {
+      handles.push_back(session->Submit(MakeRequest(catalog.get(),
+                                                    kTriangle)));
+    }
+    server.Drain();
+    for (const QueryHandle& h : handles) {
+      ASSERT_TRUE(h.Get().status.ok());
+      ids.push_back(h.Get().id);
+    }
+  }
+
+  std::ostringstream os;
+  trace.WriteJson(os);
+  Result<JsonValue> parsed = ParseJson(os.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::set<std::string> submit_names, queued_names, exec_names;
+  std::map<std::string, std::set<std::string>> flow_phases;  // id -> phases
+  for (const JsonValue& e : events->array) {
+    const JsonValue* name = e.Find("name");
+    const JsonValue* ph = e.Find("ph");
+    if (name == nullptr || ph == nullptr) continue;
+    if (name->string.rfind("submit ", 0) == 0) {
+      submit_names.insert(name->string.substr(7));
+    }
+    if (name->string.rfind("queued ", 0) == 0) {
+      queued_names.insert(name->string.substr(7));
+    }
+    if (name->string.rfind("exec ", 0) == 0 && ph->string == "B") {
+      exec_names.insert(name->string.substr(5));
+    }
+    const JsonValue* cat = e.Find("cat");
+    if (cat != nullptr && cat->string == "flow") {
+      const JsonValue* flow = e.Find("id");
+      ASSERT_NE(flow, nullptr);
+      flow_phases[flow->string].insert(ph->string);
+    }
+  }
+  for (const std::string& id : ids) {
+    EXPECT_TRUE(submit_names.count(id)) << "no submit span for " << id;
+    EXPECT_TRUE(queued_names.count(id)) << "no queued span for " << id;
+    EXPECT_TRUE(exec_names.count(id)) << "no exec span for " << id;
+  }
+  // One flow per request, each opened (s), stepped (t), and closed (f).
+  EXPECT_EQ(flow_phases.size(), ids.size());
+  for (const auto& [flow, phases] : flow_phases) {
+    EXPECT_TRUE(phases.count("s")) << "flow " << flow << " never started";
+    EXPECT_TRUE(phases.count("t")) << "flow " << flow << " never stepped";
+    EXPECT_TRUE(phases.count("f")) << "flow " << flow << " never finished";
+  }
+}
+
+}  // namespace
+}  // namespace ptp
